@@ -1,0 +1,76 @@
+//! E10 — reader throughput while the maintenance transaction runs, per
+//! concurrency-control scheme (§6 comparison).
+//!
+//! For every scheme, a writer holds an in-flight maintenance transaction
+//! that has already updated every tuple; the benchmark measures a reader
+//! session doing point reads against that state. Under S2PL the reads
+//! abort (lock timeout) — their cost is the timeout itself, which is the
+//! phenomenon being measured, so S2PL is benchmarked with a much shorter
+//! timeout and reported separately.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+use wh_cc::{ConcurrencyScheme, Mv2plStore, S2plStore, TwoV2plStore};
+use wh_vnl::VnlStore;
+
+const KEYS: u64 = 1_024;
+
+fn bench_read_during_maintenance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reads_during_active_maintenance");
+
+    // Schemes where readers proceed: 2V2PL, MV2PL, 2VNL.
+    let v2: Box<dyn ConcurrencyScheme> =
+        Box::new(TwoV2plStore::populate(KEYS, Duration::from_millis(50)).unwrap());
+    let mv: Box<dyn ConcurrencyScheme> = Box::new(Mv2plStore::populate(KEYS).unwrap());
+    let vnl: Box<dyn ConcurrencyScheme> = Box::new(VnlStore::populate(KEYS, 2).unwrap());
+    for scheme in [&v2, &mv, &vnl] {
+        let mut writer = scheme.begin_writer();
+        for k in 0..KEYS {
+            writer.update(k, 1).unwrap();
+        }
+        // Writer stays open: maintenance is mid-flight.
+        let mut k = 0u64;
+        group.bench_function(format!("{}_read", scheme.name()), |b| {
+            let mut reader = scheme.begin_reader();
+            b.iter(|| {
+                k = (k + 7) % KEYS;
+                black_box(reader.read(k).unwrap());
+            });
+        });
+        writer.abort().unwrap();
+    }
+    group.finish();
+
+    // S2PL: the read blocks until timeout — measure the abort latency with a
+    // deliberately small timeout so the bench finishes.
+    let s2 = S2plStore::populate(KEYS, Duration::from_micros(200)).unwrap();
+    let mut writer = s2.begin_writer();
+    for k in 0..KEYS {
+        writer.update(k, 1).unwrap();
+    }
+    let mut k = 0u64;
+    c.bench_function("S2PL_read_aborts_during_maintenance", |b| {
+        b.iter(|| {
+            k = (k + 7) % KEYS;
+            let mut reader = s2.begin_reader();
+            black_box(reader.read(k).unwrap_err());
+            reader.finish();
+        })
+    });
+    writer.commit().unwrap();
+}
+
+fn bench_session_begin_cost(c: &mut Criterion) {
+    // 2VNL session begin/end: one Version-relation read, no locks.
+    let vnl = VnlStore::populate(KEYS, 2).unwrap();
+    c.bench_function("2VNL_session_begin_finish", |b| {
+        b.iter(|| {
+            let r = vnl.begin_reader();
+            r.finish();
+        })
+    });
+}
+
+criterion_group!(benches, bench_read_during_maintenance, bench_session_begin_cost);
+criterion_main!(benches);

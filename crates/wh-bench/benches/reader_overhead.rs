@@ -1,0 +1,131 @@
+//! E15 — §4.1 claims the rewrite overhead for readers is "small".
+//!
+//! Measures the Example 2.1 roll-up query three ways over the same data:
+//! a plain (non-versioned) table, a 2VNL table via the SQL rewrite path,
+//! and a 2VNL table via programmatic extraction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use wh_sql::{exec::execute_select, parse_statement, Params, Statement};
+use wh_storage::{IoStats, Table};
+use wh_types::schema::daily_sales_schema;
+use wh_types::{Date, Row, Value};
+use wh_vnl::VnlTable;
+
+const TUPLES: usize = 2_000;
+
+fn rows() -> Vec<Row> {
+    // Mixed-radix digits keep the (city, product_line, date) key unique for
+    // up to 40 * 8 * 28 = 8,960 tuples.
+    (0..TUPLES)
+        .map(|i| {
+            vec![
+                Value::from(format!("city{:03}", i % 40)),
+                Value::from("CA"),
+                Value::from(format!("pl{}", (i / 40) % 8)),
+                Value::from(Date::ymd(1996, 10, 1).plus_days((i / 320 % 28) as u32)),
+                Value::from((i * 13 % 997) as i64),
+            ]
+        })
+        .collect()
+}
+
+const QUERY: &str =
+    "SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state";
+
+fn bench_reader(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reader_rollup_query");
+
+    // Plain table baseline.
+    let plain = Table::create("DailySales", daily_sales_schema(), Arc::new(IoStats::new()))
+        .unwrap();
+    for r in rows() {
+        plain.insert(&r).unwrap();
+    }
+    let Statement::Select(stmt) = parse_statement(QUERY).unwrap() else {
+        unreachable!()
+    };
+    group.bench_function("plain_table", |b| {
+        b.iter(|| black_box(execute_select(&plain, &stmt, &Params::new()).unwrap()))
+    });
+
+    // 2VNL table, half the tuples updated by a later maintenance txn so the
+    // CASE expressions actually discriminate.
+    let vnl = VnlTable::create_named("DailySales", daily_sales_schema(), 2).unwrap();
+    vnl.load_initial(&rows()).unwrap();
+    let txn = vnl.begin_maintenance().unwrap();
+    txn.execute_sql(
+        "UPDATE DailySales SET total_sales = total_sales + 1 WHERE product_line = 'pl0'",
+        &Params::new(),
+    )
+    .unwrap();
+    txn.commit().unwrap();
+    let session = vnl.begin_session();
+    group.bench_function("vnl_rewritten_sql", |b| {
+        b.iter(|| black_box(session.query_via_rewrite(QUERY).unwrap()))
+    });
+    group.bench_function("vnl_extraction", |b| {
+        b.iter(|| black_box(session.query(QUERY).unwrap()))
+    });
+    session.finish();
+    group.finish();
+}
+
+/// Ablation: the generalized nVNL rewrite's CASE chains grow with n (§5's
+/// run-time cost claim). Same data, same query, n ∈ {2, 3, 4}.
+fn bench_nvnl_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite_cost_vs_n");
+    for n in [2usize, 3, 4] {
+        let vnl = VnlTable::create_named("DailySales", daily_sales_schema(), n).unwrap();
+        vnl.load_initial(&rows()).unwrap();
+        // Touch every tuple once per extra version so the slots are full.
+        for round in 0..(n - 1) as i64 {
+            let txn = vnl.begin_maintenance().unwrap();
+            txn.execute_sql(
+                &format!("UPDATE DailySales SET total_sales = total_sales + {round}"),
+                &Params::new(),
+            )
+            .unwrap();
+            txn.commit().unwrap();
+        }
+        let session = vnl.begin_session();
+        group.bench_function(format!("n{n}_rewritten"), |b| {
+            b.iter(|| black_box(session.query_via_rewrite(QUERY).unwrap()))
+        });
+        group.bench_function(format!("n{n}_extraction"), |b| {
+            b.iter(|| black_box(session.query(QUERY).unwrap()))
+        });
+        session.finish();
+    }
+    group.finish();
+}
+
+/// §4.3: index-assisted point reads vs full-scan filtering inside a session.
+fn bench_index_vs_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_point_lookup");
+    let vnl = VnlTable::create_named("DailySales", daily_sales_schema(), 2).unwrap();
+    vnl.load_initial(&rows()).unwrap();
+    vnl.create_index("by_city", &["city"]).unwrap();
+    let session = vnl.begin_session();
+    let key = [Value::from("city007")];
+    group.bench_function("via_index", |b| {
+        b.iter(|| black_box(session.lookup_eq("by_city", &key).unwrap()))
+    });
+    group.bench_function("via_scan", |b| {
+        b.iter(|| {
+            let rows: Vec<_> = session
+                .scan()
+                .unwrap()
+                .into_iter()
+                .filter(|r| r[0] == key[0])
+                .collect();
+            black_box(rows)
+        })
+    });
+    session.finish();
+    group.finish();
+}
+
+criterion_group!(benches, bench_reader, bench_nvnl_ablation, bench_index_vs_scan);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Baseline concurrency-control algorithms for the §6 comparison.
+//!
+//! The paper positions 2VNL against three families:
+//!
+//! * **Strict 2PL** (§1): readers block on the writer's X locks and vice
+//!   versa — the reason warehouses traditionally maintain at night.
+//! * **2V2PL** ([BHR80, SR81]): the writer builds a second version, so
+//!   readers never block — but the writer's **commit is delayed** until every
+//!   reader of a pre-update version finishes (certify locks).
+//! * **MV2PL / transient versioning** (\[CFL+82\] and kin): readers and the
+//!   writer never block each other, but old versions live in a separate
+//!   **version pool**, costing the writer an extra copy-out I/O per first
+//!   touch and costing readers extra I/Os to chase version chains.
+//!
+//! Each scheme here implements the common [`ConcurrencyScheme`] interface
+//! over a real `wh-storage` heap (so logical I/O is measured, not modeled),
+//! with a shared [`LockManager`] and [`CcStats`] blocking instrumentation.
+//! The 2VNL adapter lives in `wh-vnl`; `wh-bench` runs all four side by side
+//! (experiment E10).
+
+pub mod lock;
+pub mod mv2pl;
+pub mod s2pl;
+pub mod scheme;
+pub mod stats;
+pub mod v2v2pl;
+
+pub use lock::{LockManager, LockMode, LockRequestOutcome};
+pub use mv2pl::Mv2plStore;
+pub use s2pl::S2plStore;
+pub use scheme::{CcError, CcResult, ConcurrencyScheme, ReaderTxn, WriterTxn};
+pub use stats::{CcStats, CcStatsSnapshot};
+pub use v2v2pl::TwoV2plStore;

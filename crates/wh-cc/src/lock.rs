@@ -1,0 +1,306 @@
+//! A shared lock manager with S / X / Certify modes and wait timeouts.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Lock modes. The compatibility matrix follows \[BHG87\]:
+///
+/// |        | S   | X        | Certify |
+/// |--------|-----|----------|---------|
+/// | S      | yes | scheme-dependent | no |
+/// | X      |     | no       | no      |
+/// | Certify|     |          | no      |
+///
+/// Under strict 2PL, S and X conflict. Under 2V2PL, X means "writing a *new*
+/// version", which is compatible with S on the old version; the conflict is
+/// deferred to the Certify upgrade at commit. The manager is configured with
+/// [`LockManager::strict`] vs [`LockManager::two_version`] accordingly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) lock.
+    Shared,
+    /// Exclusive (write) lock.
+    Exclusive,
+    /// Certify lock (2V2PL commit-time upgrade).
+    Certify,
+}
+
+/// Outcome of a lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockRequestOutcome {
+    /// Granted without waiting.
+    Granted,
+    /// Granted after waiting for the contained duration.
+    GrantedAfterWait(Duration),
+    /// Timed out; the caller should abort.
+    TimedOut,
+}
+
+impl LockRequestOutcome {
+    /// Whether the request succeeded.
+    pub fn granted(&self) -> bool {
+        !matches!(self, LockRequestOutcome::TimedOut)
+    }
+
+    /// The wait duration, zero when granted immediately.
+    pub fn waited(&self) -> Duration {
+        match self {
+            LockRequestOutcome::GrantedAfterWait(d) => *d,
+            _ => Duration::ZERO,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockEntry {
+    /// `(txn, mode)` pairs currently granted. A txn appears at most once,
+    /// holding its strongest mode.
+    granted: Vec<(u64, LockMode)>,
+    /// Number of Certify requests currently waiting on this key (used by
+    /// the writer-priority variant to fence off new readers).
+    certify_waiting: usize,
+}
+
+/// Table of per-key locks. Keys are logical (`u64`); transactions are
+/// identified by caller-assigned ids.
+pub struct LockManager {
+    /// Whether S conflicts with X (strict 2PL) or not (2V2PL).
+    s_conflicts_x: bool,
+    /// Writer priority: while a Certify waits on a key, new S requests on
+    /// that key queue behind it instead of starving the writer.
+    writer_priority: bool,
+    table: Mutex<HashMap<u64, LockEntry>>,
+    changed: Condvar,
+    timeout: Duration,
+}
+
+impl LockManager {
+    /// Strict-2PL compatibility: S conflicts with X.
+    pub fn strict(timeout: Duration) -> Self {
+        LockManager {
+            s_conflicts_x: true,
+            writer_priority: false,
+            table: Mutex::new(HashMap::new()),
+            changed: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// Two-version compatibility: S is compatible with X; Certify conflicts
+    /// with everything.
+    pub fn two_version(timeout: Duration) -> Self {
+        LockManager {
+            s_conflicts_x: false,
+            writer_priority: false,
+            table: Mutex::new(HashMap::new()),
+            changed: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// Two-version compatibility with writer priority: a waiting Certify
+    /// fences off newly-arriving readers on its key, bounding the commit
+    /// delay (otherwise "readers can starve the maintenance transaction",
+    /// §2.1).
+    pub fn two_version_writer_priority(timeout: Duration) -> Self {
+        LockManager {
+            s_conflicts_x: false,
+            writer_priority: true,
+            table: Mutex::new(HashMap::new()),
+            changed: Condvar::new(),
+            timeout,
+        }
+    }
+
+    fn compatible(&self, held: LockMode, requested: LockMode) -> bool {
+        use LockMode::*;
+        match (held, requested) {
+            (Shared, Shared) => true,
+            (Shared, Exclusive) | (Exclusive, Shared) => !self.s_conflicts_x,
+            (Exclusive, Exclusive) => false,
+            (Certify, _) | (_, Certify) => false,
+        }
+    }
+
+    fn can_grant(&self, entry: &LockEntry, txn: u64, mode: LockMode) -> bool {
+        entry
+            .granted
+            .iter()
+            .all(|&(t, held)| t == txn || self.compatible(held, mode))
+    }
+
+    /// Acquire `mode` on `key` for `txn`, waiting up to the configured
+    /// timeout. Re-acquiring a mode already held (or weaker) is a no-op;
+    /// requesting a stronger mode upgrades in place.
+    pub fn acquire(&self, txn: u64, key: u64, mode: LockMode) -> LockRequestOutcome {
+        let start = Instant::now();
+        let deadline = start + self.timeout;
+        let mut table = self.table.lock();
+        let mut registered_certify = false;
+        let outcome = loop {
+            let entry = table.entry(key).or_default();
+            let already_holds = entry.granted.iter().position(|&(t, _)| t == txn);
+            // Writer priority: new S requests queue behind a waiting Certify.
+            let fenced = self.writer_priority
+                && mode == LockMode::Shared
+                && entry.certify_waiting > 0
+                && already_holds.is_none();
+            if !fenced {
+                // Upgrade/no-op path for a lock we already hold.
+                if let Some(pos) = already_holds {
+                    let held = entry.granted[pos].1;
+                    if strength(held) >= strength(mode) {
+                        break finish(start);
+                    }
+                    // Upgrade: our own entry never conflicts with itself.
+                    if self.can_grant(entry, txn, mode) {
+                        entry.granted[pos].1 = mode;
+                        break finish(start);
+                    }
+                } else if self.can_grant(entry, txn, mode) {
+                    entry.granted.push((txn, mode));
+                    break finish(start);
+                }
+            }
+            // Wait for a release, flagging waiting Certify requests so the
+            // writer-priority fence can see them.
+            if mode == LockMode::Certify && !registered_certify {
+                entry.certify_waiting += 1;
+                registered_certify = true;
+            }
+            if self.changed.wait_until(&mut table, deadline).timed_out() {
+                break LockRequestOutcome::TimedOut;
+            }
+        };
+        if registered_certify {
+            if let Some(entry) = table.get_mut(&key) {
+                entry.certify_waiting = entry.certify_waiting.saturating_sub(1);
+            }
+            // Unblock any readers queued behind the fence.
+            self.changed.notify_all();
+        }
+        outcome
+    }
+
+    /// Release every lock held by `txn`.
+    pub fn release_all(&self, txn: u64) {
+        let mut table = self.table.lock();
+        table.retain(|_, entry| {
+            entry.granted.retain(|&(t, _)| t != txn);
+            // Entries with waiting Certify requests must survive even when
+            // empty — they carry the writer-priority fence.
+            !entry.granted.is_empty() || entry.certify_waiting > 0
+        });
+        self.changed.notify_all();
+    }
+
+    /// Number of keys with at least one granted lock (diagnostics).
+    pub fn locked_keys(&self) -> usize {
+        self.table.lock().len()
+    }
+}
+
+fn strength(mode: LockMode) -> u8 {
+    match mode {
+        LockMode::Shared => 0,
+        LockMode::Exclusive => 1,
+        LockMode::Certify => 2,
+    }
+}
+
+fn finish(start: Instant) -> LockRequestOutcome {
+    let waited = start.elapsed();
+    if waited < Duration::from_micros(50) {
+        LockRequestOutcome::Granted
+    } else {
+        LockRequestOutcome::GrantedAfterWait(waited)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const T: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::strict(T);
+        assert!(lm.acquire(1, 10, LockMode::Shared).granted());
+        assert!(lm.acquire(2, 10, LockMode::Shared).granted());
+        assert_eq!(lm.locked_keys(), 1);
+    }
+
+    #[test]
+    fn strict_s_blocks_x() {
+        let lm = LockManager::strict(Duration::from_millis(20));
+        assert!(lm.acquire(1, 10, LockMode::Shared).granted());
+        assert_eq!(
+            lm.acquire(2, 10, LockMode::Exclusive),
+            LockRequestOutcome::TimedOut
+        );
+    }
+
+    #[test]
+    fn two_version_s_compatible_with_x() {
+        let lm = LockManager::two_version(T);
+        assert!(lm.acquire(1, 10, LockMode::Shared).granted());
+        assert!(lm.acquire(2, 10, LockMode::Exclusive).granted());
+        // But certify conflicts with the reader's S.
+        assert_eq!(
+            LockManager::two_version(Duration::from_millis(20)).timeout,
+            Duration::from_millis(20)
+        );
+        let outcome = {
+            let lm2 = LockManager::two_version(Duration::from_millis(20));
+            lm2.acquire(1, 10, LockMode::Shared);
+            lm2.acquire(2, 10, LockMode::Exclusive);
+            lm2.acquire(2, 10, LockMode::Certify)
+        };
+        assert_eq!(outcome, LockRequestOutcome::TimedOut);
+    }
+
+    #[test]
+    fn reacquire_is_noop_and_upgrade_works() {
+        let lm = LockManager::two_version(T);
+        assert!(lm.acquire(1, 10, LockMode::Exclusive).granted());
+        assert!(lm.acquire(1, 10, LockMode::Shared).granted()); // weaker: no-op
+        assert!(lm.acquire(1, 10, LockMode::Certify).granted()); // sole holder: upgrade
+    }
+
+    #[test]
+    fn release_unblocks_waiters() {
+        let lm = Arc::new(LockManager::strict(Duration::from_secs(5)));
+        lm.acquire(1, 10, LockMode::Shared);
+        let lm2 = Arc::clone(&lm);
+        let waiter = std::thread::spawn(move || lm2.acquire(2, 10, LockMode::Exclusive));
+        std::thread::sleep(Duration::from_millis(30));
+        lm.release_all(1);
+        let outcome = waiter.join().unwrap();
+        assert!(outcome.granted());
+        assert!(outcome.waited() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn release_all_clears_only_own_locks() {
+        let lm = LockManager::strict(T);
+        lm.acquire(1, 10, LockMode::Shared);
+        lm.acquire(2, 11, LockMode::Shared);
+        lm.release_all(1);
+        assert_eq!(lm.locked_keys(), 1);
+    }
+
+    #[test]
+    fn certify_waits_for_reader_release() {
+        let lm = Arc::new(LockManager::two_version(Duration::from_secs(5)));
+        lm.acquire(1, 10, LockMode::Shared); // reader
+        lm.acquire(2, 10, LockMode::Exclusive); // writer, compatible
+        let lm2 = Arc::clone(&lm);
+        let committer = std::thread::spawn(move || lm2.acquire(2, 10, LockMode::Certify));
+        std::thread::sleep(Duration::from_millis(30));
+        lm.release_all(1); // reader finishes
+        assert!(committer.join().unwrap().granted());
+    }
+}

@@ -1,0 +1,127 @@
+//! Blocking and commit-delay instrumentation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters of concurrency-control friction: how often and how long anyone
+/// blocked, and how long writer commits were delayed. 2VNL's headline claim
+/// is that all of these stay at zero while it runs (§1.2); the baselines make
+/// them nonzero in characteristic places.
+#[derive(Debug, Default)]
+pub struct CcStats {
+    reader_blocks: AtomicU64,
+    reader_block_ns: AtomicU64,
+    writer_blocks: AtomicU64,
+    writer_block_ns: AtomicU64,
+    commit_delays: AtomicU64,
+    commit_delay_ns: AtomicU64,
+    aborts: AtomicU64,
+}
+
+/// Point-in-time copy of [`CcStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CcStatsSnapshot {
+    /// Times a reader had to wait for a lock.
+    pub reader_blocks: u64,
+    /// Total reader wait time (ns).
+    pub reader_block_ns: u64,
+    /// Times the writer had to wait for a lock.
+    pub writer_blocks: u64,
+    /// Total writer wait time (ns).
+    pub writer_block_ns: u64,
+    /// Writer commits that had to wait (2V2PL certify).
+    pub commit_delays: u64,
+    /// Total commit wait time (ns).
+    pub commit_delay_ns: u64,
+    /// Transactions aborted (lock timeouts).
+    pub aborts: u64,
+}
+
+impl CcStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a reader wait of `d`.
+    pub fn reader_blocked(&self, d: Duration) {
+        self.reader_blocks.fetch_add(1, Ordering::Relaxed);
+        self.reader_block_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record a writer wait of `d`.
+    pub fn writer_blocked(&self, d: Duration) {
+        self.writer_blocks.fetch_add(1, Ordering::Relaxed);
+        self.writer_block_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record a delayed commit that waited `d`.
+    pub fn commit_delayed(&self, d: Duration) {
+        self.commit_delays.fetch_add(1, Ordering::Relaxed);
+        self.commit_delay_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Record an abort.
+    pub fn aborted(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Copy the counters.
+    pub fn snapshot(&self) -> CcStatsSnapshot {
+        CcStatsSnapshot {
+            reader_blocks: self.reader_blocks.load(Ordering::Relaxed),
+            reader_block_ns: self.reader_block_ns.load(Ordering::Relaxed),
+            writer_blocks: self.writer_blocks.load(Ordering::Relaxed),
+            writer_block_ns: self.writer_block_ns.load(Ordering::Relaxed),
+            commit_delays: self.commit_delays.load(Ordering::Relaxed),
+            commit_delay_ns: self.commit_delay_ns.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the counters.
+    pub fn reset(&self) {
+        self.reader_blocks.store(0, Ordering::Relaxed);
+        self.reader_block_ns.store(0, Ordering::Relaxed);
+        self.writer_blocks.store(0, Ordering::Relaxed);
+        self.writer_block_ns.store(0, Ordering::Relaxed);
+        self.commit_delays.store(0, Ordering::Relaxed);
+        self.commit_delay_ns.store(0, Ordering::Relaxed);
+        self.aborts.store(0, Ordering::Relaxed);
+    }
+}
+
+impl CcStatsSnapshot {
+    /// Total blocking events across readers, writers, and commits.
+    pub fn total_blocks(&self) -> u64 {
+        self.reader_blocks + self.writer_blocks + self.commit_delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = CcStats::new();
+        s.reader_blocked(Duration::from_nanos(100));
+        s.writer_blocked(Duration::from_nanos(200));
+        s.commit_delayed(Duration::from_nanos(300));
+        s.aborted();
+        let snap = s.snapshot();
+        assert_eq!(snap.reader_blocks, 1);
+        assert_eq!(snap.reader_block_ns, 100);
+        assert_eq!(snap.writer_blocks, 1);
+        assert_eq!(snap.writer_block_ns, 200);
+        assert_eq!(snap.commit_delays, 1);
+        assert_eq!(snap.commit_delay_ns, 300);
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.total_blocks(), 3);
+        s.reset();
+        assert_eq!(s.snapshot(), CcStatsSnapshot::default());
+    }
+}

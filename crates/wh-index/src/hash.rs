@@ -1,0 +1,166 @@
+//! Hash index: equality lookups over one or more columns.
+
+use crate::key::IndexKey;
+use crate::IndexError;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use wh_storage::Rid;
+use wh_types::Value;
+
+/// A hash index mapping composite keys to RIDs.
+///
+/// Thread-safe; mutations take a write lock, lookups a read lock. This mirrors
+/// index latching in a conventional DBMS — the paper's layer above never holds
+/// an index latch across user-visible operations.
+#[derive(Debug)]
+pub struct HashIndex {
+    columns: Vec<usize>,
+    unique: bool,
+    map: RwLock<HashMap<IndexKey, Vec<Rid>>>,
+}
+
+impl HashIndex {
+    /// A non-unique index over the given column positions.
+    pub fn new(columns: Vec<usize>) -> Self {
+        HashIndex {
+            columns,
+            unique: false,
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// A unique index over the given column positions.
+    pub fn unique(columns: Vec<usize>) -> Self {
+        HashIndex {
+            columns,
+            unique: true,
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The indexed column positions.
+    pub fn columns(&self) -> &[usize] {
+        &self.columns
+    }
+
+    /// Whether this index enforces key uniqueness.
+    pub fn is_unique(&self) -> bool {
+        self.unique
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Index `row` (stored at `rid`). For unique indexes, a duplicate key
+    /// fails with [`IndexError::KeyConflict`] carrying the incumbent RID.
+    pub fn insert(&self, row: &[Value], rid: Rid) -> Result<(), IndexError> {
+        let key = IndexKey::project(row, &self.columns);
+        let mut map = self.map.write();
+        let entry = map.entry(key).or_default();
+        if self.unique {
+            if let Some(&existing) = entry.first() {
+                return Err(IndexError::KeyConflict(existing));
+            }
+        }
+        entry.push(rid);
+        Ok(())
+    }
+
+    /// Remove the entry for (`row`, `rid`).
+    pub fn remove(&self, row: &[Value], rid: Rid) -> Result<(), IndexError> {
+        let key = IndexKey::project(row, &self.columns);
+        let mut map = self.map.write();
+        let Some(entry) = map.get_mut(&key) else {
+            return Err(IndexError::MissingEntry);
+        };
+        let Some(pos) = entry.iter().position(|&r| r == rid) else {
+            return Err(IndexError::MissingEntry);
+        };
+        entry.swap_remove(pos);
+        if entry.is_empty() {
+            map.remove(&key);
+        }
+        Ok(())
+    }
+
+    /// All RIDs under `key`.
+    pub fn lookup(&self, key: &IndexKey) -> Vec<Rid> {
+        self.map.read().get(key).cloned().unwrap_or_default()
+    }
+
+    /// The unique RID under `key`, if any (meaningful for unique indexes).
+    pub fn get(&self, key: &IndexKey) -> Option<Rid> {
+        self.map.read().get(key).and_then(|v| v.first().copied())
+    }
+
+    /// Look up by projecting the key columns out of `row`.
+    pub fn lookup_row(&self, row: &[Value]) -> Vec<Rid> {
+        self.lookup(&IndexKey::project(row, &self.columns))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rid(n: u32) -> Rid {
+        Rid::new(n, 0)
+    }
+
+    #[test]
+    fn non_unique_allows_duplicates() {
+        let idx = HashIndex::new(vec![0]);
+        let row = vec![Value::from("CA")];
+        idx.insert(&row, rid(1)).unwrap();
+        idx.insert(&row, rid(2)).unwrap();
+        let mut rids = idx.lookup_row(&row);
+        rids.sort();
+        assert_eq!(rids, vec![rid(1), rid(2)]);
+    }
+
+    #[test]
+    fn unique_rejects_duplicates_with_incumbent() {
+        let idx = HashIndex::unique(vec![0]);
+        let row = vec![Value::from("CA")];
+        idx.insert(&row, rid(1)).unwrap();
+        assert_eq!(
+            idx.insert(&row, rid(2)),
+            Err(IndexError::KeyConflict(rid(1)))
+        );
+    }
+
+    #[test]
+    fn remove_then_reinsert() {
+        let idx = HashIndex::unique(vec![0]);
+        let row = vec![Value::from("CA")];
+        idx.insert(&row, rid(1)).unwrap();
+        idx.remove(&row, rid(1)).unwrap();
+        assert_eq!(idx.key_count(), 0);
+        idx.insert(&row, rid(2)).unwrap();
+        assert_eq!(idx.get(&IndexKey::project(&row, &[0])), Some(rid(2)));
+    }
+
+    #[test]
+    fn remove_missing_errors() {
+        let idx = HashIndex::new(vec![0]);
+        let row = vec![Value::from("CA")];
+        assert_eq!(idx.remove(&row, rid(1)), Err(IndexError::MissingEntry));
+        idx.insert(&row, rid(1)).unwrap();
+        assert_eq!(idx.remove(&row, rid(9)), Err(IndexError::MissingEntry));
+    }
+
+    #[test]
+    fn composite_keys() {
+        let idx = HashIndex::unique(vec![0, 1]);
+        idx.insert(&[Value::from("CA"), Value::from(1)], rid(1))
+            .unwrap();
+        idx.insert(&[Value::from("CA"), Value::from(2)], rid(2))
+            .unwrap();
+        assert_eq!(
+            idx.get(&IndexKey(vec![Value::from("CA"), Value::from(2)])),
+            Some(rid(2))
+        );
+    }
+}

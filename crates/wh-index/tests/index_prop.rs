@@ -1,0 +1,105 @@
+//! Model checks for the index structures: hash and ordered indexes must
+//! agree with a reference map under arbitrary insert/remove interleavings,
+//! and range scans must agree with a sorted reference.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, HashMap};
+use wh_index::{HashIndex, IndexKey, OrderedIndex};
+use wh_storage::Rid;
+use wh_types::Value;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64, u32),
+    Remove(usize),
+    Lookup(i64),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0i64..20, any::<u32>()).prop_map(|(k, r)| Op::Insert(k, r % 1000)),
+            any::<usize>().prop_map(Op::Remove),
+            (0i64..20).prop_map(Op::Lookup),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ordered_index_matches_model(ops in arb_ops()) {
+        let idx = OrderedIndex::new(vec![0]);
+        let mut model: BTreeMap<i64, Vec<Rid>> = BTreeMap::new();
+        let mut entries: Vec<(i64, Rid)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, r) => {
+                    let rid = Rid::new(r, 0);
+                    idx.insert(&[Value::from(k)], rid);
+                    model.entry(k).or_default().push(rid);
+                    entries.push((k, rid));
+                }
+                Op::Remove(i) => {
+                    if entries.is_empty() { continue; }
+                    let (k, rid) = entries.swap_remove(i % entries.len());
+                    idx.remove(&[Value::from(k)], rid).unwrap();
+                    // Remove exactly one occurrence from the model.
+                    let v = model.get_mut(&k).unwrap();
+                    let pos = v.iter().position(|&r| r == rid).unwrap();
+                    v.remove(pos);
+                    if v.is_empty() { model.remove(&k); }
+                }
+                Op::Lookup(k) => {
+                    let mut got = idx.lookup(&IndexKey(vec![Value::from(k)]));
+                    got.sort();
+                    let mut want = model.get(&k).cloned().unwrap_or_default();
+                    want.sort();
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        // Full range agrees with the model.
+        let mut got = idx.range(None, None);
+        got.sort();
+        let mut want: Vec<Rid> = model.values().flatten().copied().collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+        // Sub-range agrees.
+        let lo = IndexKey(vec![Value::from(5)]);
+        let hi = IndexKey(vec![Value::from(12)]);
+        let mut got = idx.range(Some(&lo), Some(&hi));
+        got.sort();
+        let mut want: Vec<Rid> = model
+            .range(5..=12)
+            .flat_map(|(_, v)| v.iter().copied())
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn unique_hash_index_matches_model(keys in prop::collection::vec((0i64..30, any::<u32>()), 1..80)) {
+        let idx = HashIndex::unique(vec![0]);
+        let mut model: HashMap<i64, Rid> = HashMap::new();
+        for (k, r) in keys {
+            let rid = Rid::new(r % 1000, 0);
+            let row = [Value::from(k)];
+            match idx.insert(&row, rid) {
+                Ok(()) => {
+                    prop_assert!(!model.contains_key(&k), "accepted duplicate key {k}");
+                    model.insert(k, rid);
+                }
+                Err(wh_index::IndexError::KeyConflict(existing)) => {
+                    prop_assert_eq!(Some(&existing), model.get(&k), "wrong incumbent");
+                }
+                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+            }
+        }
+        for (k, rid) in &model {
+            prop_assert_eq!(idx.get(&IndexKey(vec![Value::from(*k)])), Some(*rid));
+        }
+    }
+}

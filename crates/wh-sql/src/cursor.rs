@@ -1,0 +1,169 @@
+//! Tuple-at-a-time cursors over a predicate.
+//!
+//! §4.2 of the paper rewrites maintenance DML with a **cursor approach**:
+//! "cursors can be used so that the decision of which physical operation to
+//! perform can be made on a tuple by tuple basis". A [`Cursor`] materializes
+//! the RIDs matching a predicate up front (so the iteration set is stable
+//! even while the caller mutates the tuples it visits) and hands back
+//! `(rid, row)` pairs one at a time.
+
+use crate::ast::Expr;
+use crate::error::SqlResult;
+use crate::eval::{EvalContext, Params};
+use wh_storage::{Rid, Table};
+use wh_types::Row;
+
+/// A stable, tuple-at-a-time cursor over the rows of `table` matching an
+/// optional predicate.
+pub struct Cursor<'t> {
+    table: &'t Table,
+    rids: std::vec::IntoIter<Rid>,
+}
+
+impl<'t> Cursor<'t> {
+    /// Open a cursor over all rows matching `predicate` (all rows when
+    /// `None`). The matching RID set is fixed at open time.
+    pub fn open(
+        table: &'t Table,
+        predicate: Option<&Expr>,
+        params: &Params,
+    ) -> SqlResult<Self> {
+        let ctx = EvalContext::new(table.schema(), params);
+        let mut rids = Vec::new();
+        table.scan(|rid, row| {
+            let keep = match predicate {
+                Some(p) => {
+                    ctx.eval_predicate(p, &row).map_err(storage_eval_err)?
+                }
+                None => true,
+            };
+            if keep {
+                rids.push(rid);
+            }
+            Ok(())
+        })?;
+        Ok(Cursor {
+            table,
+            rids: rids.into_iter(),
+        })
+    }
+
+    /// Fetch the next `(rid, row)` pair, re-reading the row at fetch time.
+    /// Rows physically deleted since open are skipped.
+    pub fn next_row(&mut self) -> SqlResult<Option<(Rid, Row)>> {
+        for rid in self.rids.by_ref() {
+            match self.table.read(rid) {
+                Ok(row) => return Ok(Some((rid, row))),
+                Err(wh_storage::StorageError::NoSuchSlot { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Drain the cursor into a vector.
+    pub fn collect_rows(mut self) -> SqlResult<Vec<(Rid, Row)>> {
+        let mut out = Vec::new();
+        while let Some(pair) = self.next_row()? {
+            out.push(pair);
+        }
+        Ok(out)
+    }
+}
+
+/// Smuggle an evaluation error through the storage scan callback, which
+/// only speaks `StorageError`.
+fn storage_eval_err(e: crate::error::SqlError) -> wh_storage::StorageError {
+    wh_storage::StorageError::Type(wh_types::TypeError::Codec(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expression;
+    use std::sync::Arc;
+    use wh_storage::IoStats;
+    use wh_types::{Column, DataType, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Column::new("id", DataType::Int32),
+            Column::updatable("v", DataType::Int32),
+        ])
+        .unwrap();
+        let t = Table::create("t", schema, Arc::new(IoStats::new())).unwrap();
+        for i in 0..10 {
+            t.insert(&[Value::from(i), Value::from(i * 10)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn cursor_filters() {
+        let t = table();
+        let pred = parse_expression("id >= 7").unwrap();
+        let rows = Cursor::open(&t, Some(&pred), &Params::new())
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn cursor_without_predicate_sees_all() {
+        let t = table();
+        let rows = Cursor::open(&t, None, &Params::new())
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn mutating_visited_rows_does_not_disturb_iteration() {
+        // The §4.2 pattern: decide-then-update per tuple, while iterating.
+        let t = table();
+        let pred = parse_expression("v >= 0").unwrap();
+        let mut cur = Cursor::open(&t, Some(&pred), &Params::new()).unwrap();
+        let mut visited = 0;
+        while let Some((rid, mut row)) = cur.next_row().unwrap() {
+            row[1] = row[1].add(&Value::from(1)).unwrap();
+            t.update(rid, &row).unwrap();
+            visited += 1;
+        }
+        assert_eq!(visited, 10);
+        // Every row updated exactly once.
+        let sum: i64 = t
+            .scan_all()
+            .unwrap()
+            .iter()
+            .map(|(_, r)| r[1].as_int().unwrap())
+            .sum();
+        assert_eq!(sum, (0..10).map(|i| i * 10 + 1).sum::<i64>());
+    }
+
+    #[test]
+    fn rows_deleted_mid_iteration_are_skipped() {
+        let t = table();
+        let mut cur = Cursor::open(&t, None, &Params::new()).unwrap();
+        // Delete everything before fetching.
+        for (rid, _) in t.scan_all().unwrap() {
+            t.delete(rid).unwrap();
+        }
+        assert!(cur.next_row().unwrap().is_none());
+    }
+
+    #[test]
+    fn params_usable_in_cursor_predicates() {
+        let t = table();
+        let pred = parse_expression("id = :target").unwrap();
+        let mut params = Params::new();
+        params.insert("target".into(), Value::from(3));
+        let rows = Cursor::open(&t, Some(&pred), &params)
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].1[0], Value::from(3));
+    }
+}

@@ -1,0 +1,353 @@
+//! Scalar expression evaluation with SQL three-valued logic.
+
+use crate::ast::{BinOp, Expr};
+use crate::error::{SqlError, SqlResult};
+use std::collections::HashMap;
+use std::cmp::Ordering;
+use wh_types::{Schema, Value};
+
+/// Named parameter bindings (`:sessionVN` → value). The paper's rewrites
+/// leave `:sessionVN` / `:maintenanceVN` placeholders in the SQL; execution
+/// supplies them here.
+pub type Params = HashMap<String, Value>;
+
+/// Evaluation context: resolves column names against a schema and parameters
+/// against a binding map.
+pub struct EvalContext<'a> {
+    schema: &'a Schema,
+    params: &'a Params,
+}
+
+impl<'a> EvalContext<'a> {
+    /// Build a context for `schema` with `params` bound.
+    pub fn new(schema: &'a Schema, params: &'a Params) -> Self {
+        EvalContext { schema, params }
+    }
+
+    /// Evaluate `expr` against `row`. Aggregates are not allowed here — the
+    /// executor evaluates them over groups; encountering one is
+    /// [`SqlError::MisplacedAggregate`].
+    pub fn eval(&self, expr: &Expr, row: &[Value]) -> SqlResult<Value> {
+        match expr {
+            Expr::Column(name) => {
+                let idx = self
+                    .schema
+                    .column_index(name)
+                    .map_err(|_| SqlError::NoSuchColumn(name.clone()))?;
+                Ok(row[idx].clone())
+            }
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Param(name) => self
+                .params
+                .get(name)
+                .cloned()
+                .ok_or_else(|| SqlError::UnboundParam(name.clone())),
+            Expr::Binary { op, left, right } => {
+                let l = self.eval(left, row)?;
+                // Short-circuit AND/OR with three-valued logic.
+                match op {
+                    BinOp::And => {
+                        return self.eval_and(&l, right, row);
+                    }
+                    BinOp::Or => {
+                        return self.eval_or(&l, right, row);
+                    }
+                    _ => {}
+                }
+                let r = self.eval(right, row)?;
+                self.apply_binop(*op, &l, &r)
+            }
+            Expr::Not(e) => match self.eval(e, row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                other => Err(SqlError::Type(wh_types::TypeError::Mismatch {
+                    op: "NOT",
+                    left: other.type_name().into(),
+                    right: "BOOL".into(),
+                })),
+            },
+            Expr::Neg(e) => match self.eval(e, row)? {
+                Value::Null => Ok(Value::Null),
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(x) => Ok(Value::Float(-x)),
+                other => Err(SqlError::Type(wh_types::TypeError::Mismatch {
+                    op: "negate",
+                    left: other.type_name().into(),
+                    right: "numeric".into(),
+                })),
+            },
+            Expr::IsNull { expr, negated } => {
+                let v = self.eval(expr, row)?;
+                Ok(Value::Bool(v.is_null() != *negated))
+            }
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => {
+                let v = self.eval(expr, row)?;
+                let lo = self.eval(low, row)?;
+                let hi = self.eval(high, row)?;
+                let ge_lo = v.sql_cmp(&lo)?.map(|o| o != Ordering::Less);
+                let le_hi = v.sql_cmp(&hi)?.map(|o| o != Ordering::Greater);
+                Ok(match (ge_lo, le_hi) {
+                    // Three-valued AND over the two bound checks.
+                    (Some(false), _) | (_, Some(false)) => Value::Bool(*negated),
+                    (Some(true), Some(true)) => Value::Bool(!*negated),
+                    _ => Value::Null,
+                })
+            }
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                let v = self.eval(expr, row)?;
+                let mut saw_unknown = false;
+                for candidate in list {
+                    let c = self.eval(candidate, row)?;
+                    match v.sql_cmp(&c)? {
+                        Some(Ordering::Equal) => return Ok(Value::Bool(!*negated)),
+                        None => saw_unknown = true,
+                        _ => {}
+                    }
+                }
+                Ok(if saw_unknown {
+                    Value::Null
+                } else {
+                    Value::Bool(*negated)
+                })
+            }
+            Expr::Case {
+                branches,
+                else_expr,
+            } => {
+                for (cond, val) in branches {
+                    if self.eval(cond, row)? == Value::Bool(true) {
+                        return self.eval(val, row);
+                    }
+                }
+                match else_expr {
+                    Some(e) => self.eval(e, row),
+                    None => Ok(Value::Null),
+                }
+            }
+            Expr::Aggregate { .. } => Err(SqlError::MisplacedAggregate),
+        }
+    }
+
+    fn eval_and(&self, left: &Value, right: &Expr, row: &[Value]) -> SqlResult<Value> {
+        // FALSE AND x = FALSE without evaluating x (short circuit).
+        if *left == Value::Bool(false) {
+            return Ok(Value::Bool(false));
+        }
+        let r = self.eval(right, row)?;
+        match (truth(left)?, truth(&r)?) {
+            (Some(true), Some(true)) => Ok(Value::Bool(true)),
+            (Some(false), _) | (_, Some(false)) => Ok(Value::Bool(false)),
+            _ => Ok(Value::Null),
+        }
+    }
+
+    fn eval_or(&self, left: &Value, right: &Expr, row: &[Value]) -> SqlResult<Value> {
+        if *left == Value::Bool(true) {
+            return Ok(Value::Bool(true));
+        }
+        let r = self.eval(right, row)?;
+        match (truth(left)?, truth(&r)?) {
+            (Some(false), Some(false)) => Ok(Value::Bool(false)),
+            (Some(true), _) | (_, Some(true)) => Ok(Value::Bool(true)),
+            _ => Ok(Value::Null),
+        }
+    }
+
+    fn apply_binop(&self, op: BinOp, l: &Value, r: &Value) -> SqlResult<Value> {
+        match op {
+            BinOp::Add => Ok(l.add(r)?),
+            BinOp::Sub => Ok(l.sub(r)?),
+            BinOp::Mul => Ok(l.mul(r)?),
+            BinOp::Div => Ok(l.div(r)?),
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                let cmp = l.sql_cmp(r)?;
+                Ok(match cmp {
+                    None => Value::Null,
+                    Some(ord) => Value::Bool(match op {
+                        BinOp::Eq => ord == Ordering::Equal,
+                        BinOp::NotEq => ord != Ordering::Equal,
+                        BinOp::Lt => ord == Ordering::Less,
+                        BinOp::LtEq => ord != Ordering::Greater,
+                        BinOp::Gt => ord == Ordering::Greater,
+                        BinOp::GtEq => ord != Ordering::Less,
+                        _ => unreachable!(),
+                    }),
+                })
+            }
+            BinOp::And | BinOp::Or => unreachable!("handled by short-circuit paths"),
+        }
+    }
+
+    /// Evaluate a predicate: true only when the expression is exactly TRUE
+    /// (NULL/unknown filters the row out, per SQL semantics).
+    pub fn eval_predicate(&self, expr: &Expr, row: &[Value]) -> SqlResult<bool> {
+        Ok(self.eval(expr, row)? == Value::Bool(true))
+    }
+}
+
+fn truth(v: &Value) -> SqlResult<Option<bool>> {
+    match v {
+        Value::Null => Ok(None),
+        Value::Bool(b) => Ok(Some(*b)),
+        other => Err(SqlError::Type(wh_types::TypeError::Mismatch {
+            op: "boolean",
+            left: other.type_name().into(),
+            right: "BOOL".into(),
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expression;
+    use wh_types::{Column, DataType};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("a", DataType::Int64),
+            Column::new("b", DataType::Int64),
+            Column::new("s", DataType::Char(8)),
+        ])
+        .unwrap()
+    }
+
+    fn eval(expr: &str, row: &[Value]) -> SqlResult<Value> {
+        let schema = schema();
+        let params = Params::new();
+        let ctx = EvalContext::new(&schema, &params);
+        ctx.eval(&parse_expression(expr).unwrap(), row)
+    }
+
+    fn row(a: i64, b: i64, s: &str) -> Vec<Value> {
+        vec![Value::from(a), Value::from(b), Value::from(s)]
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let r = row(2, 3, "x");
+        assert_eq!(eval("a + b * 2", &r).unwrap(), Value::Int(8));
+        assert_eq!(eval("a < b", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval("a = 2 AND b = 3", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval("a = 9 OR b = 3", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval("NOT a = 9", &r).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let r = vec![Value::Null, Value::Int(3), Value::from("x")];
+        // NULL comparisons are unknown.
+        assert_eq!(eval("a = 1", &r).unwrap(), Value::Null);
+        // unknown AND false = false; unknown AND true = unknown.
+        assert_eq!(eval("a = 1 AND b = 9", &r).unwrap(), Value::Bool(false));
+        assert_eq!(eval("a = 1 AND b = 3", &r).unwrap(), Value::Null);
+        // unknown OR true = true; unknown OR false = unknown.
+        assert_eq!(eval("a = 1 OR b = 3", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval("a = 1 OR b = 9", &r).unwrap(), Value::Null);
+        // NOT unknown = unknown.
+        assert_eq!(eval("NOT a = 1", &r).unwrap(), Value::Null);
+        // IS NULL is never unknown.
+        assert_eq!(eval("a IS NULL", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval("a IS NOT NULL", &r).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn case_expression() {
+        let r = row(2, 0, "x");
+        assert_eq!(
+            eval("CASE WHEN a = 1 THEN 'one' WHEN a = 2 THEN 'two' END", &r).unwrap(),
+            Value::from("two")
+        );
+        assert_eq!(
+            eval("CASE WHEN a = 9 THEN 'nine' END", &r).unwrap(),
+            Value::Null
+        );
+        assert_eq!(
+            eval("CASE WHEN a = 9 THEN 'nine' ELSE 'other' END", &r).unwrap(),
+            Value::from("other")
+        );
+    }
+
+    #[test]
+    fn between_three_valued() {
+        let r = row(5, 3, "x");
+        assert_eq!(eval("a BETWEEN 1 AND 10", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval("a BETWEEN 6 AND 10", &r).unwrap(), Value::Bool(false));
+        assert_eq!(eval("a NOT BETWEEN 6 AND 10", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval("a BETWEEN b AND b + 4", &r).unwrap(), Value::Bool(true));
+        // NULL operand -> unknown, unless a bound already disproves it.
+        let null_row = vec![Value::Null, Value::Int(3), Value::from("x")];
+        assert_eq!(eval("a BETWEEN 1 AND 10", &null_row).unwrap(), Value::Null);
+        assert_eq!(eval("5 BETWEEN a AND 4", &null_row).unwrap(), Value::Bool(false));
+        // Arithmetic binds tighter than BETWEEN.
+        assert_eq!(eval("a + 1 BETWEEN 6 AND 6", &r).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn in_list_three_valued() {
+        let r = row(5, 3, "x");
+        assert_eq!(eval("a IN (1, 5, 9)", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval("a IN (1, 2)", &r).unwrap(), Value::Bool(false));
+        assert_eq!(eval("a NOT IN (1, 2)", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval("s IN ('x', 'y')", &r).unwrap(), Value::Bool(true));
+        // NULL in the list: match still wins; otherwise unknown.
+        assert_eq!(eval("a IN (5, NULL)", &r).unwrap(), Value::Bool(true));
+        assert_eq!(eval("a IN (1, NULL)", &r).unwrap(), Value::Null);
+        assert_eq!(eval("a NOT IN (1, NULL)", &r).unwrap(), Value::Null);
+        // Type mismatches error rather than silently failing.
+        assert!(eval("a IN ('x')", &r).is_err());
+    }
+
+    #[test]
+    fn params_resolve() {
+        let schema = schema();
+        let mut params = Params::new();
+        params.insert("sessionVN".into(), Value::Int(3));
+        let ctx = EvalContext::new(&schema, &params);
+        let e = parse_expression(":sessionVN >= a").unwrap();
+        assert_eq!(
+            ctx.eval(&e, &row(2, 0, "x")).unwrap(),
+            Value::Bool(true)
+        );
+        let unbound = parse_expression(":nope").unwrap();
+        assert_eq!(
+            ctx.eval(&unbound, &row(2, 0, "x")),
+            Err(SqlError::UnboundParam("nope".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert_eq!(
+            eval("zzz", &row(1, 2, "x")),
+            Err(SqlError::NoSuchColumn("zzz".into()))
+        );
+    }
+
+    #[test]
+    fn aggregates_rejected_in_scalar_context() {
+        assert_eq!(
+            eval("SUM(a)", &row(1, 2, "x")),
+            Err(SqlError::MisplacedAggregate)
+        );
+    }
+
+    #[test]
+    fn predicate_null_is_false() {
+        let schema = schema();
+        let params = Params::new();
+        let ctx = EvalContext::new(&schema, &params);
+        let e = parse_expression("a = 1").unwrap();
+        let r = vec![Value::Null, Value::Int(0), Value::from("")];
+        assert!(!ctx.eval_predicate(&e, &r).unwrap());
+    }
+}

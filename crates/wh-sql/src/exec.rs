@@ -1,0 +1,771 @@
+//! Query execution: scan → filter → group/aggregate → project → sort.
+
+use crate::ast::{AggFunc, Expr, SelectItem, SelectStmt};
+use crate::error::{SqlError, SqlResult};
+use crate::eval::{EvalContext, Params};
+use std::collections::HashMap;
+use wh_index::IndexKey;
+use wh_storage::Table;
+use wh_types::{Row, Schema, Value};
+
+/// Anything that can supply a schema and a materialized scan. Implemented by
+/// storage tables; the 2VNL layer implements it for version-filtered views.
+pub trait RowSource {
+    /// Schema of produced rows.
+    fn schema(&self) -> &Schema;
+    /// Materialize all rows.
+    fn scan_rows(&self) -> SqlResult<Vec<Row>>;
+}
+
+impl RowSource for Table {
+    fn schema(&self) -> &Schema {
+        Table::schema(self)
+    }
+
+    fn scan_rows(&self) -> SqlResult<Vec<Row>> {
+        Ok(self
+            .scan_all()?
+            .into_iter()
+            .map(|(_, row)| row)
+            .collect())
+    }
+}
+
+/// Result of a SELECT: labeled columns and materialized rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column labels.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// Render as an aligned text table (for examples and reports).
+    pub fn to_table_string(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Execute a SELECT against `source` with `params` bound.
+pub fn execute_select(
+    source: &dyn RowSource,
+    stmt: &SelectStmt,
+    params: &Params,
+) -> SqlResult<QueryResult> {
+    let schema = source.schema();
+    let ctx = EvalContext::new(schema, params);
+
+    if let Some(w) = &stmt.where_clause {
+        if w.contains_aggregate() {
+            return Err(SqlError::MisplacedAggregate);
+        }
+    }
+
+    // Scan + filter.
+    let mut rows = Vec::new();
+    for row in source.scan_rows()? {
+        let keep = match &stmt.where_clause {
+            Some(pred) => ctx.eval_predicate(pred, &row)?,
+            None => true,
+        };
+        if keep {
+            rows.push(row);
+        }
+    }
+
+    let is_aggregate_query = !stmt.group_by.is_empty()
+        || stmt.having.is_some()
+        || stmt.items.iter().any(|it| it.expr.contains_aggregate());
+
+    let (columns, mut out_rows, order_keys) = if is_aggregate_query {
+        execute_grouped(schema, &ctx, stmt, rows)?
+    } else {
+        execute_plain(schema, &ctx, stmt, rows)?
+    };
+
+    // Sort on the precomputed order keys.
+    if !stmt.order_by.is_empty() {
+        let mut indexed: Vec<(Vec<Value>, Row)> =
+            order_keys.into_iter().zip(out_rows).collect();
+        indexed.sort_by(|(ka, _), (kb, _)| {
+            for (ok, (a, b)) in stmt.order_by.iter().zip(ka.iter().zip(kb.iter())) {
+                let ord = a.grouping_cmp(b);
+                let ord = if ok.asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        out_rows = indexed.into_iter().map(|(_, r)| r).collect();
+    }
+
+    if let Some(limit) = stmt.limit {
+        out_rows.truncate(limit as usize);
+    }
+
+    Ok(QueryResult {
+        columns,
+        rows: out_rows,
+    })
+}
+
+type ProjectedRows = (Vec<String>, Vec<Row>, Vec<Vec<Value>>);
+
+fn execute_plain(
+    schema: &Schema,
+    ctx: &EvalContext<'_>,
+    stmt: &SelectStmt,
+    rows: Vec<Row>,
+) -> SqlResult<ProjectedRows> {
+    let columns: Vec<String> = if stmt.items.is_empty() {
+        schema.columns().iter().map(|c| c.name.clone()).collect()
+    } else {
+        stmt.items.iter().map(SelectItem::label).collect()
+    };
+    let mut out_rows = Vec::with_capacity(rows.len());
+    let mut order_keys = Vec::new();
+    for row in rows {
+        let projected = if stmt.items.is_empty() {
+            row.clone()
+        } else {
+            stmt.items
+                .iter()
+                .map(|it| ctx.eval(&it.expr, &row))
+                .collect::<SqlResult<Vec<_>>>()?
+        };
+        if !stmt.order_by.is_empty() {
+            order_keys.push(
+                stmt.order_by
+                    .iter()
+                    .map(|k| ctx.eval(&k.expr, &row))
+                    .collect::<SqlResult<Vec<_>>>()?,
+            );
+        }
+        out_rows.push(projected);
+    }
+    Ok((columns, out_rows, order_keys))
+}
+
+fn execute_grouped(
+    schema: &Schema,
+    ctx: &EvalContext<'_>,
+    stmt: &SelectStmt,
+    rows: Vec<Row>,
+) -> SqlResult<ProjectedRows> {
+    validate_grouping(schema, stmt)?;
+
+    // Bucket rows by group key (whole-input single group when GROUP BY absent).
+    let mut groups: Vec<(Vec<Value>, Vec<Row>)> = Vec::new();
+    let mut lookup: HashMap<IndexKey, usize> = HashMap::new();
+    if stmt.group_by.is_empty() {
+        groups.push((Vec::new(), rows));
+    } else {
+        for row in rows {
+            let key: Vec<Value> = stmt
+                .group_by
+                .iter()
+                .map(|e| ctx.eval(e, &row))
+                .collect::<SqlResult<Vec<_>>>()?;
+            let idx_key = IndexKey(key.clone());
+            match lookup.get(&idx_key) {
+                Some(&i) => groups[i].1.push(row),
+                None => {
+                    lookup.insert(idx_key, groups.len());
+                    groups.push((key, vec![row]));
+                }
+            }
+        }
+    }
+
+    let columns: Vec<String> = stmt.items.iter().map(SelectItem::label).collect();
+    let mut out_rows = Vec::with_capacity(groups.len());
+    let mut order_keys = Vec::new();
+    for (_, group_rows) in &groups {
+        // HAVING: filter whole groups (aggregates allowed).
+        if let Some(h) = &stmt.having {
+            if eval_aggregate_expr(ctx, h, group_rows)? != Value::Bool(true) {
+                continue;
+            }
+        }
+        let projected = stmt
+            .items
+            .iter()
+            .map(|it| eval_aggregate_expr(ctx, &it.expr, group_rows))
+            .collect::<SqlResult<Vec<_>>>()?;
+        if !stmt.order_by.is_empty() {
+            order_keys.push(
+                stmt.order_by
+                    .iter()
+                    .map(|k| eval_aggregate_expr(ctx, &k.expr, group_rows))
+                    .collect::<SqlResult<Vec<_>>>()?,
+            );
+        }
+        out_rows.push(projected);
+    }
+    Ok((columns, out_rows, order_keys))
+}
+
+/// Reject non-grouped bare column references in projections of aggregate
+/// queries (only plain-column GROUP BY expressions are recognized as
+/// grouping columns, which covers the paper's queries).
+fn validate_grouping(schema: &Schema, stmt: &SelectStmt) -> SqlResult<()> {
+    let grouped: Vec<&str> = stmt
+        .group_by
+        .iter()
+        .filter_map(|e| match e {
+            Expr::Column(c) => Some(c.as_str()),
+            _ => None,
+        })
+        .collect();
+    // Only enforceable when every GROUP BY expr is a plain column.
+    if grouped.len() != stmt.group_by.len() {
+        return Ok(());
+    }
+    let mut checked: Vec<&Expr> = stmt.items.iter().map(|it| &it.expr).collect();
+    if let Some(h) = &stmt.having {
+        checked.push(h);
+    }
+    for expr in checked {
+        let mut cols = Vec::new();
+        collect_columns_outside_aggregates(expr, &mut cols);
+        for c in cols {
+            if !grouped.contains(&c.as_str()) {
+                // Unknown columns surface as NoSuchColumn during eval;
+                // only flag real, ungrouped columns here.
+                if schema.column_index(&c).is_ok() {
+                    return Err(SqlError::NotGrouped(c));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn collect_columns_outside_aggregates(expr: &Expr, out: &mut Vec<String>) {
+    match expr {
+        Expr::Column(c) => {
+            if !out.contains(c) {
+                out.push(c.clone());
+            }
+        }
+        Expr::Aggregate { .. } => {} // inside an aggregate is fine
+        Expr::Literal(_) | Expr::Param(_) => {}
+        Expr::Binary { left, right, .. } => {
+            collect_columns_outside_aggregates(left, out);
+            collect_columns_outside_aggregates(right, out);
+        }
+        Expr::Not(e) | Expr::Neg(e) => collect_columns_outside_aggregates(e, out),
+        Expr::IsNull { expr, .. } => collect_columns_outside_aggregates(expr, out),
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_columns_outside_aggregates(expr, out);
+            collect_columns_outside_aggregates(low, out);
+            collect_columns_outside_aggregates(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_columns_outside_aggregates(expr, out);
+            for e in list {
+                collect_columns_outside_aggregates(e, out);
+            }
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (c, v) in branches {
+                collect_columns_outside_aggregates(c, out);
+                collect_columns_outside_aggregates(v, out);
+            }
+            if let Some(e) = else_expr {
+                collect_columns_outside_aggregates(e, out);
+            }
+        }
+    }
+}
+
+/// Evaluate an expression that may contain aggregates over a group of rows:
+/// aggregates are computed over the group, everything else over the group's
+/// first row (validated to be a grouping column).
+fn eval_aggregate_expr(ctx: &EvalContext<'_>, expr: &Expr, group: &[Row]) -> SqlResult<Value> {
+    match expr {
+        Expr::Aggregate { func, arg } => compute_aggregate(ctx, *func, arg.as_deref(), group),
+        Expr::Binary { op, left, right } => {
+            let l = eval_aggregate_expr(ctx, left, group)?;
+            let r = eval_aggregate_expr(ctx, right, group)?;
+            // Reuse scalar machinery by substituting the computed operands.
+            let rebuilt = Expr::binary(*op, Expr::Literal(l), Expr::Literal(r));
+            ctx.eval(&rebuilt, &[])
+        }
+        Expr::Not(e) => {
+            let v = eval_aggregate_expr(ctx, e, group)?;
+            ctx.eval(&Expr::Not(Box::new(Expr::Literal(v))), &[])
+        }
+        Expr::Neg(e) => {
+            let v = eval_aggregate_expr(ctx, e, group)?;
+            ctx.eval(&Expr::Neg(Box::new(Expr::Literal(v))), &[])
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_aggregate_expr(ctx, expr, group)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_aggregate_expr(ctx, expr, group)?;
+            let lo = eval_aggregate_expr(ctx, low, group)?;
+            let hi = eval_aggregate_expr(ctx, high, group)?;
+            let rebuilt = Expr::Between {
+                expr: Box::new(Expr::Literal(v)),
+                low: Box::new(Expr::Literal(lo)),
+                high: Box::new(Expr::Literal(hi)),
+                negated: *negated,
+            };
+            ctx.eval(&rebuilt, &[])
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_aggregate_expr(ctx, expr, group)?;
+            let lits = list
+                .iter()
+                .map(|e| eval_aggregate_expr(ctx, e, group).map(Expr::Literal))
+                .collect::<SqlResult<Vec<_>>>()?;
+            let rebuilt = Expr::InList {
+                expr: Box::new(Expr::Literal(v)),
+                list: lits,
+                negated: *negated,
+            };
+            ctx.eval(&rebuilt, &[])
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (cond, val) in branches {
+                if eval_aggregate_expr(ctx, cond, group)? == Value::Bool(true) {
+                    return eval_aggregate_expr(ctx, val, group);
+                }
+            }
+            match else_expr {
+                Some(e) => eval_aggregate_expr(ctx, e, group),
+                None => Ok(Value::Null),
+            }
+        }
+        scalar => match group.first() {
+            Some(row) => ctx.eval(scalar, row),
+            None => Ok(Value::Null),
+        },
+    }
+}
+
+fn compute_aggregate(
+    ctx: &EvalContext<'_>,
+    func: AggFunc,
+    arg: Option<&Expr>,
+    group: &[Row],
+) -> SqlResult<Value> {
+    match func {
+        AggFunc::Count => {
+            let n = match arg {
+                None => group.len() as i64,
+                Some(e) => {
+                    let mut n = 0i64;
+                    for row in group {
+                        if !ctx.eval(e, row)?.is_null() {
+                            n += 1;
+                        }
+                    }
+                    n
+                }
+            };
+            Ok(Value::Int(n))
+        }
+        AggFunc::Sum | AggFunc::Avg => {
+            let e = arg.ok_or(SqlError::MisplacedAggregate)?;
+            let mut acc: Option<Value> = None;
+            let mut n = 0i64;
+            for row in group {
+                let v = ctx.eval(e, row)?;
+                if v.is_null() {
+                    continue;
+                }
+                n += 1;
+                acc = Some(match acc {
+                    None => v,
+                    Some(prev) => prev.add(&v)?,
+                });
+            }
+            match (func, acc) {
+                (_, None) => Ok(Value::Null),
+                (AggFunc::Sum, Some(total)) => Ok(total),
+                (AggFunc::Avg, Some(total)) => {
+                    let t = total.as_f64().ok_or(SqlError::Type(
+                        wh_types::TypeError::Mismatch {
+                            op: "AVG",
+                            left: "non-numeric".into(),
+                            right: "numeric".into(),
+                        },
+                    ))?;
+                    Ok(Value::Float(t / n as f64))
+                }
+                _ => unreachable!(),
+            }
+        }
+        AggFunc::Min | AggFunc::Max => {
+            let e = arg.ok_or(SqlError::MisplacedAggregate)?;
+            let mut best: Option<Value> = None;
+            for row in group {
+                let v = ctx.eval(e, row)?;
+                if v.is_null() {
+                    continue;
+                }
+                best = Some(match best {
+                    None => v,
+                    Some(prev) => {
+                        let keep_new = match v.sql_cmp(&prev)? {
+                            Some(ord) => {
+                                (func == AggFunc::Min && ord == std::cmp::Ordering::Less)
+                                    || (func == AggFunc::Max
+                                        && ord == std::cmp::Ordering::Greater)
+                            }
+                            None => false,
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            prev
+                        }
+                    }
+                });
+            }
+            Ok(best.unwrap_or(Value::Null))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+    use crate::Statement;
+    use std::sync::Arc;
+    use wh_storage::IoStats;
+    use wh_types::schema::daily_sales_schema;
+    use wh_types::Date;
+
+    fn sales_table() -> Table {
+        let t = Table::create("DailySales", daily_sales_schema(), Arc::new(IoStats::new()))
+            .unwrap();
+        type SaleSpec = (&'static str, &'static str, &'static str, (u16, u8, u8), i64);
+        let rows: Vec<SaleSpec> = vec![
+            ("San Jose", "CA", "golf equip", (1996, 10, 14), 10_000),
+            ("San Jose", "CA", "golf equip", (1996, 10, 15), 1_500),
+            ("San Jose", "CA", "racquetball", (1996, 10, 14), 2_000),
+            ("Berkeley", "CA", "racquetball", (1996, 10, 14), 12_000),
+            ("Novato", "CA", "rollerblades", (1996, 10, 13), 8_000),
+        ];
+        for (city, state, pl, (y, m, d), sales) in rows {
+            t.insert(&[
+                Value::from(city),
+                Value::from(state),
+                Value::from(pl),
+                Value::from(Date::ymd(y, m, d)),
+                Value::from(sales),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn select(table: &Table, sql: &str) -> QueryResult {
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!("not a select")
+        };
+        execute_select(table, &s, &Params::new()).unwrap()
+    }
+
+    #[test]
+    fn select_star() {
+        let t = sales_table();
+        let r = select(&t, "SELECT * FROM DailySales");
+        assert_eq!(r.rows.len(), 5);
+        assert_eq!(r.columns[0], "city");
+    }
+
+    #[test]
+    fn filter_and_project() {
+        let t = sales_table();
+        let r = select(
+            &t,
+            "SELECT product_line, total_sales FROM DailySales WHERE city = 'San Jose' ORDER BY total_sales DESC",
+        );
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::from("golf equip"), Value::from(10_000)],
+                vec![Value::from("racquetball"), Value::from(2_000)],
+                vec![Value::from("golf equip"), Value::from(1_500)],
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_rollup_query() {
+        // Example 2.1: total sales by city.
+        let t = sales_table();
+        let r = select(
+            &t,
+            "SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state ORDER BY city",
+        );
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::from("Berkeley"), Value::from("CA"), Value::from(12_000)],
+                vec![Value::from("Novato"), Value::from("CA"), Value::from(8_000)],
+                vec![Value::from("San Jose"), Value::from("CA"), Value::from(13_500)],
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_drilldown_query() {
+        let t = sales_table();
+        let r = select(
+            &t,
+            "SELECT product_line, SUM(total_sales) FROM DailySales \
+             WHERE city = 'San Jose' AND state = 'CA' GROUP BY product_line ORDER BY product_line",
+        );
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::from("golf equip"), Value::from(11_500)],
+                vec![Value::from("racquetball"), Value::from(2_000)],
+            ]
+        );
+    }
+
+    #[test]
+    fn aggregates_without_group_by() {
+        let t = sales_table();
+        let r = select(
+            &t,
+            "SELECT COUNT(*), SUM(total_sales), MIN(total_sales), MAX(total_sales), AVG(total_sales) FROM DailySales",
+        );
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.rows[0][0], Value::Int(5));
+        assert_eq!(r.rows[0][1], Value::Int(33_500));
+        assert_eq!(r.rows[0][2], Value::Int(1_500));
+        assert_eq!(r.rows[0][3], Value::Int(12_000));
+        assert_eq!(r.rows[0][4], Value::Float(6_700.0));
+    }
+
+    #[test]
+    fn sum_skips_nulls_and_empty_is_null() {
+        let t = sales_table();
+        let r = select(
+            &t,
+            "SELECT SUM(total_sales) FROM DailySales WHERE city = 'Nowhere'",
+        );
+        assert_eq!(r.rows[0][0], Value::Null);
+        let r = select(
+            &t,
+            "SELECT COUNT(*) FROM DailySales WHERE city = 'Nowhere'",
+        );
+        assert_eq!(r.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn ungrouped_column_rejected() {
+        let t = sales_table();
+        let Statement::Select(s) = parse_statement(
+            "SELECT city, SUM(total_sales) FROM DailySales GROUP BY state",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            execute_select(&t, &s, &Params::new()),
+            Err(SqlError::NotGrouped("city".into()))
+        );
+    }
+
+    #[test]
+    fn aggregate_in_where_rejected() {
+        let t = sales_table();
+        let Statement::Select(s) =
+            parse_statement("SELECT city FROM DailySales WHERE SUM(total_sales) > 1").unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(
+            execute_select(&t, &s, &Params::new()),
+            Err(SqlError::MisplacedAggregate)
+        );
+    }
+
+    #[test]
+    fn arithmetic_over_aggregates() {
+        let t = sales_table();
+        let r = select(
+            &t,
+            "SELECT SUM(total_sales) / COUNT(*) FROM DailySales",
+        );
+        assert_eq!(r.rows[0][0], Value::Int(6_700));
+    }
+
+    #[test]
+    fn case_inside_aggregate() {
+        // The exact shape the 2VNL rewrite produces (Example 4.1).
+        let t = sales_table();
+        let Statement::Select(s) = parse_statement(
+            "SELECT city, SUM(CASE WHEN :flag >= 1 THEN total_sales ELSE 0 END) \
+             FROM DailySales GROUP BY city ORDER BY city",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        let mut params = Params::new();
+        params.insert("flag".into(), Value::Int(1));
+        let r = execute_select(&t, &s, &params).unwrap();
+        assert_eq!(r.rows[0], vec![Value::from("Berkeley"), Value::from(12_000)]);
+    }
+
+    #[test]
+    fn order_by_date_ascending() {
+        let t = sales_table();
+        let r = select(&t, "SELECT date FROM DailySales ORDER BY date");
+        let dates: Vec<&Value> = r.rows.iter().map(|r| &r[0]).collect();
+        assert_eq!(*dates[0], Value::from(Date::ymd(1996, 10, 13)));
+        assert_eq!(*dates[4], Value::from(Date::ymd(1996, 10, 15)));
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let t = sales_table();
+        let r = select(
+            &t,
+            "SELECT city, SUM(total_sales) FROM DailySales GROUP BY city \
+             HAVING SUM(total_sales) > 10000 ORDER BY city",
+        );
+        assert_eq!(
+            r.rows,
+            vec![
+                vec![Value::from("Berkeley"), Value::from(12_000)],
+                vec![Value::from("San Jose"), Value::from(13_500)],
+            ]
+        );
+    }
+
+    #[test]
+    fn having_may_reference_group_columns() {
+        let t = sales_table();
+        let r = select(
+            &t,
+            "SELECT city, COUNT(*) FROM DailySales GROUP BY city \
+             HAVING city <> 'Novato' AND COUNT(*) >= 1 ORDER BY city",
+        );
+        assert_eq!(r.rows.len(), 2);
+    }
+
+    #[test]
+    fn having_without_group_by_is_whole_table_filter() {
+        let t = sales_table();
+        let r = select(
+            &t,
+            "SELECT SUM(total_sales) FROM DailySales HAVING COUNT(*) > 100",
+        );
+        assert!(r.rows.is_empty());
+        let r = select(
+            &t,
+            "SELECT SUM(total_sales) FROM DailySales HAVING COUNT(*) = 5",
+        );
+        assert_eq!(r.rows, vec![vec![Value::from(33_500)]]);
+    }
+
+    #[test]
+    fn having_with_ungrouped_column_rejected() {
+        let t = sales_table();
+        let Statement::Select(s) = parse_statement(
+            "SELECT state, SUM(total_sales) FROM DailySales GROUP BY state HAVING city = 'x'",
+        )
+        .unwrap() else {
+            panic!()
+        };
+        assert_eq!(
+            execute_select(&t, &s, &Params::new()),
+            Err(SqlError::NotGrouped("city".into()))
+        );
+    }
+
+    #[test]
+    fn limit_truncates_after_sort() {
+        let t = sales_table();
+        let r = select(
+            &t,
+            "SELECT total_sales FROM DailySales ORDER BY total_sales DESC LIMIT 2",
+        );
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::from(12_000)], vec![Value::from(10_000)]]
+        );
+        let r = select(&t, "SELECT city FROM DailySales LIMIT 0");
+        assert!(r.rows.is_empty());
+        // LIMIT larger than the result is harmless.
+        let r = select(&t, "SELECT city FROM DailySales LIMIT 99");
+        assert_eq!(r.rows.len(), 5);
+    }
+
+    #[test]
+    fn limit_applies_to_grouped_queries() {
+        let t = sales_table();
+        let r = select(
+            &t,
+            "SELECT city, SUM(total_sales) FROM DailySales GROUP BY city ORDER BY SUM(total_sales) DESC LIMIT 1",
+        );
+        assert_eq!(r.rows, vec![vec![Value::from("San Jose"), Value::from(13_500)]]);
+    }
+
+    #[test]
+    fn to_table_string_renders() {
+        let t = sales_table();
+        let r = select(&t, "SELECT city FROM DailySales WHERE city = 'Novato'");
+        let s = r.to_table_string();
+        assert!(s.contains("city"));
+        assert!(s.contains("Novato"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Hand-written SQL lexer.
+
+use crate::error::{SqlError, SqlResult};
+
+/// A lexical token with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind/payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub offset: usize,
+}
+
+/// Token kinds. Keywords are recognized case-insensitively and normalized to
+/// upper case; identifiers keep their original spelling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Keyword (upper-cased).
+    Keyword(String),
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes removed, `''` unescaped).
+    Str(String),
+    /// Named parameter `:name`.
+    Param(String),
+    /// Punctuation / operator.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+const KEYWORDS: &[&str] = &[
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "ASC", "DESC", "AS", "AND", "OR", "NOT",
+    "NULL", "IS", "CASE", "WHEN", "THEN", "ELSE", "END", "INSERT", "INTO", "VALUES", "UPDATE",
+    "SET", "DELETE", "SUM", "COUNT", "AVG", "MIN", "MAX", "TRUE", "FALSE", "HAVING", "LIMIT",
+    "BETWEEN", "IN", "CREATE", "TABLE", "PRIMARY", "KEY", "UPDATABLE", "DROP",
+];
+
+/// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Parse {
+                            message: "unterminated string literal".into(),
+                            offset: start,
+                        });
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset: start,
+                });
+            }
+            ':' => {
+                i += 1;
+                let name_start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if i == name_start {
+                    return Err(SqlError::Parse {
+                        message: "expected parameter name after ':'".into(),
+                        offset: start,
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Param(input[name_start..i].to_string()),
+                    offset: start,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let kind = if is_float {
+                    TokenKind::Float(text.parse().map_err(|_| SqlError::Parse {
+                        message: format!("bad float literal {text}"),
+                        offset: start,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse().map_err(|_| SqlError::Parse {
+                        message: format!("bad integer literal {text}"),
+                        offset: start,
+                    })?)
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                let upper = word.to_ascii_uppercase();
+                let kind = if KEYWORDS.contains(&upper.as_str()) {
+                    TokenKind::Keyword(upper)
+                } else {
+                    TokenKind::Ident(word.to_string())
+                };
+                tokens.push(Token { kind, offset: start });
+            }
+            _ => {
+                let two = if i + 1 < bytes.len() {
+                    &input[i..i + 2]
+                } else {
+                    ""
+                };
+                let punct: &'static str = match two {
+                    "<>" => "<>",
+                    "<=" => "<=",
+                    ">=" => ">=",
+                    "!=" => "<>",
+                    _ => match c {
+                        '(' => "(",
+                        ')' => ")",
+                        ',' => ",",
+                        '*' => "*",
+                        '+' => "+",
+                        '-' => "-",
+                        '/' => "/",
+                        '=' => "=",
+                        '<' => "<",
+                        '>' => ">",
+                        ';' => ";",
+                        '.' => ".",
+                        other => {
+                            return Err(SqlError::Parse {
+                                message: format!("unexpected character {other:?}"),
+                                offset: start,
+                            })
+                        }
+                    },
+                };
+                i += punct.len();
+                tokens.push(Token {
+                    kind: TokenKind::Punct(punct),
+                    offset: start,
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            kinds("select Select SELECT"),
+            vec![
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Keyword("SELECT".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_keep_case() {
+        assert_eq!(
+            kinds("DailySales tupleVN"),
+            vec![
+                TokenKind::Ident("DailySales".into()),
+                TokenKind::Ident("tupleVN".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            kinds("42 3.5"),
+            vec![TokenKind::Int(42), TokenKind::Float(3.5), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds("'San Jose' 'O''Brien'"),
+            vec![
+                TokenKind::Str("San Jose".into()),
+                TokenKind::Str("O'Brien".into()),
+                TokenKind::Eof
+            ]
+        );
+        assert!(tokenize("'unterminated").is_err());
+    }
+
+    #[test]
+    fn params() {
+        assert_eq!(
+            kinds(":sessionVN"),
+            vec![TokenKind::Param("sessionVN".into()), TokenKind::Eof]
+        );
+        assert!(tokenize(": x").is_err());
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a <> b <= c >= d != e"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Punct("<>"),
+                TokenKind::Ident("b".into()),
+                TokenKind::Punct("<="),
+                TokenKind::Ident("c".into()),
+                TokenKind::Punct(">="),
+                TokenKind::Ident("d".into()),
+                TokenKind::Punct("<>"),
+                TokenKind::Ident("e".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let toks = tokenize("SELECT x").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 7);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(tokenize("SELECT @").is_err());
+    }
+}

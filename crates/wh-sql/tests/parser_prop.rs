@@ -1,0 +1,142 @@
+//! Property: rendering any AST to SQL text and re-parsing yields the same
+//! AST. The 2VNL rewriter depends on this — rewritten queries are rendered,
+//! shipped to the "DBMS", and parsed again.
+
+use proptest::prelude::*;
+use wh_sql::{parse_expression, parse_statement, AggFunc, BinOp, Expr, SelectItem, SelectStmt,
+    Statement};
+use wh_types::{Date, Value};
+
+fn arb_literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Expr::lit(i as i64)),
+        (-1000i64..1000).prop_map(|i| Expr::lit(i as f64 * 0.5)),
+        "[a-zA-Z '_]{0,12}".prop_map(|s| Expr::lit(s.replace('\'', ""))),
+        (1990u16..2030, 1u8..=12, 1u8..=28)
+            .prop_map(|(y, m, d)| Expr::lit(Date::ymd(y, m, d))),
+        Just(Expr::Literal(Value::Null)),
+        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
+    ]
+}
+
+fn arb_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        arb_literal(),
+        "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+            // Identifiers that collide with keywords would not round-trip.
+            ![
+                "select", "from", "where", "group", "by", "order", "asc", "desc", "as", "and",
+                "or", "not", "null", "is", "case", "when", "then", "else", "end", "insert",
+                "into", "values", "update", "set", "delete", "sum", "count", "avg", "min",
+                "max", "true", "false", "having", "limit", "between", "in",
+            ]
+            .contains(&s.as_str())
+        }).prop_map(Expr::col),
+        "[a-zA-Z][a-zA-Z0-9_]{0,8}".prop_map(Expr::param),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = arb_leaf();
+    leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Eq),
+                    Just(BinOp::NotEq),
+                    Just(BinOp::Lt),
+                    Just(BinOp::LtEq),
+                    Just(BinOp::Gt),
+                    Just(BinOp::GtEq),
+                    Just(BinOp::And),
+                    Just(BinOp::Or),
+                ],
+                inner.clone(),
+                inner.clone()
+            )
+                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
+            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
+                expr: Box::new(e),
+                negated,
+            }),
+            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
+                |(e, lo, hi, negated)| Expr::Between {
+                    expr: Box::new(e),
+                    low: Box::new(lo),
+                    high: Box::new(hi),
+                    negated,
+                }
+            ),
+            (
+                inner.clone(),
+                prop::collection::vec(inner.clone(), 1..4),
+                any::<bool>()
+            )
+                .prop_map(|(e, list, negated)| Expr::InList {
+                    expr: Box::new(e),
+                    list,
+                    negated,
+                }),
+            (
+                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
+                prop::option::of(inner.clone())
+            )
+                .prop_map(|(branches, else_expr)| Expr::Case {
+                    branches,
+                    else_expr: else_expr.map(Box::new),
+                }),
+            (
+                prop_oneof![
+                    Just(AggFunc::Sum),
+                    Just(AggFunc::Count),
+                    Just(AggFunc::Avg),
+                    Just(AggFunc::Min),
+                    Just(AggFunc::Max),
+                ],
+                inner
+            )
+                .prop_map(|(func, arg)| Expr::Aggregate {
+                    func,
+                    arg: Some(Box::new(arg)),
+                }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn expression_display_parse_round_trip(e in arb_expr()) {
+        let text = e.to_string();
+        let reparsed = parse_expression(&text)
+            .unwrap_or_else(|err| panic!("failed to reparse {text:?}: {err}"));
+        prop_assert_eq!(reparsed, e, "text was: {}", text);
+    }
+
+    #[test]
+    fn select_display_parse_round_trip(
+        exprs in prop::collection::vec(arb_expr(), 1..4),
+        where_clause in prop::option::of(arb_expr()),
+        limit in prop::option::of(0u64..100),
+    ) {
+        let stmt = SelectStmt {
+            items: exprs.into_iter().map(SelectItem::new).collect(),
+            from: "t".into(),
+            where_clause,
+            group_by: vec![],
+            having: None,
+            order_by: vec![],
+            limit,
+        };
+        let text = Statement::Select(stmt.clone()).to_string();
+        let reparsed = parse_statement(&text)
+            .unwrap_or_else(|err| panic!("failed to reparse {text:?}: {err}"));
+        prop_assert_eq!(reparsed, Statement::Select(stmt), "text was: {}", text);
+    }
+}

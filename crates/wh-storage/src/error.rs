@@ -1,0 +1,57 @@
+//! Storage-layer errors.
+
+use std::fmt;
+use wh_types::TypeError;
+
+/// Errors raised by the heap-storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A RID referenced a page that does not exist.
+    NoSuchPage(u32),
+    /// A RID referenced an empty or out-of-range slot.
+    NoSuchSlot {
+        /// Page number.
+        page: u32,
+        /// Slot number.
+        slot: u16,
+    },
+    /// An in-place update supplied a record of the wrong length. In-place
+    /// updates must preserve record width (paper §4, second DBMS property).
+    RecordLength {
+        /// Width of records in this file.
+        expected: usize,
+        /// Width supplied.
+        got: usize,
+    },
+    /// A record wider than a page was supplied.
+    RecordTooLarge(usize),
+    /// A data-model error bubbled up from row encoding/decoding.
+    Type(TypeError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NoSuchPage(p) => write!(f, "no such page: {p}"),
+            StorageError::NoSuchSlot { page, slot } => {
+                write!(f, "no record at page {page} slot {slot}")
+            }
+            StorageError::RecordLength { expected, got } => {
+                write!(f, "in-place update must preserve width: expected {expected} bytes, got {got}")
+            }
+            StorageError::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds page size"),
+            StorageError::Type(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<TypeError> for StorageError {
+    fn from(e: TypeError) -> Self {
+        StorageError::Type(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;

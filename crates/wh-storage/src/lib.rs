@@ -1,0 +1,28 @@
+//! Storage substrate for the `warehouse-2vnl` system.
+//!
+//! The paper implements 2VNL *on top of* a conventional relational DBMS and
+//! requires exactly two properties of its storage layer (§4):
+//!
+//! 1. While a tuple is being modified, a **latch** (short-duration lock) on
+//!    the tuple/page keeps readers from seeing a partly-modified tuple; the
+//!    latch is released as soon as the modification completes, *not* at
+//!    transaction commit. No write locks are held against readers.
+//! 2. Physical tuple updates happen **in place**, so a scanning reader never
+//!    sees two physical records for one tuple.
+//!
+//! This crate provides that substrate: fixed-slot pages guarded by
+//! `parking_lot` RwLocks (the latches), a heap file with a free list, and a
+//! typed [`Table`] facade. Every page access is counted in [`IoStats`] so the
+//! §6 I/O comparisons against 2V2PL/MV2PL are measurable rather than assumed.
+
+pub mod error;
+pub mod heap;
+pub mod iostats;
+pub mod page;
+pub mod table;
+
+pub use error::{StorageError, StorageResult};
+pub use heap::HeapFile;
+pub use iostats::IoStats;
+pub use page::{Page, Rid, PAGE_SIZE};
+pub use table::Table;

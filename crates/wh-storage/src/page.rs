@@ -1,0 +1,243 @@
+//! Fixed-slot pages and record identifiers.
+
+use crate::error::{StorageError, StorageResult};
+
+/// Page payload size in bytes. Records never span pages.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Record identifier: page number plus slot within the page. Because updates
+/// are performed in place (paper §4), a tuple's RID is stable for its entire
+/// physical lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Rid {
+    /// Page number within the heap file.
+    pub page: u32,
+    /// Slot number within the page.
+    pub slot: u16,
+}
+
+impl Rid {
+    /// Construct a RID.
+    pub fn new(page: u32, slot: u16) -> Self {
+        Rid { page, slot }
+    }
+}
+
+impl std::fmt::Display for Rid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.page, self.slot)
+    }
+}
+
+/// A page of fixed-width record slots.
+///
+/// All records in a heap file share one width, so a page is a byte array of
+/// `capacity` slots plus an occupancy bitmap. The page itself carries no
+/// latch — the heap file wraps each page in a `parking_lot::RwLock`, which
+/// plays the role of the paper's short-duration latch.
+#[derive(Debug)]
+pub struct Page {
+    record_len: usize,
+    capacity: u16,
+    occupied: Vec<bool>,
+    live: u16,
+    data: Box<[u8]>,
+}
+
+impl Page {
+    /// Create an empty page for records of `record_len` bytes.
+    pub fn new(record_len: usize) -> StorageResult<Self> {
+        if record_len == 0 || record_len > PAGE_SIZE {
+            return Err(StorageError::RecordTooLarge(record_len));
+        }
+        let capacity = (PAGE_SIZE / record_len) as u16;
+        Ok(Page {
+            record_len,
+            capacity,
+            occupied: vec![false; capacity as usize],
+            live: 0,
+            data: vec![0u8; capacity as usize * record_len].into_boxed_slice(),
+        })
+    }
+
+    /// Slots per page for this record width.
+    pub fn capacity(&self) -> u16 {
+        self.capacity
+    }
+
+    /// Occupied slots.
+    pub fn live(&self) -> u16 {
+        self.live
+    }
+
+    /// Whether the page has a free slot.
+    pub fn has_room(&self) -> bool {
+        self.live < self.capacity
+    }
+
+    /// Record width this page stores.
+    pub fn record_len(&self) -> usize {
+        self.record_len
+    }
+
+    fn check_record(&self, record: &[u8]) -> StorageResult<()> {
+        if record.len() != self.record_len {
+            return Err(StorageError::RecordLength {
+                expected: self.record_len,
+                got: record.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn slot_range(&self, slot: u16) -> std::ops::Range<usize> {
+        let start = slot as usize * self.record_len;
+        start..start + self.record_len
+    }
+
+    /// Insert into the first free slot; returns the slot number, or `None`
+    /// when the page is full.
+    pub fn insert(&mut self, record: &[u8]) -> StorageResult<Option<u16>> {
+        self.check_record(record)?;
+        let Some(slot) = self.occupied.iter().position(|&o| !o) else {
+            return Ok(None);
+        };
+        let slot = slot as u16;
+        let range = self.slot_range(slot);
+        self.data[range].copy_from_slice(record);
+        self.occupied[slot as usize] = true;
+        self.live += 1;
+        Ok(Some(slot))
+    }
+
+    /// Read the record in `slot`.
+    pub fn read(&self, page_no: u32, slot: u16) -> StorageResult<&[u8]> {
+        if slot >= self.capacity || !self.occupied[slot as usize] {
+            return Err(StorageError::NoSuchSlot {
+                page: page_no,
+                slot,
+            });
+        }
+        Ok(&self.data[self.slot_range(slot)])
+    }
+
+    /// Overwrite the record in `slot` **in place**. The replacement must have
+    /// the same width — the invariant 2VNL's rewrite approach depends on.
+    pub fn update_in_place(&mut self, page_no: u32, slot: u16, record: &[u8]) -> StorageResult<()> {
+        self.check_record(record)?;
+        if slot >= self.capacity || !self.occupied[slot as usize] {
+            return Err(StorageError::NoSuchSlot {
+                page: page_no,
+                slot,
+            });
+        }
+        let range = self.slot_range(slot);
+        self.data[range].copy_from_slice(record);
+        Ok(())
+    }
+
+    /// Free the record in `slot` (physical delete).
+    pub fn delete(&mut self, page_no: u32, slot: u16) -> StorageResult<()> {
+        if slot >= self.capacity || !self.occupied[slot as usize] {
+            return Err(StorageError::NoSuchSlot {
+                page: page_no,
+                slot,
+            });
+        }
+        self.occupied[slot as usize] = false;
+        self.live -= 1;
+        Ok(())
+    }
+
+    /// Iterate over `(slot, record)` pairs of occupied slots.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
+        self.occupied
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o)
+            .map(move |(i, _)| (i as u16, &self.data[self.slot_range(i as u16)]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_from_record_len() {
+        let p = Page::new(43).unwrap();
+        assert_eq!(p.capacity(), (4096 / 43) as u16);
+        assert!(Page::new(0).is_err());
+        assert!(Page::new(5000).is_err());
+        assert_eq!(Page::new(4096).unwrap().capacity(), 1);
+    }
+
+    #[test]
+    fn insert_read_round_trip() {
+        let mut p = Page::new(4).unwrap();
+        let s = p.insert(&[1, 2, 3, 4]).unwrap().unwrap();
+        assert_eq!(p.read(0, s).unwrap(), &[1, 2, 3, 4]);
+        assert_eq!(p.live(), 1);
+    }
+
+    #[test]
+    fn insert_fills_then_rejects() {
+        let mut p = Page::new(2048).unwrap();
+        assert!(p.insert(&[0u8; 2048]).unwrap().is_some());
+        assert!(p.insert(&[0u8; 2048]).unwrap().is_some());
+        assert_eq!(p.insert(&[0u8; 2048]).unwrap(), None);
+        assert!(!p.has_room());
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let mut p = Page::new(4).unwrap();
+        assert!(matches!(
+            p.insert(&[1, 2, 3]),
+            Err(StorageError::RecordLength { expected: 4, got: 3 })
+        ));
+    }
+
+    #[test]
+    fn update_in_place_preserves_slot() {
+        let mut p = Page::new(4).unwrap();
+        let s = p.insert(&[1, 1, 1, 1]).unwrap().unwrap();
+        p.update_in_place(0, s, &[2, 2, 2, 2]).unwrap();
+        assert_eq!(p.read(0, s).unwrap(), &[2, 2, 2, 2]);
+        assert!(p
+            .update_in_place(0, s, &[9, 9])
+            .is_err());
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let mut p = Page::new(4).unwrap();
+        let a = p.insert(&[1, 1, 1, 1]).unwrap().unwrap();
+        let _b = p.insert(&[2, 2, 2, 2]).unwrap().unwrap();
+        p.delete(0, a).unwrap();
+        assert!(p.read(0, a).is_err());
+        let c = p.insert(&[3, 3, 3, 3]).unwrap().unwrap();
+        assert_eq!(c, a); // first-fit reuse
+    }
+
+    #[test]
+    fn double_delete_errors() {
+        let mut p = Page::new(4).unwrap();
+        let s = p.insert(&[0u8; 4]).unwrap().unwrap();
+        p.delete(0, s).unwrap();
+        assert!(matches!(
+            p.delete(0, s),
+            Err(StorageError::NoSuchSlot { .. })
+        ));
+    }
+
+    #[test]
+    fn iter_yields_occupied_only() {
+        let mut p = Page::new(4).unwrap();
+        let a = p.insert(&[1, 0, 0, 0]).unwrap().unwrap();
+        let b = p.insert(&[2, 0, 0, 0]).unwrap().unwrap();
+        p.delete(0, a).unwrap();
+        let got: Vec<_> = p.iter().map(|(s, r)| (s, r[0])).collect();
+        assert_eq!(got, vec![(b, 2)]);
+    }
+}

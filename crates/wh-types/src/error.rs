@@ -1,0 +1,81 @@
+//! Error type for value/schema-level failures.
+
+use std::fmt;
+
+/// Errors raised by the data-model layer: type mismatches, schema violations,
+/// and codec failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// An operation was applied to values of incompatible types.
+    Mismatch {
+        /// What the caller was doing (e.g. `"add"`, `"compare"`).
+        op: &'static str,
+        /// Rendered type of the left operand.
+        left: String,
+        /// Rendered type of the right operand.
+        right: String,
+    },
+    /// A value does not fit the declared column type.
+    ColumnType {
+        /// Column name.
+        column: String,
+        /// Declared type, rendered.
+        expected: String,
+        /// Offending value, rendered.
+        got: String,
+    },
+    /// A string exceeds the declared `Char(n)` width.
+    StringTooLong {
+        /// Column name.
+        column: String,
+        /// Declared width.
+        width: usize,
+        /// Actual byte length of the value.
+        len: usize,
+    },
+    /// Row arity does not match schema arity.
+    Arity {
+        /// Columns in the schema.
+        expected: usize,
+        /// Values in the row.
+        got: usize,
+    },
+    /// A named column does not exist in the schema.
+    NoSuchColumn(String),
+    /// Two columns with the same name were declared.
+    DuplicateColumn(String),
+    /// The byte buffer could not be decoded as a row of the schema.
+    Codec(String),
+    /// Division by zero or a similar arithmetic failure.
+    Arithmetic(&'static str),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Mismatch { op, left, right } => {
+                write!(f, "type mismatch in {op}: {left} vs {right}")
+            }
+            TypeError::ColumnType {
+                column,
+                expected,
+                got,
+            } => write!(f, "column {column} expects {expected}, got {got}"),
+            TypeError::StringTooLong { column, width, len } => {
+                write!(f, "value of length {len} exceeds CHAR({width}) column {column}")
+            }
+            TypeError::Arity { expected, got } => {
+                write!(f, "row has {got} values but schema has {expected} columns")
+            }
+            TypeError::NoSuchColumn(name) => write!(f, "no such column: {name}"),
+            TypeError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            TypeError::Codec(msg) => write!(f, "row codec error: {msg}"),
+            TypeError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Result alias for data-model operations.
+pub type TypeResult<T> = Result<T, TypeError>;

@@ -1,0 +1,20 @@
+//! Core relational data model for the `warehouse-2vnl` system.
+//!
+//! This crate defines the typed values, column/schema metadata, rows, and the
+//! fixed-width row codec that the rest of the system builds on. Fixed-width
+//! encoding is not an implementation accident: the paper's Figure 3 reasons
+//! about per-tuple byte widths ("42 bytes per tuple... after modification 51
+//! bytes, an increase of approximately 20%"), and reproducing those numbers
+//! requires a storage model with declared column widths.
+
+pub mod date;
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod value;
+
+pub use date::Date;
+pub use error::{TypeError, TypeResult};
+pub use row::{Row, RowCodec};
+pub use schema::{Column, DataType, Schema};
+pub use value::Value;

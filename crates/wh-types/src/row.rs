@@ -1,0 +1,256 @@
+//! Rows and the fixed-width row codec.
+//!
+//! Tuples are stored as a null bitmap followed by fixed-width column slots,
+//! so a tuple of schema `S` always occupies `ceil(arity/8) + payload_width(S)`
+//! bytes. Fixed slots are what make the paper's two required DBMS properties
+//! (§4) easy to guarantee in the storage layer: updates happen **in place**
+//! (the new image is exactly as wide as the old), and a short page latch
+//! suffices to prevent readers from seeing a torn tuple.
+
+use crate::date::Date;
+use crate::error::{TypeError, TypeResult};
+use crate::schema::{DataType, Schema};
+use crate::value::Value;
+
+/// A materialized tuple: one [`Value`] per schema column.
+pub type Row = Vec<Value>;
+
+/// Encoder/decoder between [`Row`]s and fixed-width byte images for a given
+/// schema.
+#[derive(Debug, Clone)]
+pub struct RowCodec {
+    schema: Schema,
+    /// Byte offset of each column slot within the payload area.
+    offsets: Vec<usize>,
+    bitmap_len: usize,
+    payload_len: usize,
+}
+
+impl RowCodec {
+    /// Build a codec for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let mut offsets = Vec::with_capacity(schema.arity());
+        let mut off = 0;
+        for c in schema.columns() {
+            offsets.push(off);
+            off += c.ty.byte_width();
+        }
+        let bitmap_len = schema.arity().div_ceil(8);
+        RowCodec {
+            schema,
+            offsets,
+            bitmap_len,
+            payload_len: off,
+        }
+    }
+
+    /// The schema this codec serves.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Total stored size of one tuple: null bitmap + fixed payload.
+    pub fn encoded_len(&self) -> usize {
+        self.bitmap_len + self.payload_len
+    }
+
+    /// Encode `row` (validated against the schema) into its byte image.
+    pub fn encode(&self, row: &[Value]) -> TypeResult<Vec<u8>> {
+        self.schema.validate(row)?;
+        let mut buf = vec![0u8; self.encoded_len()];
+        for (i, (col, val)) in self.schema.columns().iter().zip(row).enumerate() {
+            if val.is_null() {
+                buf[i / 8] |= 1 << (i % 8);
+                continue;
+            }
+            let slot = &mut buf[self.bitmap_len + self.offsets[i]..];
+            match (col.ty, val) {
+                (DataType::UInt8, Value::Int(v)) => slot[0] = *v as u8,
+                (DataType::Int32, Value::Int(v)) => {
+                    slot[..4].copy_from_slice(&(*v as i32).to_le_bytes())
+                }
+                (DataType::Int64, Value::Int(v)) => {
+                    slot[..8].copy_from_slice(&v.to_le_bytes())
+                }
+                (DataType::Float64, Value::Float(v)) => {
+                    slot[..8].copy_from_slice(&v.to_le_bytes())
+                }
+                (DataType::Float64, Value::Int(v)) => {
+                    slot[..8].copy_from_slice(&(*v as f64).to_le_bytes())
+                }
+                (DataType::Char(n), Value::Str(s)) => {
+                    slot[..s.len()].copy_from_slice(s.as_bytes());
+                    for b in &mut slot[s.len()..n] {
+                        *b = b' ';
+                    }
+                }
+                (DataType::Date, Value::Date(d)) => {
+                    slot[..4].copy_from_slice(&d.to_packed().to_le_bytes())
+                }
+                _ => unreachable!("validate() admitted an unstorable value"),
+            }
+        }
+        Ok(buf)
+    }
+
+    /// Decode a byte image produced by [`RowCodec::encode`].
+    pub fn decode(&self, buf: &[u8]) -> TypeResult<Row> {
+        if buf.len() != self.encoded_len() {
+            return Err(TypeError::Codec(format!(
+                "expected {} bytes, got {}",
+                self.encoded_len(),
+                buf.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(self.schema.arity());
+        for (i, col) in self.schema.columns().iter().enumerate() {
+            if buf[i / 8] & (1 << (i % 8)) != 0 {
+                row.push(Value::Null);
+                continue;
+            }
+            let slot = &buf[self.bitmap_len + self.offsets[i]..];
+            let v = match col.ty {
+                DataType::UInt8 => Value::Int(slot[0] as i64),
+                DataType::Int32 => {
+                    Value::Int(i32::from_le_bytes(slot[..4].try_into().unwrap()) as i64)
+                }
+                DataType::Int64 => {
+                    Value::Int(i64::from_le_bytes(slot[..8].try_into().unwrap()))
+                }
+                DataType::Float64 => {
+                    Value::Float(f64::from_le_bytes(slot[..8].try_into().unwrap()))
+                }
+                DataType::Char(n) => {
+                    let raw = &slot[..n];
+                    let trimmed = match raw.iter().rposition(|&b| b != b' ') {
+                        Some(last) => &raw[..=last],
+                        None => &raw[..0],
+                    };
+                    Value::Str(
+                        std::str::from_utf8(trimmed)
+                            .map_err(|e| TypeError::Codec(e.to_string()))?
+                            .to_string(),
+                    )
+                }
+                DataType::Date => {
+                    let packed = u32::from_le_bytes(slot[..4].try_into().unwrap());
+                    Value::Date(
+                        Date::from_packed(packed)
+                            .ok_or_else(|| TypeError::Codec(format!("bad date {packed}")))?,
+                    )
+                }
+            };
+            row.push(v);
+        }
+        Ok(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{daily_sales_schema, Column};
+
+    fn sample_row() -> Row {
+        vec![
+            Value::from("San Jose"),
+            Value::from("CA"),
+            Value::from("golf equip"),
+            Value::from(Date::ymd(1996, 10, 14)),
+            Value::from(10_000),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let codec = RowCodec::new(daily_sales_schema());
+        let row = sample_row();
+        let buf = codec.encode(&row).unwrap();
+        assert_eq!(codec.decode(&buf).unwrap(), row);
+    }
+
+    #[test]
+    fn encoded_len_is_bitmap_plus_payload() {
+        let codec = RowCodec::new(daily_sales_schema());
+        // 5 columns -> 1 bitmap byte; payload 42 bytes (Figure 3).
+        assert_eq!(codec.encoded_len(), 43);
+    }
+
+    #[test]
+    fn nulls_round_trip() {
+        let codec = RowCodec::new(daily_sales_schema());
+        let row = vec![
+            Value::Null,
+            Value::from("CA"),
+            Value::Null,
+            Value::from(Date::ymd(1996, 1, 1)),
+            Value::Null,
+        ];
+        let buf = codec.encode(&row).unwrap();
+        assert_eq!(codec.decode(&buf).unwrap(), row);
+    }
+
+    #[test]
+    fn char_padding_trimmed() {
+        let codec = RowCodec::new(daily_sales_schema());
+        let row = sample_row();
+        let buf = codec.encode(&row).unwrap();
+        let decoded = codec.decode(&buf).unwrap();
+        assert_eq!(decoded[0], Value::from("San Jose")); // not "San Jose     ..."
+    }
+
+    #[test]
+    fn empty_string_round_trips() {
+        let schema = Schema::new(vec![Column::new("s", DataType::Char(4))]).unwrap();
+        let codec = RowCodec::new(schema);
+        let buf = codec.encode(&[Value::from("")]).unwrap();
+        assert_eq!(codec.decode(&buf).unwrap(), vec![Value::from("")]);
+    }
+
+    #[test]
+    fn wrong_length_buffer_rejected() {
+        let codec = RowCodec::new(daily_sales_schema());
+        assert!(matches!(
+            codec.decode(&[0u8; 7]),
+            Err(TypeError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn encode_validates() {
+        let codec = RowCodec::new(daily_sales_schema());
+        assert!(codec.encode(&[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn all_types_round_trip() {
+        let schema = Schema::new(vec![
+            Column::new("a", DataType::UInt8),
+            Column::new("b", DataType::Int32),
+            Column::new("c", DataType::Int64),
+            Column::updatable("d", DataType::Float64),
+            Column::new("e", DataType::Char(8)),
+            Column::new("f", DataType::Date),
+        ])
+        .unwrap();
+        let codec = RowCodec::new(schema);
+        let row = vec![
+            Value::Int(200),
+            Value::Int(-123_456),
+            Value::Int(1 << 40),
+            Value::Float(2.5),
+            Value::from("abc"),
+            Value::from(Date::ymd(2001, 2, 3)),
+        ];
+        let buf = codec.encode(&row).unwrap();
+        assert_eq!(codec.decode(&buf).unwrap(), row);
+    }
+
+    #[test]
+    fn int_stored_in_float_column_decodes_as_float() {
+        let schema = Schema::new(vec![Column::new("x", DataType::Float64)]).unwrap();
+        let codec = RowCodec::new(schema);
+        let buf = codec.encode(&[Value::Int(5)]).unwrap();
+        assert_eq!(codec.decode(&buf).unwrap(), vec![Value::Float(5.0)]);
+    }
+}

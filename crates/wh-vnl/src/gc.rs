@@ -1,0 +1,278 @@
+//! Garbage collection of logically-deleted tuples (§3.3, §7).
+//!
+//! A logical delete keeps the physical tuple so readers of earlier versions
+//! can still extract the pre-delete state. Once no active (or future) reader
+//! can need it, the tuple is physically removed. A tuple whose newest slot
+//! is `(tupleVN, delete)` is needed only by sessions with
+//! `sessionVN < tupleVN`; every future session starts at
+//! `currentVN ≥ tupleVN`, so the tuple is dead as soon as every *active*
+//! session satisfies `sessionVN ≥ tupleVN`.
+
+use crate::error::VnlResult;
+use crate::table::VnlTable;
+use crate::version::Operation;
+
+/// Result of one collection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GcReport {
+    /// Tuples examined.
+    pub scanned: u64,
+    /// Logically-deleted tuples found.
+    pub deleted_found: u64,
+    /// Tuples physically reclaimed.
+    pub reclaimed: u64,
+    /// Bytes freed (tuple width × reclaimed).
+    pub bytes_reclaimed: u64,
+}
+
+/// Run one garbage-collection pass over `table`.
+///
+/// Safe to run at any time, including while a maintenance transaction is
+/// active: tuples deleted by the uncommitted transaction carry
+/// `tupleVN = maintenanceVN > currentVN ≥` every active `sessionVN`, so the
+/// liveness test below never selects them... unless no sessions constrain
+/// us, in which case we still must not touch uncommitted work — the pass
+/// therefore also requires `tupleVN ≤ currentVN`.
+pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
+    let layout = table.layout().clone();
+    let snap = table.version().snapshot();
+    // The horizon: the oldest version any active session reads. Future
+    // sessions begin at currentVN.
+    let horizon = table
+        .min_active_session_vn()
+        .unwrap_or(snap.current_vn)
+        .min(snap.current_vn);
+    let mut report = GcReport::default();
+    let tuple_bytes = table.storage().codec().encoded_len() as u64;
+    // Collect victims first; mutate after the scan.
+    let mut victims = Vec::new();
+    table.storage().scan(|rid, ext| {
+        report.scanned += 1;
+        if let Some((vn, Operation::Delete)) = layout.slot(&ext, 0) {
+            report.deleted_found += 1;
+            if vn <= horizon && vn <= snap.current_vn {
+                victims.push((rid, ext));
+            }
+        }
+        Ok(())
+    })?;
+    for (rid, ext) in victims {
+        // Re-verify under the page latch: a maintenance transaction may have
+        // resurrected the tuple since the scan (Table 2 row 1), in which
+        // case it must not be touched.
+        let deleted = table.storage().delete_if(rid, |row| {
+            matches!(
+                layout.slot(row, 0),
+                Some((vn, Operation::Delete)) if vn <= horizon && vn <= snap.current_vn
+            )
+        })?;
+        if !deleted {
+            continue;
+        }
+        if let Some(dir) = table.key_dir() {
+            let _ = dir.unregister(&ext, rid);
+        }
+        table.on_physical_delete(&ext, rid);
+        report.reclaimed += 1;
+        report.bytes_reclaimed += tuple_bytes;
+    }
+    Ok(report)
+}
+
+/// A background collector: §3.3's "periodically running a process to
+/// physically delete" logically-deleted tuples, as a stoppable thread.
+pub struct Collector {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    reclaimed: std::sync::Arc<std::sync::atomic::AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Collector {
+    /// Spawn a collector over `table`, sweeping every `interval`.
+    pub fn spawn(table: std::sync::Arc<VnlTable>, interval: std::time::Duration) -> Self {
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reclaimed = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let stop2 = std::sync::Arc::clone(&stop);
+        let reclaimed2 = std::sync::Arc::clone(&reclaimed);
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
+                if let Ok(report) = collect(&table) {
+                    reclaimed2
+                        .fetch_add(report.reclaimed, std::sync::atomic::Ordering::Relaxed);
+                }
+                std::thread::sleep(interval);
+            }
+        });
+        Collector {
+            stop,
+            reclaimed,
+            handle: Some(handle),
+        }
+    }
+
+    /// Tuples reclaimed so far.
+    pub fn reclaimed(&self) -> u64 {
+        self.reclaimed.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Stop the collector and wait for its thread.
+    pub fn stop(mut self) -> u64 {
+        self.shutdown();
+        self.reclaimed()
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Collector {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_types::schema::daily_sales_schema;
+    use wh_types::{Date, Row, Value};
+
+    fn row(city: &str, sales: i64) -> Row {
+        vec![
+            Value::from(city),
+            Value::from("CA"),
+            Value::from("golf equip"),
+            Value::from(Date::ymd(1996, 10, 14)),
+            Value::from(sales),
+        ]
+    }
+
+    #[test]
+    fn deleted_tuples_reclaimed_when_no_reader_needs_them() {
+        let t = VnlTable::create(daily_sales_schema(), 2).unwrap();
+        t.load_initial(&[row("San Jose", 1), row("Berkeley", 2)]).unwrap();
+        let txn = t.begin_maintenance().unwrap();
+        txn.delete_row(&row("San Jose", 0)).unwrap();
+        txn.commit().unwrap();
+        // Tuple still physically present (pre-delete version readable).
+        assert_eq!(t.storage().len(), 2);
+        let report = collect(&t).unwrap();
+        assert_eq!(report.deleted_found, 1);
+        assert_eq!(report.reclaimed, 1);
+        assert_eq!(t.storage().len(), 1);
+        assert!(report.bytes_reclaimed > 0);
+    }
+
+    #[test]
+    fn active_old_reader_blocks_reclamation() {
+        let t = VnlTable::create(daily_sales_schema(), 2).unwrap();
+        t.load_initial(&[row("San Jose", 1)]).unwrap();
+        let old_session = t.begin_session(); // sessionVN = 1
+        let txn = t.begin_maintenance().unwrap();
+        txn.delete_row(&row("San Jose", 0)).unwrap();
+        txn.commit().unwrap(); // delete at VN 2
+        let report = collect(&t).unwrap();
+        assert_eq!(report.reclaimed, 0, "old reader still needs the pre-delete version");
+        // The old session can still read it.
+        let rows = old_session.scan().unwrap();
+        assert_eq!(rows.len(), 1);
+        old_session.finish();
+        // Now it is collectable.
+        assert_eq!(collect(&t).unwrap().reclaimed, 1);
+    }
+
+    #[test]
+    fn uncommitted_deletes_never_collected() {
+        let t = VnlTable::create(daily_sales_schema(), 2).unwrap();
+        t.load_initial(&[row("San Jose", 1)]).unwrap();
+        let txn = t.begin_maintenance().unwrap();
+        txn.delete_row(&row("San Jose", 0)).unwrap();
+        // GC during the active transaction must not touch its work.
+        let report = collect(&t).unwrap();
+        assert_eq!(report.reclaimed, 0);
+        txn.abort().unwrap();
+        assert_eq!(t.storage().len(), 1);
+        // After abort the tuple is live again — nothing to collect.
+        assert_eq!(collect(&t).unwrap().deleted_found, 0);
+    }
+
+    #[test]
+    fn background_collector_reclaims() {
+        let t = std::sync::Arc::new(VnlTable::create(daily_sales_schema(), 2).unwrap());
+        t.load_initial(&[row("San Jose", 1), row("Berkeley", 2)]).unwrap();
+        let collector = Collector::spawn(
+            std::sync::Arc::clone(&t),
+            std::time::Duration::from_millis(5),
+        );
+        let txn = t.begin_maintenance().unwrap();
+        txn.delete_row(&row("San Jose", 0)).unwrap();
+        txn.commit().unwrap();
+        // Wait for the daemon to sweep.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while t.storage().len() > 1 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(t.storage().len(), 1);
+        assert_eq!(collector.stop(), 1);
+    }
+
+    #[test]
+    fn collector_stops_cleanly_when_dropped() {
+        let t = std::sync::Arc::new(VnlTable::create(daily_sales_schema(), 2).unwrap());
+        let collector = Collector::spawn(
+            std::sync::Arc::clone(&t),
+            std::time::Duration::from_millis(1),
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        drop(collector); // must join without hanging
+        t.load_initial(&[row("San Jose", 1)]).unwrap();
+    }
+
+    #[test]
+    fn collector_races_maintenance_safely() {
+        // Delete/re-insert the same key across many transactions while the
+        // collector sweeps aggressively: every insert must land, whether it
+        // resurrects the tuple or recreates it after reclamation.
+        let t = std::sync::Arc::new(VnlTable::create(daily_sales_schema(), 2).unwrap());
+        t.load_initial(&[row("San Jose", 0)]).unwrap();
+        let collector = Collector::spawn(
+            std::sync::Arc::clone(&t),
+            std::time::Duration::from_micros(200),
+        );
+        for i in 1..60i64 {
+            let txn = t.begin_maintenance().unwrap();
+            txn.delete_row(&row("San Jose", 0)).unwrap();
+            txn.commit().unwrap();
+            let txn = t.begin_maintenance().unwrap();
+            txn.insert(row("San Jose", i)).unwrap();
+            txn.commit().unwrap();
+        }
+        collector.stop();
+        let s = t.begin_session();
+        let rows = s.scan().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][4], Value::from(59));
+        s.finish();
+    }
+
+    #[test]
+    fn reclaimed_key_is_reinsertable_as_fresh() {
+        let t = VnlTable::create(daily_sales_schema(), 2).unwrap();
+        t.load_initial(&[row("San Jose", 1)]).unwrap();
+        let txn = t.begin_maintenance().unwrap();
+        txn.delete_row(&row("San Jose", 0)).unwrap();
+        txn.commit().unwrap();
+        collect(&t).unwrap();
+        // Re-insert goes down Table 2 row 3 (no conflict), not resurrection.
+        let txn = t.begin_maintenance().unwrap();
+        txn.set_tracing(true);
+        txn.insert(row("San Jose", 5)).unwrap();
+        let trace = txn.take_trace();
+        assert_eq!(trace[0].0, crate::maintenance::PhysicalAction::InsertTuple);
+        txn.commit().unwrap();
+    }
+}

@@ -1,0 +1,811 @@
+//! The maintenance transaction: decision Tables 2–4, net effects, commit,
+//! and log-free rollback.
+//!
+//! Every logical insert/update/delete consults the tuple's `(tupleVN,
+//! operation)` slot and translates into the physical action the tables
+//! prescribe — preserving both tuple versions and recording the **net
+//! effect** of multiple operations on one tuple within the transaction
+//! (\[SP89\]): insert∘update = insert, delete∘insert = update, insert∘delete =
+//! nothing, update∘delete = delete.
+//!
+//! **Rollback without logging** (§7 future work): because a touched tuple
+//! still carries its pre-update version, an aborting maintenance transaction
+//! restores tuples from their own version slots. The only thing the tuple
+//! cannot remember is whatever `push_back` squeezed out of the oldest slot
+//! (for 2VNL, the single slot's previous `(tupleVN, operation, pre-values)`);
+//! those few bytes are kept in a transaction-private in-memory map — no
+//! before-image log of data pages is ever written.
+
+use crate::error::{VnlError, VnlResult};
+use crate::table::VnlTable;
+use crate::version::{Operation, VersionNo};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use wh_sql::{parse_statement, EvalContext, Expr, Params, Statement};
+use wh_storage::Rid;
+use wh_types::{Row, Value};
+
+/// What a logical maintenance operation physically did to a tuple — one
+/// variant per non-impossible cell of Tables 2–4. The per-transaction trace
+/// of these reproduces Examples 4.2–4.4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhysicalAction {
+    /// Table 2 row 3: no conflicting tuple — physical insert.
+    InsertTuple,
+    /// Table 2 row 1 (previous = delete): resurrect a logically-deleted
+    /// tuple in place (`PV ← nulls, CV ← MV, op ← insert`).
+    ResurrectTuple,
+    /// Table 2 row 2 (previous = delete, same txn): delete∘insert = update
+    /// (`CV ← MV, op ← update`).
+    UpdateAfterOwnDelete,
+    /// Table 3 row 1: first update by this txn (`PV ← CV, CV ← MV`).
+    UpdateSavingPre,
+    /// Table 3 row 2: repeat update in the same txn (`CV ← MV` only).
+    UpdateInPlace,
+    /// Table 4 row 1: logical delete (`PV ← CV, op ← delete`).
+    MarkDeleted,
+    /// Table 4 row 2 (previous = insert): insert∘delete = nothing —
+    /// physical delete of the txn's own insert.
+    RemoveOwnInsert,
+    /// Table 4 row 2 (previous = insert that resurrected an old tuple):
+    /// restore the pre-resurrection tuple instead of physically deleting.
+    RestoreResurrected,
+    /// Table 4 row 2 (previous = update): update∘delete = delete
+    /// (`op ← delete` only).
+    MarkOwnUpdateDeleted,
+}
+
+impl std::fmt::Display for PhysicalAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PhysicalAction::InsertTuple => "insert tuple (PV<-nulls, CV<-MV)",
+            PhysicalAction::ResurrectTuple => "update tuple (PV<-nulls, CV<-MV, op<-insert)",
+            PhysicalAction::UpdateAfterOwnDelete => "update tuple (CV<-MV, op<-update)",
+            PhysicalAction::UpdateSavingPre => "update tuple (PV<-CV, CV<-MV, op<-update)",
+            PhysicalAction::UpdateInPlace => "update tuple (CV<-MV)",
+            PhysicalAction::MarkDeleted => "update tuple (PV<-CV, op<-delete)",
+            PhysicalAction::RemoveOwnInsert => "delete tuple",
+            PhysicalAction::RestoreResurrected => "restore pre-resurrection tuple",
+            PhysicalAction::MarkOwnUpdateDeleted => "update tuple (op<-delete)",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Undo record for one touched tuple, kept in memory for abort only.
+#[derive(Debug, Clone)]
+enum UndoEntry {
+    /// Physically inserted by this txn: abort = physical delete.
+    Fresh,
+    /// Existing tuple whose `push_back` dropped its oldest slot (always the
+    /// case for 2VNL): abort restores the slot from here.
+    Dropped {
+        vn: VersionNo,
+        op: Operation,
+        /// Pre-update values of the dropped slot (parallel to
+        /// `layout.updatable()`).
+        pre: Vec<Value>,
+    },
+    /// Existing tuple with a spare slot (nVNL): abort = `shift_forward`.
+    Shifted,
+}
+
+/// The single active maintenance transaction on a [`VnlTable`].
+pub struct MaintenanceTxn<'t> {
+    table: &'t VnlTable,
+    vn: VersionNo,
+    finished: Mutex<bool>,
+    undo: Mutex<HashMap<Rid, UndoEntry>>,
+    trace: Mutex<Vec<(PhysicalAction, Row)>>,
+    tracing: std::sync::atomic::AtomicBool,
+}
+
+impl<'t> MaintenanceTxn<'t> {
+    pub(crate) fn new(table: &'t VnlTable, vn: VersionNo) -> Self {
+        MaintenanceTxn {
+            table,
+            vn,
+            finished: Mutex::new(false),
+            undo: Mutex::new(HashMap::new()),
+            trace: Mutex::new(Vec::new()),
+            tracing: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// This transaction's `maintenanceVN` (= `currentVN + 1`).
+    pub fn maintenance_vn(&self) -> VersionNo {
+        self.vn
+    }
+
+    /// Enable recording of per-tuple physical actions (Examples 4.2–4.4
+    /// traces). Off by default.
+    pub fn set_tracing(&self, on: bool) {
+        self.tracing.store(on, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Drain the recorded `(action, key-values)` trace.
+    pub fn take_trace(&self) -> Vec<(PhysicalAction, Row)> {
+        std::mem::take(&mut *self.trace.lock())
+    }
+
+    fn record(&self, action: PhysicalAction, ext_row: &[Value]) {
+        if self.tracing.load(std::sync::atomic::Ordering::Relaxed) {
+            let key = self.table.layout().ext_schema().key_of(ext_row);
+            self.trace.lock().push((action, key));
+        }
+    }
+
+    fn check_open(&self) -> VnlResult<()> {
+        if *self.finished.lock() {
+            Err(VnlError::TxnFinished)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Save undo info for the first touch of an existing tuple, *before* its
+    /// slots are pushed back.
+    fn save_undo_existing(&self, rid: Rid, ext_row: &[Value]) {
+        let mut undo = self.undo.lock();
+        if undo.contains_key(&rid) {
+            return;
+        }
+        let layout = self.table.layout();
+        let last = layout.slots() - 1;
+        let entry = match layout.slot(ext_row, last) {
+            // Oldest slot occupied: push_back will drop it — save it.
+            Some((vn, op)) => UndoEntry::Dropped {
+                vn,
+                op,
+                pre: layout
+                    .pre_set(last)
+                    .iter()
+                    .map(|&i| ext_row[i].clone())
+                    .collect(),
+            },
+            None => UndoEntry::Shifted,
+        };
+        undo.insert(rid, entry);
+    }
+
+    /// Read the maintenance transaction's own view: always the current
+    /// version of every live tuple (Table 1 row 1, §3.3).
+    pub fn scan_current(&self) -> VnlResult<Vec<Row>> {
+        self.check_open()?;
+        let layout = self.table.layout();
+        let mut out = Vec::new();
+        self.table.storage().scan(|_, ext| {
+            let (_, op) = layout.slot(&ext, 0).expect("slot 0 populated");
+            if op != Operation::Delete {
+                out.push(layout.current_values(&ext));
+            }
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Point-read the current version of the tuple keyed by `key_row`
+    /// (`None` when logically absent). The maintenance transaction's own
+    /// uncommitted changes are visible to itself.
+    pub fn read_current(&self, key_row: &[Value]) -> VnlResult<Option<Row>> {
+        self.check_open()?;
+        let layout = self.table.layout();
+        let Some(rid) = self
+            .table
+            .find_physical(&self.table.base_to_ext_positions(key_row))
+        else {
+            return Ok(None);
+        };
+        let ext = match self.table.storage().read(rid) {
+            Ok(e) => e,
+            // Reclaimed by a concurrent GC pass: logically absent.
+            Err(wh_storage::StorageError::NoSuchSlot { .. }) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let (_, op) = layout.slot(&ext, 0).expect("slot 0 populated");
+        if op == Operation::Delete {
+            return Ok(None);
+        }
+        Ok(Some(layout.current_values(&ext)))
+    }
+
+    // ------------------------------------------------------------------
+    // Table 2: logical INSERT
+    // ------------------------------------------------------------------
+
+    /// Logically insert `base_row` (Table 2).
+    pub fn insert(&self, base_row: Row) -> VnlResult<()> {
+        self.check_open()?;
+        self.table.layout().base_schema().validate(&base_row)?;
+        let layout = self.table.layout();
+
+        // Key conflict detection (rows 1–2 of Table 2) — only for keyed
+        // relations; keyless relations always take row 3.
+        let conflict = self
+            .table
+            .find_physical(&self.table.base_to_ext_positions(&base_row));
+        let Some(rid) = conflict else {
+            // Row 3: physical insert.
+            let ext = layout.new_insert_row(&base_row, self.vn);
+            let new_rid = self.table.storage().insert(&ext)?;
+            if let Some(dir) = self.table.key_dir() {
+                dir.register(&ext, new_rid)
+                    .expect("no conflict was found just above");
+            }
+            self.table.on_physical_insert(&ext, new_rid);
+            self.undo.lock().insert(new_rid, UndoEntry::Fresh);
+            self.record(PhysicalAction::InsertTuple, &ext);
+            return Ok(());
+        };
+
+        let ext = match self.table.storage().read(rid) {
+            Ok(e) => e,
+            // The concurrent GC daemon may reclaim a logically-deleted tuple
+            // between the key probe and this read; clear any stale key
+            // registration (GC unregisters after its physical delete) and
+            // retry as a fresh insert.
+            Err(wh_storage::StorageError::NoSuchSlot { .. }) => {
+                if let Some(dir) = self.table.key_dir() {
+                    let _ = dir.unregister(&self.table.base_to_ext_positions(&base_row), rid);
+                }
+                return self.insert(base_row);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (tuple_vn, prev_op) = layout.slot(&ext, 0).expect("slot 0 populated");
+        match (tuple_vn < self.vn, prev_op) {
+            // Row 1: earlier transaction. Insert over a live tuple is
+            // impossible; over a logically-deleted tuple it resurrects.
+            (true, Operation::Insert | Operation::Update) => Err(VnlError::InvalidTransition {
+                attempted: Operation::Insert,
+                previous: prev_op,
+                same_txn: false,
+            }),
+            (true, Operation::Delete) => {
+                self.save_undo_existing(rid, &ext);
+                let mut new_ext = None;
+                self.table.storage().modify(rid, |mut row| {
+                    layout.push_back(&mut row);
+                    row[layout.vn_col(0)] = Value::from(self.vn as i64);
+                    row[layout.op_col(0)] = Operation::Insert.value();
+                    for &i in layout.pre_set(0) {
+                        row[i] = Value::Null;
+                    }
+                    for (i, v) in base_row.iter().enumerate() {
+                        row[layout.base_col(i)] = v.clone();
+                    }
+                    new_ext = Some(row.clone());
+                    Ok(row)
+                })?;
+                // CV ← MV may have moved non-updatable indexed attributes.
+                self.table
+                    .on_physical_update(&ext, new_ext.as_ref().expect("modify ran"), rid);
+                self.record(
+                    PhysicalAction::ResurrectTuple,
+                    &self.table.base_to_ext_positions(&base_row),
+                );
+                Ok(())
+            }
+            // Row 2: same transaction. Only delete∘insert is valid: the net
+            // effect is an update.
+            (false, Operation::Insert | Operation::Update) => Err(VnlError::InvalidTransition {
+                attempted: Operation::Insert,
+                previous: prev_op,
+                same_txn: true,
+            }),
+            (false, Operation::Delete) => {
+                let mut new_ext = None;
+                self.table.storage().modify(rid, |mut row| {
+                    row[layout.op_col(0)] = Operation::Update.value();
+                    for (i, v) in base_row.iter().enumerate() {
+                        row[layout.base_col(i)] = v.clone();
+                    }
+                    new_ext = Some(row.clone());
+                    Ok(row)
+                })?;
+                self.table
+                    .on_physical_update(&ext, new_ext.as_ref().expect("modify ran"), rid);
+                self.record(
+                    PhysicalAction::UpdateAfterOwnDelete,
+                    &self.table.base_to_ext_positions(&base_row),
+                );
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Table 3: logical UPDATE
+    // ------------------------------------------------------------------
+
+    fn apply_update(&self, rid: Rid, new_updatable: &[Value]) -> VnlResult<()> {
+        let layout = self.table.layout();
+        let ext = match self.table.storage().read(rid) {
+            Ok(e) => e,
+            Err(wh_storage::StorageError::NoSuchSlot { .. }) => {
+                return Err(VnlError::NoSuchTuple(format!("{rid}")));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (tuple_vn, prev_op) = layout.slot(&ext, 0).expect("slot 0 populated");
+        match (tuple_vn < self.vn, prev_op) {
+            (true, Operation::Insert | Operation::Update) => {
+                // Row 1: save pre-update values, stamp the new slot.
+                self.save_undo_existing(rid, &ext);
+                self.table.storage().modify(rid, |mut row| {
+                    layout.push_back(&mut row);
+                    for (u_pos, &u) in layout.updatable().iter().enumerate() {
+                        row[layout.pre_set(0)[u_pos]] = row[layout.base_col(u)].clone();
+                        row[layout.base_col(u)] = new_updatable[u_pos].clone();
+                    }
+                    row[layout.vn_col(0)] = Value::from(self.vn as i64);
+                    row[layout.op_col(0)] = Operation::Update.value();
+                    Ok(row)
+                })?;
+                self.record(PhysicalAction::UpdateSavingPre, &ext);
+                Ok(())
+            }
+            (false, Operation::Insert | Operation::Update) => {
+                // Row 2: overwrite current values only; net effect keeps the
+                // recorded operation (insert stays insert).
+                self.table.storage().modify(rid, |mut row| {
+                    for (u_pos, &u) in layout.updatable().iter().enumerate() {
+                        row[layout.base_col(u)] = new_updatable[u_pos].clone();
+                    }
+                    Ok(row)
+                })?;
+                self.record(PhysicalAction::UpdateInPlace, &ext);
+                Ok(())
+            }
+            (same_txn_is_false, Operation::Delete) => Err(VnlError::InvalidTransition {
+                attempted: Operation::Update,
+                previous: Operation::Delete,
+                same_txn: !same_txn_is_false,
+            }),
+        }
+    }
+
+    /// Logically update every visible tuple matching `predicate` (over base
+    /// columns), applying `assignments` to **updatable** columns (Table 3,
+    /// cursor approach of §4.2.2). Returns the number of tuples updated.
+    pub fn update_where(
+        &self,
+        predicate: Option<&Expr>,
+        assignments: &[(String, Expr)],
+        params: &Params,
+    ) -> VnlResult<u64> {
+        self.check_open()?;
+        let layout = self.table.layout();
+        let base_schema = layout.base_schema();
+        // Resolve assignment targets: must be updatable columns.
+        let mut targets: Vec<usize> = Vec::with_capacity(assignments.len());
+        for (name, _) in assignments {
+            let idx = base_schema.column_index(name)?;
+            if !base_schema.columns()[idx].updatable {
+                return Err(VnlError::KeyRequired(
+                    "maintenance UPDATE may only assign updatable columns",
+                ));
+            }
+            targets.push(idx);
+        }
+        let ctx = EvalContext::new(base_schema, params);
+        let mut count = 0;
+        for (rid, current) in self.visible_cursor(predicate, params)? {
+            let mut new_row = current.clone();
+            for (t, (_, expr)) in targets.iter().zip(assignments) {
+                new_row[*t] = ctx.eval(expr, &current)?;
+            }
+            let new_updatable: Vec<Value> = layout
+                .updatable()
+                .iter()
+                .map(|&u| new_row[u].clone())
+                .collect();
+            self.apply_update(rid, &new_updatable)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Logically update the tuple whose key matches `key_row` (a base-schema
+    /// row whose key columns are set), replacing its updatable columns with
+    /// those of `key_row`.
+    pub fn update_row(&self, base_row: &Row) -> VnlResult<()> {
+        self.check_open()?;
+        let layout = self.table.layout();
+        let rid = self
+            .table
+            .find_physical(&self.table.base_to_ext_positions(base_row))
+            .ok_or_else(|| {
+                VnlError::NoSuchTuple(format!(
+                    "{:?}",
+                    layout.base_schema().key_of(base_row)
+                ))
+            })?;
+        let new_updatable: Vec<Value> = layout
+            .updatable()
+            .iter()
+            .map(|&u| base_row[u].clone())
+            .collect();
+        self.apply_update(rid, &new_updatable)
+    }
+
+    // ------------------------------------------------------------------
+    // Table 4: logical DELETE
+    // ------------------------------------------------------------------
+
+    fn apply_delete(&self, rid: Rid) -> VnlResult<()> {
+        let layout = self.table.layout();
+        let ext = match self.table.storage().read(rid) {
+            Ok(e) => e,
+            Err(wh_storage::StorageError::NoSuchSlot { .. }) => {
+                return Err(VnlError::NoSuchTuple(format!("{rid}")));
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let (tuple_vn, prev_op) = layout.slot(&ext, 0).expect("slot 0 populated");
+        match (tuple_vn < self.vn, prev_op) {
+            (true, Operation::Insert | Operation::Update) => {
+                // Row 1: logical delete — preserve current values as the
+                // pre-delete version, keep CV (Figure 6's Berkeley row).
+                self.save_undo_existing(rid, &ext);
+                self.table.storage().modify(rid, |mut row| {
+                    layout.push_back(&mut row);
+                    for (u_pos, &u) in layout.updatable().iter().enumerate() {
+                        row[layout.pre_set(0)[u_pos]] = row[layout.base_col(u)].clone();
+                    }
+                    row[layout.vn_col(0)] = Value::from(self.vn as i64);
+                    row[layout.op_col(0)] = Operation::Delete.value();
+                    Ok(row)
+                })?;
+                self.record(PhysicalAction::MarkDeleted, &ext);
+                Ok(())
+            }
+            (false, Operation::Insert) => {
+                // Row 2, previous insert: the tuple was created (or
+                // resurrected) by this very transaction.
+                let undo_entry = self.undo.lock().get(&rid).cloned();
+                match undo_entry {
+                    Some(UndoEntry::Fresh) | None => {
+                        // Net effect insert∘delete = nothing: physical delete.
+                        if let Some(dir) = self.table.key_dir() {
+                            let _ = dir.unregister(&ext, rid);
+                        }
+                        self.table.storage().delete(rid)?;
+                        self.table.on_physical_delete(&ext, rid);
+                        self.undo.lock().remove(&rid);
+                        self.record(PhysicalAction::RemoveOwnInsert, &ext);
+                        Ok(())
+                    }
+                    Some(entry) => {
+                        // The insert resurrected an older tuple: restore it
+                        // rather than destroying the still-needed pre-delete
+                        // version.
+                        self.restore_touched(rid, &entry)?;
+                        self.undo.lock().remove(&rid);
+                        self.record(PhysicalAction::RestoreResurrected, &ext);
+                        Ok(())
+                    }
+                }
+            }
+            (false, Operation::Update) => {
+                // Row 2, previous update: update∘delete = delete.
+                self.table.storage().modify(rid, |mut row| {
+                    row[layout.op_col(0)] = Operation::Delete.value();
+                    Ok(row)
+                })?;
+                self.record(PhysicalAction::MarkOwnUpdateDeleted, &ext);
+                Ok(())
+            }
+            (same_txn_is_false, Operation::Delete) => Err(VnlError::InvalidTransition {
+                attempted: Operation::Delete,
+                previous: Operation::Delete,
+                same_txn: !same_txn_is_false,
+            }),
+        }
+    }
+
+    /// Logically delete every visible tuple matching `predicate` (Table 4,
+    /// §4.2.3 cursor approach). Returns the number of tuples deleted.
+    pub fn delete_where(&self, predicate: Option<&Expr>, params: &Params) -> VnlResult<u64> {
+        self.check_open()?;
+        let mut count = 0;
+        for (rid, _) in self.visible_cursor(predicate, params)? {
+            self.apply_delete(rid)?;
+            count += 1;
+        }
+        Ok(count)
+    }
+
+    /// Logically delete the tuple whose key matches `base_row`.
+    pub fn delete_row(&self, base_row: &Row) -> VnlResult<()> {
+        self.check_open()?;
+        let rid = self
+            .table
+            .find_physical(&self.table.base_to_ext_positions(base_row))
+            .ok_or_else(|| {
+                VnlError::NoSuchTuple(format!(
+                    "{:?}",
+                    self.table.layout().base_schema().key_of(base_row)
+                ))
+            })?;
+        // A key pointing at a tuple already logically deleted by an earlier
+        // transaction is "not there" for deletion purposes.
+        let ext = self.table.storage().read(rid)?;
+        let (tuple_vn, op) = self.table.layout().slot(&ext, 0).expect("slot 0");
+        if op == Operation::Delete && tuple_vn < self.vn {
+            return Err(VnlError::NoSuchTuple(format!(
+                "{:?}",
+                self.table.layout().base_schema().key_of(base_row)
+            )));
+        }
+        self.apply_delete(rid)
+    }
+
+    /// Stable cursor over tuples this transaction can see (current versions,
+    /// excluding logically-deleted), filtered by an optional base-schema
+    /// predicate — the §4.2 cursor.
+    fn visible_cursor(
+        &self,
+        predicate: Option<&Expr>,
+        params: &Params,
+    ) -> VnlResult<Vec<(Rid, Row)>> {
+        let layout = self.table.layout();
+        let ctx = EvalContext::new(layout.base_schema(), params);
+        let mut matches = Vec::new();
+        let mut eval_err = None;
+        self.table.storage().scan(|rid, ext| {
+            if eval_err.is_some() {
+                return Ok(());
+            }
+            let (_, op) = layout.slot(&ext, 0).expect("slot 0 populated");
+            if op == Operation::Delete {
+                return Ok(());
+            }
+            let current = layout.current_values(&ext);
+            let keep = match predicate {
+                Some(p) => match ctx.eval_predicate(p, &current) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eval_err = Some(e);
+                        false
+                    }
+                },
+                None => true,
+            };
+            if keep {
+                matches.push((rid, current));
+            }
+            Ok(())
+        })?;
+        if let Some(e) = eval_err {
+            return Err(e.into());
+        }
+        Ok(matches)
+    }
+
+    // ------------------------------------------------------------------
+    // SQL front door (§4.2): the rewrite executed as cursor logic.
+    // ------------------------------------------------------------------
+
+    /// Execute a base-schema DML statement (`INSERT`/`UPDATE`/`DELETE` on
+    /// this relation) through the decision tables — the runtime counterpart
+    /// of the §4.2 statement rewrite. Returns affected-row count.
+    pub fn execute_sql(&self, sql: &str, params: &Params) -> VnlResult<u64> {
+        self.check_open()?;
+        let stmt = parse_statement(sql)?;
+        match stmt {
+            Statement::Insert(ins) => {
+                if ins.table != self.table.name() {
+                    return Err(VnlError::Sql(wh_sql::SqlError::NoSuchTable(ins.table)));
+                }
+                let base_schema = self.table.layout().base_schema().clone();
+                let empty = wh_types::Schema::new(vec![])?;
+                let ctx = EvalContext::new(&empty, params);
+                let mut n = 0;
+                for row_exprs in &ins.rows {
+                    let values: Vec<Value> = row_exprs
+                        .iter()
+                        .map(|e| ctx.eval(e, &[]))
+                        .collect::<Result<_, _>>()?;
+                    let row = if ins.columns.is_empty() {
+                        values
+                    } else {
+                        let mut row = vec![Value::Null; base_schema.arity()];
+                        for (name, v) in ins.columns.iter().zip(values) {
+                            row[base_schema.column_index(name)?] = v;
+                        }
+                        row
+                    };
+                    self.insert(row)?;
+                    n += 1;
+                }
+                Ok(n)
+            }
+            Statement::Update(upd) => {
+                if upd.table != self.table.name() {
+                    return Err(VnlError::Sql(wh_sql::SqlError::NoSuchTable(upd.table)));
+                }
+                self.update_where(upd.where_clause.as_ref(), &upd.assignments, params)
+            }
+            Statement::Delete(del) => {
+                if del.table != self.table.name() {
+                    return Err(VnlError::Sql(wh_sql::SqlError::NoSuchTable(del.table)));
+                }
+                self.delete_where(del.where_clause.as_ref(), params)
+            }
+            Statement::Select(_) => Err(VnlError::Sql(wh_sql::SqlError::Unsupported(
+                "maintenance transactions read via scan_current()".into(),
+            ))),
+            Statement::CreateTable(_) | Statement::DropTable(_) => {
+                Err(VnlError::Sql(wh_sql::SqlError::Unsupported(
+                    "DDL is not part of a maintenance transaction".into(),
+                )))
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit / abort
+    // ------------------------------------------------------------------
+
+    /// Commit: data changes are already in place; publishing the new
+    /// `currentVN` happens as its own latched step (§4's abort-safe order).
+    pub fn commit(self) -> VnlResult<()> {
+        self.check_open()?;
+        *self.finished.lock() = true;
+        self.table.version().publish_commit(self.vn)?;
+        Ok(())
+    }
+
+    /// Commit only once no reader sessions are active — the §2.1 alternative
+    /// policy that trades possible writer starvation for sessions that never
+    /// expire. Polls the session registry; returns the number of polls.
+    pub fn commit_when_quiescent(self, poll: std::time::Duration) -> VnlResult<u64> {
+        self.check_open()?;
+        let mut polls = 0;
+        while self.table.active_session_count() > 0 {
+            polls += 1;
+            std::thread::sleep(poll);
+        }
+        self.commit()?;
+        Ok(polls)
+    }
+
+    /// Abort by reverting every touched tuple from its own version slots
+    /// (§7's log-free rollback), then clearing the maintenance flag.
+    pub fn abort(self) -> VnlResult<()> {
+        self.check_open()?;
+        *self.finished.lock() = true;
+        self.rollback_changes()?;
+        self.table.version().publish_abort()?;
+        Ok(())
+    }
+
+    /// Mark finished without publishing — the warehouse-wide transaction
+    /// publishes once for all tables.
+    pub(crate) fn commit_local(&self) -> VnlResult<()> {
+        self.check_open()?;
+        *self.finished.lock() = true;
+        Ok(())
+    }
+
+    /// Roll back and mark finished without publishing (warehouse abort).
+    pub(crate) fn abort_local(&self) -> VnlResult<()> {
+        self.check_open()?;
+        *self.finished.lock() = true;
+        self.rollback_changes()?;
+        Ok(())
+    }
+
+    fn rollback_changes(&self) -> VnlResult<()> {
+        let layout = self.table.layout();
+        // Collect this txn's tuples first (stable iteration while mutating).
+        let mut touched = Vec::new();
+        self.table.storage().scan(|rid, ext| {
+            if let Some((vn, _)) = layout.slot(&ext, 0) {
+                if vn == self.vn {
+                    touched.push(rid);
+                }
+            }
+            Ok(())
+        })?;
+        let undo = std::mem::take(&mut *self.undo.lock());
+        for rid in touched {
+            let ext = self.table.storage().read(rid)?;
+            match undo.get(&rid) {
+                Some(UndoEntry::Fresh) | None => {
+                    // Physically inserted by this txn (None can only happen
+                    // for Fresh entries consumed by RemoveOwnInsert, which
+                    // also removed the tuple — so None here means Fresh).
+                    if let Some(dir) = self.table.key_dir() {
+                        let _ = dir.unregister(&ext, rid);
+                    }
+                    self.table.storage().delete(rid)?;
+                    self.table.on_physical_delete(&ext, rid);
+                }
+                Some(entry) => self.restore_touched(rid, entry)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// Restore a touched existing tuple to its pre-transaction state using
+    /// its own version slots plus the in-memory undo entry.
+    fn restore_touched(&self, rid: Rid, entry: &UndoEntry) -> VnlResult<()> {
+        let layout = self.table.layout();
+        self.table.storage().modify(rid, |mut row| {
+            let (_, op) = layout.slot(&row, 0).expect("slot 0 populated");
+            // Current values: updates stashed the pre-txn values in
+            // pre_set(0); resurrections destroyed CV but deleted tuples have
+            // CV == pre-delete values, recoverable from the undo entry or
+            // slot 1; deletes left CV untouched.
+            match op {
+                Operation::Update => {
+                    for (u_pos, &u) in layout.updatable().iter().enumerate() {
+                        row[layout.base_col(u)] = row[layout.pre_set(0)[u_pos]].clone();
+                    }
+                }
+                Operation::Insert => {
+                    // Resurrection: pre-txn CV equals the old pre-delete
+                    // values.
+                    let source: Vec<Value> = match entry {
+                        UndoEntry::Dropped { pre, .. } if layout.slots() == 1 => pre.clone(),
+                        _ => layout
+                            .pre_set(1.min(layout.slots() - 1))
+                            .iter()
+                            .map(|&i| row[i].clone())
+                            .collect(),
+                    };
+                    for (u_pos, &u) in layout.updatable().iter().enumerate() {
+                        row[layout.base_col(u)] = source[u_pos].clone();
+                    }
+                }
+                Operation::Delete => {}
+            }
+            // Version slots: undo the push_back.
+            match entry {
+                UndoEntry::Shifted => layout.shift_forward(&mut row),
+                UndoEntry::Dropped { vn, op, pre } => {
+                    layout.shift_forward(&mut row);
+                    let last = layout.slots() - 1;
+                    // For 2VNL, shift_forward emptied the only slot; for
+                    // nVNL it emptied the last. Either way the dropped slot
+                    // goes back in at the oldest position... unless the
+                    // tuple only ever had one slot (2VNL), where it goes to
+                    // slot 0.
+                    let dest = if layout.slots() == 1 { 0 } else { last };
+                    row[layout.vn_col(dest)] = Value::from(*vn as i64);
+                    row[layout.op_col(dest)] = op.value();
+                    for (u_pos, &i) in layout.pre_set(dest).iter().enumerate() {
+                        row[i] = pre[u_pos].clone();
+                    }
+                }
+                UndoEntry::Fresh => unreachable!("handled by caller"),
+            }
+            Ok(row)
+        })?;
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MaintenanceTxn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceTxn")
+            .field("vn", &self.vn)
+            .field("finished", &*self.finished.lock())
+            .finish()
+    }
+}
+
+impl Drop for MaintenanceTxn<'_> {
+    fn drop(&mut self) {
+        let mut finished = self.finished.lock();
+        if !*finished {
+            *finished = true;
+            // Best-effort auto-abort so a dropped transaction cannot wedge
+            // the one-writer protocol.
+            let _ = self.rollback_changes();
+            let _ = self.table.version().publish_abort();
+        }
+    }
+}

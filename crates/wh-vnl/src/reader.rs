@@ -1,0 +1,213 @@
+//! Reader sessions: consistent reads without locks (§3.2, §4.1).
+
+use crate::error::{VnlError, VnlResult};
+use crate::table::VnlTable;
+use crate::version::VersionNo;
+use wh_sql::{
+    exec::execute_select, parse_statement, Params, QueryResult, RowSource, SelectStmt, SqlError,
+    Statement,
+};
+use wh_types::{Row, Schema, Value};
+
+/// Liveness of a session per the §4.1 global check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The session is still guaranteed a consistent view.
+    Live,
+    /// The session has expired; the reader should begin a new session.
+    Expired,
+}
+
+/// A reader session pinned to one database version.
+///
+/// Throughout its life the session sees the state current as of its
+/// `sessionVN` — across any number of queries, while maintenance
+/// transactions run concurrently, without acquiring a single lock.
+pub struct ReaderSession<'t> {
+    table: &'t VnlTable,
+    id: u64,
+    session_vn: VersionNo,
+    finished: bool,
+}
+
+impl<'t> ReaderSession<'t> {
+    pub(crate) fn new(table: &'t VnlTable, id: u64, session_vn: VersionNo) -> Self {
+        ReaderSession {
+            table,
+            id,
+            session_vn,
+            finished: false,
+        }
+    }
+
+    /// The version this session reads.
+    pub fn session_vn(&self) -> VersionNo {
+        self.session_vn
+    }
+
+    /// The §4.1 global (pessimistic) expiration check against the Version
+    /// relation: `(sessionVN = currentVN) ∨ (sessionVN = currentVN − 1 ∧
+    /// ¬maintenanceActive)`, generalized for nVNL.
+    pub fn status(&self) -> ReadOutcome {
+        if self
+            .table
+            .version()
+            .session_live(self.session_vn, self.table.layout().n())
+        {
+            ReadOutcome::Live
+        } else {
+            ReadOutcome::Expired
+        }
+    }
+
+    /// Err variant of [`ReaderSession::status`], for `?`-chaining.
+    pub fn assert_live(&self) -> VnlResult<()> {
+        match self.status() {
+            ReadOutcome::Live => Ok(()),
+            ReadOutcome::Expired => {
+                self.table.note_expiration();
+                Err(VnlError::SessionExpired {
+                    session_vn: self.session_vn,
+                })
+            }
+        }
+    }
+
+    /// Scan the relation as of this session's version. Uses the per-tuple
+    /// expiration detector: a tuple modified out from under the session
+    /// raises [`VnlError::SessionExpired`].
+    pub fn scan(&self) -> VnlResult<Vec<Row>> {
+        self.table.scan_visible(self.session_vn)
+    }
+
+    /// Point lookup by key (base-schema row whose key columns are set).
+    /// `Ok(None)` when the tuple is logically absent at this version.
+    pub fn read_by_key(&self, key_row: &[Value]) -> VnlResult<Option<Row>> {
+        self.table.read_visible_by_key(key_row, self.session_vn)
+    }
+
+    /// Equality lookup through a §4.3 secondary index: all *visible* rows
+    /// whose indexed columns equal `key` (values in index-column order).
+    pub fn lookup_eq(&self, index: &str, key: &[Value]) -> VnlResult<Vec<Row>> {
+        let rids = self.table.index_lookup_eq(index, key)?;
+        self.resolve_rids(rids)
+    }
+
+    /// Range lookup through a secondary index: all visible rows whose
+    /// indexed columns fall in `[lo, hi]` (inclusive; `None` = unbounded).
+    pub fn lookup_range(
+        &self,
+        index: &str,
+        lo: Option<&[Value]>,
+        hi: Option<&[Value]>,
+    ) -> VnlResult<Vec<Row>> {
+        let rids = self.table.index_lookup_range(index, lo, hi)?;
+        self.resolve_rids(rids)
+    }
+
+    /// Fetch + version-extract a set of RIDs, with per-tuple expiration
+    /// detection (Table 1 applies at the index leaf exactly as in a scan).
+    fn resolve_rids(&self, rids: Vec<wh_storage::Rid>) -> VnlResult<Vec<Row>> {
+        let layout = self.table.layout();
+        let mut out = Vec::with_capacity(rids.len());
+        for rid in rids {
+            let ext = match self.table.storage().read(rid) {
+                Ok(e) => e,
+                // The tuple may have been GC'd between index probe and fetch.
+                Err(wh_storage::StorageError::NoSuchSlot { .. }) => continue,
+                Err(e) => return Err(e.into()),
+            };
+            match crate::visibility::extract(layout, &ext, self.session_vn) {
+                crate::visibility::Visible::Row(r) => out.push(r),
+                crate::visibility::Visible::Ignore => {}
+                crate::visibility::Visible::Expired => {
+                    self.table.note_expiration();
+                    return Err(VnlError::SessionExpired {
+                        session_vn: self.session_vn,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Run a SELECT over the session's consistent view using programmatic
+    /// version extraction (always correct, including per-tuple expiration
+    /// detection). The statement references base-schema columns.
+    pub fn query(&self, sql: &str) -> VnlResult<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(select) = stmt else {
+            return Err(VnlError::Sql(SqlError::Unsupported(
+                "reader sessions are read-only".into(),
+            )));
+        };
+        self.query_stmt(&select)
+    }
+
+    /// Like [`ReaderSession::query`] with a pre-parsed statement.
+    pub fn query_stmt(&self, select: &SelectStmt) -> VnlResult<QueryResult> {
+        if select.from != self.table.name() {
+            return Err(VnlError::Sql(SqlError::NoSuchTable(select.from.clone())));
+        }
+        let rows = self.scan()?;
+        let source = MemSource {
+            schema: self.table.layout().base_schema(),
+            rows,
+        };
+        Ok(execute_select(&source, select, &Params::new())?)
+    }
+
+    /// Run a SELECT the way §4 deploys 2VNL on a stock DBMS: **rewrite** the
+    /// query (CASE expressions + WHERE guard, Example 4.1), execute it
+    /// directly against the extended physical table with `:sessionVN` bound,
+    /// then apply the §4.1 global expiration check — rewritten SQL cannot
+    /// detect expiration per tuple, so the check validates the result.
+    pub fn query_via_rewrite(&self, sql: &str) -> VnlResult<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(select) = stmt else {
+            return Err(VnlError::Sql(SqlError::Unsupported(
+                "reader sessions are read-only".into(),
+            )));
+        };
+        if select.from != self.table.name() {
+            return Err(VnlError::Sql(SqlError::NoSuchTable(select.from)));
+        }
+        let rewritten = self.table.rewriter().rewrite_select(&select)?;
+        let mut params = Params::new();
+        params.insert("sessionVN".into(), Value::from(self.session_vn as i64));
+        let result = execute_select(self.table.storage(), &rewritten, &params)?;
+        self.assert_live()?;
+        Ok(result)
+    }
+
+    /// End the session, deregistering it.
+    pub fn finish(mut self) {
+        self.table.end_session(self.id);
+        self.finished = true;
+    }
+}
+
+impl Drop for ReaderSession<'_> {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.table.end_session(self.id);
+        }
+    }
+}
+
+/// In-memory row source: lets the SQL executor run over an already-extracted
+/// consistent snapshot.
+struct MemSource<'a> {
+    schema: &'a Schema,
+    rows: Vec<Row>,
+}
+
+impl RowSource for MemSource<'_> {
+    fn schema(&self) -> &Schema {
+        self.schema
+    }
+
+    fn scan_rows(&self) -> Result<Vec<Row>, SqlError> {
+        Ok(self.rows.clone())
+    }
+}

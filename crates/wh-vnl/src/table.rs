@@ -1,0 +1,549 @@
+//! [`VnlTable`] — a relation maintained under 2VNL/nVNL.
+
+use crate::error::{VnlError, VnlResult};
+use crate::maintenance::MaintenanceTxn;
+use crate::reader::ReaderSession;
+use crate::rewrite::QueryRewriter;
+use crate::schema_ext::ExtLayout;
+use crate::version::{VersionNo, VersionState};
+use crate::visibility;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use wh_index::{IndexKey, KeyDirectory, OrderedIndex};
+use wh_storage::{IoStats, Rid, Table};
+use wh_types::{Row, Schema, Value};
+
+/// A named secondary index over non-updatable base attributes (§4.3).
+pub struct SecondaryIndex {
+    name: String,
+    /// Base-schema positions of the indexed columns.
+    base_cols: Vec<usize>,
+    /// Extended-schema positions (what the stored rows are keyed by).
+    ext_cols: Vec<usize>,
+    index: OrderedIndex,
+}
+
+impl SecondaryIndex {
+    /// Index name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Indexed base-column positions.
+    pub fn base_cols(&self) -> &[usize] {
+        &self.base_cols
+    }
+}
+
+/// A warehouse relation stored under the nVNL scheme (`n = 2` gives the
+/// paper's 2VNL).
+///
+/// The physical table uses the §3.1-extended schema; maintenance
+/// transactions ([`VnlTable::begin_maintenance`]) and reader sessions
+/// ([`VnlTable::begin_session`]) coordinate purely through version numbers —
+/// no locks beyond the storage layer's per-page latches.
+pub struct VnlTable {
+    name: String,
+    layout: ExtLayout,
+    storage: Table,
+    /// Physical unique-key directory over the extended rows (logical deletes
+    /// keep their key registered — exactly why Table 2's conflict rows
+    /// exist).
+    key_dir: Option<KeyDirectory>,
+    /// Shared with every other table of the same warehouse: §3's global
+    /// `currentVN` / `maintenanceActive` pair is warehouse-wide, not
+    /// per-relation.
+    version: Arc<VersionState>,
+    io: Arc<IoStats>,
+    rewriter: QueryRewriter,
+    /// Active sessions: id → sessionVN. Feeds GC and commit policies.
+    sessions: Mutex<HashMap<u64, VersionNo>>,
+    next_session: AtomicU64,
+    /// Sessions that expired and were notified (statistics).
+    expired_notifications: AtomicU64,
+    /// §4.3 secondary indexes (non-updatable attributes only).
+    indexes: RwLock<Vec<Arc<SecondaryIndex>>>,
+}
+
+impl VnlTable {
+    /// Create an empty nVNL table over `base_schema` with `n ≥ 2` versions,
+    /// named "R" by default (see [`VnlTable::create_named`]).
+    pub fn create(base_schema: Schema, n: usize) -> VnlResult<Self> {
+        Self::create_named("R", base_schema, n)
+    }
+
+    /// Create an empty nVNL table with an explicit relation name (used to
+    /// resolve SQL statements against it).
+    pub fn create_named(
+        name: impl Into<String>,
+        base_schema: Schema,
+        n: usize,
+    ) -> VnlResult<Self> {
+        let io = Arc::new(IoStats::new());
+        let version = Arc::new(VersionState::new(Arc::clone(&io))?);
+        Self::create_shared(name, base_schema, n, version, io)
+    }
+
+    /// Create a table from a `CREATE TABLE` statement (our dialect's
+    /// `UPDATABLE` column flag marks §3.1's updatable attributes):
+    ///
+    /// ```
+    /// use wh_vnl::VnlTable;
+    /// let t = VnlTable::create_from_sql(
+    ///     "CREATE TABLE DailySales (
+    ///        city CHAR(20), state CHAR(2), product_line CHAR(12), date DATE,
+    ///        total_sales INT UPDATABLE,
+    ///        PRIMARY KEY (city, state, product_line, date))",
+    ///     2,
+    /// ).unwrap();
+    /// assert_eq!(t.name(), "DailySales");
+    /// assert_eq!(t.layout().base_schema().payload_width(), 42); // Figure 3
+    /// ```
+    pub fn create_from_sql(sql: &str, n: usize) -> VnlResult<Self> {
+        let stmt = wh_sql::parse_statement(sql)?;
+        let wh_sql::Statement::CreateTable(ct) = stmt else {
+            return Err(VnlError::Sql(wh_sql::SqlError::Unsupported(
+                "expected a CREATE TABLE statement".into(),
+            )));
+        };
+        let columns: Vec<wh_types::Column> = ct
+            .columns
+            .iter()
+            .map(|c| wh_types::Column {
+                name: c.name.clone(),
+                ty: c.ty,
+                updatable: c.updatable,
+            })
+            .collect();
+        let key_refs: Vec<&str> = ct.key.iter().map(String::as_str).collect();
+        let schema = Schema::with_key_names(columns, &key_refs)?;
+        Self::create_named(ct.name, schema, n)
+    }
+
+    /// Create a table that shares a warehouse-wide [`VersionState`] and I/O
+    /// counters with other tables (see [`crate::warehouse::Warehouse`]).
+    pub fn create_shared(
+        name: impl Into<String>,
+        base_schema: Schema,
+        n: usize,
+        version: Arc<VersionState>,
+        io: Arc<IoStats>,
+    ) -> VnlResult<Self> {
+        let layout = ExtLayout::new(base_schema, n)?;
+        let storage = Table::create("ext", layout.ext_schema().clone(), Arc::clone(&io))?;
+        let key_dir = KeyDirectory::for_schema(layout.ext_schema());
+        let rewriter = QueryRewriter::new(layout.clone());
+        Ok(VnlTable {
+            name: name.into(),
+            layout,
+            storage,
+            key_dir,
+            version,
+            io,
+            rewriter,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+            expired_notifications: AtomicU64::new(0),
+            indexes: RwLock::new(Vec::new()),
+        })
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The extension layout (schemas and column mappings).
+    pub fn layout(&self) -> &ExtLayout {
+        &self.layout
+    }
+
+    /// The physical storage table (extended schema).
+    pub fn storage(&self) -> &Table {
+        &self.storage
+    }
+
+    /// The physical key directory, when the base schema declares a key.
+    pub(crate) fn key_dir(&self) -> Option<&KeyDirectory> {
+        self.key_dir.as_ref()
+    }
+
+    /// Global version state.
+    pub fn version(&self) -> &VersionState {
+        self.version.as_ref()
+    }
+
+    /// The shared handle to the version state (for warehouse assembly).
+    pub fn version_arc(&self) -> &Arc<VersionState> {
+        &self.version
+    }
+
+    /// Shared logical-I/O counters.
+    pub fn io(&self) -> &Arc<IoStats> {
+        &self.io
+    }
+
+    /// The query rewriter configured for this table's layout (§4).
+    pub fn rewriter(&self) -> &QueryRewriter {
+        &self.rewriter
+    }
+
+    /// Bulk-load rows before the warehouse goes live: tuples are stamped
+    /// `(currentVN, insert)`. Only allowed while no maintenance transaction
+    /// and no reader sessions exist.
+    pub fn load_initial(&self, rows: &[Row]) -> VnlResult<()> {
+        let snap = self.version.snapshot();
+        if snap.maintenance_active {
+            return Err(VnlError::MaintenanceAlreadyActive);
+        }
+        if !self.sessions.lock().is_empty() {
+            return Err(VnlError::KeyRequired(
+                "load_initial requires no active sessions",
+            ));
+        }
+        for row in rows {
+            let ext = self.layout.new_insert_row(row, snap.current_vn);
+            let rid = self.storage.insert(&ext)?;
+            if let Some(dir) = &self.key_dir {
+                dir.register(&ext, rid).map_err(|_| {
+                    // Roll the physical insert back so the table stays clean.
+                    let _ = self.storage.delete(rid);
+                    VnlError::NoSuchTuple(format!(
+                        "duplicate key in initial load: {:?}",
+                        self.layout.ext_schema().key_of(&ext)
+                    ))
+                })?;
+            }
+            self.on_physical_insert(&ext, rid);
+        }
+        Ok(())
+    }
+
+    /// Begin the (single) maintenance transaction.
+    pub fn begin_maintenance(&self) -> VnlResult<MaintenanceTxn<'_>> {
+        let vn = self.version.begin_maintenance()?;
+        Ok(MaintenanceTxn::new(self, vn))
+    }
+
+    /// Begin a per-table maintenance handle at an externally-assigned
+    /// `maintenanceVN` — used by [`crate::warehouse::WarehouseTxn`], which
+    /// owns the global begin/commit protocol across many tables. The handle
+    /// must be finished through the warehouse transaction, not directly.
+    pub(crate) fn begin_maintenance_at(&self, vn: VersionNo) -> MaintenanceTxn<'_> {
+        MaintenanceTxn::new(self, vn)
+    }
+
+    /// Begin a reader session at the current database version.
+    pub fn begin_session(&self) -> ReaderSession<'_> {
+        let vn = self.version.snapshot().current_vn;
+        self.begin_session_at(vn)
+    }
+
+    /// Begin a reader session pinned at an externally-chosen version (used
+    /// by warehouse-wide sessions so every table reads the same `sessionVN`).
+    pub(crate) fn begin_session_at(&self, vn: VersionNo) -> ReaderSession<'_> {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        self.sessions.lock().insert(id, vn);
+        ReaderSession::new(self, id, vn)
+    }
+
+    pub(crate) fn end_session(&self, id: u64) {
+        self.sessions.lock().remove(&id);
+    }
+
+    pub(crate) fn note_expiration(&self) {
+        self.expired_notifications.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// How many sessions have been notified of expiration so far.
+    pub fn expired_session_count(&self) -> u64 {
+        self.expired_notifications.load(Ordering::Relaxed)
+    }
+
+    /// Number of currently active reader sessions.
+    pub fn active_session_count(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// The smallest `sessionVN` among active sessions, if any.
+    pub fn min_active_session_vn(&self) -> Option<VersionNo> {
+        self.sessions.lock().values().copied().min()
+    }
+
+    /// Read one tuple as seen by `session_vn` (point lookup via the key
+    /// directory). `Ok(None)` when the tuple is logically absent.
+    pub(crate) fn read_visible_by_key(
+        &self,
+        key_row: &[Value],
+        session_vn: VersionNo,
+    ) -> VnlResult<Option<Row>> {
+        if self.key_dir.is_none() {
+            return Err(VnlError::KeyRequired("point lookup"));
+        }
+        let Some(rid) = self.find_physical(&self.base_to_ext_positions(key_row)) else {
+            return Ok(None);
+        };
+        let ext = match self.storage.read(rid) {
+            Ok(e) => e,
+            // Reclaimed by GC between probe and read: logically absent (GC
+            // only removes tuples invisible to every active session).
+            Err(wh_storage::StorageError::NoSuchSlot { .. }) => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        match visibility::extract(&self.layout, &ext, session_vn) {
+            visibility::Visible::Row(r) => Ok(Some(r)),
+            visibility::Visible::Ignore => Ok(None),
+            visibility::Visible::Expired => {
+                self.note_expiration();
+                Err(VnlError::SessionExpired { session_vn })
+            }
+        }
+    }
+
+    /// Scan all tuples as seen by `session_vn`. Errs with
+    /// [`VnlError::SessionExpired`] on the first tuple that proves the
+    /// session expired (the per-tuple detector of §3.2).
+    pub(crate) fn scan_visible(&self, session_vn: VersionNo) -> VnlResult<Vec<Row>> {
+        let mut out = Vec::new();
+        let mut expired = false;
+        self.storage.scan(|_, ext| {
+            match visibility::extract(&self.layout, &ext, session_vn) {
+                visibility::Visible::Row(r) => out.push(r),
+                visibility::Visible::Ignore => {}
+                visibility::Visible::Expired => expired = true,
+            }
+            Ok(())
+        })?;
+        if expired {
+            self.note_expiration();
+            return Err(VnlError::SessionExpired { session_vn });
+        }
+        Ok(out)
+    }
+
+    /// Raw extended rows with their RIDs (reports, GC, tests).
+    pub fn scan_raw(&self) -> VnlResult<Vec<(Rid, Row)>> {
+        Ok(self.storage.scan_all()?)
+    }
+
+    // ------------------------------------------------------------------
+    // §4.3: secondary indexes
+    // ------------------------------------------------------------------
+
+    /// Create a secondary index over non-updatable base columns. §4.3:
+    /// "indexes on non-updatable attributes are not affected by the
+    /// algorithm" — updatable attributes are rejected because the rewrite
+    /// buries them in CASE expressions no stock optimizer can index.
+    /// Backfills from existing tuples; usable immediately.
+    pub fn create_index(&self, name: &str, column_names: &[&str]) -> VnlResult<()> {
+        let base_schema = self.layout.base_schema();
+        let mut base_cols = Vec::with_capacity(column_names.len());
+        for c in column_names {
+            let idx = base_schema.column_index(c)?;
+            if base_schema.columns()[idx].updatable {
+                return Err(VnlError::IndexOnUpdatable((*c).to_string()));
+            }
+            base_cols.push(idx);
+        }
+        let ext_cols: Vec<usize> = base_cols.iter().map(|&b| self.layout.base_col(b)).collect();
+        let mut indexes = self.indexes.write();
+        if indexes.iter().any(|i| i.name == name) {
+            return Err(VnlError::DuplicateIndex(name.to_string()));
+        }
+        let sec = SecondaryIndex {
+            name: name.to_string(),
+            base_cols,
+            ext_cols: ext_cols.clone(),
+            index: OrderedIndex::new(ext_cols),
+        };
+        // Backfill while holding the registry lock so concurrent physical
+        // inserts cannot slip between backfill and registration.
+        self.storage.scan(|rid, ext| {
+            sec.index.insert(&ext, rid);
+            Ok(())
+        })?;
+        indexes.push(Arc::new(sec));
+        Ok(())
+    }
+
+    /// Look up an index by name.
+    pub fn index(&self, name: &str) -> VnlResult<Arc<SecondaryIndex>> {
+        self.indexes
+            .read()
+            .iter()
+            .find(|i| i.name == name)
+            .cloned()
+            .ok_or_else(|| VnlError::NoSuchIndex(name.to_string()))
+    }
+
+    /// RIDs whose indexed columns equal `key` (base-column values in index
+    /// order). Visibility filtering is the caller's job.
+    pub(crate) fn index_lookup_eq(&self, name: &str, key: &[Value]) -> VnlResult<Vec<Rid>> {
+        let idx = self.index(name)?;
+        Ok(idx.index.lookup(&IndexKey(key.to_vec())))
+    }
+
+    /// RIDs whose indexed columns fall within `[lo, hi]` (inclusive,
+    /// `None` = unbounded).
+    pub(crate) fn index_lookup_range(
+        &self,
+        name: &str,
+        lo: Option<&[Value]>,
+        hi: Option<&[Value]>,
+    ) -> VnlResult<Vec<Rid>> {
+        let idx = self.index(name)?;
+        let lo = lo.map(|v| IndexKey(v.to_vec()));
+        let hi = hi.map(|v| IndexKey(v.to_vec()));
+        Ok(idx.index.range(lo.as_ref(), hi.as_ref()))
+    }
+
+    /// Hook: a tuple was physically inserted.
+    pub(crate) fn on_physical_insert(&self, ext_row: &[Value], rid: Rid) {
+        for idx in self.indexes.read().iter() {
+            idx.index.insert(ext_row, rid);
+        }
+    }
+
+    /// Hook: a tuple was physically deleted.
+    pub(crate) fn on_physical_delete(&self, ext_row: &[Value], rid: Rid) {
+        for idx in self.indexes.read().iter() {
+            let _ = idx.index.remove(ext_row, rid);
+        }
+    }
+
+    /// Hook: a tuple was modified in place; re-key any index whose columns
+    /// changed (only possible through the resurrection path's `CV ← MV` on
+    /// non-key, non-updatable attributes).
+    pub(crate) fn on_physical_update(&self, old_ext: &[Value], new_ext: &[Value], rid: Rid) {
+        for idx in self.indexes.read().iter() {
+            let changed = idx
+                .ext_cols
+                .iter()
+                .any(|&c| old_ext[c] != new_ext[c]);
+            if changed {
+                let _ = idx.index.remove(old_ext, rid);
+                idx.index.insert(new_ext, rid);
+            }
+        }
+    }
+
+    /// Find the physical tuple holding `key_row`'s key (visible or not).
+    pub(crate) fn find_physical(&self, key_row: &[Value]) -> Option<Rid> {
+        self.key_dir.as_ref()?.find(key_row)
+    }
+
+    /// Map a base-schema row to an extended-schema row that carries only the
+    /// base values (used by key lookups: key columns land in the right
+    /// positions, everything else is NULL).
+    pub(crate) fn base_to_ext_positions(&self, base_row: &[Value]) -> Row {
+        let mut ext = vec![Value::Null; self.layout.ext_schema().arity()];
+        for (i, v) in base_row.iter().enumerate() {
+            ext[self.layout.base_col(i)] = v.clone();
+        }
+        ext
+    }
+}
+
+impl std::fmt::Debug for VnlTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VnlTable")
+            .field("name", &self.name)
+            .field("n", &self.layout.n())
+            .field("tuples", &self.storage.len())
+            .field("current_vn", &self.version.snapshot().current_vn)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_types::schema::daily_sales_schema;
+    use wh_types::Date;
+
+    fn sales_row(city: &str, pl: &str, day: u8, sales: i64) -> Row {
+        vec![
+            Value::from(city),
+            Value::from(pl.to_string()),
+            Value::from("CA"),
+            Value::from(Date::ymd(1996, 10, day)),
+            Value::from(sales),
+        ]
+    }
+
+    // NOTE: daily_sales_schema order is (city, state, product_line, date,
+    // total_sales); build rows accordingly.
+    fn row(city: &str, pl: &str, day: u8, sales: i64) -> Row {
+        vec![
+            Value::from(city),
+            Value::from("CA"),
+            Value::from(pl),
+            Value::from(Date::ymd(1996, 10, day)),
+            Value::from(sales),
+        ]
+    }
+
+    #[test]
+    fn create_and_load_initial() {
+        let t = VnlTable::create(daily_sales_schema(), 2).unwrap();
+        t.load_initial(&[row("San Jose", "golf equip", 14, 10_000)])
+            .unwrap();
+        let s = t.begin_session();
+        let rows = s.scan().unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][4], Value::from(10_000));
+        let _ = sales_row("x", "y", 1, 0); // silence helper
+    }
+
+    #[test]
+    fn load_initial_rejects_duplicates() {
+        let t = VnlTable::create(daily_sales_schema(), 2).unwrap();
+        let r = row("San Jose", "golf equip", 14, 10_000);
+        let err = t.load_initial(&[r.clone(), r]).unwrap_err();
+        assert!(matches!(err, VnlError::NoSuchTuple(_)));
+        // The first copy survived; the failed duplicate was rolled back.
+        assert_eq!(t.storage().len(), 1);
+    }
+
+    #[test]
+    fn load_initial_blocked_during_maintenance() {
+        let t = VnlTable::create(daily_sales_schema(), 2).unwrap();
+        let txn = t.begin_maintenance().unwrap();
+        assert_eq!(
+            t.load_initial(&[row("X", "p", 1, 1)]).unwrap_err(),
+            VnlError::MaintenanceAlreadyActive
+        );
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn session_registry_tracks_lifecycle() {
+        let t = VnlTable::create(daily_sales_schema(), 2).unwrap();
+        assert_eq!(t.active_session_count(), 0);
+        let s1 = t.begin_session();
+        let s2 = t.begin_session();
+        assert_eq!(t.active_session_count(), 2);
+        assert_eq!(t.min_active_session_vn(), Some(1));
+        drop(s1);
+        assert_eq!(t.active_session_count(), 1);
+        s2.finish();
+        assert_eq!(t.active_session_count(), 0);
+        assert_eq!(t.min_active_session_vn(), None);
+    }
+
+    #[test]
+    fn one_maintenance_at_a_time() {
+        let t = VnlTable::create(daily_sales_schema(), 2).unwrap();
+        let txn = t.begin_maintenance().unwrap();
+        assert!(matches!(
+            t.begin_maintenance().unwrap_err(),
+            VnlError::MaintenanceAlreadyActive
+        ));
+        txn.commit().unwrap();
+        let txn2 = t.begin_maintenance().unwrap();
+        txn2.commit().unwrap();
+        assert_eq!(t.version().snapshot().current_vn, 3);
+    }
+}

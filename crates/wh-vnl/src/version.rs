@@ -1,0 +1,308 @@
+//! Global version state: `currentVN`, `maintenanceActive`, and the
+//! single-tuple `Version` relation.
+//!
+//! §3 keeps two globals — the current database version number and a flag
+//! saying whether a maintenance transaction is running — guarded by "a
+//! simple latching mechanism", and §4 shows how to host them in a
+//! single-tuple relation read by readers and written by maintenance
+//! transactions. [`VersionState`] does both: a `parking_lot` mutex is the
+//! latch, and every read/write also touches a real one-tuple heap table so
+//! the I/O cost of the global checks shows up in the experiment counters.
+//!
+//! §4 also flags an abort hazard: if `currentVN` were advanced *inside* the
+//! maintenance transaction and the transaction then aborted, readers could
+//! observe an inconsistent state while it backs out. The fix — publishing
+//! `currentVN` "in a separate transaction that runs just after the
+//! maintenance transaction commits" — is how [`VersionState::publish_commit`]
+//! behaves: the in-place data changes are complete before the version flip
+//! happens, atomically, under the latch.
+
+use crate::error::{VnlError, VnlResult};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use wh_storage::{IoStats, Rid, Table};
+use wh_types::{Column, DataType, Schema, Value};
+
+/// Database / maintenance-transaction version numbers.
+pub type VersionNo = u64;
+
+/// The logical operation recorded in a tuple's `operation` column.
+///
+/// Stored as a 1-byte `CHAR(1)` (`'i'`/`'u'`/`'d'`) so the extended schema
+/// matches Figure 3's 1-byte `operation` column exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operation {
+    /// Logical insert.
+    Insert,
+    /// Logical update.
+    Update,
+    /// Logical delete.
+    Delete,
+}
+
+impl Operation {
+    /// The stored `CHAR(1)` code.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Operation::Insert => "i",
+            Operation::Update => "u",
+            Operation::Delete => "d",
+        }
+    }
+
+    /// The stored code as a [`Value`].
+    pub fn value(&self) -> Value {
+        Value::Str(self.code().to_string())
+    }
+
+    /// Decode a stored code.
+    pub fn from_value(v: &Value) -> Option<Operation> {
+        match v.as_str()? {
+            "i" => Some(Operation::Insert),
+            "u" => Some(Operation::Update),
+            "d" => Some(Operation::Delete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operation::Insert => write!(f, "insert"),
+            Operation::Update => write!(f, "update"),
+            Operation::Delete => write!(f, "delete"),
+        }
+    }
+}
+
+/// Global version state, latched in memory and mirrored in a one-tuple
+/// `Version` relation.
+pub struct VersionState {
+    inner: Mutex<Inner>,
+    /// The single-tuple Version relation of §4.
+    relation: Table,
+    relation_rid: Rid,
+}
+
+struct Inner {
+    current_vn: VersionNo,
+    maintenance_active: bool,
+}
+
+/// Point-in-time copy of the version globals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionSnapshot {
+    /// The current database version number.
+    pub current_vn: VersionNo,
+    /// Whether a maintenance transaction is active.
+    pub maintenance_active: bool,
+}
+
+fn version_relation_schema() -> Schema {
+    Schema::new(vec![
+        Column::updatable("currentVN", DataType::Int64),
+        Column::updatable("maintenanceActive", DataType::UInt8),
+    ])
+    .expect("version relation schema is valid")
+}
+
+impl VersionState {
+    /// Fresh state: `currentVN = 1`, no maintenance active (§3: "Variable
+    /// currentVN is 1 initially").
+    pub fn new(io: Arc<IoStats>) -> VnlResult<Self> {
+        let relation = Table::create("Version", version_relation_schema(), io)?;
+        let relation_rid = relation.insert(&[Value::from(1), Value::from(0)])?;
+        Ok(VersionState {
+            inner: Mutex::new(Inner {
+                current_vn: 1,
+                maintenance_active: false,
+            }),
+            relation,
+            relation_rid,
+        })
+    }
+
+    /// Read both globals under the latch (also reads the Version relation,
+    /// charging the reader one page read, as the §4.1 global check would).
+    pub fn snapshot(&self) -> VersionSnapshot {
+        let inner = self.inner.lock();
+        // Mirror read — the I/O a query-rewrite reader would pay.
+        let _ = self.relation.read(self.relation_rid);
+        VersionSnapshot {
+            current_vn: inner.current_vn,
+            maintenance_active: inner.maintenance_active,
+        }
+    }
+
+    /// Begin a maintenance transaction: returns `maintenanceVN =
+    /// currentVN + 1` and sets the active flag. Enforces the one-at-a-time
+    /// external protocol.
+    pub fn begin_maintenance(&self) -> VnlResult<VersionNo> {
+        let mut inner = self.inner.lock();
+        if inner.maintenance_active {
+            return Err(VnlError::MaintenanceAlreadyActive);
+        }
+        inner.maintenance_active = true;
+        let maintenance_vn = inner.current_vn + 1;
+        self.relation.update(
+            self.relation_rid,
+            &[Value::from(inner.current_vn as i64), Value::from(1)],
+        )?;
+        Ok(maintenance_vn)
+    }
+
+    /// Publish a maintenance commit: `currentVN ← maintenanceVN`, flag off.
+    /// Runs as its own latched step *after* all data changes are in place,
+    /// per the §4 abort-safety note.
+    pub fn publish_commit(&self, maintenance_vn: VersionNo) -> VnlResult<()> {
+        let mut inner = self.inner.lock();
+        debug_assert_eq!(maintenance_vn, inner.current_vn + 1);
+        inner.current_vn = maintenance_vn;
+        inner.maintenance_active = false;
+        self.relation.update(
+            self.relation_rid,
+            &[Value::from(maintenance_vn as i64), Value::from(0)],
+        )?;
+        Ok(())
+    }
+
+    /// Record a maintenance abort: flag off, `currentVN` unchanged.
+    pub fn publish_abort(&self) -> VnlResult<()> {
+        let mut inner = self.inner.lock();
+        inner.maintenance_active = false;
+        self.relation.update(
+            self.relation_rid,
+            &[Value::from(inner.current_vn as i64), Value::from(0)],
+        )?;
+        Ok(())
+    }
+
+    /// The §4.1 global (pessimistic) session-liveness check:
+    /// `(sessionVN = currentVN) ∨ (sessionVN = currentVN − 1 ∧ ¬maintenanceActive)`,
+    /// generalized for nVNL to `sessionVN ≥ currentVN − (n − 1)` plus the
+    /// boundary case. Returns `true` when the session is still guaranteed
+    /// consistent.
+    pub fn session_live(&self, session_vn: VersionNo, n: usize) -> bool {
+        let snap = self.snapshot();
+        let n = n as u64;
+        // With n versions, a session survives overlapping n-1 maintenance
+        // transactions. Sessions at currentVN are always live. A session at
+        // currentVN - k (k >= 1) has overlapped k committed maintenance
+        // transactions plus possibly the active one.
+        let k = snap.current_vn.saturating_sub(session_vn);
+        if session_vn > snap.current_vn {
+            return false; // cannot happen through the public API
+        }
+        let overlapped = k + if snap.maintenance_active { 1 } else { 0 };
+        overlapped < n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> VersionState {
+        VersionState::new(Arc::new(IoStats::new())).unwrap()
+    }
+
+    #[test]
+    fn initial_state() {
+        let s = state();
+        let snap = s.snapshot();
+        assert_eq!(snap.current_vn, 1);
+        assert!(!snap.maintenance_active);
+    }
+
+    #[test]
+    fn maintenance_lifecycle() {
+        let s = state();
+        let vn = s.begin_maintenance().unwrap();
+        assert_eq!(vn, 2);
+        assert!(s.snapshot().maintenance_active);
+        // One at a time.
+        assert_eq!(
+            s.begin_maintenance().unwrap_err(),
+            VnlError::MaintenanceAlreadyActive
+        );
+        s.publish_commit(vn).unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.current_vn, 2);
+        assert!(!snap.maintenance_active);
+        // Next maintenance gets the next VN.
+        assert_eq!(s.begin_maintenance().unwrap(), 3);
+    }
+
+    #[test]
+    fn abort_keeps_current_vn() {
+        let s = state();
+        let _vn = s.begin_maintenance().unwrap();
+        s.publish_abort().unwrap();
+        let snap = s.snapshot();
+        assert_eq!(snap.current_vn, 1);
+        assert!(!snap.maintenance_active);
+        // The same VN is handed out again.
+        assert_eq!(s.begin_maintenance().unwrap(), 2);
+    }
+
+    #[test]
+    fn paper_global_check_for_2vnl() {
+        // §4.1: live iff sessionVN = currentVN, or sessionVN = currentVN-1
+        // and no maintenance is active.
+        let s = state();
+        assert!(s.session_live(1, 2)); // session at current version
+        let vn = s.begin_maintenance().unwrap();
+        assert!(s.session_live(1, 2)); // overlapping its first maintenance txn
+        s.publish_commit(vn).unwrap();
+        assert!(s.session_live(1, 2)); // sessionVN = currentVN - 1, idle
+        assert!(s.session_live(2, 2));
+        let vn = s.begin_maintenance().unwrap();
+        assert!(!s.session_live(1, 2)); // second overlap: expired
+        assert!(s.session_live(2, 2));
+        s.publish_commit(vn).unwrap();
+        assert!(!s.session_live(1, 2));
+        assert!(s.session_live(2, 2)); // currentVN - 1, idle
+    }
+
+    #[test]
+    fn global_check_generalizes_to_nvnl() {
+        let s = state();
+        // Run three maintenance transactions; a session from VN 1 stays live
+        // under 4VNL (overlaps 3) but expires under 3VNL when the third runs.
+        for expected in [2, 3] {
+            let vn = s.begin_maintenance().unwrap();
+            assert_eq!(vn, expected);
+            s.publish_commit(vn).unwrap();
+        }
+        assert!(s.session_live(1, 3)); // overlapped 2 = n-1
+        assert!(s.session_live(1, 4));
+        let _vn = s.begin_maintenance().unwrap(); // third overlap begins
+        assert!(!s.session_live(1, 3));
+        assert!(s.session_live(1, 4));
+    }
+
+    #[test]
+    fn version_relation_mirrors_state() {
+        let s = state();
+        let vn = s.begin_maintenance().unwrap();
+        let row = s.relation.read(s.relation_rid).unwrap();
+        assert_eq!(row[0], Value::from(1)); // currentVN still old during txn
+        assert_eq!(row[1], Value::from(1)); // maintenanceActive
+        s.publish_commit(vn).unwrap();
+        let row = s.relation.read(s.relation_rid).unwrap();
+        assert_eq!(row[0], Value::from(2));
+        assert_eq!(row[1], Value::from(0));
+    }
+
+    #[test]
+    fn operation_codes_round_trip() {
+        for op in [Operation::Insert, Operation::Update, Operation::Delete] {
+            assert_eq!(Operation::from_value(&op.value()), Some(op));
+        }
+        assert_eq!(Operation::from_value(&Value::from("x")), None);
+        assert_eq!(Operation::from_value(&Value::Null), None);
+        assert_eq!(Operation::Delete.to_string(), "delete");
+    }
+}

@@ -1,0 +1,68 @@
+//! `warehouse-2vnl` — a from-scratch Rust reproduction of
+//! *On-Line Warehouse View Maintenance* (Quass & Widom, SIGMOD 1997).
+//!
+//! The paper's contribution is **2VNL** (two-version no-locking), a
+//! multi-version concurrency-control algorithm that lets a data warehouse's
+//! batch *maintenance transaction* run concurrently with long-running
+//! *reader sessions*: readers always see a consistent database version,
+//! nobody blocks, and neither side places locks. The generalization **nVNL**
+//! lets a reader session survive `n − 1` overlapping maintenance
+//! transactions.
+//!
+//! This root crate re-exports the whole workspace:
+//!
+//! * [`types`] — values, schemas, rows, fixed-width codec.
+//! * [`storage`] — latched, page-structured heap storage with in-place
+//!   updates and logical-I/O accounting (the "conventional DBMS" substrate
+//!   the paper assumes).
+//! * [`index`] — hash and ordered secondary indexes, unique-key enforcement.
+//! * [`sql`] — the SQL subset (SELECT/INSERT/UPDATE/DELETE, GROUP BY,
+//!   aggregates, CASE) and its executor; the paper's query-rewrite strategy
+//!   targets this layer.
+//! * [`cc`] — baseline concurrency control: strict 2PL, 2V2PL, and MV2PL,
+//!   used for the §6 comparisons.
+//! * [`vnl`] — ★ the 2VNL/nVNL algorithm itself: schema extension, version
+//!   state, reader sessions, maintenance decision tables, query rewrite,
+//!   garbage collection, and log-free rollback.
+//! * [`view`] — incremental maintenance of summary tables (net-effect delta
+//!   batching feeding maintenance transactions).
+//! * [`workload`] — synthetic warehouse workloads and the discrete-event
+//!   timeline simulator behind the Figure 1/2 experiments.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs` for a complete warehouse session; the short
+//! version:
+//!
+//! ```
+//! use warehouse_2vnl::vnl::{VnlTable, ReadOutcome};
+//! use warehouse_2vnl::types::{schema::daily_sales_schema, Value, Date};
+//!
+//! // A 2VNL-extended DailySales table (Figure 3's schema extension).
+//! let table = VnlTable::create(daily_sales_schema(), 2).unwrap();
+//!
+//! // Maintenance transaction 2 loads a day of sales.
+//! let txn = table.begin_maintenance().unwrap();
+//! txn.insert(vec![
+//!     Value::from("San Jose"), Value::from("CA"), Value::from("golf equip"),
+//!     Value::from(Date::ymd(1996, 10, 14)), Value::from(10_000),
+//! ]).unwrap();
+//! txn.commit().unwrap();
+//!
+//! // A reader session sees the committed version, consistently.
+//! let session = table.begin_session();
+//! let rows = session.scan().unwrap();
+//! assert_eq!(rows.len(), 1);
+//! assert_eq!(rows[0][4], Value::from(10_000));
+//! assert!(matches!(session.status(), ReadOutcome::Live));
+//! ```
+
+pub use wh_bench as bench;
+pub use wh_cc as cc;
+pub use wh_index as index;
+pub use wh_sql as sql;
+pub use wh_storage as storage;
+pub use wh_types as types;
+pub use wh_view as view;
+pub use wh_vnl as vnl;
+pub use wh_workload as workload;
