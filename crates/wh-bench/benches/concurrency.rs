@@ -8,17 +8,14 @@
 //! phenomenon being measured, so S2PL is benchmarked with a much shorter
 //! timeout and reported separately.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use std::time::Duration;
+use wh_bench::micro::Micro;
 use wh_cc::{ConcurrencyScheme, Mv2plStore, S2plStore, TwoV2plStore};
 use wh_vnl::VnlStore;
 
 const KEYS: u64 = 1_024;
 
-fn bench_read_during_maintenance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reads_during_active_maintenance");
-
+fn bench_read_during_maintenance(m: &mut Micro) {
     // Schemes where readers proceed: 2V2PL, MV2PL, 2VNL.
     let v2: Box<dyn ConcurrencyScheme> =
         Box::new(TwoV2plStore::populate(KEYS, Duration::from_millis(50)).unwrap());
@@ -31,16 +28,17 @@ fn bench_read_during_maintenance(c: &mut Criterion) {
         }
         // Writer stays open: maintenance is mid-flight.
         let mut k = 0u64;
-        group.bench_function(format!("{}_read", scheme.name()), |b| {
-            let mut reader = scheme.begin_reader();
-            b.iter(|| {
+        let mut reader = scheme.begin_reader();
+        m.bench(
+            format!("reads_during_active_maintenance/{}_read", scheme.name()),
+            || {
                 k = (k + 7) % KEYS;
-                black_box(reader.read(k).unwrap());
-            });
-        });
+                reader.read(k).unwrap()
+            },
+        );
+        reader.finish();
         writer.abort().unwrap();
     }
-    group.finish();
 
     // S2PL: the read blocks until timeout — measure the abort latency with a
     // deliberately small timeout so the bench finishes.
@@ -50,27 +48,28 @@ fn bench_read_during_maintenance(c: &mut Criterion) {
         writer.update(k, 1).unwrap();
     }
     let mut k = 0u64;
-    c.bench_function("S2PL_read_aborts_during_maintenance", |b| {
-        b.iter(|| {
-            k = (k + 7) % KEYS;
-            let mut reader = s2.begin_reader();
-            black_box(reader.read(k).unwrap_err());
-            reader.finish();
-        })
+    m.bench("S2PL_read_aborts_during_maintenance", || {
+        k = (k + 7) % KEYS;
+        let mut reader = s2.begin_reader();
+        let err = reader.read(k).unwrap_err();
+        reader.finish();
+        err
     });
     writer.commit().unwrap();
 }
 
-fn bench_session_begin_cost(c: &mut Criterion) {
+fn bench_session_begin_cost(m: &mut Micro) {
     // 2VNL session begin/end: one Version-relation read, no locks.
     let vnl = VnlStore::populate(KEYS, 2).unwrap();
-    c.bench_function("2VNL_session_begin_finish", |b| {
-        b.iter(|| {
-            let r = vnl.begin_reader();
-            r.finish();
-        })
+    m.bench("2VNL_session_begin_finish", || {
+        let r = vnl.begin_reader();
+        r.finish();
     });
 }
 
-criterion_group!(benches, bench_read_during_maintenance, bench_session_begin_cost);
-criterion_main!(benches);
+fn main() {
+    let mut m = Micro::new();
+    bench_read_during_maintenance(&mut m);
+    bench_session_begin_cost(&mut m);
+    m.finish();
+}

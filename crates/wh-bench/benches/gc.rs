@@ -1,7 +1,6 @@
 //! E13 — garbage collection of logically-deleted tuples (§7).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
+use wh_bench::micro::Micro;
 use wh_types::{Column, DataType, Row, Schema, Value};
 use wh_vnl::{gc, VnlTable};
 
@@ -19,7 +18,9 @@ fn kv_schema() -> Schema {
 /// A table of `n` tuples where half have been logically deleted.
 fn half_deleted(n: i64) -> VnlTable {
     let table = VnlTable::create_named("kv", kv_schema(), 2).unwrap();
-    let rows: Vec<Row> = (0..n).map(|k| vec![Value::from(k), Value::from(0)]).collect();
+    let rows: Vec<Row> = (0..n)
+        .map(|k| vec![Value::from(k), Value::from(0)])
+        .collect();
     table.load_initial(&rows).unwrap();
     let txn = table.begin_maintenance().unwrap();
     for k in (0..n).step_by(2) {
@@ -29,30 +30,29 @@ fn half_deleted(n: i64) -> VnlTable {
     table
 }
 
-fn bench_gc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gc_pass");
+fn bench_gc(m: &mut Micro) {
     for &n in &[1_000i64, 10_000] {
-        group.bench_function(format!("collect_half_of_{n}"), |b| {
-            b.iter_batched(
-                || half_deleted(n),
-                |table| {
-                    let report = gc::collect(&table).unwrap();
-                    assert_eq!(report.reclaimed as i64, n / 2);
-                    black_box(report)
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        m.bench_batched(
+            format!("gc_pass/collect_half_of_{n}"),
+            || half_deleted(n),
+            move |table| {
+                let report = gc::collect(&table).unwrap();
+                assert_eq!(report.reclaimed as i64, n / 2);
+                report
+            },
+        );
         // A pass with nothing to collect (all tuples pinned by a session).
-        group.bench_function(format!("noop_pass_of_{n}"), |b| {
-            let table = half_deleted(n);
-            // Drain the garbage once; subsequent passes find nothing.
-            gc::collect(&table).unwrap();
-            b.iter(|| black_box(gc::collect(&table).unwrap()))
+        let table = half_deleted(n);
+        // Drain the garbage once; subsequent passes find nothing.
+        gc::collect(&table).unwrap();
+        m.bench(format!("gc_pass/noop_pass_of_{n}"), || {
+            gc::collect(&table).unwrap()
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_gc);
-criterion_main!(benches);
+fn main() {
+    let mut m = Micro::new();
+    bench_gc(&mut m);
+    m.finish();
+}

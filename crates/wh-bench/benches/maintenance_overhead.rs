@@ -2,9 +2,8 @@
 //! the 2VNL decision tables vs updating a plain table directly, plus the
 //! full view-maintenance pipeline.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use std::hint::black_box;
 use std::sync::Arc;
+use wh_bench::micro::Micro;
 use wh_storage::{IoStats, Table};
 use wh_types::{Date, Row, Value};
 use wh_view::{SummaryViewDef, ViewMaintainer};
@@ -34,8 +33,7 @@ fn generator() -> SalesGenerator {
     )
 }
 
-fn bench_maintenance(c: &mut Criterion) {
-    let mut group = c.benchmark_group("maintenance_batch");
+fn bench_maintenance(m: &mut Micro) {
     let def = view_def();
 
     // Seed data: 5 days of history.
@@ -51,88 +49,77 @@ fn bench_maintenance(c: &mut Criterion) {
     let next_batch = gen.next_day();
 
     // Plain-table baseline: apply the same group deltas with raw updates.
-    group.bench_function("plain_table_apply", |b| {
-        b.iter_batched(
-            || {
-                let table = Table::create(
-                    "DailySales",
-                    def.summary_schema(),
-                    Arc::new(IoStats::new()),
-                )
+    m.bench_batched(
+        "maintenance_batch/plain_table_apply",
+        || {
+            let table = Table::create("DailySales", def.summary_schema(), Arc::new(IoStats::new()))
                 .unwrap();
-                let mut rids = std::collections::HashMap::new();
-                for r in &initial {
-                    let rid = table.insert(r).unwrap();
-                    rids.insert(format!("{:?}", &r[..4]), rid);
-                }
-                (table, rids)
-            },
-            |(table, rids)| {
-                let deltas = wh_view::summarize(&next_batch, &[0, 1, 2, 3], 4);
-                for d in deltas {
-                    let key = format!("{:?}", &d.key[..]);
-                    match rids.get(&key) {
-                        Some(&rid) => {
-                            let mut row: Row = table.read(rid).unwrap();
-                            row[4] = row[4].add(&Value::from(d.sum_delta)).unwrap();
-                            row[5] = row[5].add(&Value::from(d.count_delta)).unwrap();
-                            table.update(rid, &row).unwrap();
-                        }
-                        None => {
-                            let mut row = d.key.clone();
-                            row.push(Value::from(d.sum_delta));
-                            row.push(Value::from(d.count_delta));
-                            table.insert(&row).unwrap();
-                        }
+            let mut rids = std::collections::HashMap::new();
+            for r in &initial {
+                let rid = table.insert(r).unwrap();
+                rids.insert(format!("{:?}", &r[..4]), rid);
+            }
+            (table, rids)
+        },
+        |(table, rids)| {
+            let deltas = wh_view::summarize(&next_batch, &[0, 1, 2, 3], 4);
+            for d in deltas {
+                let key = format!("{:?}", &d.key[..]);
+                match rids.get(&key) {
+                    Some(&rid) => {
+                        let mut row: Row = table.read(rid).unwrap();
+                        row[4] = row[4].add(&Value::from(d.sum_delta)).unwrap();
+                        row[5] = row[5].add(&Value::from(d.count_delta)).unwrap();
+                        table.update(rid, &row).unwrap();
+                    }
+                    None => {
+                        let mut row = d.key.clone();
+                        row.push(Value::from(d.sum_delta));
+                        row.push(Value::from(d.count_delta));
+                        table.insert(&row).unwrap();
                     }
                 }
-                black_box(table.len())
-            },
-            BatchSize::LargeInput,
-        )
-    });
+            }
+            table.len()
+        },
+    );
 
     // 2VNL path: the full decision-table machinery.
-    group.bench_function("vnl_apply", |b| {
-        b.iter_batched(
-            || {
-                let table = def.create_table("DailySales", 2).unwrap();
-                table.load_initial(&initial).unwrap();
-                table
-            },
-            |table| {
-                let m = ViewMaintainer::new(def.clone());
-                let txn = table.begin_maintenance().unwrap();
-                m.propagate(&txn, &next_batch).unwrap();
-                txn.commit().unwrap();
-                black_box(table.storage().len())
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    m.bench_batched(
+        "maintenance_batch/vnl_apply",
+        || {
+            let table = def.create_table("DailySales", 2).unwrap();
+            table.load_initial(&initial).unwrap();
+            table
+        },
+        |table| {
+            let maintainer = ViewMaintainer::new(def.clone());
+            let txn = table.begin_maintenance().unwrap();
+            maintainer.propagate(&txn, &next_batch).unwrap();
+            txn.commit().unwrap();
+            table.storage().len()
+        },
+    );
 
     // nVNL cost growth (§5): same batch under n = 4.
-    group.bench_function("nvnl4_apply", |b| {
-        b.iter_batched(
-            || {
-                let table = def.create_table("DailySales", 4).unwrap();
-                table.load_initial(&initial).unwrap();
-                table
-            },
-            |table| {
-                let m = ViewMaintainer::new(def.clone());
-                let txn = table.begin_maintenance().unwrap();
-                m.propagate(&txn, &next_batch).unwrap();
-                txn.commit().unwrap();
-                black_box(table.storage().len())
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    m.bench_batched(
+        "maintenance_batch/nvnl4_apply",
+        || {
+            let table = def.create_table("DailySales", 4).unwrap();
+            table.load_initial(&initial).unwrap();
+            table
+        },
+        |table| {
+            let maintainer = ViewMaintainer::new(def.clone());
+            let txn = table.begin_maintenance().unwrap();
+            maintainer.propagate(&txn, &next_batch).unwrap();
+            txn.commit().unwrap();
+            table.storage().len()
+        },
+    );
 }
 
-fn bench_rollback(c: &mut Criterion) {
+fn bench_rollback(m: &mut Micro) {
     // §7: abort via log-free rollback.
     let def = view_def();
     let mut gen = generator();
@@ -145,28 +132,25 @@ fn bench_rollback(c: &mut Criterion) {
     }
     let initial = def.initial_rows(&history);
     let next_batch = gen.next_day();
-    c.bench_function("logfree_rollback", |b| {
-        b.iter_batched(
-            || {
-                let table = def.create_table("DailySales", 2).unwrap();
-                table.load_initial(&initial).unwrap();
-                table
-            },
-            |table| {
-                let m = ViewMaintainer::new(def.clone());
-                let txn = table.begin_maintenance().unwrap();
-                m.propagate(&txn, &next_batch).unwrap();
-                txn.abort().unwrap();
-                black_box(table.storage().len())
-            },
-            BatchSize::LargeInput,
-        )
-    });
+    m.bench_batched(
+        "logfree_rollback",
+        || {
+            let table = def.create_table("DailySales", 2).unwrap();
+            table.load_initial(&initial).unwrap();
+            table
+        },
+        |table| {
+            let maintainer = ViewMaintainer::new(def.clone());
+            let txn = table.begin_maintenance().unwrap();
+            maintainer.propagate(&txn, &next_batch).unwrap();
+            txn.abort().unwrap();
+            table.storage().len()
+        },
+    );
 }
 
-fn bench_single_ops(c: &mut Criterion) {
+fn bench_single_ops(m: &mut Micro) {
     // Per-tuple decision-table cost, isolated.
-    let mut group = c.benchmark_group("single_op");
     let table = VnlTable::create_named(
         "kv",
         wh_types::Schema::with_key_names(
@@ -186,15 +170,18 @@ fn bench_single_ops(c: &mut Criterion) {
     table.load_initial(&rows).unwrap();
     let txn = table.begin_maintenance().unwrap();
     let mut k = 0i64;
-    group.bench_function("vnl_update_by_key", |b| {
-        b.iter(|| {
-            k = (k + 1) % 10_000;
-            txn.update_row(&vec![Value::from(k), Value::from(k)]).unwrap();
-        })
+    m.bench("single_op/vnl_update_by_key", || {
+        k = (k + 1) % 10_000;
+        txn.update_row(&vec![Value::from(k), Value::from(k)])
+            .unwrap();
     });
-    group.finish();
     txn.commit().unwrap();
 }
 
-criterion_group!(benches, bench_maintenance, bench_rollback, bench_single_ops);
-criterion_main!(benches);
+fn main() {
+    let mut m = Micro::new();
+    bench_maintenance(&mut m);
+    bench_rollback(&mut m);
+    bench_single_ops(&mut m);
+    m.finish();
+}

@@ -4,9 +4,8 @@
 //! a plain (non-versioned) table, a 2VNL table via the SQL rewrite path,
 //! and a 2VNL table via programmatic extraction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use std::sync::Arc;
+use wh_bench::micro::Micro;
 use wh_sql::{exec::execute_select, parse_statement, Params, Statement};
 use wh_storage::{IoStats, Table};
 use wh_types::schema::daily_sales_schema;
@@ -31,23 +30,20 @@ fn rows() -> Vec<Row> {
         .collect()
 }
 
-const QUERY: &str =
-    "SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state";
+const QUERY: &str = "SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state";
 
-fn bench_reader(c: &mut Criterion) {
-    let mut group = c.benchmark_group("reader_rollup_query");
-
+fn bench_reader(m: &mut Micro) {
     // Plain table baseline.
-    let plain = Table::create("DailySales", daily_sales_schema(), Arc::new(IoStats::new()))
-        .unwrap();
+    let plain =
+        Table::create("DailySales", daily_sales_schema(), Arc::new(IoStats::new())).unwrap();
     for r in rows() {
         plain.insert(&r).unwrap();
     }
     let Statement::Select(stmt) = parse_statement(QUERY).unwrap() else {
         unreachable!()
     };
-    group.bench_function("plain_table", |b| {
-        b.iter(|| black_box(execute_select(&plain, &stmt, &Params::new()).unwrap()))
+    m.bench("reader_rollup_query/plain_table", || {
+        execute_select(&plain, &stmt, &Params::new()).unwrap()
     });
 
     // 2VNL table, half the tuples updated by a later maintenance txn so the
@@ -62,20 +58,18 @@ fn bench_reader(c: &mut Criterion) {
     .unwrap();
     txn.commit().unwrap();
     let session = vnl.begin_session();
-    group.bench_function("vnl_rewritten_sql", |b| {
-        b.iter(|| black_box(session.query_via_rewrite(QUERY).unwrap()))
+    m.bench("reader_rollup_query/vnl_rewritten_sql", || {
+        session.query_via_rewrite(QUERY).unwrap()
     });
-    group.bench_function("vnl_extraction", |b| {
-        b.iter(|| black_box(session.query(QUERY).unwrap()))
+    m.bench("reader_rollup_query/vnl_extraction", || {
+        session.query(QUERY).unwrap()
     });
     session.finish();
-    group.finish();
 }
 
 /// Ablation: the generalized nVNL rewrite's CASE chains grow with n (§5's
 /// run-time cost claim). Same data, same query, n ∈ {2, 3, 4}.
-fn bench_nvnl_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rewrite_cost_vs_n");
+fn bench_nvnl_ablation(m: &mut Micro) {
     for n in [2usize, 3, 4] {
         let vnl = VnlTable::create_named("DailySales", daily_sales_schema(), n).unwrap();
         vnl.load_initial(&rows()).unwrap();
@@ -90,42 +84,42 @@ fn bench_nvnl_ablation(c: &mut Criterion) {
             txn.commit().unwrap();
         }
         let session = vnl.begin_session();
-        group.bench_function(format!("n{n}_rewritten"), |b| {
-            b.iter(|| black_box(session.query_via_rewrite(QUERY).unwrap()))
+        m.bench(format!("rewrite_cost_vs_n/n{n}_rewritten"), || {
+            session.query_via_rewrite(QUERY).unwrap()
         });
-        group.bench_function(format!("n{n}_extraction"), |b| {
-            b.iter(|| black_box(session.query(QUERY).unwrap()))
+        m.bench(format!("rewrite_cost_vs_n/n{n}_extraction"), || {
+            session.query(QUERY).unwrap()
         });
         session.finish();
     }
-    group.finish();
 }
 
 /// §4.3: index-assisted point reads vs full-scan filtering inside a session.
-fn bench_index_vs_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("session_point_lookup");
+fn bench_index_vs_scan(m: &mut Micro) {
     let vnl = VnlTable::create_named("DailySales", daily_sales_schema(), 2).unwrap();
     vnl.load_initial(&rows()).unwrap();
     vnl.create_index("by_city", &["city"]).unwrap();
     let session = vnl.begin_session();
     let key = [Value::from("city007")];
-    group.bench_function("via_index", |b| {
-        b.iter(|| black_box(session.lookup_eq("by_city", &key).unwrap()))
+    m.bench("session_point_lookup/via_index", || {
+        session.lookup_eq("by_city", &key).unwrap()
     });
-    group.bench_function("via_scan", |b| {
-        b.iter(|| {
-            let rows: Vec<_> = session
-                .scan()
-                .unwrap()
-                .into_iter()
-                .filter(|r| r[0] == key[0])
-                .collect();
-            black_box(rows)
-        })
+    m.bench("session_point_lookup/via_scan", || {
+        let rows: Vec<_> = session
+            .scan()
+            .unwrap()
+            .into_iter()
+            .filter(|r| r[0] == key[0])
+            .collect();
+        rows
     });
     session.finish();
-    group.finish();
 }
 
-criterion_group!(benches, bench_reader, bench_nvnl_ablation, bench_index_vs_scan);
-criterion_main!(benches);
+fn main() {
+    let mut m = Micro::new();
+    bench_reader(&mut m);
+    bench_nvnl_ablation(&mut m);
+    bench_index_vs_scan(&mut m);
+    m.finish();
+}

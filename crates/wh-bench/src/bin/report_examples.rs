@@ -40,7 +40,15 @@ fn dump_physical(t: &VnlTable, title: &str) {
         .collect();
     rows.sort();
     print_table(
-        &["tupleVN", "operation", "city", "product_line", "date", "total_sales", "pre_total_sales"],
+        &[
+            "tupleVN",
+            "operation",
+            "city",
+            "product_line",
+            "date",
+            "total_sales",
+            "pre_total_sales",
+        ],
         &rows,
     );
     println!();
@@ -50,17 +58,23 @@ fn main() {
     // Build the Figure 4 state.
     let t = VnlTable::create_named("DailySales", daily_sales_schema(), 2).unwrap();
     let txn = t.begin_maintenance().unwrap(); // VN 2
-    txn.insert(row("Berkeley", "racquetball", 14, 10_000)).unwrap();
-    txn.insert(row("Novato", "rollerblades", 13, 8_000)).unwrap();
+    txn.insert(row("Berkeley", "racquetball", 14, 10_000))
+        .unwrap();
+    txn.insert(row("Novato", "rollerblades", 13, 8_000))
+        .unwrap();
     txn.commit().unwrap();
     let txn = t.begin_maintenance().unwrap(); // VN 3
-    txn.insert(row("San Jose", "golf equip", 14, 10_000)).unwrap();
+    txn.insert(row("San Jose", "golf equip", 14, 10_000))
+        .unwrap();
     txn.commit().unwrap();
     let session3 = t.begin_session(); // sessionVN = 3 (Example 3.2's reader)
     let txn = t.begin_maintenance().unwrap(); // VN 4
-    txn.insert(row("San Jose", "golf equip", 15, 1_500)).unwrap();
-    txn.update_row(&row("Berkeley", "racquetball", 14, 12_000)).unwrap();
-    txn.delete_row(&row("Novato", "rollerblades", 13, 0)).unwrap();
+    txn.insert(row("San Jose", "golf equip", 15, 1_500))
+        .unwrap();
+    txn.update_row(&row("Berkeley", "racquetball", 14, 12_000))
+        .unwrap();
+    txn.delete_row(&row("Novato", "rollerblades", 13, 0))
+        .unwrap();
     txn.commit().unwrap();
 
     dump_physical(&t, "Figure 4 — extended DailySales relation:");
@@ -72,16 +86,23 @@ fn main() {
         .into_iter()
         .map(|r| r.iter().map(|v| v.to_string()).collect())
         .collect();
-    print_table(&["city", "state", "product_line", "date", "total_sales"], &rows);
+    print_table(
+        &["city", "state", "product_line", "date", "total_sales"],
+        &rows,
+    );
     println!();
     session3.finish();
 
     // Figure 5's maintenance transaction (VN 5).
     let txn = t.begin_maintenance().unwrap();
-    txn.insert(row("San Jose", "golf equip", 16, 11_000)).unwrap();
-    txn.insert(row("Novato", "rollerblades", 13, 6_000)).unwrap();
-    txn.update_row(&row("San Jose", "golf equip", 14, 10_200)).unwrap();
-    txn.delete_row(&row("Berkeley", "racquetball", 14, 0)).unwrap();
+    txn.insert(row("San Jose", "golf equip", 16, 11_000))
+        .unwrap();
+    txn.insert(row("Novato", "rollerblades", 13, 6_000))
+        .unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 10_200))
+        .unwrap();
+    txn.delete_row(&row("Berkeley", "racquetball", 14, 0))
+        .unwrap();
     txn.commit().unwrap();
     dump_physical(
         &t,
@@ -105,19 +126,25 @@ fn main() {
     let txn = t4.begin_maintenance().unwrap(); // VN 2: no-op, advance
     txn.commit().unwrap();
     let txn = t4.begin_maintenance().unwrap(); // VN 3
-    txn.insert(row("San Jose", "golf equip", 14, 10_000)).unwrap();
+    txn.insert(row("San Jose", "golf equip", 14, 10_000))
+        .unwrap();
     txn.commit().unwrap();
     let txn = t4.begin_maintenance().unwrap(); // VN 4: unrelated
     txn.commit().unwrap();
     let txn = t4.begin_maintenance().unwrap(); // VN 5
-    txn.update_row(&row("San Jose", "golf equip", 14, 10_200)).unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 10_200))
+        .unwrap();
     txn.commit().unwrap();
     let txn = t4.begin_maintenance().unwrap(); // VN 6
-    txn.delete_row(&row("San Jose", "golf equip", 14, 0)).unwrap();
+    txn.delete_row(&row("San Jose", "golf equip", 14, 0))
+        .unwrap();
     txn.commit().unwrap();
     let l = t4.layout();
     let (_, ext) = &t4.scan_raw().unwrap()[0];
-    let mut cells = vec![ext[l.base_col(0)].to_string(), ext[l.base_col(4)].to_string()];
+    let mut cells = vec![
+        ext[l.base_col(0)].to_string(),
+        ext[l.base_col(4)].to_string(),
+    ];
     let mut headers = vec!["city".to_string(), "total_sales".to_string()];
     for j in 0..l.slots() {
         headers.push(format!("tupleVN{}", j + 1));

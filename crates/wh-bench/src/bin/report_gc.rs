@@ -51,7 +51,14 @@ fn main() {
         ]);
     }
     print_table(
-        &["deleted", "tuples before", "found", "reclaimed", "bytes freed", "tuples after"],
+        &[
+            "deleted",
+            "tuples before",
+            "found",
+            "reclaimed",
+            "bytes freed",
+            "tuples after",
+        ],
         &rows,
     );
 
@@ -83,7 +90,11 @@ fn main() {
         ]);
     }
     print_table(
-        &["deleted", "reclaimed while reader pinned", "reclaimed after reader ends"],
+        &[
+            "deleted",
+            "reclaimed while reader pinned",
+            "reclaimed after reader ends",
+        ],
         &rows,
     );
     println!(

@@ -14,7 +14,13 @@ fn run_workload(keys: u64, reader_threads: usize, reads_per_session: u64, rounds
     );
     let mut rows = Vec::new();
     for scheme in all_schemes(keys) {
-        let r = mixed_run(scheme.as_ref(), keys, reader_threads, reads_per_session, rounds);
+        let r = mixed_run(
+            scheme.as_ref(),
+            keys,
+            reader_threads,
+            reads_per_session,
+            rounds,
+        );
         let ms = r.elapsed.as_secs_f64() * 1e3;
         rows.push(vec![
             r.scheme.clone(),

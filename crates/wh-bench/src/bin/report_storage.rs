@@ -20,7 +20,13 @@ fn main() {
         .ext_schema()
         .columns()
         .iter()
-        .map(|c| vec![c.name.clone(), c.ty.to_string(), c.ty.byte_width().to_string()])
+        .map(|c| {
+            vec![
+                c.name.clone(),
+                c.ty.to_string(),
+                c.ty.byte_width().to_string(),
+            ]
+        })
         .collect();
     print_table(&["column", "type", "bytes"], &rows);
     let o = layout.overhead();

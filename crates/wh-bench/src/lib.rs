@@ -7,8 +7,10 @@
 //! * report binaries (`src/bin/report_*.rs`) print the paper-shaped tables —
 //!   storage overhead (E3), timeline/availability (E1/E2), expiration
 //!   formula (E9), scheme comparison (E10), and the worked examples;
-//! * Criterion benches (`benches/*.rs`) measure the overhead claims (E13,
-//!   E15) and the concurrency behaviour under load.
+//! * micro-benches (`benches/*.rs`, via [`micro::Micro`]) measure the
+//!   overhead claims (E13, E15) and the concurrency behaviour under load.
+
+pub mod micro;
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -28,8 +30,7 @@ pub fn all_schemes(keys: u64) -> Vec<Box<dyn ConcurrencyScheme>> {
         Box::new(S2plStore::populate(keys, LOCK_TIMEOUT).expect("populate S2PL")),
         Box::new(TwoV2plStore::populate(keys, LOCK_TIMEOUT).expect("populate 2V2PL")),
         Box::new(
-            TwoV2plStore::populate_writer_priority(keys, LOCK_TIMEOUT)
-                .expect("populate 2V2PL-wp"),
+            TwoV2plStore::populate_writer_priority(keys, LOCK_TIMEOUT).expect("populate 2V2PL-wp"),
         ),
         Box::new(Mv2plStore::populate(keys).expect("populate MV2PL")),
         Box::new(Mv2plStore::populate_with_cache(keys).expect("populate MV2PL+cache")),
@@ -119,7 +120,9 @@ pub fn mixed_run(
             s.spawn(move || {
                 barrier.wait();
                 let mut k = t as u64;
-                while !done.load(Ordering::SeqCst) {
+                // Every reader runs at least one full session even when
+                // maintenance finishes first, so throughput is never zero.
+                loop {
                     let mut r = scheme.begin_reader();
                     let mut failed = false;
                     for _ in 0..reads_per_session {
@@ -142,6 +145,9 @@ pub fn mixed_run(
                     r.finish();
                     if failed {
                         restarts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if done.load(Ordering::SeqCst) {
+                        break;
                     }
                 }
             });

@@ -1,0 +1,144 @@
+//! Minimal micro-benchmark harness for the `benches/*.rs` targets.
+//!
+//! The bench targets are plain `fn main()` binaries (`harness = false`):
+//! each registers named timing loops against a [`Micro`] and prints an
+//! aligned ns/iter table at the end. Iteration counts auto-calibrate to a
+//! small per-bench time budget; set `WH_BENCH_QUICK=1` for a fast smoke run
+//! (CI) at the cost of timing precision.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Per-bench measurement budget.
+fn budget() -> Duration {
+    if std::env::var_os("WH_BENCH_QUICK").is_some() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(200)
+    }
+}
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Bench name (group/function).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+/// Collects measurements and prints them as a table.
+#[derive(Debug, Default)]
+pub struct Micro {
+    results: Vec<Measurement>,
+}
+
+impl Micro {
+    /// Fresh harness.
+    pub fn new() -> Self {
+        Micro::default()
+    }
+
+    /// Time `f`, auto-calibrating the iteration count to the budget.
+    pub fn bench<R>(&mut self, name: impl Into<String>, mut f: impl FnMut() -> R) {
+        let name = name.into();
+        // Warm-up + calibration: run until 5% of the budget is spent.
+        let calib = budget().mul_f64(0.05).max(Duration::from_micros(50));
+        let start = Instant::now();
+        let mut warmup_iters = 0u64;
+        while start.elapsed() < calib {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let est = start.elapsed().as_secs_f64() / warmup_iters as f64;
+        let iters = ((budget().as_secs_f64() / est) as u64).clamp(1, 10_000_000);
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = t0.elapsed();
+        self.results.push(Measurement {
+            name,
+            ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+            iters,
+        });
+    }
+
+    /// Time `run` over fresh state from `setup`; setup time is excluded.
+    pub fn bench_batched<S, R>(
+        &mut self,
+        name: impl Into<String>,
+        mut setup: impl FnMut() -> S,
+        mut run: impl FnMut(S) -> R,
+    ) {
+        let name = name.into();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        // Batched benches have expensive setup; cap the iteration count.
+        while total < budget() && iters < 50 {
+            let state = setup();
+            let t0 = Instant::now();
+            black_box(run(state));
+            total += t0.elapsed();
+            iters += 1;
+        }
+        self.results.push(Measurement {
+            name,
+            ns_per_iter: total.as_nanos() as f64 / iters as f64,
+            iters,
+        });
+    }
+
+    /// The measurements recorded so far.
+    pub fn results(&self) -> &[Measurement] {
+        &self.results
+    }
+
+    /// Print the results table.
+    pub fn finish(self) {
+        let rows: Vec<Vec<String>> = self
+            .results
+            .iter()
+            .map(|m| {
+                vec![
+                    m.name.clone(),
+                    format_ns(m.ns_per_iter),
+                    m.iters.to_string(),
+                ]
+            })
+            .collect();
+        crate::print_table(&["bench", "time/iter", "iters"], &rows);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_positive() {
+        std::env::set_var("WH_BENCH_QUICK", "1");
+        let mut m = Micro::new();
+        m.bench("spin", || std::hint::black_box(1 + 1));
+        m.bench_batched("batched", || vec![0u8; 64], |v| v.len());
+        assert_eq!(m.results().len(), 2);
+        assert!(m
+            .results()
+            .iter()
+            .all(|r| r.ns_per_iter > 0.0 && r.iters > 0));
+    }
+}

@@ -1,7 +1,7 @@
 //! A shared lock manager with S / X / Certify modes and wait timeouts.
 
-use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Lock modes. The compatibility matrix follows \[BHG87\]:
@@ -136,7 +136,7 @@ impl LockManager {
     pub fn acquire(&self, txn: u64, key: u64, mode: LockMode) -> LockRequestOutcome {
         let start = Instant::now();
         let deadline = start + self.timeout;
-        let mut table = self.table.lock();
+        let mut table = self.table.lock().unwrap();
         let mut registered_certify = false;
         let outcome = loop {
             let entry = table.entry(key).or_default();
@@ -169,7 +169,15 @@ impl LockManager {
                 entry.certify_waiting += 1;
                 registered_certify = true;
             }
-            if self.changed.wait_until(&mut table, deadline).timed_out() {
+            let Some(remaining) = deadline
+                .checked_duration_since(Instant::now())
+                .filter(|d| !d.is_zero())
+            else {
+                break LockRequestOutcome::TimedOut;
+            };
+            let (guard, timed_out) = self.changed.wait_timeout(table, remaining).unwrap();
+            table = guard;
+            if timed_out.timed_out() && Instant::now() >= deadline {
                 break LockRequestOutcome::TimedOut;
             }
         };
@@ -185,7 +193,7 @@ impl LockManager {
 
     /// Release every lock held by `txn`.
     pub fn release_all(&self, txn: u64) {
-        let mut table = self.table.lock();
+        let mut table = self.table.lock().unwrap();
         table.retain(|_, entry| {
             entry.granted.retain(|&(t, _)| t != txn);
             // Entries with waiting Certify requests must survive even when
@@ -197,7 +205,7 @@ impl LockManager {
 
     /// Number of keys with at least one granted lock (diagnostics).
     pub fn locked_keys(&self) -> usize {
-        self.table.lock().len()
+        self.table.lock().unwrap().len()
     }
 }
 

@@ -20,10 +20,10 @@
 
 use crate::scheme::{CcError, CcResult, ConcurrencyScheme, ReaderTxn, WriterTxn};
 use crate::stats::{CcStats, CcStatsSnapshot};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use wh_storage::iostats::IoSnapshot;
 use wh_storage::{IoStats, Rid, Table};
 use wh_types::{Column, DataType, Schema, Value};
@@ -96,7 +96,10 @@ impl Mv2plStore {
     }
 
     fn rid(&self, key: u64) -> CcResult<Rid> {
-        self.key_map.get(&key).copied().ok_or(CcError::NoSuchKey(key))
+        self.key_map
+            .get(&key)
+            .copied()
+            .ok_or(CcError::NoSuchKey(key))
     }
 
     /// Number of versions currently parked in the pool.
@@ -109,14 +112,14 @@ impl Mv2plStore {
     /// active begin-timestamp.
     pub fn gc(&self) -> CcResult<u64> {
         let min_ts = {
-            let readers = self.active_readers.lock();
+            let readers = self.active_readers.lock().unwrap();
             readers
                 .iter()
                 .copied()
                 .min()
                 .unwrap_or_else(|| self.committed_ts.load(Ordering::SeqCst))
         };
-        let mut chains = self.chains.lock();
+        let mut chains = self.chains.lock().unwrap();
         let mut reclaimed = 0;
         let mut dead = Vec::new();
         for (&key, chain) in chains.iter_mut() {
@@ -164,7 +167,7 @@ struct Reader<'s> {
 impl Reader<'_> {
     fn deregister(&mut self) {
         if !self.finished {
-            let mut readers = self.store.active_readers.lock();
+            let mut readers = self.store.active_readers.lock().unwrap();
             if let Some(pos) = readers.iter().position(|&t| t == self.ts) {
                 readers.swap_remove(pos);
             }
@@ -182,7 +185,7 @@ impl ReaderTxn for Reader<'_> {
         }
         // Chase the version chain: newest-first, take the first ts <= ours.
         let chain = {
-            let chains = self.store.chains.lock();
+            let chains = self.store.chains.lock().unwrap();
             chains.get(&key).cloned().unwrap_or_default()
         };
         for (hop, (ts, rid)) in chain.into_iter().enumerate() {
@@ -191,7 +194,7 @@ impl ReaderTxn for Reader<'_> {
                 // itself — serving it costs no pool I/O.
                 if hop == 0 {
                     if let Some(cache) = &self.store.page_cache {
-                        if let Some(&(cts, cval)) = cache.lock().get(&key) {
+                        if let Some(&(cts, cval)) = cache.lock().unwrap().get(&key) {
                             if cts == ts {
                                 return Ok(cval);
                             }
@@ -237,22 +240,27 @@ impl WriterTxn for Writer<'_> {
             self.store
                 .chains
                 .lock()
+                .unwrap()
                 .entry(key)
                 .or_default()
                 .insert(0, (tuple_ts, pool_rid));
             // Keep the page-resident copy of the displaced version ([BC92b]);
             // writing it is free — it shares the page write above.
             if let Some(cache) = &self.store.page_cache {
-                cache.lock().insert(
-                    key,
-                    (tuple_ts, row[1].as_int().expect("value column")),
-                );
+                cache
+                    .lock()
+                    .unwrap()
+                    .insert(key, (tuple_ts, row[1].as_int().expect("value column")));
             }
             self.touched.push(key);
         }
         self.store.main.update(
             rid,
-            &[Value::from(key as i64), Value::from(value), Value::from(self.ts)],
+            &[
+                Value::from(key as i64),
+                Value::from(value),
+                Value::from(self.ts),
+            ],
         )?;
         Ok(())
     }
@@ -266,7 +274,7 @@ impl WriterTxn for Writer<'_> {
 
     fn abort(self: Box<Self>) -> CcResult<()> {
         // Restore each touched tuple from its newest pool version.
-        let mut chains = self.store.chains.lock();
+        let mut chains = self.store.chains.lock().unwrap();
         for key in &self.touched {
             let rid = self.store.rid(*key)?;
             if let Some(chain) = chains.get_mut(key) {
@@ -296,7 +304,7 @@ impl ConcurrencyScheme for Mv2plStore {
 
     fn begin_reader(&self) -> Box<dyn ReaderTxn + '_> {
         let ts = self.committed_ts.load(Ordering::SeqCst);
-        self.active_readers.lock().push(ts);
+        self.active_readers.lock().unwrap().push(ts);
         Box::new(Reader {
             store: self,
             ts,
@@ -492,9 +500,9 @@ mod tests {
     #[test]
     fn no_blocking_anywhere() {
         let store = Arc::new(Mv2plStore::populate(100).unwrap());
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             let st = Arc::clone(&store);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for round in 0..5 {
                     let mut w = st.begin_writer();
                     for k in 0..100 {
@@ -505,7 +513,7 @@ mod tests {
             });
             for _ in 0..4 {
                 let st = Arc::clone(&store);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for _ in 0..20 {
                         let mut r = st.begin_reader();
                         let mut values = Vec::new();
@@ -516,14 +524,16 @@ mod tests {
                         // All values from one consistent generation.
                         let gen = values[0] / 1000;
                         for (k, v) in values.iter().enumerate() {
-                            assert_eq!(*v, gen * 1000 + if gen == 0 && *v == 0 { 0 } else { k as i64 },
-                                "inconsistent read within one reader");
+                            assert_eq!(
+                                *v,
+                                gen * 1000 + if gen == 0 && *v == 0 { 0 } else { k as i64 },
+                                "inconsistent read within one reader"
+                            );
                         }
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         assert_eq!(store.cc_stats().total_blocks(), 0);
     }
 }

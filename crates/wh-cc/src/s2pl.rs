@@ -8,10 +8,10 @@
 use crate::lock::{LockManager, LockMode, LockRequestOutcome};
 use crate::scheme::{kv_schema, CcError, CcResult, ConcurrencyScheme, ReaderTxn, WriterTxn};
 use crate::stats::{CcStats, CcStatsSnapshot};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::Duration;
 use wh_storage::iostats::IoSnapshot;
 use wh_storage::{IoStats, Rid, Table};
@@ -52,7 +52,10 @@ impl S2plStore {
     }
 
     fn rid(&self, key: u64) -> CcResult<Rid> {
-        self.key_map.get(&key).copied().ok_or(CcError::NoSuchKey(key))
+        self.key_map
+            .get(&key)
+            .copied()
+            .ok_or(CcError::NoSuchKey(key))
     }
 
     fn read_value(&self, rid: Rid) -> CcResult<i64> {
@@ -104,7 +107,7 @@ impl WriterTxn for S2plWriter<'_> {
         }
         let rid = self.store.rid(key)?;
         let old = self.store.read_value(rid)?;
-        self.store.undo.lock().push((rid, old));
+        self.store.undo.lock().unwrap().push((rid, old));
         self.store
             .table
             .update(rid, &[Value::from(key as i64), Value::from(value)])?;
@@ -112,13 +115,13 @@ impl WriterTxn for S2plWriter<'_> {
     }
 
     fn commit(self: Box<Self>) -> CcResult<()> {
-        self.store.undo.lock().clear();
+        self.store.undo.lock().unwrap().clear();
         self.store.locks.release_all(self.txn);
         Ok(())
     }
 
     fn abort(self: Box<Self>) -> CcResult<()> {
-        let undo: Vec<_> = std::mem::take(&mut *self.store.undo.lock());
+        let undo: Vec<_> = std::mem::take(&mut *self.store.undo.lock().unwrap());
         for (rid, old) in undo.into_iter().rev() {
             let key = self.store.table.read(rid)?[0].clone();
             self.store.table.update(rid, &[key, Value::from(old)])?;

@@ -10,10 +10,10 @@
 use crate::lock::{LockManager, LockMode, LockRequestOutcome};
 use crate::scheme::{kv_schema, CcError, CcResult, ConcurrencyScheme, ReaderTxn, WriterTxn};
 use crate::stats::{CcStats, CcStatsSnapshot};
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use wh_storage::iostats::IoSnapshot;
 use wh_storage::{IoStats, Rid, Table};
@@ -76,7 +76,10 @@ impl TwoV2plStore {
     }
 
     fn rid(&self, key: u64) -> CcResult<Rid> {
-        self.key_map.get(&key).copied().ok_or(CcError::NoSuchKey(key))
+        self.key_map
+            .get(&key)
+            .copied()
+            .ok_or(CcError::NoSuchKey(key))
     }
 }
 
@@ -126,7 +129,7 @@ impl WriterTxn for Writer<'_> {
             LockRequestOutcome::Granted => {}
         }
         self.store.rid(key)?; // validate the key exists
-        let mut pending = self.store.pending_map.lock();
+        let mut pending = self.store.pending_map.lock().unwrap();
         match pending.get(&key) {
             Some(&prid) => {
                 // Second write to the same key: overwrite the pending version.
@@ -168,7 +171,7 @@ impl WriterTxn for Writer<'_> {
             self.store.stats.commit_delayed(certify_start.elapsed());
         }
         // Apply pending versions to the main table in place.
-        let mut pending = self.store.pending_map.lock();
+        let mut pending = self.store.pending_map.lock().unwrap();
         for (&key, &prid) in pending.iter() {
             let new_row = self.store.pending.read(prid)?;
             self.store.main.update(self.store.rid(key)?, &new_row)?;
@@ -182,7 +185,7 @@ impl WriterTxn for Writer<'_> {
 
     fn abort(self: Box<Self>) -> CcResult<()> {
         // Discard pending versions; main was never touched.
-        let mut pending = self.store.pending_map.lock();
+        let mut pending = self.store.pending_map.lock().unwrap();
         for (_, prid) in pending.drain() {
             self.store.pending.delete(prid)?;
         }

@@ -2,8 +2,8 @@
 
 use crate::key::IndexKey;
 use crate::IndexError;
-use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::RwLock;
 use wh_storage::Rid;
 use wh_types::Value;
 
@@ -50,14 +50,14 @@ impl HashIndex {
 
     /// Number of distinct keys.
     pub fn key_count(&self) -> usize {
-        self.map.read().len()
+        self.map.read().unwrap().len()
     }
 
     /// Index `row` (stored at `rid`). For unique indexes, a duplicate key
     /// fails with [`IndexError::KeyConflict`] carrying the incumbent RID.
     pub fn insert(&self, row: &[Value], rid: Rid) -> Result<(), IndexError> {
         let key = IndexKey::project(row, &self.columns);
-        let mut map = self.map.write();
+        let mut map = self.map.write().unwrap();
         let entry = map.entry(key).or_default();
         if self.unique {
             if let Some(&existing) = entry.first() {
@@ -71,7 +71,7 @@ impl HashIndex {
     /// Remove the entry for (`row`, `rid`).
     pub fn remove(&self, row: &[Value], rid: Rid) -> Result<(), IndexError> {
         let key = IndexKey::project(row, &self.columns);
-        let mut map = self.map.write();
+        let mut map = self.map.write().unwrap();
         let Some(entry) = map.get_mut(&key) else {
             return Err(IndexError::MissingEntry);
         };
@@ -87,12 +87,21 @@ impl HashIndex {
 
     /// All RIDs under `key`.
     pub fn lookup(&self, key: &IndexKey) -> Vec<Rid> {
-        self.map.read().get(key).cloned().unwrap_or_default()
+        self.map
+            .read()
+            .unwrap()
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// The unique RID under `key`, if any (meaningful for unique indexes).
     pub fn get(&self, key: &IndexKey) -> Option<Rid> {
-        self.map.read().get(key).and_then(|v| v.first().copied())
+        self.map
+            .read()
+            .unwrap()
+            .get(key)
+            .and_then(|v| v.first().copied())
     }
 
     /// Look up by projecting the key columns out of `row`.

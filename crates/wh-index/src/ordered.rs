@@ -2,9 +2,9 @@
 
 use crate::key::IndexKey;
 use crate::IndexError;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::sync::RwLock;
 use wh_storage::Rid;
 use wh_types::Value;
 
@@ -34,19 +34,19 @@ impl OrderedIndex {
 
     /// Number of distinct keys.
     pub fn key_count(&self) -> usize {
-        self.map.read().len()
+        self.map.read().unwrap().len()
     }
 
     /// Index `row` (stored at `rid`).
     pub fn insert(&self, row: &[Value], rid: Rid) {
         let key = IndexKey::project(row, &self.columns);
-        self.map.write().entry(key).or_default().push(rid);
+        self.map.write().unwrap().entry(key).or_default().push(rid);
     }
 
     /// Remove the entry for (`row`, `rid`).
     pub fn remove(&self, row: &[Value], rid: Rid) -> Result<(), IndexError> {
         let key = IndexKey::project(row, &self.columns);
-        let mut map = self.map.write();
+        let mut map = self.map.write().unwrap();
         let Some(entry) = map.get_mut(&key) else {
             return Err(IndexError::MissingEntry);
         };
@@ -62,13 +62,18 @@ impl OrderedIndex {
 
     /// All RIDs under exactly `key`.
     pub fn lookup(&self, key: &IndexKey) -> Vec<Rid> {
-        self.map.read().get(key).cloned().unwrap_or_default()
+        self.map
+            .read()
+            .unwrap()
+            .get(key)
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// All RIDs with keys in `[lo, hi]` (inclusive bounds; pass `None` for
     /// unbounded ends), in key order.
     pub fn range(&self, lo: Option<&IndexKey>, hi: Option<&IndexKey>) -> Vec<Rid> {
-        let map = self.map.read();
+        let map = self.map.read().unwrap();
         let lo_bound = lo.map_or(Bound::Unbounded, |k| Bound::Included(k.clone()));
         let hi_bound = hi.map_or(Bound::Unbounded, |k| Bound::Included(k.clone()));
         map.range((lo_bound, hi_bound))

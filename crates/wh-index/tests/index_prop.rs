@@ -1,12 +1,12 @@
 //! Model checks for the index structures: hash and ordered indexes must
 //! agree with a reference map under arbitrary insert/remove interleavings,
-//! and range scans must agree with a sorted reference.
+//! and range scans must agree with a sorted reference. Interleavings are
+//! generated with the deterministic [`SplitMix64`] generator.
 
-use proptest::prelude::*;
 use std::collections::{BTreeMap, HashMap};
 use wh_index::{HashIndex, IndexKey, OrderedIndex};
 use wh_storage::Rid;
-use wh_types::Value;
+use wh_types::{SplitMix64, Value};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,22 +15,22 @@ enum Op {
     Lookup(i64),
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0i64..20, any::<u32>()).prop_map(|(k, r)| Op::Insert(k, r % 1000)),
-            any::<usize>().prop_map(Op::Remove),
-            (0i64..20).prop_map(Op::Lookup),
-        ],
-        1..120,
-    )
+fn random_ops(rng: &mut SplitMix64) -> Vec<Op> {
+    let len = rng.range_inclusive_u64(1, 119) as usize;
+    (0..len)
+        .map(|_| match rng.next_below(3) {
+            0 => Op::Insert(rng.range_i64(0, 20), rng.next_below(1000) as u32),
+            1 => Op::Remove(rng.next_u64() as usize),
+            _ => Op::Lookup(rng.range_i64(0, 20)),
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn ordered_index_matches_model(ops in arb_ops()) {
+#[test]
+fn ordered_index_matches_model() {
+    let mut rng = SplitMix64::seed_from_u64(0x1DE8_0001);
+    for _ in 0..128 {
+        let ops = random_ops(&mut rng);
         let idx = OrderedIndex::new(vec![0]);
         let mut model: BTreeMap<i64, Vec<Rid>> = BTreeMap::new();
         let mut entries: Vec<(i64, Rid)> = Vec::new();
@@ -43,21 +43,25 @@ proptest! {
                     entries.push((k, rid));
                 }
                 Op::Remove(i) => {
-                    if entries.is_empty() { continue; }
+                    if entries.is_empty() {
+                        continue;
+                    }
                     let (k, rid) = entries.swap_remove(i % entries.len());
                     idx.remove(&[Value::from(k)], rid).unwrap();
                     // Remove exactly one occurrence from the model.
                     let v = model.get_mut(&k).unwrap();
                     let pos = v.iter().position(|&r| r == rid).unwrap();
                     v.remove(pos);
-                    if v.is_empty() { model.remove(&k); }
+                    if v.is_empty() {
+                        model.remove(&k);
+                    }
                 }
                 Op::Lookup(k) => {
                     let mut got = idx.lookup(&IndexKey(vec![Value::from(k)]));
                     got.sort();
                     let mut want = model.get(&k).cloned().unwrap_or_default();
                     want.sort();
-                    prop_assert_eq!(got, want);
+                    assert_eq!(got, want);
                 }
             }
         }
@@ -66,7 +70,7 @@ proptest! {
         got.sort();
         let mut want: Vec<Rid> = model.values().flatten().copied().collect();
         want.sort();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
         // Sub-range agrees.
         let lo = IndexKey(vec![Value::from(5)]);
         let hi = IndexKey(vec![Value::from(12)]);
@@ -77,11 +81,18 @@ proptest! {
             .flat_map(|(_, v)| v.iter().copied())
             .collect();
         want.sort();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
     }
+}
 
-    #[test]
-    fn unique_hash_index_matches_model(keys in prop::collection::vec((0i64..30, any::<u32>()), 1..80)) {
+#[test]
+fn unique_hash_index_matches_model() {
+    let mut rng = SplitMix64::seed_from_u64(0x1DE8_0002);
+    for _ in 0..128 {
+        let len = rng.range_inclusive_u64(1, 79) as usize;
+        let keys: Vec<(i64, u32)> = (0..len)
+            .map(|_| (rng.range_i64(0, 30), rng.next_u64() as u32))
+            .collect();
         let idx = HashIndex::unique(vec![0]);
         let mut model: HashMap<i64, Rid> = HashMap::new();
         for (k, r) in keys {
@@ -89,17 +100,17 @@ proptest! {
             let row = [Value::from(k)];
             match idx.insert(&row, rid) {
                 Ok(()) => {
-                    prop_assert!(!model.contains_key(&k), "accepted duplicate key {k}");
+                    assert!(!model.contains_key(&k), "accepted duplicate key {k}");
                     model.insert(k, rid);
                 }
                 Err(wh_index::IndexError::KeyConflict(existing)) => {
-                    prop_assert_eq!(Some(&existing), model.get(&k), "wrong incumbent");
+                    assert_eq!(Some(&existing), model.get(&k), "wrong incumbent");
                 }
-                Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+                Err(e) => panic!("unexpected: {e}"),
             }
         }
         for (k, rid) in &model {
-            prop_assert_eq!(idx.get(&IndexKey(vec![Value::from(*k)])), Some(*rid));
+            assert_eq!(idx.get(&IndexKey(vec![Value::from(*k)])), Some(*rid));
         }
     }
 }

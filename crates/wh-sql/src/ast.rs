@@ -212,11 +212,7 @@ impl Expr {
             Expr::IsNull { expr, .. } => expr.contains_aggregate(),
             Expr::Between {
                 expr, low, high, ..
-            } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
-            }
+            } => expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate(),
             Expr::InList { expr, list, .. } => {
                 expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
             }
@@ -405,9 +401,7 @@ impl fmt::Display for Expr {
                 // parenthesize anything that binds looser.
                 let wrap = |e: &Expr, f: &mut fmt::Formatter<'_>| -> fmt::Result {
                     match e {
-                        Expr::Binary { op, .. }
-                            if op.precedence() < BinOp::Add.precedence() =>
-                        {
+                        Expr::Binary { op, .. } if op.precedence() < BinOp::Add.precedence() => {
                             write!(f, "({e})")
                         }
                         Expr::Not(_)
@@ -818,11 +812,7 @@ mod tests {
                 }),
             ],
             from: "DailySales".into(),
-            where_clause: Some(Expr::binary(
-                BinOp::Eq,
-                Expr::col("state"),
-                Expr::lit("CA"),
-            )),
+            where_clause: Some(Expr::binary(BinOp::Eq, Expr::col("state"), Expr::lit("CA"))),
             group_by: vec![Expr::col("city")],
             having: None,
             order_by: vec![OrderKey {

@@ -23,18 +23,12 @@ pub struct Cursor<'t> {
 impl<'t> Cursor<'t> {
     /// Open a cursor over all rows matching `predicate` (all rows when
     /// `None`). The matching RID set is fixed at open time.
-    pub fn open(
-        table: &'t Table,
-        predicate: Option<&Expr>,
-        params: &Params,
-    ) -> SqlResult<Self> {
+    pub fn open(table: &'t Table, predicate: Option<&Expr>, params: &Params) -> SqlResult<Self> {
         let ctx = EvalContext::new(table.schema(), params);
         let mut rids = Vec::new();
         table.scan(|rid, row| {
             let keep = match predicate {
-                Some(p) => {
-                    ctx.eval_predicate(p, &row).map_err(storage_eval_err)?
-                }
+                Some(p) => ctx.eval_predicate(p, &row).map_err(storage_eval_err)?,
                 None => true,
             };
             if keep {

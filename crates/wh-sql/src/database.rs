@@ -12,9 +12,9 @@ use crate::error::{SqlError, SqlResult};
 use crate::eval::{EvalContext, Params};
 use crate::exec::{execute_select, QueryResult};
 use crate::parser::parse_statement;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::sync::RwLock;
 use wh_index::KeyDirectory;
 use wh_storage::{IoStats, Rid, Table};
 use wh_types::{Row, Schema, Value};
@@ -119,7 +119,7 @@ impl Database {
 
     /// Create a table.
     pub fn create_table(&self, name: &str, schema: Schema) -> SqlResult<Arc<TableEntry>> {
-        let mut tables = self.tables.write();
+        let mut tables = self.tables.write().unwrap();
         if tables.contains_key(name) {
             return Err(SqlError::TableExists(name.into()));
         }
@@ -132,13 +132,14 @@ impl Database {
 
     /// Drop a table. Returns whether it existed.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.tables.write().remove(name).is_some()
+        self.tables.write().unwrap().remove(name).is_some()
     }
 
     /// Look up a table.
     pub fn table(&self, name: &str) -> SqlResult<Arc<TableEntry>> {
         self.tables
             .read()
+            .unwrap()
             .get(name)
             .cloned()
             .ok_or_else(|| SqlError::NoSuchTable(name.into()))
@@ -364,10 +365,8 @@ mod tests {
     fn key_directory_follows_updates_and_deletes() {
         let db = db_with_sales();
         // Move a key; the old key becomes free, the new key conflicts.
-        db.run(
-            "UPDATE DailySales SET city = 'Oakland' WHERE city = 'Novato'",
-        )
-        .unwrap();
+        db.run("UPDATE DailySales SET city = 'Oakland' WHERE city = 'Novato'")
+            .unwrap();
         db.run(
             "INSERT INTO DailySales VALUES \
              ('Novato', 'CA', 'rollerblades', DATE '1996-10-13', 1)",
@@ -380,7 +379,8 @@ mod tests {
             )
             .unwrap_err();
         assert!(matches!(err, SqlError::KeyConflict(_)));
-        db.run("DELETE FROM DailySales WHERE city = 'Oakland'").unwrap();
+        db.run("DELETE FROM DailySales WHERE city = 'Oakland'")
+            .unwrap();
         db.run(
             "INSERT INTO DailySales VALUES \
              ('Oakland', 'CA', 'rollerblades', DATE '1996-10-13', 2)",
@@ -414,10 +414,16 @@ mod tests {
             db.run("SELECT * FROM nope"),
             Err(SqlError::NoSuchTable(_))
         ));
-        db.create_table("t", Schema::new(vec![Column::new("a", DataType::Int32)]).unwrap())
-            .unwrap();
+        db.create_table(
+            "t",
+            Schema::new(vec![Column::new("a", DataType::Int32)]).unwrap(),
+        )
+        .unwrap();
         assert!(matches!(
-            db.create_table("t", Schema::new(vec![Column::new("a", DataType::Int32)]).unwrap()),
+            db.create_table(
+                "t",
+                Schema::new(vec![Column::new("a", DataType::Int32)]).unwrap()
+            ),
             Err(SqlError::TableExists(_))
         ));
         assert!(db.drop_table("t"));
@@ -463,9 +469,7 @@ mod tests {
         assert!(db.run("CREATE TABLE t (a WIBBLE)").is_err());
         assert!(db.run("CREATE TABLE t (a CHAR(0))").is_err());
         // Unknown key column surfaces as a type error.
-        assert!(db
-            .run("CREATE TABLE t (a INT, PRIMARY KEY (zzz))")
-            .is_err());
+        assert!(db.run("CREATE TABLE t (a INT, PRIMARY KEY (zzz))").is_err());
     }
 
     #[test]

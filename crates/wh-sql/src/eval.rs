@@ -2,8 +2,8 @@
 
 use crate::ast::{BinOp, Expr};
 use crate::error::{SqlError, SqlResult};
-use std::collections::HashMap;
 use std::cmp::Ordering;
+use std::collections::HashMap;
 use wh_types::{Schema, Value};
 
 /// Named parameter bindings (`:sessionVN` → value). The paper's rewrites
@@ -282,14 +282,26 @@ mod tests {
         let r = row(5, 3, "x");
         assert_eq!(eval("a BETWEEN 1 AND 10", &r).unwrap(), Value::Bool(true));
         assert_eq!(eval("a BETWEEN 6 AND 10", &r).unwrap(), Value::Bool(false));
-        assert_eq!(eval("a NOT BETWEEN 6 AND 10", &r).unwrap(), Value::Bool(true));
-        assert_eq!(eval("a BETWEEN b AND b + 4", &r).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval("a NOT BETWEEN 6 AND 10", &r).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval("a BETWEEN b AND b + 4", &r).unwrap(),
+            Value::Bool(true)
+        );
         // NULL operand -> unknown, unless a bound already disproves it.
         let null_row = vec![Value::Null, Value::Int(3), Value::from("x")];
         assert_eq!(eval("a BETWEEN 1 AND 10", &null_row).unwrap(), Value::Null);
-        assert_eq!(eval("5 BETWEEN a AND 4", &null_row).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval("5 BETWEEN a AND 4", &null_row).unwrap(),
+            Value::Bool(false)
+        );
         // Arithmetic binds tighter than BETWEEN.
-        assert_eq!(eval("a + 1 BETWEEN 6 AND 6", &r).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval("a + 1 BETWEEN 6 AND 6", &r).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -314,10 +326,7 @@ mod tests {
         params.insert("sessionVN".into(), Value::Int(3));
         let ctx = EvalContext::new(&schema, &params);
         let e = parse_expression(":sessionVN >= a").unwrap();
-        assert_eq!(
-            ctx.eval(&e, &row(2, 0, "x")).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(ctx.eval(&e, &row(2, 0, "x")).unwrap(), Value::Bool(true));
         let unbound = parse_expression(":nope").unwrap();
         assert_eq!(
             ctx.eval(&unbound, &row(2, 0, "x")),

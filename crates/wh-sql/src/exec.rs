@@ -1,20 +1,66 @@
 //! Query execution: scan → filter → group/aggregate → project → sort.
+//!
+//! Scans are **streaming**: the executor pulls rows through
+//! [`RowSource::for_each`] and applies the WHERE predicate inside the
+//! visitor, so rows that don't survive the filter are never buffered. A
+//! [`ParallelRowSource`] additionally supports partitioned scans;
+//! [`execute_select_parallel`] uses them to evaluate filters and projections
+//! on worker threads and to compute GROUP BY aggregates as per-worker
+//! partial maps merged at the end.
 
 use crate::ast::{AggFunc, Expr, SelectItem, SelectStmt};
 use crate::error::{SqlError, SqlResult};
 use crate::eval::{EvalContext, Params};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use wh_index::IndexKey;
-use wh_storage::Table;
+use wh_storage::{StorageError, Table};
 use wh_types::{Row, Schema, Value};
 
-/// Anything that can supply a schema and a materialized scan. Implemented by
-/// storage tables; the 2VNL layer implements it for version-filtered views.
+/// Anything that can supply a schema and a row scan. Implemented by storage
+/// tables; the 2VNL layer implements it for version-filtered views.
 pub trait RowSource {
     /// Schema of produced rows.
     fn schema(&self) -> &Schema;
-    /// Materialize all rows.
-    fn scan_rows(&self) -> SqlResult<Vec<Row>>;
+
+    /// Visit every row in turn. Sources should stream — produce each row
+    /// and hand it to `visit` without materializing the whole relation.
+    fn for_each(&self, visit: &mut dyn FnMut(Row) -> SqlResult<()>) -> SqlResult<()>;
+
+    /// Materialize all rows (convenience over [`RowSource::for_each`]).
+    fn scan_rows(&self) -> SqlResult<Vec<Row>> {
+        let mut out = Vec::new();
+        self.for_each(&mut |row| {
+            out.push(row);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+}
+
+/// A [`RowSource`] that can also scan with multiple worker threads over
+/// disjoint partitions. `visit(worker, row)` runs on worker threads; row
+/// order within and across workers is source-defined.
+pub trait ParallelRowSource: RowSource + Sync {
+    /// Visit every row using up to `threads` workers.
+    fn for_each_parallel(
+        &self,
+        threads: usize,
+        visit: &(dyn Fn(usize, Row) -> SqlResult<()> + Sync),
+    ) -> SqlResult<()>;
+}
+
+/// Run `scan` (which smuggles visitor failures out as
+/// [`StorageError::ScanAborted`] after stashing the real [`SqlError`]) and
+/// settle the result: the stashed error wins, genuine storage errors pass
+/// through.
+fn settle_scan(res: Result<(), StorageError>, stash: Option<SqlError>) -> SqlResult<()> {
+    match (res, stash) {
+        (_, Some(e)) => Err(e),
+        (Err(e), None) => Err(e.into()),
+        (Ok(()), None) => Ok(()),
+    }
 }
 
 impl RowSource for Table {
@@ -22,12 +68,42 @@ impl RowSource for Table {
         Table::schema(self)
     }
 
-    fn scan_rows(&self) -> SqlResult<Vec<Row>> {
-        Ok(self
-            .scan_all()?
-            .into_iter()
-            .map(|(_, row)| row)
-            .collect())
+    fn for_each(&self, visit: &mut dyn FnMut(Row) -> SqlResult<()>) -> SqlResult<()> {
+        let mut stash: Option<SqlError> = None;
+        let res = self.scan(|_, row| match visit(row) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                stash = Some(e);
+                Err(StorageError::ScanAborted)
+            }
+        });
+        settle_scan(res, stash)
+    }
+}
+
+impl ParallelRowSource for Table {
+    fn for_each_parallel(
+        &self,
+        threads: usize,
+        visit: &(dyn Fn(usize, Row) -> SqlResult<()> + Sync),
+    ) -> SqlResult<()> {
+        let stash: Mutex<Option<SqlError>> = Mutex::new(None);
+        let failed = AtomicBool::new(false);
+        let res = self.scan_parallel(threads, |worker, _, row| {
+            if let Err(e) = visit(worker, row) {
+                let mut slot = stash.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+                failed.store(true, Ordering::Release);
+            }
+            if failed.load(Ordering::Acquire) {
+                Err(StorageError::ScanAborted)
+            } else {
+                Ok(())
+            }
+        });
+        settle_scan(res, stash.into_inner().unwrap())
     }
 }
 
@@ -89,9 +165,9 @@ pub fn execute_select(
         }
     }
 
-    // Scan + filter.
+    // Streaming scan with WHERE pushdown: filtered-out rows never buffer.
     let mut rows = Vec::new();
-    for row in source.scan_rows()? {
+    source.for_each(&mut |row| {
         let keep = match &stmt.where_clause {
             Some(pred) => ctx.eval_predicate(pred, &row)?,
             None => true,
@@ -99,22 +175,33 @@ pub fn execute_select(
         if keep {
             rows.push(row);
         }
-    }
+        Ok(())
+    })?;
 
-    let is_aggregate_query = !stmt.group_by.is_empty()
-        || stmt.having.is_some()
-        || stmt.items.iter().any(|it| it.expr.contains_aggregate());
-
-    let (columns, mut out_rows, order_keys) = if is_aggregate_query {
+    let (columns, out_rows, order_keys) = if is_aggregate_query(stmt) {
         execute_grouped(schema, &ctx, stmt, rows)?
     } else {
         execute_plain(schema, &ctx, stmt, rows)?
     };
 
-    // Sort on the precomputed order keys.
+    Ok(sort_and_limit(stmt, columns, out_rows, order_keys))
+}
+
+fn is_aggregate_query(stmt: &SelectStmt) -> bool {
+    !stmt.group_by.is_empty()
+        || stmt.having.is_some()
+        || stmt.items.iter().any(|it| it.expr.contains_aggregate())
+}
+
+/// The shared tail of SELECT execution: ORDER BY on precomputed keys, LIMIT.
+fn sort_and_limit(
+    stmt: &SelectStmt,
+    columns: Vec<String>,
+    mut out_rows: Vec<Row>,
+    order_keys: Vec<Vec<Value>>,
+) -> QueryResult {
     if !stmt.order_by.is_empty() {
-        let mut indexed: Vec<(Vec<Value>, Row)> =
-            order_keys.into_iter().zip(out_rows).collect();
+        let mut indexed: Vec<(Vec<Value>, Row)> = order_keys.into_iter().zip(out_rows).collect();
         indexed.sort_by(|(ka, _), (kb, _)| {
             for (ok, (a, b)) in stmt.order_by.iter().zip(ka.iter().zip(kb.iter())) {
                 let ord = a.grouping_cmp(b);
@@ -132,10 +219,10 @@ pub fn execute_select(
         out_rows.truncate(limit as usize);
     }
 
-    Ok(QueryResult {
+    QueryResult {
         columns,
         rows: out_rows,
-    })
+    }
 }
 
 type ProjectedRows = (Vec<String>, Vec<Row>, Vec<Vec<Value>>);
@@ -232,6 +319,518 @@ fn execute_grouped(
         out_rows.push(projected);
     }
     Ok((columns, out_rows, order_keys))
+}
+
+/// Execute a SELECT against a partitionable source with up to `threads`
+/// workers.
+///
+/// Plain queries evaluate WHERE + projection on worker threads and
+/// concatenate per-worker buffers in worker order; since partitions are
+/// contiguous ranges in scan order, the result row order equals the serial
+/// order. Aggregate queries fold rows into per-worker partial aggregate
+/// maps (one accumulator per aggregate call site per group) that are merged
+/// at the end, so no worker ever materializes its partition. Group output
+/// order equals serial first-seen order for the same reason. Results are
+/// identical to [`execute_select`] except that floating-point SUM/AVG may
+/// differ in the last bits (addition is reassociated across partitions).
+pub fn execute_select_parallel(
+    source: &dyn ParallelRowSource,
+    stmt: &SelectStmt,
+    params: &Params,
+    threads: usize,
+) -> SqlResult<QueryResult> {
+    if threads <= 1 {
+        return execute_select(source, stmt, params);
+    }
+    let schema = source.schema();
+    let ctx = EvalContext::new(schema, params);
+
+    if let Some(w) = &stmt.where_clause {
+        if w.contains_aggregate() {
+            return Err(SqlError::MisplacedAggregate);
+        }
+    }
+
+    if is_aggregate_query(stmt) {
+        execute_grouped_parallel(source, schema, &ctx, stmt, threads)
+    } else {
+        execute_plain_parallel(source, &ctx, stmt, threads)
+    }
+}
+
+fn execute_plain_parallel(
+    source: &dyn ParallelRowSource,
+    ctx: &EvalContext<'_>,
+    stmt: &SelectStmt,
+    threads: usize,
+) -> SqlResult<QueryResult> {
+    #[derive(Default)]
+    struct Worker {
+        out_rows: Vec<Row>,
+        order_keys: Vec<Vec<Value>>,
+    }
+    let workers: Vec<Mutex<Worker>> = (0..threads.max(1))
+        .map(|_| Mutex::new(Worker::default()))
+        .collect();
+    source.for_each_parallel(threads, &|w, row| {
+        let keep = match &stmt.where_clause {
+            Some(pred) => ctx.eval_predicate(pred, &row)?,
+            None => true,
+        };
+        if !keep {
+            return Ok(());
+        }
+        let projected = if stmt.items.is_empty() {
+            row.clone()
+        } else {
+            stmt.items
+                .iter()
+                .map(|it| ctx.eval(&it.expr, &row))
+                .collect::<SqlResult<Vec<_>>>()?
+        };
+        let mut state = workers[w].lock().unwrap();
+        if !stmt.order_by.is_empty() {
+            state.order_keys.push(
+                stmt.order_by
+                    .iter()
+                    .map(|k| ctx.eval(&k.expr, &row))
+                    .collect::<SqlResult<Vec<_>>>()?,
+            );
+        }
+        state.out_rows.push(projected);
+        Ok(())
+    })?;
+
+    let columns: Vec<String> = if stmt.items.is_empty() {
+        source
+            .schema()
+            .columns()
+            .iter()
+            .map(|c| c.name.clone())
+            .collect()
+    } else {
+        stmt.items.iter().map(SelectItem::label).collect()
+    };
+    let mut out_rows = Vec::new();
+    let mut order_keys = Vec::new();
+    for state in workers {
+        let state = state.into_inner().unwrap();
+        out_rows.extend(state.out_rows);
+        order_keys.extend(state.order_keys);
+    }
+    Ok(sort_and_limit(stmt, columns, out_rows, order_keys))
+}
+
+/// One aggregate call site: function and argument expression.
+type AggSpec = (AggFunc, Option<Expr>);
+
+/// Collect the distinct aggregate call sites of `expr` into `out`.
+fn collect_aggregates(expr: &Expr, out: &mut Vec<AggSpec>) {
+    match expr {
+        Expr::Aggregate { func, arg } => {
+            let spec = (*func, arg.as_deref().cloned());
+            if !out.contains(&spec) {
+                out.push(spec);
+            }
+        }
+        Expr::Literal(_) | Expr::Param(_) | Expr::Column(_) => {}
+        Expr::Binary { left, right, .. } => {
+            collect_aggregates(left, out);
+            collect_aggregates(right, out);
+        }
+        Expr::Not(e) | Expr::Neg(e) => collect_aggregates(e, out),
+        Expr::IsNull { expr, .. } => collect_aggregates(expr, out),
+        Expr::Between {
+            expr, low, high, ..
+        } => {
+            collect_aggregates(expr, out);
+            collect_aggregates(low, out);
+            collect_aggregates(high, out);
+        }
+        Expr::InList { expr, list, .. } => {
+            collect_aggregates(expr, out);
+            for e in list {
+                collect_aggregates(e, out);
+            }
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (c, v) in branches {
+                collect_aggregates(c, out);
+                collect_aggregates(v, out);
+            }
+            if let Some(e) = else_expr {
+                collect_aggregates(e, out);
+            }
+        }
+    }
+}
+
+/// A mergeable partial state for one aggregate call site over one group.
+#[derive(Debug, Clone)]
+enum AggAcc {
+    /// COUNT: rows (or non-null argument evaluations) seen.
+    Count(i64),
+    /// SUM / MIN / MAX: the running value, `None` until a non-null input.
+    Value(Option<Value>),
+    /// AVG: running sum and non-null count.
+    Avg { acc: Option<Value>, n: i64 },
+}
+
+impl AggAcc {
+    fn new(func: AggFunc) -> AggAcc {
+        match func {
+            AggFunc::Count => AggAcc::Count(0),
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => AggAcc::Value(None),
+            AggFunc::Avg => AggAcc::Avg { acc: None, n: 0 },
+        }
+    }
+
+    /// Fold one input value (`None` = COUNT(*), which counts every row).
+    fn fold(&mut self, func: AggFunc, value: Option<Value>) -> SqlResult<()> {
+        match self {
+            AggAcc::Count(n) => {
+                if value.as_ref().is_none_or(|v| !v.is_null()) {
+                    *n += 1;
+                }
+            }
+            AggAcc::Value(slot) => {
+                let v = value.expect("SUM/MIN/MAX require an argument");
+                if v.is_null() {
+                    return Ok(());
+                }
+                *slot = Some(match slot.take() {
+                    None => v,
+                    Some(prev) => combine(func, prev, v)?,
+                });
+            }
+            AggAcc::Avg { acc, n } => {
+                let v = value.expect("AVG requires an argument");
+                if v.is_null() {
+                    return Ok(());
+                }
+                *n += 1;
+                *acc = Some(match acc.take() {
+                    None => v,
+                    Some(prev) => prev.add(&v)?,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge another partial state for the same call site into this one.
+    fn merge(&mut self, func: AggFunc, other: AggAcc) -> SqlResult<()> {
+        match (self, other) {
+            (AggAcc::Count(a), AggAcc::Count(b)) => *a += b,
+            (AggAcc::Value(a), AggAcc::Value(b)) => {
+                if let Some(v) = b {
+                    *a = Some(match a.take() {
+                        None => v,
+                        Some(prev) => combine(func, prev, v)?,
+                    });
+                }
+            }
+            (AggAcc::Avg { acc, n }, AggAcc::Avg { acc: b_acc, n: b_n }) => {
+                *n += b_n;
+                if let Some(v) = b_acc {
+                    *acc = Some(match acc.take() {
+                        None => v,
+                        Some(prev) => prev.add(&v)?,
+                    });
+                }
+            }
+            _ => unreachable!("mismatched accumulator shapes for one call site"),
+        }
+        Ok(())
+    }
+
+    /// The final aggregate value (empty-input semantics match the serial
+    /// executor: COUNT → 0, everything else → NULL).
+    fn finish(self, _func: AggFunc) -> SqlResult<Value> {
+        match self {
+            AggAcc::Count(n) => Ok(Value::Int(n)),
+            AggAcc::Value(v) => Ok(v.unwrap_or(Value::Null)),
+            AggAcc::Avg { acc: None, .. } => Ok(Value::Null),
+            AggAcc::Avg {
+                acc: Some(total),
+                n,
+            } => {
+                let t = total
+                    .as_f64()
+                    .ok_or(SqlError::Type(wh_types::TypeError::Mismatch {
+                        op: "AVG",
+                        left: "non-numeric".into(),
+                        right: "numeric".into(),
+                    }))?;
+                Ok(Value::Float(t / n as f64))
+            }
+        }
+    }
+}
+
+/// SUM/MIN/MAX two-value combiner.
+fn combine(func: AggFunc, prev: Value, next: Value) -> SqlResult<Value> {
+    match func {
+        AggFunc::Sum => Ok(prev.add(&next)?),
+        AggFunc::Min | AggFunc::Max => {
+            let keep_next = match next.sql_cmp(&prev)? {
+                Some(ord) => {
+                    (func == AggFunc::Min && ord == std::cmp::Ordering::Less)
+                        || (func == AggFunc::Max && ord == std::cmp::Ordering::Greater)
+                }
+                None => false,
+            };
+            Ok(if keep_next { next } else { prev })
+        }
+        _ => unreachable!("combine only serves SUM/MIN/MAX"),
+    }
+}
+
+/// Partial aggregation state for one group.
+struct GroupAcc {
+    key: Vec<Value>,
+    /// First row of the group, in scan order: the row bare (grouped) column
+    /// references evaluate against, exactly as in the serial executor.
+    rep: Option<Row>,
+    accs: Vec<AggAcc>,
+}
+
+#[derive(Default)]
+struct GroupWorker {
+    groups: Vec<GroupAcc>,
+    lookup: HashMap<IndexKey, usize>,
+}
+
+/// Evaluate an expression over a finished group: aggregate call sites take
+/// their merged value, everything else evaluates against the group's
+/// representative row (NULL when the group is empty — same as the serial
+/// executor's empty-group behavior).
+fn eval_computed(
+    ctx: &EvalContext<'_>,
+    expr: &Expr,
+    rep: Option<&Row>,
+    specs: &[AggSpec],
+    values: &[Value],
+) -> SqlResult<Value> {
+    match expr {
+        Expr::Aggregate { func, arg } => {
+            let i = specs
+                .iter()
+                .position(|(f, a)| f == func && a.as_ref() == arg.as_deref())
+                .ok_or(SqlError::MisplacedAggregate)?;
+            Ok(values[i].clone())
+        }
+        Expr::Binary { op, left, right } => {
+            let l = eval_computed(ctx, left, rep, specs, values)?;
+            let r = eval_computed(ctx, right, rep, specs, values)?;
+            let rebuilt = Expr::binary(*op, Expr::Literal(l), Expr::Literal(r));
+            ctx.eval(&rebuilt, &[])
+        }
+        Expr::Not(e) => {
+            let v = eval_computed(ctx, e, rep, specs, values)?;
+            ctx.eval(&Expr::Not(Box::new(Expr::Literal(v))), &[])
+        }
+        Expr::Neg(e) => {
+            let v = eval_computed(ctx, e, rep, specs, values)?;
+            ctx.eval(&Expr::Neg(Box::new(Expr::Literal(v))), &[])
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval_computed(ctx, expr, rep, specs, values)?;
+            Ok(Value::Bool(v.is_null() != *negated))
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval_computed(ctx, expr, rep, specs, values)?;
+            let lo = eval_computed(ctx, low, rep, specs, values)?;
+            let hi = eval_computed(ctx, high, rep, specs, values)?;
+            let rebuilt = Expr::Between {
+                expr: Box::new(Expr::Literal(v)),
+                low: Box::new(Expr::Literal(lo)),
+                high: Box::new(Expr::Literal(hi)),
+                negated: *negated,
+            };
+            ctx.eval(&rebuilt, &[])
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval_computed(ctx, expr, rep, specs, values)?;
+            let lits = list
+                .iter()
+                .map(|e| eval_computed(ctx, e, rep, specs, values).map(Expr::Literal))
+                .collect::<SqlResult<Vec<_>>>()?;
+            let rebuilt = Expr::InList {
+                expr: Box::new(Expr::Literal(v)),
+                list: lits,
+                negated: *negated,
+            };
+            ctx.eval(&rebuilt, &[])
+        }
+        Expr::Case {
+            branches,
+            else_expr,
+        } => {
+            for (cond, val) in branches {
+                if eval_computed(ctx, cond, rep, specs, values)? == Value::Bool(true) {
+                    return eval_computed(ctx, val, rep, specs, values);
+                }
+            }
+            match else_expr {
+                Some(e) => eval_computed(ctx, e, rep, specs, values),
+                None => Ok(Value::Null),
+            }
+        }
+        scalar => match rep {
+            Some(row) => ctx.eval(scalar, row),
+            None => Ok(Value::Null),
+        },
+    }
+}
+
+fn execute_grouped_parallel(
+    source: &dyn ParallelRowSource,
+    schema: &Schema,
+    ctx: &EvalContext<'_>,
+    stmt: &SelectStmt,
+    threads: usize,
+) -> SqlResult<QueryResult> {
+    validate_grouping(schema, stmt)?;
+
+    // Every aggregate call site across projections, HAVING, and ORDER BY
+    // gets one accumulator slot per group.
+    let mut specs: Vec<AggSpec> = Vec::new();
+    for it in &stmt.items {
+        collect_aggregates(&it.expr, &mut specs);
+    }
+    if let Some(h) = &stmt.having {
+        collect_aggregates(h, &mut specs);
+    }
+    for k in &stmt.order_by {
+        collect_aggregates(&k.expr, &mut specs);
+    }
+    let specs = &specs;
+
+    let workers: Vec<Mutex<GroupWorker>> = (0..threads.max(1))
+        .map(|_| Mutex::new(GroupWorker::default()))
+        .collect();
+    source.for_each_parallel(threads, &|w, row| {
+        let keep = match &stmt.where_clause {
+            Some(pred) => ctx.eval_predicate(pred, &row)?,
+            None => true,
+        };
+        if !keep {
+            return Ok(());
+        }
+        let key: Vec<Value> = stmt
+            .group_by
+            .iter()
+            .map(|e| ctx.eval(e, &row))
+            .collect::<SqlResult<Vec<_>>>()?;
+        // Evaluate aggregate arguments outside the worker-state lock.
+        let mut inputs = Vec::with_capacity(specs.len());
+        for (_, arg) in specs {
+            inputs.push(match arg {
+                Some(e) => Some(ctx.eval(e, &row)?),
+                None => None,
+            });
+        }
+        let mut state = workers[w].lock().unwrap();
+        let idx_key = IndexKey(key.clone());
+        let i = match state.lookup.get(&idx_key) {
+            Some(&i) => i,
+            None => {
+                let i = state.groups.len();
+                state.lookup.insert(idx_key, i);
+                state.groups.push(GroupAcc {
+                    key,
+                    rep: Some(row.clone()),
+                    accs: specs.iter().map(|(f, _)| AggAcc::new(*f)).collect(),
+                });
+                i
+            }
+        };
+        let group = &mut state.groups[i];
+        for (slot, ((func, _), input)) in group.accs.iter_mut().zip(specs.iter().zip(inputs)) {
+            slot.fold(*func, input)?;
+        }
+        Ok(())
+    })?;
+
+    // Merge per-worker partials in worker order; partitions are contiguous
+    // scan ranges, so first-seen group order equals the serial executor's.
+    let mut groups: Vec<GroupAcc> = Vec::new();
+    let mut lookup: HashMap<IndexKey, usize> = HashMap::new();
+    for state in workers {
+        let state = state.into_inner().unwrap();
+        for group in state.groups {
+            let idx_key = IndexKey(group.key.clone());
+            match lookup.get(&idx_key) {
+                Some(&i) => {
+                    for (slot, ((func, _), part)) in
+                        groups[i].accs.iter_mut().zip(specs.iter().zip(group.accs))
+                    {
+                        slot.merge(*func, part)?;
+                    }
+                }
+                None => {
+                    lookup.insert(idx_key, groups.len());
+                    groups.push(group);
+                }
+            }
+        }
+    }
+    // A query with no GROUP BY aggregates the whole input as one group,
+    // even when the input is empty.
+    if groups.is_empty() && stmt.group_by.is_empty() {
+        groups.push(GroupAcc {
+            key: Vec::new(),
+            rep: None,
+            accs: specs.iter().map(|(f, _)| AggAcc::new(*f)).collect(),
+        });
+    }
+
+    let columns: Vec<String> = stmt.items.iter().map(SelectItem::label).collect();
+    let mut out_rows = Vec::with_capacity(groups.len());
+    let mut order_keys = Vec::new();
+    for group in groups {
+        let rep = group.rep.as_ref();
+        let values = group
+            .accs
+            .clone()
+            .into_iter()
+            .zip(specs)
+            .map(|(acc, (f, _))| acc.finish(*f))
+            .collect::<SqlResult<Vec<_>>>()?;
+        if let Some(h) = &stmt.having {
+            if eval_computed(ctx, h, rep, specs, &values)? != Value::Bool(true) {
+                continue;
+            }
+        }
+        let projected = stmt
+            .items
+            .iter()
+            .map(|it| eval_computed(ctx, &it.expr, rep, specs, &values))
+            .collect::<SqlResult<Vec<_>>>()?;
+        if !stmt.order_by.is_empty() {
+            order_keys.push(
+                stmt.order_by
+                    .iter()
+                    .map(|k| eval_computed(ctx, &k.expr, rep, specs, &values))
+                    .collect::<SqlResult<Vec<_>>>()?,
+            );
+        }
+        out_rows.push(projected);
+    }
+    Ok(sort_and_limit(stmt, columns, out_rows, order_keys))
 }
 
 /// Reject non-grouped bare column references in projections of aggregate
@@ -434,13 +1033,14 @@ fn compute_aggregate(
                 (_, None) => Ok(Value::Null),
                 (AggFunc::Sum, Some(total)) => Ok(total),
                 (AggFunc::Avg, Some(total)) => {
-                    let t = total.as_f64().ok_or(SqlError::Type(
-                        wh_types::TypeError::Mismatch {
-                            op: "AVG",
-                            left: "non-numeric".into(),
-                            right: "numeric".into(),
-                        },
-                    ))?;
+                    let t =
+                        total
+                            .as_f64()
+                            .ok_or(SqlError::Type(wh_types::TypeError::Mismatch {
+                                op: "AVG",
+                                left: "non-numeric".into(),
+                                right: "numeric".into(),
+                            }))?;
                     Ok(Value::Float(t / n as f64))
                 }
                 _ => unreachable!(),
@@ -460,8 +1060,7 @@ fn compute_aggregate(
                         let keep_new = match v.sql_cmp(&prev)? {
                             Some(ord) => {
                                 (func == AggFunc::Min && ord == std::cmp::Ordering::Less)
-                                    || (func == AggFunc::Max
-                                        && ord == std::cmp::Ordering::Greater)
+                                    || (func == AggFunc::Max && ord == std::cmp::Ordering::Greater)
                             }
                             None => false,
                         };
@@ -489,8 +1088,8 @@ mod tests {
     use wh_types::Date;
 
     fn sales_table() -> Table {
-        let t = Table::create("DailySales", daily_sales_schema(), Arc::new(IoStats::new()))
-            .unwrap();
+        let t =
+            Table::create("DailySales", daily_sales_schema(), Arc::new(IoStats::new())).unwrap();
         type SaleSpec = (&'static str, &'static str, &'static str, (u16, u8, u8), i64);
         let rows: Vec<SaleSpec> = vec![
             ("San Jose", "CA", "golf equip", (1996, 10, 14), 10_000),
@@ -555,9 +1154,17 @@ mod tests {
         assert_eq!(
             r.rows,
             vec![
-                vec![Value::from("Berkeley"), Value::from("CA"), Value::from(12_000)],
+                vec![
+                    Value::from("Berkeley"),
+                    Value::from("CA"),
+                    Value::from(12_000)
+                ],
                 vec![Value::from("Novato"), Value::from("CA"), Value::from(8_000)],
-                vec![Value::from("San Jose"), Value::from("CA"), Value::from(13_500)],
+                vec![
+                    Value::from("San Jose"),
+                    Value::from("CA"),
+                    Value::from(13_500)
+                ],
             ]
         );
     }
@@ -602,20 +1209,17 @@ mod tests {
             "SELECT SUM(total_sales) FROM DailySales WHERE city = 'Nowhere'",
         );
         assert_eq!(r.rows[0][0], Value::Null);
-        let r = select(
-            &t,
-            "SELECT COUNT(*) FROM DailySales WHERE city = 'Nowhere'",
-        );
+        let r = select(&t, "SELECT COUNT(*) FROM DailySales WHERE city = 'Nowhere'");
         assert_eq!(r.rows[0][0], Value::Int(0));
     }
 
     #[test]
     fn ungrouped_column_rejected() {
         let t = sales_table();
-        let Statement::Select(s) = parse_statement(
-            "SELECT city, SUM(total_sales) FROM DailySales GROUP BY state",
-        )
-        .unwrap() else {
+        let Statement::Select(s) =
+            parse_statement("SELECT city, SUM(total_sales) FROM DailySales GROUP BY state")
+                .unwrap()
+        else {
             panic!()
         };
         assert_eq!(
@@ -641,10 +1245,7 @@ mod tests {
     #[test]
     fn arithmetic_over_aggregates() {
         let t = sales_table();
-        let r = select(
-            &t,
-            "SELECT SUM(total_sales) / COUNT(*) FROM DailySales",
-        );
+        let r = select(&t, "SELECT SUM(total_sales) / COUNT(*) FROM DailySales");
         assert_eq!(r.rows[0][0], Value::Int(6_700));
     }
 
@@ -662,7 +1263,10 @@ mod tests {
         let mut params = Params::new();
         params.insert("flag".into(), Value::Int(1));
         let r = execute_select(&t, &s, &params).unwrap();
-        assert_eq!(r.rows[0], vec![Value::from("Berkeley"), Value::from(12_000)]);
+        assert_eq!(
+            r.rows[0],
+            vec![Value::from("Berkeley"), Value::from(12_000)]
+        );
     }
 
     #[test]
@@ -757,7 +1361,10 @@ mod tests {
             &t,
             "SELECT city, SUM(total_sales) FROM DailySales GROUP BY city ORDER BY SUM(total_sales) DESC LIMIT 1",
         );
-        assert_eq!(r.rows, vec![vec![Value::from("San Jose"), Value::from(13_500)]]);
+        assert_eq!(
+            r.rows,
+            vec![vec![Value::from("San Jose"), Value::from(13_500)]]
+        );
     }
 
     #[test]
@@ -767,5 +1374,111 @@ mod tests {
         let s = r.to_table_string();
         assert!(s.contains("city"));
         assert!(s.contains("Novato"));
+    }
+
+    /// A table big enough that a parallel scan actually spans pages.
+    fn big_table(rows: i64) -> Table {
+        let t =
+            Table::create("DailySales", daily_sales_schema(), Arc::new(IoStats::new())).unwrap();
+        let cities = ["San Jose", "Berkeley", "Novato", "Palo Alto"];
+        let lines = ["golf equip", "racquetball", "rollerblades"];
+        for i in 0..rows {
+            t.insert(&[
+                Value::from(cities[(i % 4) as usize]),
+                Value::from("CA"),
+                Value::from(lines[(i % 3) as usize]),
+                Value::from(Date::ymd(1996, 10, (1 + i % 28) as u8)),
+                Value::from(i),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    fn select_both_ways(table: &Table, sql: &str, threads: usize) -> (QueryResult, QueryResult) {
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!("not a select")
+        };
+        let serial = execute_select(table, &s, &Params::new()).unwrap();
+        let parallel = execute_select_parallel(table, &s, &Params::new(), threads).unwrap();
+        (serial, parallel)
+    }
+
+    #[test]
+    fn parallel_plain_select_matches_serial() {
+        let t = big_table(500);
+        for threads in [1, 2, 4, 7] {
+            for sql in [
+                "SELECT * FROM DailySales",
+                "SELECT city, total_sales FROM DailySales WHERE total_sales >= 250",
+                "SELECT city FROM DailySales WHERE city = 'Novato' ORDER BY total_sales DESC LIMIT 10",
+            ] {
+                let (serial, parallel) = select_both_ways(&t, sql, threads);
+                assert_eq!(serial, parallel, "{sql} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_grouped_select_matches_serial() {
+        let t = big_table(500);
+        for threads in [2, 4, 7] {
+            for sql in [
+                "SELECT COUNT(*), SUM(total_sales), MIN(total_sales), MAX(total_sales) FROM DailySales",
+                "SELECT product_line, SUM(total_sales) FROM DailySales GROUP BY product_line",
+                "SELECT city, COUNT(*), SUM(total_sales) FROM DailySales \
+                 WHERE total_sales >= 100 GROUP BY city \
+                 HAVING SUM(total_sales) > 1000 ORDER BY SUM(total_sales) DESC",
+                "SELECT city, SUM(total_sales) * 2 + COUNT(*) FROM DailySales GROUP BY city LIMIT 2",
+            ] {
+                let (serial, parallel) = select_both_ways(&t, sql, threads);
+                assert_eq!(serial, parallel, "{sql} with {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_avg_matches_serial_on_ints() {
+        let t = big_table(300);
+        let (serial, parallel) = select_both_ways(
+            &t,
+            "SELECT city, AVG(total_sales) FROM DailySales GROUP BY city",
+            4,
+        );
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_aggregate_over_empty_input_matches_serial() {
+        let t =
+            Table::create("DailySales", daily_sales_schema(), Arc::new(IoStats::new())).unwrap();
+        let (serial, parallel) = select_both_ways(
+            &t,
+            "SELECT COUNT(*), SUM(total_sales), MIN(city) FROM DailySales",
+            4,
+        );
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            parallel.rows,
+            vec![vec![Value::from(0), Value::Null, Value::Null]]
+        );
+        // Empty input with GROUP BY yields no groups at all.
+        let (serial, parallel) =
+            select_both_ways(&t, "SELECT city, COUNT(*) FROM DailySales GROUP BY city", 4);
+        assert_eq!(serial, parallel);
+        assert!(parallel.rows.is_empty());
+    }
+
+    #[test]
+    fn parallel_visitor_error_propagates() {
+        let t = big_table(100);
+        let Statement::Select(s) = parse_statement("SELECT city + 1 FROM DailySales").unwrap()
+        else {
+            panic!("not a select")
+        };
+        let serial = execute_select(&t, &s, &Params::new());
+        let parallel = execute_select_parallel(&t, &s, &Params::new(), 4);
+        assert!(serial.is_err());
+        assert!(parallel.is_err());
     }
 }

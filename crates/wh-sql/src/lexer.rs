@@ -34,10 +34,48 @@ pub enum TokenKind {
 }
 
 const KEYWORDS: &[&str] = &[
-    "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "ASC", "DESC", "AS", "AND", "OR", "NOT",
-    "NULL", "IS", "CASE", "WHEN", "THEN", "ELSE", "END", "INSERT", "INTO", "VALUES", "UPDATE",
-    "SET", "DELETE", "SUM", "COUNT", "AVG", "MIN", "MAX", "TRUE", "FALSE", "HAVING", "LIMIT",
-    "BETWEEN", "IN", "CREATE", "TABLE", "PRIMARY", "KEY", "UPDATABLE", "DROP",
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "GROUP",
+    "BY",
+    "ORDER",
+    "ASC",
+    "DESC",
+    "AS",
+    "AND",
+    "OR",
+    "NOT",
+    "NULL",
+    "IS",
+    "CASE",
+    "WHEN",
+    "THEN",
+    "ELSE",
+    "END",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "UPDATE",
+    "SET",
+    "DELETE",
+    "SUM",
+    "COUNT",
+    "AVG",
+    "MIN",
+    "MAX",
+    "TRUE",
+    "FALSE",
+    "HAVING",
+    "LIMIT",
+    "BETWEEN",
+    "IN",
+    "CREATE",
+    "TABLE",
+    "PRIMARY",
+    "KEY",
+    "UPDATABLE",
+    "DROP",
 ];
 
 /// Tokenize `input` into a vector ending with [`TokenKind::Eof`].
@@ -125,7 +163,10 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                         offset: start,
                     })?)
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 while i < bytes.len()
@@ -140,7 +181,10 @@ pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
                 } else {
                     TokenKind::Ident(word.to_string())
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
             }
             _ => {
                 let two = if i + 1 < bytes.len() {
@@ -194,7 +238,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -48,5 +48,7 @@ pub use cursor::Cursor;
 pub use database::Database;
 pub use error::{SqlError, SqlResult};
 pub use eval::{EvalContext, Params};
-pub use exec::{QueryResult, RowSource};
+pub use exec::{
+    execute_select, execute_select_parallel, ParallelRowSource, QueryResult, RowSource,
+};
 pub use parser::{parse_expression, parse_statement};

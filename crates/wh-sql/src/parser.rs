@@ -681,10 +681,7 @@ mod tests {
         assert_eq!(e.to_string(), "(1 + 2) * 3");
         let e = parse_expression("a = 1 OR b = 2 AND c = 3").unwrap();
         // AND binds tighter than OR.
-        assert_eq!(
-            e,
-            parse_expression("a = 1 OR (b = 2 AND c = 3)").unwrap()
-        );
+        assert_eq!(e, parse_expression("a = 1 OR (b = 2 AND c = 3)").unwrap());
     }
 
     #[test]
@@ -734,11 +731,18 @@ mod tests {
     fn between_binds_below_arithmetic_above_and() {
         let e = parse_expression("a + 1 BETWEEN 2 AND 3 AND b = 1").unwrap();
         // Parses as (a+1 BETWEEN 2 AND 3) AND (b = 1).
-        let Expr::Binary { op: BinOp::And, left, .. } = e else {
+        let Expr::Binary {
+            op: BinOp::And,
+            left,
+            ..
+        } = e
+        else {
             panic!("AND should be outermost: {e:?}")
         };
         assert!(matches!(*left, Expr::Between { .. }));
-        let Expr::Between { expr, .. } = *left else { unreachable!() };
+        let Expr::Between { expr, .. } = *left else {
+            unreachable!()
+        };
         assert!(matches!(*expr, Expr::Binary { op: BinOp::Add, .. }));
     }
 

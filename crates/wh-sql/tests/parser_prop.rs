@@ -1,130 +1,185 @@
-//! Property: rendering any AST to SQL text and re-parsing yields the same
-//! AST. The 2VNL rewriter depends on this — rewritten queries are rendered,
-//! shipped to the "DBMS", and parsed again.
+//! Randomized test: rendering any AST to SQL text and re-parsing yields the
+//! same AST. The 2VNL rewriter depends on this — rewritten queries are
+//! rendered, shipped to the "DBMS", and parsed again.
+//!
+//! ASTs are generated with the deterministic [`SplitMix64`] generator, so
+//! every run exercises the same cases.
 
-use proptest::prelude::*;
-use wh_sql::{parse_expression, parse_statement, AggFunc, BinOp, Expr, SelectItem, SelectStmt,
-    Statement};
-use wh_types::{Date, Value};
+use wh_sql::{
+    parse_expression, parse_statement, AggFunc, BinOp, Expr, SelectItem, SelectStmt, Statement,
+};
+use wh_types::{Date, SplitMix64, Value};
 
-fn arb_literal() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        any::<i32>().prop_map(|i| Expr::lit(i as i64)),
-        (-1000i64..1000).prop_map(|i| Expr::lit(i as f64 * 0.5)),
-        "[a-zA-Z '_]{0,12}".prop_map(|s| Expr::lit(s.replace('\'', ""))),
-        (1990u16..2030, 1u8..=12, 1u8..=28)
-            .prop_map(|(y, m, d)| Expr::lit(Date::ymd(y, m, d))),
-        Just(Expr::Literal(Value::Null)),
-        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
-    ]
+const KEYWORDS: &[&str] = &[
+    "select", "from", "where", "group", "by", "order", "asc", "desc", "as", "and", "or", "not",
+    "null", "is", "case", "when", "then", "else", "end", "insert", "into", "values", "update",
+    "set", "delete", "sum", "count", "avg", "min", "max", "true", "false", "having", "limit",
+    "between", "in",
+];
+
+fn random_string(rng: &mut SplitMix64, charset: &[u8], len: usize) -> String {
+    (0..len)
+        .map(|_| charset[rng.index(charset.len())] as char)
+        .collect()
 }
 
-fn arb_leaf() -> impl Strategy<Value = Expr> {
-    prop_oneof![
-        arb_literal(),
-        "[a-z][a-z0-9_]{0,8}".prop_filter("not a keyword", |s| {
+fn random_literal(rng: &mut SplitMix64) -> Expr {
+    match rng.next_below(6) {
+        0 => Expr::lit(rng.range_i64(i32::MIN as i64, i32::MAX as i64 + 1)),
+        1 => Expr::lit(rng.range_i64(-1000, 1000) as f64 * 0.5),
+        2 => {
+            let len = rng.index(13);
+            Expr::lit(random_string(
+                rng,
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ _",
+                len,
+            ))
+        }
+        3 => Expr::lit(Date::ymd(
+            rng.range_i64(1990, 2030) as u16,
+            rng.range_i64(1, 13) as u8,
+            rng.range_i64(1, 29) as u8,
+        )),
+        4 => Expr::Literal(Value::Null),
+        _ => Expr::Literal(Value::Bool(rng.chance(1, 2))),
+    }
+}
+
+fn random_leaf(rng: &mut SplitMix64) -> Expr {
+    match rng.next_below(3) {
+        0 => random_literal(rng),
+        1 => loop {
             // Identifiers that collide with keywords would not round-trip.
-            ![
-                "select", "from", "where", "group", "by", "order", "asc", "desc", "as", "and",
-                "or", "not", "null", "is", "case", "when", "then", "else", "end", "insert",
-                "into", "values", "update", "set", "delete", "sum", "count", "avg", "min",
-                "max", "true", "false", "having", "limit", "between", "in",
-            ]
-            .contains(&s.as_str())
-        }).prop_map(Expr::col),
-        "[a-zA-Z][a-zA-Z0-9_]{0,8}".prop_map(Expr::param),
-    ]
+            let head = random_string(rng, b"abcdefghijklmnopqrstuvwxyz", 1);
+            let tail_len = rng.index(9);
+            let tail = random_string(rng, b"abcdefghijklmnopqrstuvwxyz0123456789_", tail_len);
+            let name = format!("{head}{tail}");
+            if !KEYWORDS.contains(&name.as_str()) {
+                break Expr::col(name);
+            }
+        },
+        _ => {
+            let head = random_string(
+                rng,
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ",
+                1,
+            );
+            let tail_len = rng.index(9);
+            let tail = random_string(
+                rng,
+                b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_",
+                tail_len,
+            );
+            Expr::param(format!("{head}{tail}"))
+        }
+    }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = arb_leaf();
-    leaf.prop_recursive(4, 24, 4, |inner| {
-        prop_oneof![
-            (
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Div),
-                    Just(BinOp::Eq),
-                    Just(BinOp::NotEq),
-                    Just(BinOp::Lt),
-                    Just(BinOp::LtEq),
-                    Just(BinOp::Gt),
-                    Just(BinOp::GtEq),
-                    Just(BinOp::And),
-                    Just(BinOp::Or),
-                ],
-                inner.clone(),
-                inner.clone()
-            )
-                .prop_map(|(op, l, r)| Expr::binary(op, l, r)),
-            inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
-            (inner.clone(), any::<bool>()).prop_map(|(e, negated)| Expr::IsNull {
-                expr: Box::new(e),
-                negated,
-            }),
-            (inner.clone(), inner.clone(), inner.clone(), any::<bool>()).prop_map(
-                |(e, lo, hi, negated)| Expr::Between {
-                    expr: Box::new(e),
-                    low: Box::new(lo),
-                    high: Box::new(hi),
-                    negated,
-                }
-            ),
-            (
-                inner.clone(),
-                prop::collection::vec(inner.clone(), 1..4),
-                any::<bool>()
-            )
-                .prop_map(|(e, list, negated)| Expr::InList {
-                    expr: Box::new(e),
-                    list,
-                    negated,
-                }),
-            (
-                prop::collection::vec((inner.clone(), inner.clone()), 1..3),
-                prop::option::of(inner.clone())
-            )
-                .prop_map(|(branches, else_expr)| Expr::Case {
-                    branches,
-                    else_expr: else_expr.map(Box::new),
-                }),
-            (
-                prop_oneof![
-                    Just(AggFunc::Sum),
-                    Just(AggFunc::Count),
-                    Just(AggFunc::Avg),
-                    Just(AggFunc::Min),
-                    Just(AggFunc::Max),
-                ],
-                inner
-            )
-                .prop_map(|(func, arg)| Expr::Aggregate {
-                    func,
-                    arg: Some(Box::new(arg)),
-                }),
-        ]
-    })
+const BIN_OPS: &[BinOp] = &[
+    BinOp::Add,
+    BinOp::Sub,
+    BinOp::Mul,
+    BinOp::Div,
+    BinOp::Eq,
+    BinOp::NotEq,
+    BinOp::Lt,
+    BinOp::LtEq,
+    BinOp::Gt,
+    BinOp::GtEq,
+    BinOp::And,
+    BinOp::Or,
+];
+
+const AGG_FUNCS: &[AggFunc] = &[
+    AggFunc::Sum,
+    AggFunc::Count,
+    AggFunc::Avg,
+    AggFunc::Min,
+    AggFunc::Max,
+];
+
+fn random_expr(rng: &mut SplitMix64, depth: usize) -> Expr {
+    if depth == 0 || rng.chance(1, 4) {
+        return random_leaf(rng);
+    }
+    match rng.next_below(7) {
+        0 => {
+            let op = BIN_OPS[rng.index(BIN_OPS.len())];
+            let l = random_expr(rng, depth - 1);
+            let r = random_expr(rng, depth - 1);
+            Expr::binary(op, l, r)
+        }
+        1 => Expr::Not(Box::new(random_expr(rng, depth - 1))),
+        2 => Expr::IsNull {
+            expr: Box::new(random_expr(rng, depth - 1)),
+            negated: rng.chance(1, 2),
+        },
+        3 => Expr::Between {
+            expr: Box::new(random_expr(rng, depth - 1)),
+            low: Box::new(random_expr(rng, depth - 1)),
+            high: Box::new(random_expr(rng, depth - 1)),
+            negated: rng.chance(1, 2),
+        },
+        4 => {
+            let list = (0..rng.range_inclusive_u64(1, 3))
+                .map(|_| random_expr(rng, depth - 1))
+                .collect();
+            Expr::InList {
+                expr: Box::new(random_expr(rng, depth - 1)),
+                list,
+                negated: rng.chance(1, 2),
+            }
+        }
+        5 => {
+            let branches = (0..rng.range_inclusive_u64(1, 2))
+                .map(|_| (random_expr(rng, depth - 1), random_expr(rng, depth - 1)))
+                .collect();
+            let else_expr = if rng.chance(1, 2) {
+                Some(Box::new(random_expr(rng, depth - 1)))
+            } else {
+                None
+            };
+            Expr::Case {
+                branches,
+                else_expr,
+            }
+        }
+        _ => Expr::Aggregate {
+            func: AGG_FUNCS[rng.index(AGG_FUNCS.len())],
+            arg: Some(Box::new(random_expr(rng, depth - 1))),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    #[test]
-    fn expression_display_parse_round_trip(e in arb_expr()) {
+#[test]
+fn expression_display_parse_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A85_0001);
+    for _ in 0..512 {
+        let e = random_expr(&mut rng, 4);
         let text = e.to_string();
         let reparsed = parse_expression(&text)
             .unwrap_or_else(|err| panic!("failed to reparse {text:?}: {err}"));
-        prop_assert_eq!(reparsed, e, "text was: {}", text);
+        assert_eq!(reparsed, e, "text was: {text}");
     }
+}
 
-    #[test]
-    fn select_display_parse_round_trip(
-        exprs in prop::collection::vec(arb_expr(), 1..4),
-        where_clause in prop::option::of(arb_expr()),
-        limit in prop::option::of(0u64..100),
-    ) {
+#[test]
+fn select_display_parse_round_trip() {
+    let mut rng = SplitMix64::seed_from_u64(0x9A85_0002);
+    for _ in 0..512 {
+        let exprs: Vec<Expr> = (0..rng.range_inclusive_u64(1, 3))
+            .map(|_| random_expr(&mut rng, 3))
+            .collect();
+        let where_clause = if rng.chance(1, 2) {
+            Some(random_expr(&mut rng, 3))
+        } else {
+            None
+        };
+        let limit = if rng.chance(1, 2) {
+            Some(rng.next_below(100))
+        } else {
+            None
+        };
         let stmt = SelectStmt {
             items: exprs.into_iter().map(SelectItem::new).collect(),
             from: "t".into(),
@@ -137,6 +192,6 @@ proptest! {
         let text = Statement::Select(stmt.clone()).to_string();
         let reparsed = parse_statement(&text)
             .unwrap_or_else(|err| panic!("failed to reparse {text:?}: {err}"));
-        prop_assert_eq!(reparsed, Statement::Select(stmt), "text was: {}", text);
+        assert_eq!(reparsed, Statement::Select(stmt), "text was: {text}");
     }
 }

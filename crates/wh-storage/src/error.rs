@@ -27,6 +27,11 @@ pub enum StorageError {
     RecordTooLarge(usize),
     /// A data-model error bubbled up from row encoding/decoding.
     Type(TypeError),
+    /// A scan visitor requested early termination. Carries no storage
+    /// meaning of its own: higher layers return it from a visitor to stop a
+    /// scan, stash their real error on the side, and translate on the way
+    /// out. It should never escape to end users.
+    ScanAborted,
 }
 
 impl fmt::Display for StorageError {
@@ -37,10 +42,14 @@ impl fmt::Display for StorageError {
                 write!(f, "no record at page {page} slot {slot}")
             }
             StorageError::RecordLength { expected, got } => {
-                write!(f, "in-place update must preserve width: expected {expected} bytes, got {got}")
+                write!(
+                    f,
+                    "in-place update must preserve width: expected {expected} bytes, got {got}"
+                )
             }
             StorageError::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds page size"),
             StorageError::Type(e) => write!(f, "{e}"),
+            StorageError::ScanAborted => write!(f, "scan aborted by visitor"),
         }
     }
 }

@@ -3,8 +3,8 @@
 use crate::error::{StorageError, StorageResult};
 use crate::iostats::IoStats;
 use crate::page::{Page, Rid};
-use parking_lot::{Mutex, RwLock};
 use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
 
 /// A heap file of fixed-width records.
 ///
@@ -53,13 +53,13 @@ impl HeapFile {
 
     /// Number of allocated pages.
     pub fn page_count(&self) -> u32 {
-        self.pages.read().len() as u32
+        self.pages.read().unwrap().len() as u32
     }
 
     /// Number of live records.
     pub fn len(&self) -> u64 {
-        let pages = self.pages.read();
-        pages.iter().map(|p| p.read().live() as u64).sum()
+        let pages = self.pages.read().unwrap();
+        pages.iter().map(|p| p.read().unwrap().live() as u64).sum()
     }
 
     /// Whether the file holds no live records.
@@ -70,6 +70,7 @@ impl HeapFile {
     fn page(&self, page_no: u32) -> StorageResult<Arc<RwLock<Page>>> {
         self.pages
             .read()
+            .unwrap()
             .get(page_no as usize)
             .cloned()
             .ok_or(StorageError::NoSuchPage(page_no))
@@ -79,36 +80,36 @@ impl HeapFile {
     pub fn insert(&self, record: &[u8]) -> StorageResult<Rid> {
         loop {
             // Try a page believed to have room.
-            let candidate = self.free_pages.lock().last().copied();
+            let candidate = self.free_pages.lock().unwrap().last().copied();
             if let Some(page_no) = candidate {
                 let page = self.page(page_no)?;
-                let mut guard = page.write();
+                let mut guard = page.write().unwrap();
                 self.stats.count_page_reads(1);
                 if let Some(slot) = guard.insert(record)? {
                     self.stats.count_page_writes(1);
                     self.stats.count_tuple_writes(1);
                     if !guard.has_room() {
-                        self.free_pages.lock().retain(|&p| p != page_no);
+                        self.free_pages.lock().unwrap().retain(|&p| p != page_no);
                     }
                     return Ok(Rid::new(page_no, slot));
                 }
                 // Page filled up under us; drop it from the free list and retry.
-                self.free_pages.lock().retain(|&p| p != page_no);
+                self.free_pages.lock().unwrap().retain(|&p| p != page_no);
                 continue;
             }
             // Allocate a new page.
-            let mut pages = self.pages.write();
+            let mut pages = self.pages.write().unwrap();
             let page_no = pages.len() as u32;
             pages.push(Arc::new(RwLock::new(Page::new(self.record_len)?)));
             drop(pages);
-            self.free_pages.lock().push(page_no);
+            self.free_pages.lock().unwrap().push(page_no);
         }
     }
 
     /// Read the record at `rid` into an owned buffer.
     pub fn read(&self, rid: Rid) -> StorageResult<Vec<u8>> {
         let page = self.page(rid.page)?;
-        let guard = page.read();
+        let guard = page.read().unwrap();
         self.stats.count_page_reads(1);
         let rec = guard.read(rid.page, rid.slot)?;
         self.stats.count_tuple_reads(1);
@@ -118,7 +119,7 @@ impl HeapFile {
     /// Overwrite the record at `rid` in place (width-preserving).
     pub fn update_in_place(&self, rid: Rid, record: &[u8]) -> StorageResult<()> {
         let page = self.page(rid.page)?;
-        let mut guard = page.write();
+        let mut guard = page.write().unwrap();
         self.stats.count_page_reads(1);
         guard.update_in_place(rid.page, rid.slot, record)?;
         self.stats.count_page_writes(1);
@@ -137,7 +138,7 @@ impl HeapFile {
         F: FnOnce(&[u8]) -> StorageResult<Vec<u8>>,
     {
         let page = self.page(rid.page)?;
-        let mut guard = page.write();
+        let mut guard = page.write().unwrap();
         self.stats.count_page_reads(1);
         let current = guard.read(rid.page, rid.slot)?.to_vec();
         let replacement = f(&current)?;
@@ -156,7 +157,7 @@ impl HeapFile {
         F: FnOnce(&[u8]) -> bool,
     {
         let page = self.page(rid.page)?;
-        let mut guard = page.write();
+        let mut guard = page.write().unwrap();
         self.stats.count_page_reads(1);
         let current = guard.read(rid.page, rid.slot)?;
         if !pred(current) {
@@ -166,7 +167,7 @@ impl HeapFile {
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
         drop(guard);
-        let mut free = self.free_pages.lock();
+        let mut free = self.free_pages.lock().unwrap();
         if !free.contains(&rid.page) {
             free.push(rid.page);
         }
@@ -176,12 +177,12 @@ impl HeapFile {
     /// Physically delete the record at `rid`.
     pub fn delete(&self, rid: Rid) -> StorageResult<()> {
         let page = self.page(rid.page)?;
-        let mut guard = page.write();
+        let mut guard = page.write().unwrap();
         self.stats.count_page_reads(1);
         guard.delete(rid.page, rid.slot)?;
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
-        let mut free = self.free_pages.lock();
+        let mut free = self.free_pages.lock().unwrap();
         if !free.contains(&rid.page) {
             free.push(rid.page);
         }
@@ -195,20 +196,87 @@ impl HeapFile {
     /// exactly the read-uncommitted scan behaviour the paper's rewrite
     /// approach is built for. Tuples modified in place mid-scan are seen
     /// exactly once, in either their old or new image, never torn.
-    pub fn scan<F>(&self, mut visit: F) -> StorageResult<()>
+    pub fn scan<F>(&self, visit: F) -> StorageResult<()>
     where
         F: FnMut(Rid, &[u8]) -> StorageResult<()>,
     {
-        let page_handles: Vec<_> = self.pages.read().iter().cloned().enumerate().collect();
-        for (page_no, page) in page_handles {
-            let guard = page.read();
-            self.stats.count_page_reads(1);
+        self.scan_pages(0..self.page_count(), visit)
+    }
+
+    /// Scan the live records of pages in `range` (clamped to the allocated
+    /// page count), invoking `visit` for each `(rid, record)`.
+    ///
+    /// This is the partition primitive behind [`Self::scan`] and
+    /// [`Self::scan_parallel`]. I/O counters are accumulated locally and
+    /// merged into the shared [`IoStats`] once at the end of the range —
+    /// one atomic add per counter per partition instead of one per tuple —
+    /// so partitioned scans don't serialize on the stats cache line.
+    pub fn scan_pages<F>(&self, range: std::ops::Range<u32>, mut visit: F) -> StorageResult<()>
+    where
+        F: FnMut(Rid, &[u8]) -> StorageResult<()>,
+    {
+        let page_handles: Vec<(u32, Arc<RwLock<Page>>)> = {
+            let pages = self.pages.read().unwrap();
+            let end = (range.end as usize).min(pages.len());
+            let start = (range.start as usize).min(end);
+            pages[start..end]
+                .iter()
+                .enumerate()
+                .map(|(i, p)| ((start + i) as u32, Arc::clone(p)))
+                .collect()
+        };
+        let mut page_reads = 0u64;
+        let mut tuple_reads = 0u64;
+        let mut result = Ok(());
+        'pages: for (page_no, page) in page_handles {
+            let guard = page.read().unwrap();
+            page_reads += 1;
             for (slot, rec) in guard.iter() {
-                self.stats.count_tuple_reads(1);
-                visit(Rid::new(page_no as u32, slot), rec)?;
+                tuple_reads += 1;
+                if let Err(e) = visit(Rid::new(page_no, slot), rec) {
+                    result = Err(e);
+                    break 'pages;
+                }
             }
         }
-        Ok(())
+        self.stats.count_page_reads(page_reads);
+        self.stats.count_tuple_reads(tuple_reads);
+        result
+    }
+
+    /// Scan all live records with `threads` workers over contiguous page
+    /// partitions, invoking `visit(worker, rid, record)` from worker threads.
+    ///
+    /// Per-page latching is identical to [`Self::scan`]; each worker merges
+    /// its I/O counters once when its partition completes. The first error
+    /// (by worker index) is returned. With `threads <= 1` this degrades to a
+    /// serial scan on the calling thread.
+    pub fn scan_parallel<F>(&self, threads: usize, visit: F) -> StorageResult<()>
+    where
+        F: Fn(usize, Rid, &[u8]) -> StorageResult<()> + Sync,
+    {
+        let pages = self.page_count();
+        let workers = threads.max(1).min(pages.max(1) as usize);
+        if workers <= 1 {
+            return self.scan_pages(0..pages, |rid, rec| visit(0, rid, rec));
+        }
+        let chunk = (pages as usize).div_ceil(workers) as u32;
+        let visit = &visit;
+        let mut results: Vec<StorageResult<()>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let start = w as u32 * chunk;
+                    let end = (start + chunk).min(pages);
+                    s.spawn(move || self.scan_pages(start..end, |rid, rec| visit(w, rid, rec)))
+                })
+                .collect();
+            results = handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect();
+        });
+        results.into_iter().collect()
     }
 
     /// Collect all live `(rid, record)` pairs. Convenience over [`Self::scan`].
@@ -254,7 +322,9 @@ mod tests {
     #[test]
     fn grows_across_pages() {
         let h = file(2048); // 2 records per page
-        let rids: Vec<_> = (0..5).map(|i| h.insert(&[i as u8; 2048]).unwrap()).collect();
+        let rids: Vec<_> = (0..5)
+            .map(|i| h.insert(&[i as u8; 2048]).unwrap())
+            .collect();
         assert_eq!(h.page_count(), 3);
         assert_eq!(h.len(), 5);
         for (i, rid) in rids.iter().enumerate() {
@@ -312,6 +382,102 @@ mod tests {
     }
 
     #[test]
+    fn scan_pages_partitions_cover_exactly_once() {
+        let h = file(512); // 8 records per page
+        for i in 0..100u8 {
+            h.insert(&[i; 512]).unwrap();
+        }
+        let pages = h.page_count();
+        // Any split point yields the same multiset as a full scan.
+        for split in [0, 1, pages / 2, pages] {
+            let mut seen = Vec::new();
+            for range in [0..split, split..pages] {
+                h.scan_pages(range, |_, rec| {
+                    seen.push(rec[0]);
+                    Ok(())
+                })
+                .unwrap();
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, (0..100).collect::<Vec<_>>());
+        }
+        // Out-of-bounds ranges clamp instead of erroring.
+        h.scan_pages(pages..pages + 10, |_, _| panic!("no pages there"))
+            .unwrap();
+    }
+
+    #[test]
+    fn scan_parallel_matches_serial_scan() {
+        let h = file(256);
+        for i in 0..500u16 {
+            let mut rec = [0u8; 256];
+            rec[..2].copy_from_slice(&i.to_le_bytes());
+            h.insert(&rec).unwrap();
+        }
+        let mut serial = Vec::new();
+        h.scan(|rid, rec| {
+            serial.push((rid, rec[0], rec[1]));
+            Ok(())
+        })
+        .unwrap();
+        serial.sort();
+        for threads in [1, 2, 4, 8, 64] {
+            let parallel = Mutex::new(Vec::new());
+            h.scan_parallel(threads, |_, rid, rec| {
+                parallel.lock().unwrap().push((rid, rec[0], rec[1]));
+                Ok(())
+            })
+            .unwrap();
+            let mut parallel = parallel.into_inner().unwrap();
+            parallel.sort();
+            assert_eq!(parallel, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn scan_parallel_propagates_errors() {
+        let h = file(512);
+        for i in 0..64u8 {
+            h.insert(&[i; 512]).unwrap();
+        }
+        let err = h
+            .scan_parallel(4, |_, _, rec| {
+                if rec[0] == 40 {
+                    Err(StorageError::NoSuchPage(999))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(matches!(err, StorageError::NoSuchPage(999)));
+    }
+
+    #[test]
+    fn scan_io_counters_batch_per_partition() {
+        // The batched counters must equal what per-tuple counting reported.
+        let stats = Arc::new(IoStats::new());
+        let h = HeapFile::new(512, stats.clone()).unwrap();
+        for i in 0..100u8 {
+            h.insert(&[i; 512]).unwrap();
+        }
+        let before = stats.snapshot();
+        h.scan(|_, _| Ok(())).unwrap();
+        let after_serial = stats.snapshot();
+        assert_eq!(
+            after_serial.page_reads - before.page_reads,
+            h.page_count() as u64
+        );
+        assert_eq!(after_serial.tuple_reads - before.tuple_reads, 100);
+        h.scan_parallel(4, |_, _, _| Ok(())).unwrap();
+        let after_parallel = stats.snapshot();
+        assert_eq!(
+            after_parallel.page_reads - after_serial.page_reads,
+            h.page_count() as u64
+        );
+        assert_eq!(after_parallel.tuple_reads - after_serial.tuple_reads, 100);
+    }
+
+    #[test]
     fn io_counters_track_operations() {
         let stats = Arc::new(IoStats::new());
         let h = HeapFile::new(4, stats.clone()).unwrap();
@@ -328,10 +494,10 @@ mod tests {
     #[test]
     fn concurrent_inserts_and_scans() {
         let h = Arc::new(file(16));
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for t in 0..4 {
                 let h = Arc::clone(&h);
-                s.spawn(move |_| {
+                s.spawn(move || {
                     for i in 0..250u16 {
                         let mut rec = [0u8; 16];
                         rec[0] = t as u8;
@@ -341,7 +507,7 @@ mod tests {
                 });
             }
             let h2 = Arc::clone(&h);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for _ in 0..10 {
                     let mut n = 0u32;
                     h2.scan(|_, _| {
@@ -352,8 +518,7 @@ mod tests {
                     assert!(n <= 1000);
                 }
             });
-        })
-        .unwrap();
+        });
         assert_eq!(h.len(), 1000);
     }
 }

@@ -194,7 +194,10 @@ mod tests {
         let mut p = Page::new(4).unwrap();
         assert!(matches!(
             p.insert(&[1, 2, 3]),
-            Err(StorageError::RecordLength { expected: 4, got: 3 })
+            Err(StorageError::RecordLength {
+                expected: 4,
+                got: 3
+            })
         ));
     }
 
@@ -204,9 +207,7 @@ mod tests {
         let s = p.insert(&[1, 1, 1, 1]).unwrap().unwrap();
         p.update_in_place(0, s, &[2, 2, 2, 2]).unwrap();
         assert_eq!(p.read(0, s).unwrap(), &[2, 2, 2, 2]);
-        assert!(p
-            .update_in_place(0, s, &[9, 9])
-            .is_err());
+        assert!(p.update_in_place(0, s, &[9, 9]).is_err());
     }
 
     #[test]

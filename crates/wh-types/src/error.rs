@@ -62,7 +62,10 @@ impl fmt::Display for TypeError {
                 got,
             } => write!(f, "column {column} expects {expected}, got {got}"),
             TypeError::StringTooLong { column, width, len } => {
-                write!(f, "value of length {len} exceeds CHAR({width}) column {column}")
+                write!(
+                    f,
+                    "value of length {len} exceeds CHAR({width}) column {column}"
+                )
             }
             TypeError::Arity { expected, got } => {
                 write!(f, "row has {got} values but schema has {expected} columns")

@@ -9,12 +9,14 @@
 
 pub mod date;
 pub mod error;
+pub mod rng;
 pub mod row;
 pub mod schema;
 pub mod value;
 
 pub use date::Date;
 pub use error::{TypeError, TypeResult};
+pub use rng::SplitMix64;
 pub use row::{Row, RowCodec};
 pub use schema::{Column, DataType, Schema};
 pub use value::Value;

@@ -69,12 +69,8 @@ impl RowCodec {
                 (DataType::Int32, Value::Int(v)) => {
                     slot[..4].copy_from_slice(&(*v as i32).to_le_bytes())
                 }
-                (DataType::Int64, Value::Int(v)) => {
-                    slot[..8].copy_from_slice(&v.to_le_bytes())
-                }
-                (DataType::Float64, Value::Float(v)) => {
-                    slot[..8].copy_from_slice(&v.to_le_bytes())
-                }
+                (DataType::Int64, Value::Int(v)) => slot[..8].copy_from_slice(&v.to_le_bytes()),
+                (DataType::Float64, Value::Float(v)) => slot[..8].copy_from_slice(&v.to_le_bytes()),
                 (DataType::Float64, Value::Int(v)) => {
                     slot[..8].copy_from_slice(&(*v as f64).to_le_bytes())
                 }
@@ -103,46 +99,71 @@ impl RowCodec {
             )));
         }
         let mut row = Vec::with_capacity(self.schema.arity());
-        for (i, col) in self.schema.columns().iter().enumerate() {
-            if buf[i / 8] & (1 << (i % 8)) != 0 {
-                row.push(Value::Null);
-                continue;
-            }
-            let slot = &buf[self.bitmap_len + self.offsets[i]..];
-            let v = match col.ty {
-                DataType::UInt8 => Value::Int(slot[0] as i64),
-                DataType::Int32 => {
-                    Value::Int(i32::from_le_bytes(slot[..4].try_into().unwrap()) as i64)
-                }
-                DataType::Int64 => {
-                    Value::Int(i64::from_le_bytes(slot[..8].try_into().unwrap()))
-                }
-                DataType::Float64 => {
-                    Value::Float(f64::from_le_bytes(slot[..8].try_into().unwrap()))
-                }
-                DataType::Char(n) => {
-                    let raw = &slot[..n];
-                    let trimmed = match raw.iter().rposition(|&b| b != b' ') {
-                        Some(last) => &raw[..=last],
-                        None => &raw[..0],
-                    };
-                    Value::Str(
-                        std::str::from_utf8(trimmed)
-                            .map_err(|e| TypeError::Codec(e.to_string()))?
-                            .to_string(),
-                    )
-                }
-                DataType::Date => {
-                    let packed = u32::from_le_bytes(slot[..4].try_into().unwrap());
-                    Value::Date(
-                        Date::from_packed(packed)
-                            .ok_or_else(|| TypeError::Codec(format!("bad date {packed}")))?,
-                    )
-                }
-            };
-            row.push(v);
+        for i in 0..self.schema.arity() {
+            row.push(self.decode_slot(buf, i)?);
         }
         Ok(row)
+    }
+
+    /// Decode only column `i` from a byte image of this codec's width.
+    ///
+    /// This is the projection-pushdown primitive: scans that need a handful
+    /// of columns (or just the version-number slots of an extended 2VNL
+    /// tuple) can skip materializing the full row.
+    pub fn decode_col(&self, buf: &[u8], i: usize) -> TypeResult<Value> {
+        if buf.len() != self.encoded_len() {
+            return Err(TypeError::Codec(format!(
+                "expected {} bytes, got {}",
+                self.encoded_len(),
+                buf.len()
+            )));
+        }
+        if i >= self.schema.arity() {
+            return Err(TypeError::Codec(format!(
+                "column {i} out of range for arity {}",
+                self.schema.arity()
+            )));
+        }
+        self.decode_slot(buf, i)
+    }
+
+    /// Byte offset of column `i`'s fixed slot within a tuple image (bitmap
+    /// included), with its width. Exposes the layout to byte-level readers.
+    pub fn col_byte_range(&self, i: usize) -> (usize, usize) {
+        let ty = self.schema.columns()[i].ty;
+        (self.bitmap_len + self.offsets[i], ty.byte_width())
+    }
+
+    fn decode_slot(&self, buf: &[u8], i: usize) -> TypeResult<Value> {
+        if buf[i / 8] & (1 << (i % 8)) != 0 {
+            return Ok(Value::Null);
+        }
+        let slot = &buf[self.bitmap_len + self.offsets[i]..];
+        Ok(match self.schema.columns()[i].ty {
+            DataType::UInt8 => Value::Int(slot[0] as i64),
+            DataType::Int32 => Value::Int(i32::from_le_bytes(slot[..4].try_into().unwrap()) as i64),
+            DataType::Int64 => Value::Int(i64::from_le_bytes(slot[..8].try_into().unwrap())),
+            DataType::Float64 => Value::Float(f64::from_le_bytes(slot[..8].try_into().unwrap())),
+            DataType::Char(n) => {
+                let raw = &slot[..n];
+                let trimmed = match raw.iter().rposition(|&b| b != b' ') {
+                    Some(last) => &raw[..=last],
+                    None => &raw[..0],
+                };
+                Value::Str(
+                    std::str::from_utf8(trimmed)
+                        .map_err(|e| TypeError::Codec(e.to_string()))?
+                        .to_string(),
+                )
+            }
+            DataType::Date => {
+                let packed = u32::from_le_bytes(slot[..4].try_into().unwrap());
+                Value::Date(
+                    Date::from_packed(packed)
+                        .ok_or_else(|| TypeError::Codec(format!("bad date {packed}")))?,
+                )
+            }
+        })
     }
 }
 
@@ -210,10 +231,7 @@ mod tests {
     #[test]
     fn wrong_length_buffer_rejected() {
         let codec = RowCodec::new(daily_sales_schema());
-        assert!(matches!(
-            codec.decode(&[0u8; 7]),
-            Err(TypeError::Codec(_))
-        ));
+        assert!(matches!(codec.decode(&[0u8; 7]), Err(TypeError::Codec(_))));
     }
 
     #[test]
@@ -244,6 +262,33 @@ mod tests {
         ];
         let buf = codec.encode(&row).unwrap();
         assert_eq!(codec.decode(&buf).unwrap(), row);
+    }
+
+    #[test]
+    fn decode_col_agrees_with_full_decode() {
+        let codec = RowCodec::new(daily_sales_schema());
+        let row = sample_row();
+        let buf = codec.encode(&row).unwrap();
+        let full = codec.decode(&buf).unwrap();
+        for (i, expected) in full.iter().enumerate() {
+            assert_eq!(&codec.decode_col(&buf, i).unwrap(), expected);
+        }
+        assert!(codec.decode_col(&buf, row.len()).is_err());
+        assert!(codec.decode_col(&buf[..10], 0).is_err());
+    }
+
+    #[test]
+    fn col_byte_range_locates_fixed_slots() {
+        let codec = RowCodec::new(daily_sales_schema());
+        let row = sample_row();
+        let buf = codec.encode(&row).unwrap();
+        // total_sales (Int32) sits at a fixed offset in every image.
+        let (off, width) = codec.col_byte_range(4);
+        assert_eq!(width, 4);
+        assert_eq!(
+            i32::from_le_bytes(buf[off..off + width].try_into().unwrap()),
+            10_000
+        );
     }
 
     #[test]

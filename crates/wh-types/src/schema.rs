@@ -46,9 +46,7 @@ impl DataType {
         match (self, value) {
             (_, Value::Null) => true,
             (DataType::UInt8, Value::Int(i)) => (0..=255).contains(i),
-            (DataType::Int32, Value::Int(i)) => {
-                *i >= i32::MIN as i64 && *i <= i32::MAX as i64
-            }
+            (DataType::Int32, Value::Int(i)) => *i >= i32::MIN as i64 && *i <= i32::MAX as i64,
             (DataType::Int64, Value::Int(_)) => true,
             (DataType::Float64, Value::Float(_)) => true,
             (DataType::Float64, Value::Int(_)) => true,

@@ -50,10 +50,12 @@ impl SummaryViewDef {
         let mut columns: Vec<Column> = self
             .group_cols
             .iter()
-            .map(|&g| Column::new(
-                self.source_schema.columns()[g].name.clone(),
-                self.source_schema.columns()[g].ty,
-            ))
+            .map(|&g| {
+                Column::new(
+                    self.source_schema.columns()[g].name.clone(),
+                    self.source_schema.columns()[g].ty,
+                )
+            })
             .collect();
         columns.push(Column::updatable(self.sum_name.clone(), DataType::Int64));
         columns.push(Column::updatable(self.count_name.clone(), DataType::Int64));
@@ -210,7 +212,14 @@ mod tests {
         let names: Vec<&str> = s.columns().iter().map(|c| c.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["city", "state", "product_line", "date", "total_sales", "support_count"]
+            vec![
+                "city",
+                "state",
+                "product_line",
+                "date",
+                "total_sales",
+                "support_count"
+            ]
         );
         assert_eq!(s.key(), &[0, 1, 2, 3]);
         assert_eq!(s.updatable_indexes(), vec![4, 5]);
@@ -218,7 +227,8 @@ mod tests {
 
     #[test]
     fn initial_rows_aggregate() {
-        let rows = def().initial_rows(&[sale("SJ", 14, 100), sale("SJ", 14, 50), sale("B", 14, 10)]);
+        let rows =
+            def().initial_rows(&[sale("SJ", 14, 100), sale("SJ", 14, 50), sale("B", 14, 10)]);
         assert_eq!(rows.len(), 2);
         let sj = rows.iter().find(|r| r[0] == Value::from("SJ")).unwrap();
         assert_eq!(sj[4], Value::from(150));
@@ -239,9 +249,9 @@ mod tests {
             .propagate(
                 &txn,
                 &[
-                    SourceDelta::Insert(sale("SJ", 14, 25)),   // update group
-                    SourceDelta::Insert(sale("SJ", 15, 400)),  // new group
-                    SourceDelta::Delete(sale("B", 14, 10)),    // empties group
+                    SourceDelta::Insert(sale("SJ", 14, 25)),  // update group
+                    SourceDelta::Insert(sale("SJ", 15, 400)), // new group
+                    SourceDelta::Delete(sale("B", 14, 10)),   // empties group
                 ],
             )
             .unwrap();
@@ -271,11 +281,15 @@ mod tests {
     fn two_batches_in_one_txn_compose() {
         let d = def();
         let table = d.create_table("DailySales", 2).unwrap();
-        table.load_initial(&d.initial_rows(&[sale("SJ", 14, 100)])).unwrap();
+        table
+            .load_initial(&d.initial_rows(&[sale("SJ", 14, 100)]))
+            .unwrap();
         let m = ViewMaintainer::new(d);
         let txn = table.begin_maintenance().unwrap();
-        m.propagate(&txn, &[SourceDelta::Insert(sale("SJ", 14, 10))]).unwrap();
-        m.propagate(&txn, &[SourceDelta::Insert(sale("SJ", 14, 5))]).unwrap();
+        m.propagate(&txn, &[SourceDelta::Insert(sale("SJ", 14, 10))])
+            .unwrap();
+        m.propagate(&txn, &[SourceDelta::Insert(sale("SJ", 14, 5))])
+            .unwrap();
         txn.commit().unwrap();
         let s = table.begin_session();
         assert_eq!(s.scan().unwrap()[0][4], Value::from(115));
@@ -286,11 +300,14 @@ mod tests {
     fn group_reborn_after_emptying_resurrects() {
         let d = def();
         let table = d.create_table("DailySales", 2).unwrap();
-        table.load_initial(&d.initial_rows(&[sale("SJ", 14, 100)])).unwrap();
+        table
+            .load_initial(&d.initial_rows(&[sale("SJ", 14, 100)]))
+            .unwrap();
         let m = ViewMaintainer::new(d);
         // Batch 1: empty the group.
         let txn = table.begin_maintenance().unwrap();
-        m.propagate(&txn, &[SourceDelta::Delete(sale("SJ", 14, 100))]).unwrap();
+        m.propagate(&txn, &[SourceDelta::Delete(sale("SJ", 14, 100))])
+            .unwrap();
         txn.commit().unwrap();
         // Batch 2: the group comes back — a Table 2 row 1 resurrection.
         let txn = table.begin_maintenance().unwrap();
@@ -328,8 +345,7 @@ mod tests {
         table.load_initial(&d.initial_rows(&batch1)).unwrap();
         let m = ViewMaintainer::new(d.clone());
         let txn = table.begin_maintenance().unwrap();
-        let deltas: Vec<SourceDelta> =
-            batch2.iter().cloned().map(SourceDelta::Insert).collect();
+        let deltas: Vec<SourceDelta> = batch2.iter().cloned().map(SourceDelta::Insert).collect();
         m.propagate(&txn, &deltas).unwrap();
         txn.commit().unwrap();
 

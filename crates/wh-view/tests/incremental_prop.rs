@@ -1,10 +1,12 @@
-//! Property: incrementally maintaining a summary view over any sequence of
-//! source batches (each its own maintenance transaction) yields exactly the
-//! view a from-scratch recomputation would produce — \[GL95\]'s correctness
-//! condition, on top of the 2VNL machinery.
+//! Randomized test: incrementally maintaining a summary view over any
+//! sequence of source batches (each its own maintenance transaction) yields
+//! exactly the view a from-scratch recomputation would produce — \[GL95\]'s
+//! correctness condition, on top of the 2VNL machinery.
+//!
+//! Op sequences are generated with the deterministic [`SplitMix64`]
+//! generator, so every run exercises the same cases.
 
-use proptest::prelude::*;
-use wh_types::{Column, DataType, Row, Schema, Value};
+use wh_types::{Column, DataType, Row, Schema, SplitMix64, Value};
 use wh_view::{SourceDelta, SummaryViewDef, ViewMaintainer};
 
 fn source_schema() -> Schema {
@@ -24,6 +26,19 @@ const CITIES: [&str; 4] = ["A", "B", "C", "D"];
 /// (city, amount, is_delete). Deletes are made valid by tracking live rows.
 type Op = (usize, i64, bool);
 
+fn random_ops(rng: &mut SplitMix64, max_len: u64, delete_per_mille: u64) -> Vec<Op> {
+    let len = rng.range_inclusive_u64(1, max_len) as usize;
+    (0..len)
+        .map(|_| {
+            (
+                rng.index(4),
+                rng.next_u64() as i64,
+                rng.chance(delete_per_mille, 1000),
+            )
+        })
+        .collect()
+}
+
 fn apply_ops(ops: &[Op]) -> (Vec<Vec<SourceDelta>>, Vec<Row>) {
     // Split ops into batches of <= 7 and track surviving source rows so
     // deletions always retract an existing row.
@@ -35,7 +50,10 @@ fn apply_ops(ops: &[Op]) -> (Vec<Vec<SourceDelta>>, Vec<Row>) {
         }
         if is_delete && !live.is_empty() {
             let victim = live.remove((amount.unsigned_abs() as usize) % live.len());
-            batches.last_mut().unwrap().push(SourceDelta::Delete(victim));
+            batches
+                .last_mut()
+                .unwrap()
+                .push(SourceDelta::Delete(victim));
         } else {
             let row: Row = vec![Value::from(CITIES[c]), Value::from(amount.abs() % 500)];
             live.push(row.clone());
@@ -51,14 +69,11 @@ fn normalized(rows: Vec<Row>) -> Vec<String> {
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn incremental_equals_recompute(ops in prop::collection::vec(
-        (0usize..4, any::<i64>(), prop::bool::weighted(0.3)),
-        1..60,
-    )) {
+#[test]
+fn incremental_equals_recompute() {
+    let mut rng = SplitMix64::seed_from_u64(0x01C7_0001);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 59, 300);
         let (batches, live) = apply_ops(&ops);
         let d = def();
         // Incremental: one maintenance transaction per batch.
@@ -74,14 +89,15 @@ proptest! {
         session.finish();
         // Recompute from the surviving source rows.
         let recomputed = d.initial_rows(&live);
-        prop_assert_eq!(normalized(incremental), normalized(recomputed));
+        assert_eq!(normalized(incremental), normalized(recomputed));
     }
+}
 
-    #[test]
-    fn abort_then_retry_equals_straight_through(ops in prop::collection::vec(
-        (0usize..4, any::<i64>(), prop::bool::weighted(0.2)),
-        1..40,
-    )) {
+#[test]
+fn abort_then_retry_equals_straight_through() {
+    let mut rng = SplitMix64::seed_from_u64(0x01C7_0002);
+    for _ in 0..64 {
+        let ops = random_ops(&mut rng, 39, 200);
         let (batches, _) = apply_ops(&ops);
         let d = def();
         let maintainer = ViewMaintainer::new(d.clone());
@@ -105,6 +121,6 @@ proptest! {
         }
         let a = straight.begin_session().scan().unwrap();
         let b = retried.begin_session().scan().unwrap();
-        prop_assert_eq!(normalized(a), normalized(b));
+        assert_eq!(normalized(a), normalized(b));
     }
 }

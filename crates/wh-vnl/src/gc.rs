@@ -97,8 +97,7 @@ impl Collector {
         let handle = std::thread::spawn(move || {
             while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
                 if let Ok(report) = collect(&table) {
-                    reclaimed2
-                        .fetch_add(report.reclaimed, std::sync::atomic::Ordering::Relaxed);
+                    reclaimed2.fetch_add(report.reclaimed, std::sync::atomic::Ordering::Relaxed);
                 }
                 std::thread::sleep(interval);
             }
@@ -154,7 +153,8 @@ mod tests {
     #[test]
     fn deleted_tuples_reclaimed_when_no_reader_needs_them() {
         let t = VnlTable::create(daily_sales_schema(), 2).unwrap();
-        t.load_initial(&[row("San Jose", 1), row("Berkeley", 2)]).unwrap();
+        t.load_initial(&[row("San Jose", 1), row("Berkeley", 2)])
+            .unwrap();
         let txn = t.begin_maintenance().unwrap();
         txn.delete_row(&row("San Jose", 0)).unwrap();
         txn.commit().unwrap();
@@ -176,7 +176,10 @@ mod tests {
         txn.delete_row(&row("San Jose", 0)).unwrap();
         txn.commit().unwrap(); // delete at VN 2
         let report = collect(&t).unwrap();
-        assert_eq!(report.reclaimed, 0, "old reader still needs the pre-delete version");
+        assert_eq!(
+            report.reclaimed, 0,
+            "old reader still needs the pre-delete version"
+        );
         // The old session can still read it.
         let rows = old_session.scan().unwrap();
         assert_eq!(rows.len(), 1);
@@ -203,7 +206,8 @@ mod tests {
     #[test]
     fn background_collector_reclaims() {
         let t = std::sync::Arc::new(VnlTable::create(daily_sales_schema(), 2).unwrap());
-        t.load_initial(&[row("San Jose", 1), row("Berkeley", 2)]).unwrap();
+        t.load_initial(&[row("San Jose", 1), row("Berkeley", 2)])
+            .unwrap();
         let collector = Collector::spawn(
             std::sync::Arc::clone(&t),
             std::time::Duration::from_millis(5),

@@ -20,6 +20,9 @@
 //!   (§3, §4).
 //! * [`visibility`] — Table 1 and its §5 generalization: which stored
 //!   version a session sees.
+//! * [`scan`] — the byte-level scan pipeline: Table 1 evaluated directly on
+//!   encoded records with projection pushdown, feeding serial and parallel
+//!   partitioned scans.
 //! * [`table`] — [`VnlTable`], the versioned relation; sessions and
 //!   maintenance transactions hang off it.
 //! * [`maintenance`] — Tables 2–4 decision procedures, net effects, the
@@ -37,6 +40,7 @@ pub mod gc;
 pub mod maintenance;
 pub mod reader;
 pub mod rewrite;
+pub mod scan;
 pub mod schema_ext;
 pub mod table;
 pub mod version;
@@ -48,6 +52,7 @@ pub use error::{VnlError, VnlResult};
 pub use maintenance::{MaintenanceTxn, PhysicalAction};
 pub use reader::{ReadOutcome, ReaderSession};
 pub use rewrite::QueryRewriter;
+pub use scan::{ByteScanner, Classified};
 pub use schema_ext::{ExtLayout, StorageOverhead};
 pub use table::VnlTable;
 pub use version::{Operation, VersionNo, VersionState};
@@ -98,7 +103,12 @@ mod tests {
 
     #[test]
     fn choose_n_is_tight() {
-        for (s, i, m) in [(10u64, 10u64, 7u64), (100, 10, 7), (1, 60, 1380), (5000, 60, 1380)] {
+        for (s, i, m) in [
+            (10u64, 10u64, 7u64),
+            (100, 10, 7),
+            (1, 60, 1380),
+            (5000, 60, 1380),
+        ] {
             let n = choose_n(s, i, m).unwrap();
             assert!(
                 guaranteed_session_length(n, i, m) >= s,

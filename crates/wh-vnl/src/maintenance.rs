@@ -19,8 +19,8 @@
 use crate::error::{VnlError, VnlResult};
 use crate::table::VnlTable;
 use crate::version::{Operation, VersionNo};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Mutex;
 use wh_sql::{parse_statement, EvalContext, Expr, Params, Statement};
 use wh_storage::Rid;
 use wh_types::{Row, Value};
@@ -125,18 +125,18 @@ impl<'t> MaintenanceTxn<'t> {
 
     /// Drain the recorded `(action, key-values)` trace.
     pub fn take_trace(&self) -> Vec<(PhysicalAction, Row)> {
-        std::mem::take(&mut *self.trace.lock())
+        std::mem::take(&mut *self.trace.lock().unwrap())
     }
 
     fn record(&self, action: PhysicalAction, ext_row: &[Value]) {
         if self.tracing.load(std::sync::atomic::Ordering::Relaxed) {
             let key = self.table.layout().ext_schema().key_of(ext_row);
-            self.trace.lock().push((action, key));
+            self.trace.lock().unwrap().push((action, key));
         }
     }
 
     fn check_open(&self) -> VnlResult<()> {
-        if *self.finished.lock() {
+        if *self.finished.lock().unwrap() {
             Err(VnlError::TxnFinished)
         } else {
             Ok(())
@@ -146,7 +146,7 @@ impl<'t> MaintenanceTxn<'t> {
     /// Save undo info for the first touch of an existing tuple, *before* its
     /// slots are pushed back.
     fn save_undo_existing(&self, rid: Rid, ext_row: &[Value]) {
-        let mut undo = self.undo.lock();
+        let mut undo = self.undo.lock().unwrap();
         if undo.contains_key(&rid) {
             return;
         }
@@ -233,7 +233,7 @@ impl<'t> MaintenanceTxn<'t> {
                     .expect("no conflict was found just above");
             }
             self.table.on_physical_insert(&ext, new_rid);
-            self.undo.lock().insert(new_rid, UndoEntry::Fresh);
+            self.undo.lock().unwrap().insert(new_rid, UndoEntry::Fresh);
             self.record(PhysicalAction::InsertTuple, &ext);
             return Ok(());
         };
@@ -264,7 +264,7 @@ impl<'t> MaintenanceTxn<'t> {
             (true, Operation::Delete) => {
                 self.save_undo_existing(rid, &ext);
                 let mut new_ext = None;
-                self.table.storage().modify(rid, |mut row| {
+                let modified = self.table.storage().modify(rid, |mut row| {
                     layout.push_back(&mut row);
                     row[layout.vn_col(0)] = Value::from(self.vn as i64);
                     row[layout.op_col(0)] = Operation::Insert.value();
@@ -276,7 +276,23 @@ impl<'t> MaintenanceTxn<'t> {
                     }
                     new_ext = Some(row.clone());
                     Ok(row)
-                })?;
+                });
+                match modified {
+                    Ok(()) => {}
+                    // Same race as above, one step later: GC reclaimed the
+                    // logically-deleted tuple after our read but before the
+                    // resurrecting write. Undo entry and key registration
+                    // are stale; drop both and retry as a fresh insert.
+                    Err(wh_storage::StorageError::NoSuchSlot { .. }) => {
+                        self.undo.lock().unwrap().remove(&rid);
+                        if let Some(dir) = self.table.key_dir() {
+                            let _ =
+                                dir.unregister(&self.table.base_to_ext_positions(&base_row), rid);
+                        }
+                        return self.insert(base_row);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
                 // CV ← MV may have moved non-updatable indexed attributes.
                 self.table
                     .on_physical_update(&ext, new_ext.as_ref().expect("modify ran"), rid);
@@ -416,10 +432,7 @@ impl<'t> MaintenanceTxn<'t> {
             .table
             .find_physical(&self.table.base_to_ext_positions(base_row))
             .ok_or_else(|| {
-                VnlError::NoSuchTuple(format!(
-                    "{:?}",
-                    layout.base_schema().key_of(base_row)
-                ))
+                VnlError::NoSuchTuple(format!("{:?}", layout.base_schema().key_of(base_row)))
             })?;
         let new_updatable: Vec<Value> = layout
             .updatable()
@@ -463,7 +476,7 @@ impl<'t> MaintenanceTxn<'t> {
             (false, Operation::Insert) => {
                 // Row 2, previous insert: the tuple was created (or
                 // resurrected) by this very transaction.
-                let undo_entry = self.undo.lock().get(&rid).cloned();
+                let undo_entry = self.undo.lock().unwrap().get(&rid).cloned();
                 match undo_entry {
                     Some(UndoEntry::Fresh) | None => {
                         // Net effect insert∘delete = nothing: physical delete.
@@ -472,7 +485,7 @@ impl<'t> MaintenanceTxn<'t> {
                         }
                         self.table.storage().delete(rid)?;
                         self.table.on_physical_delete(&ext, rid);
-                        self.undo.lock().remove(&rid);
+                        self.undo.lock().unwrap().remove(&rid);
                         self.record(PhysicalAction::RemoveOwnInsert, &ext);
                         Ok(())
                     }
@@ -481,7 +494,7 @@ impl<'t> MaintenanceTxn<'t> {
                         // rather than destroying the still-needed pre-delete
                         // version.
                         self.restore_touched(rid, &entry)?;
-                        self.undo.lock().remove(&rid);
+                        self.undo.lock().unwrap().remove(&rid);
                         self.record(PhysicalAction::RestoreResurrected, &ext);
                         Ok(())
                     }
@@ -652,7 +665,7 @@ impl<'t> MaintenanceTxn<'t> {
     /// `currentVN` happens as its own latched step (§4's abort-safe order).
     pub fn commit(self) -> VnlResult<()> {
         self.check_open()?;
-        *self.finished.lock() = true;
+        *self.finished.lock().unwrap() = true;
         self.table.version().publish_commit(self.vn)?;
         Ok(())
     }
@@ -675,7 +688,7 @@ impl<'t> MaintenanceTxn<'t> {
     /// (§7's log-free rollback), then clearing the maintenance flag.
     pub fn abort(self) -> VnlResult<()> {
         self.check_open()?;
-        *self.finished.lock() = true;
+        *self.finished.lock().unwrap() = true;
         self.rollback_changes()?;
         self.table.version().publish_abort()?;
         Ok(())
@@ -685,14 +698,14 @@ impl<'t> MaintenanceTxn<'t> {
     /// publishes once for all tables.
     pub(crate) fn commit_local(&self) -> VnlResult<()> {
         self.check_open()?;
-        *self.finished.lock() = true;
+        *self.finished.lock().unwrap() = true;
         Ok(())
     }
 
     /// Roll back and mark finished without publishing (warehouse abort).
     pub(crate) fn abort_local(&self) -> VnlResult<()> {
         self.check_open()?;
-        *self.finished.lock() = true;
+        *self.finished.lock().unwrap() = true;
         self.rollback_changes()?;
         Ok(())
     }
@@ -709,7 +722,7 @@ impl<'t> MaintenanceTxn<'t> {
             }
             Ok(())
         })?;
-        let undo = std::mem::take(&mut *self.undo.lock());
+        let undo = std::mem::take(&mut *self.undo.lock().unwrap());
         for rid in touched {
             let ext = self.table.storage().read(rid)?;
             match undo.get(&rid) {
@@ -792,14 +805,14 @@ impl std::fmt::Debug for MaintenanceTxn<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MaintenanceTxn")
             .field("vn", &self.vn)
-            .field("finished", &*self.finished.lock())
+            .field("finished", &*self.finished.lock().unwrap())
             .finish()
     }
 }
 
 impl Drop for MaintenanceTxn<'_> {
     fn drop(&mut self) {
-        let mut finished = self.finished.lock();
+        let mut finished = self.finished.lock().unwrap();
         if !*finished {
             *finished = true;
             // Best-effort auto-abort so a dropped transaction cannot wedge

@@ -3,9 +3,11 @@
 use crate::error::{VnlError, VnlResult};
 use crate::table::VnlTable;
 use crate::version::VersionNo;
+use std::sync::Mutex;
 use wh_sql::{
-    exec::execute_select, parse_statement, Params, QueryResult, RowSource, SelectStmt, SqlError,
-    Statement,
+    exec::{execute_select, execute_select_parallel},
+    parse_statement, ParallelRowSource, Params, QueryResult, RowSource, SelectStmt, SqlError,
+    SqlResult, Statement,
 };
 use wh_types::{Row, Schema, Value};
 
@@ -80,6 +82,66 @@ impl<'t> ReaderSession<'t> {
         self.table.scan_visible(self.session_vn)
     }
 
+    /// Streaming twin of [`ReaderSession::scan`]: `visit` receives each
+    /// visible row in heap order without the session materializing the
+    /// relation. Invisible tuples are rejected on their encoded bytes
+    /// before any row decode.
+    pub fn scan_with<F>(&self, visit: F) -> VnlResult<()>
+    where
+        F: FnMut(Row) -> VnlResult<()>,
+    {
+        self.table.scan_visible_with(self.session_vn, None, visit)
+    }
+
+    /// [`ReaderSession::scan_with`] with projection pushdown: rows carry
+    /// only the base-schema columns listed in `cols`, in that order, and no
+    /// other column is ever decoded.
+    pub fn scan_projected_with<F>(&self, cols: &[usize], visit: F) -> VnlResult<()>
+    where
+        F: FnMut(Row) -> VnlResult<()>,
+    {
+        self.table
+            .scan_visible_with(self.session_vn, Some(cols), visit)
+    }
+
+    /// Materializing form of [`ReaderSession::scan_projected_with`].
+    pub fn scan_projected(&self, cols: &[usize]) -> VnlResult<Vec<Row>> {
+        let mut out = Vec::new();
+        self.scan_projected_with(cols, |row| {
+            out.push(row);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Parallel partitioned scan: the heap is split into contiguous page
+    /// ranges handled by up to `threads` workers, and `visit(worker, row)`
+    /// runs on those workers. Exactly the rows of [`ReaderSession::scan`]
+    /// are delivered (same Table 1 semantics at this session's version,
+    /// including per-tuple expiration), but interleaving across workers is
+    /// nondeterministic — within one worker, rows arrive in heap order.
+    pub fn scan_parallel<F>(&self, threads: usize, visit: F) -> VnlResult<()>
+    where
+        F: Fn(usize, Row) -> VnlResult<()> + Sync,
+    {
+        self.table
+            .scan_visible_parallel(threads, self.session_vn, None, visit)
+    }
+
+    /// [`ReaderSession::scan_parallel`] with projection pushdown.
+    pub fn scan_projected_parallel<F>(
+        &self,
+        threads: usize,
+        cols: &[usize],
+        visit: F,
+    ) -> VnlResult<()>
+    where
+        F: Fn(usize, Row) -> VnlResult<()> + Sync,
+    {
+        self.table
+            .scan_visible_parallel(threads, self.session_vn, Some(cols), visit)
+    }
+
     /// Point lookup by key (base-schema row whose key columns are set).
     /// `Ok(None)` when the tuple is logically absent at this version.
     pub fn read_by_key(&self, key_row: &[Value]) -> VnlResult<Option<Row>> {
@@ -144,17 +206,51 @@ impl<'t> ReaderSession<'t> {
         self.query_stmt(&select)
     }
 
-    /// Like [`ReaderSession::query`] with a pre-parsed statement.
+    /// Like [`ReaderSession::query`] with a pre-parsed statement. The
+    /// executor streams straight off the byte-level scan pipeline — WHERE
+    /// is applied per tuple as it is extracted, never against a
+    /// materialized snapshot.
     pub fn query_stmt(&self, select: &SelectStmt) -> VnlResult<QueryResult> {
+        let source = self.source_for(select)?;
+        let res = execute_select(&source, select, &Params::new());
+        source.settle(res)
+    }
+
+    /// Parallel form of [`ReaderSession::query`]: the scan is partitioned
+    /// across up to `threads` workers and aggregates are folded into
+    /// per-worker partial states merged at the end. Results are identical
+    /// to the serial path (worker partitions are contiguous heap ranges
+    /// merged in order) up to floating-point reassociation in SUM/AVG.
+    pub fn query_parallel(&self, sql: &str, threads: usize) -> VnlResult<QueryResult> {
+        let stmt = parse_statement(sql)?;
+        let Statement::Select(select) = stmt else {
+            return Err(VnlError::Sql(SqlError::Unsupported(
+                "reader sessions are read-only".into(),
+            )));
+        };
+        self.query_stmt_parallel(&select, threads)
+    }
+
+    /// Like [`ReaderSession::query_parallel`] with a pre-parsed statement.
+    pub fn query_stmt_parallel(
+        &self,
+        select: &SelectStmt,
+        threads: usize,
+    ) -> VnlResult<QueryResult> {
+        let source = self.source_for(select)?;
+        let res = execute_select_parallel(&source, select, &Params::new(), threads);
+        source.settle(res)
+    }
+
+    fn source_for(&self, select: &SelectStmt) -> VnlResult<SessionSource<'_>> {
         if select.from != self.table.name() {
             return Err(VnlError::Sql(SqlError::NoSuchTable(select.from.clone())));
         }
-        let rows = self.scan()?;
-        let source = MemSource {
-            schema: self.table.layout().base_schema(),
-            rows,
-        };
-        Ok(execute_select(&source, select, &Params::new())?)
+        Ok(SessionSource {
+            table: self.table,
+            session_vn: self.session_vn,
+            failure: Mutex::new(None),
+        })
     }
 
     /// Run a SELECT the way §4 deploys 2VNL on a stock DBMS: **rewrite** the
@@ -195,19 +291,73 @@ impl Drop for ReaderSession<'_> {
     }
 }
 
-/// In-memory row source: lets the SQL executor run over an already-extracted
-/// consistent snapshot.
-struct MemSource<'a> {
-    schema: &'a Schema,
-    rows: Vec<Row>,
+/// Streaming row source over one session's consistent view: the SQL
+/// executor pulls rows straight off [`VnlTable::scan_visible_with`] /
+/// [`VnlTable::scan_visible_parallel`] — no intermediate snapshot.
+///
+/// The executor speaks [`SqlError`], but the scan can fail with
+/// session-level errors (expiration, storage faults) that must surface as
+/// [`VnlError`]. Those are stashed in `failure` and transported out of the
+/// executor as [`wh_storage::StorageError::ScanAborted`]; [`Self::settle`]
+/// unwraps the stash on the way back to the caller.
+struct SessionSource<'a> {
+    table: &'a VnlTable,
+    session_vn: VersionNo,
+    failure: Mutex<Option<VnlError>>,
 }
 
-impl RowSource for MemSource<'_> {
-    fn schema(&self) -> &Schema {
-        self.schema
+impl SessionSource<'_> {
+    /// Convert a scan-level [`VnlError`] into the [`SqlError`] the executor
+    /// expects, stashing anything that has no SQL representation.
+    fn smuggle(&self, e: VnlError) -> SqlError {
+        match e {
+            VnlError::Sql(sql) => sql,
+            other => {
+                let mut slot = self.failure.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(other);
+                }
+                SqlError::Storage(wh_storage::StorageError::ScanAborted)
+            }
+        }
     }
 
-    fn scan_rows(&self) -> Result<Vec<Row>, SqlError> {
-        Ok(self.rows.clone())
+    /// Resolve an executor result against the stash: the stashed
+    /// [`VnlError`] wins (its paired `ScanAborted` was only the transport).
+    fn settle(&self, res: SqlResult<QueryResult>) -> VnlResult<QueryResult> {
+        let stashed = self.failure.lock().unwrap().take();
+        match (res, stashed) {
+            (_, Some(e)) => Err(e),
+            (Err(e), None) => Err(VnlError::Sql(e)),
+            (Ok(r), None) => Ok(r),
+        }
+    }
+}
+
+impl RowSource for SessionSource<'_> {
+    fn schema(&self) -> &Schema {
+        self.table.layout().base_schema()
+    }
+
+    fn for_each(&self, visit: &mut dyn FnMut(Row) -> SqlResult<()>) -> SqlResult<()> {
+        self.table
+            .scan_visible_with(self.session_vn, None, |row| {
+                visit(row).map_err(VnlError::Sql)
+            })
+            .map_err(|e| self.smuggle(e))
+    }
+}
+
+impl ParallelRowSource for SessionSource<'_> {
+    fn for_each_parallel(
+        &self,
+        threads: usize,
+        visit: &(dyn Fn(usize, Row) -> SqlResult<()> + Sync),
+    ) -> SqlResult<()> {
+        self.table
+            .scan_visible_parallel(threads, self.session_vn, None, |worker, row| {
+                visit(worker, row).map_err(VnlError::Sql)
+            })
+            .map_err(|e| self.smuggle(e))
     }
 }

@@ -129,11 +129,8 @@ impl QueryRewriter {
         .and(not_op(0, Operation::Delete));
         // Pre-version terms, one per slot.
         for j in 0..slots {
-            let mut term = Expr::binary(
-                BinOp::Lt,
-                Self::session_param(),
-                Expr::col(self.vn_name(j)),
-            );
+            let mut term =
+                Expr::binary(BinOp::Lt, Self::session_param(), Expr::col(self.vn_name(j)));
             if j + 1 < slots {
                 term = term.and(
                     Expr::IsNull {
@@ -266,25 +263,30 @@ mod tests {
     #[test]
     fn updatable_column_in_predicate_rewritten() {
         let r = rewriter(2);
-        let wh_sql::Statement::Select(q) = parse_statement(
-            "SELECT city FROM DailySales WHERE total_sales > 5000",
-        )
-        .unwrap() else {
+        let wh_sql::Statement::Select(q) =
+            parse_statement("SELECT city FROM DailySales WHERE total_sales > 5000").unwrap()
+        else {
             panic!()
         };
         let rewritten = r.rewrite_select(&q).unwrap();
         let w = rewritten.where_clause.unwrap().to_string();
-        assert!(w.contains("CASE WHEN :sessionVN >= tupleVN THEN total_sales ELSE pre_total_sales END > 5000"),
-            "got: {w}");
+        assert!(
+            w.contains(
+                "CASE WHEN :sessionVN >= tupleVN THEN total_sales ELSE pre_total_sales END > 5000"
+            ),
+            "got: {w}"
+        );
         // The guard is parenthesized as the left operand of the AND.
-        assert!(w.starts_with("(:sessionVN >= tupleVN AND operation <> 'd'"), "got: {w}");
+        assert!(
+            w.starts_with("(:sessionVN >= tupleVN AND operation <> 'd'"),
+            "got: {w}"
+        );
     }
 
     #[test]
     fn select_star_expands_to_base_columns() {
         let r = rewriter(2);
-        let wh_sql::Statement::Select(q) =
-            parse_statement("SELECT * FROM DailySales").unwrap()
+        let wh_sql::Statement::Select(q) = parse_statement("SELECT * FROM DailySales").unwrap()
         else {
             panic!()
         };

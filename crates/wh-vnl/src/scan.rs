@@ -1,0 +1,397 @@
+//! Byte-level visibility scans: Table 1 evaluated on encoded records.
+//!
+//! [`crate::visibility::extract`] is the reference implementation of Table 1
+//! (§3.2) and its nVNL generalization (§5), but it requires a fully decoded
+//! extended row. On the reader hot path that is wasteful twice over: most
+//! tuples in a scan resolve to *current* visibility (no maintenance touched
+//! them since the session began), yet every tuple pays full-row decode —
+//! including the `n − 1` pre-update sets the session will never look at —
+//! and a query usually projects a handful of columns anyway.
+//!
+//! [`ByteScanner`] fixes both. The extended row codec stores every column at
+//! a fixed byte offset (`wh_types::RowCodec::col_byte_range`), so the
+//! `(tupleVN_j, operation_j)` pairs can be read straight out of the encoded
+//! record: 4 little-endian bytes for the version number, 1 byte for the
+//! operation code, and one null-bitmap bit per column for slot occupancy.
+//! [`ByteScanner::classify`] runs the *entire* Table 1 decision on those
+//! bytes and only then does [`ByteScanner::decode_visible`] materialize the
+//! columns the caller asked for — invisible tuples are skipped before any
+//! decoding happens, and visible ones decode exactly the projected columns
+//! (pre-update columns are substituted per Table 1's note when the session
+//! reads a pre-update version).
+//!
+//! The classifier mirrors `extract` case by case; the
+//! `byte_path_matches_reference` tests below lock the two together on the
+//! paper's fixtures (Figure 4, Figure 7) and on randomized histories.
+
+use crate::schema_ext::ExtLayout;
+use crate::version::{Operation, VersionNo};
+use wh_types::{Row, RowCodec, TypeResult};
+
+/// Outcome of the byte-level Table 1 test for one encoded record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Classified {
+    /// The session sees the tuple's current attribute values.
+    Current,
+    /// The session sees the pre-update version recorded in slot `j`.
+    Pre(usize),
+    /// The tuple is logically absent at the session's version.
+    Ignore,
+    /// Case 3: the version the session needs was pushed out of the tuple.
+    Expired,
+}
+
+/// Byte offsets of one `(tupleVN_j, operation_j)` pair.
+#[derive(Debug, Clone, Copy)]
+struct SlotProbe {
+    /// Offset of the 4-byte little-endian `tupleVN_j` (Int32) slot.
+    vn_off: usize,
+    /// Offset of the 1-byte `operation_j` (Char(1)) slot.
+    op_off: usize,
+    /// Null-bitmap (byte, mask) of the `tupleVN_j` column.
+    vn_null: (usize, u8),
+    /// Null-bitmap (byte, mask) of the `operation_j` column.
+    op_null: (usize, u8),
+}
+
+/// Precomputed byte-level visibility classifier + projecting decoder for one
+/// `(ExtLayout, RowCodec)` pair. Cheap to build per scan; `Sync`, so one
+/// instance serves every worker of a parallel scan.
+#[derive(Debug, Clone)]
+pub struct ByteScanner {
+    slots: Vec<SlotProbe>,
+    /// Extended column index per projected output column, current version.
+    current_cols: Vec<usize>,
+    /// Same, per pre-update slot `j` (updatable columns swapped for their
+    /// `pre_…_j` copies — Table 1's "pre-update values" note).
+    pre_cols: Vec<Vec<usize>>,
+}
+
+fn null_bit(col: usize) -> (usize, u8) {
+    (col / 8, 1 << (col % 8))
+}
+
+impl ByteScanner {
+    /// Build a scanner over `layout` for records encoded by `codec` (the
+    /// extended-schema codec). `projection` lists the base-schema columns to
+    /// decode, in output order; `None` decodes the full base row.
+    pub fn new(layout: &ExtLayout, codec: &RowCodec, projection: Option<&[usize]>) -> Self {
+        let slots = (0..layout.slots())
+            .map(|j| {
+                let vn_col = layout.vn_col(j);
+                let op_col = layout.op_col(j);
+                SlotProbe {
+                    vn_off: codec.col_byte_range(vn_col).0,
+                    op_off: codec.col_byte_range(op_col).0,
+                    vn_null: null_bit(vn_col),
+                    op_null: null_bit(op_col),
+                }
+            })
+            .collect();
+        let all: Vec<usize>;
+        let projected: &[usize] = match projection {
+            Some(cols) => cols,
+            None => {
+                all = (0..layout.base_schema().arity()).collect();
+                &all
+            }
+        };
+        let current_cols: Vec<usize> = projected.iter().map(|&i| layout.base_col(i)).collect();
+        let pre_cols = (0..layout.slots())
+            .map(|j| {
+                projected
+                    .iter()
+                    .map(|&i| match layout.updatable().iter().position(|&u| u == i) {
+                        Some(u_pos) => layout.pre_set(j)[u_pos],
+                        None => layout.base_col(i),
+                    })
+                    .collect()
+            })
+            .collect();
+        ByteScanner {
+            slots,
+            current_cols,
+            pre_cols,
+        }
+    }
+
+    /// Read slot `j`'s `(tupleVN, operation)` from the encoded record;
+    /// `None` when the slot is empty (either column NULL) — the byte twin of
+    /// [`ExtLayout::slot`].
+    fn slot(&self, buf: &[u8], j: usize) -> Option<(VersionNo, Operation)> {
+        let p = &self.slots[j];
+        if buf[p.vn_null.0] & p.vn_null.1 != 0 || buf[p.op_null.0] & p.op_null.1 != 0 {
+            return None;
+        }
+        let vn = i32::from_le_bytes(buf[p.vn_off..p.vn_off + 4].try_into().unwrap());
+        let op = match buf[p.op_off] {
+            b'i' => Operation::Insert,
+            b'u' => Operation::Update,
+            b'd' => Operation::Delete,
+            _ => return None,
+        };
+        Some((vn as i64 as VersionNo, op))
+    }
+
+    /// Table 1 / §5 on the encoded record — the byte twin of
+    /// [`crate::visibility::extract`], case for case.
+    pub fn classify(&self, buf: &[u8], session_vn: VersionNo) -> Classified {
+        let (vn1, op1) = self
+            .slot(buf, 0)
+            .expect("slot 0 is always populated for live tuples");
+        // Case 1: the session is at or past the tuple's newest modification.
+        if session_vn >= vn1 {
+            return match op1 {
+                Operation::Delete => Classified::Ignore,
+                _ => Classified::Current,
+            };
+        }
+        // Case 2: find j* = the oldest recorded slot with tupleVN_j > sessionVN.
+        let mut j_star = 0;
+        let mut oldest_recorded = 0;
+        for j in 1..self.slots.len() {
+            match self.slot(buf, j) {
+                Some((vn_j, _)) => {
+                    oldest_recorded = j;
+                    if vn_j > session_vn {
+                        j_star = j;
+                    }
+                }
+                None => break,
+            }
+        }
+        // Case 3: expired — all slots full, and the session predates even
+        // the oldest recorded pre-update version's validity window.
+        let slots_full = oldest_recorded == self.slots.len() - 1;
+        if slots_full && j_star == oldest_recorded {
+            let (vn_oldest, _) = self.slot(buf, oldest_recorded).expect("recorded");
+            if session_vn + 1 < vn_oldest {
+                return Classified::Expired;
+            }
+        }
+        let (_, op_j) = self.slot(buf, j_star).expect("j* is recorded");
+        match op_j {
+            Operation::Insert => Classified::Ignore,
+            _ => Classified::Pre(j_star),
+        }
+    }
+
+    /// Decode the projected columns of a record already classified visible
+    /// (`Current` or `Pre(j)`); only those columns are materialized.
+    pub fn decode_visible(
+        &self,
+        codec: &RowCodec,
+        buf: &[u8],
+        which: Classified,
+    ) -> TypeResult<Row> {
+        let cols = match which {
+            Classified::Current => &self.current_cols,
+            Classified::Pre(j) => &self.pre_cols[j],
+            Classified::Ignore | Classified::Expired => {
+                unreachable!("decode_visible called on an invisible record")
+            }
+        };
+        cols.iter().map(|&c| codec.decode_col(buf, c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::visibility::{extract, Visible};
+    use wh_types::rng::SplitMix64;
+    use wh_types::schema::daily_sales_schema;
+    use wh_types::{Date, Value};
+
+    fn layout(n: usize) -> ExtLayout {
+        ExtLayout::new(daily_sales_schema(), n).unwrap()
+    }
+
+    fn codec(l: &ExtLayout) -> RowCodec {
+        RowCodec::new(l.ext_schema().clone())
+    }
+
+    /// Assert the byte path agrees with the reference `extract` for one
+    /// extended row across a range of session versions.
+    fn assert_agrees(l: &ExtLayout, ext: &Row, vns: impl Iterator<Item = VersionNo>) {
+        let c = codec(l);
+        let scanner = ByteScanner::new(l, &c, None);
+        let buf = c.encode(ext).unwrap();
+        for vn in vns {
+            let reference = extract(l, ext, vn);
+            let classified = scanner.classify(&buf, vn);
+            match (&reference, classified) {
+                (Visible::Ignore, Classified::Ignore) => {}
+                (Visible::Expired, Classified::Expired) => {}
+                (Visible::Row(want), which @ (Classified::Current | Classified::Pre(_))) => {
+                    let got = scanner.decode_visible(&c, &buf, which).unwrap();
+                    assert_eq!(&got, want, "row mismatch at sessionVN {vn}");
+                }
+                _ => panic!("vn {vn}: reference {reference:?} vs byte path {classified:?}"),
+            }
+        }
+    }
+
+    fn row2(vn: i64, op: &str, city: &str, pl: &str, day: u8, sales: Value, pre: Value) -> Row {
+        vec![
+            Value::from(vn),
+            Value::from(op),
+            Value::from(city),
+            Value::from("CA"),
+            Value::from(pl),
+            Value::from(Date::ymd(1996, 10, day)),
+            sales,
+            pre,
+        ]
+    }
+
+    #[test]
+    fn byte_path_matches_reference_on_figure_4() {
+        let l = layout(2);
+        let rows = vec![
+            row2(
+                3,
+                "i",
+                "San Jose",
+                "golf equip",
+                14,
+                Value::from(10_000),
+                Value::Null,
+            ),
+            row2(
+                4,
+                "i",
+                "San Jose",
+                "golf equip",
+                15,
+                Value::from(1_500),
+                Value::Null,
+            ),
+            row2(
+                4,
+                "u",
+                "Berkeley",
+                "racquetball",
+                14,
+                Value::from(12_000),
+                Value::from(10_000),
+            ),
+            row2(
+                4,
+                "d",
+                "Novato",
+                "rollerblades",
+                13,
+                Value::from(8_000),
+                Value::from(8_000),
+            ),
+        ];
+        for ext in &rows {
+            assert_agrees(&l, ext, 0..8);
+        }
+    }
+
+    #[test]
+    fn byte_path_matches_reference_on_figure_7() {
+        // Figure 7 under 4VNL: insert at VN 3, update at VN 5, delete at VN 6.
+        let l = layout(4);
+        let mut ext = vec![Value::Null; l.ext_schema().arity()];
+        for (i, v) in [
+            Value::from("San Jose"),
+            Value::from("CA"),
+            Value::from("golf equip"),
+            Value::from(Date::ymd(1996, 10, 14)),
+            Value::from(10_200),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            ext[l.base_col(i)] = v;
+        }
+        let slots = [
+            (6i64, "d", Value::from(10_200)),
+            (5, "u", Value::from(10_000)),
+            (3, "i", Value::Null),
+        ];
+        for (j, (vn, op, pre)) in slots.into_iter().enumerate() {
+            ext[l.vn_col(j)] = Value::from(vn);
+            ext[l.op_col(j)] = Value::from(op);
+            ext[l.pre_set(j)[0]] = pre;
+        }
+        assert_agrees(&l, &ext, 0..10);
+    }
+
+    #[test]
+    fn byte_path_matches_reference_on_random_histories() {
+        // Randomized tuple histories under n ∈ {2, 3, 4}: build a plausible
+        // slot stack (descending VNs, newest first, oldest may be an insert)
+        // and check every sessionVN around it.
+        let mut rng = SplitMix64::seed_from_u64(0xB17E_5CA1);
+        for _ in 0..200 {
+            let n = 2 + rng.index(3);
+            let l = layout(n);
+            let mut ext = vec![Value::Null; l.ext_schema().arity()];
+            for (i, v) in [
+                Value::from("City"),
+                Value::from("CA"),
+                Value::from("pl"),
+                Value::from(Date::ymd(1996, 10, 1)),
+                Value::from(rng.range_i64(0, 100_000)),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                ext[l.base_col(i)] = v;
+            }
+            let filled = 1 + rng.index(l.slots());
+            let mut vn = 2 + rng.range_i64(0, 20);
+            for j in 0..filled {
+                let op = match rng.index(3) {
+                    0 if j + 1 == filled => "i", // oldest slot may be the birth
+                    0 => "u",
+                    1 => "u",
+                    _ => "d",
+                };
+                ext[l.vn_col(j)] = Value::from(vn);
+                ext[l.op_col(j)] = Value::from(op);
+                if op != "i" {
+                    ext[l.pre_set(j)[0]] = Value::from(rng.range_i64(0, 100_000));
+                }
+                vn -= 1 + rng.range_i64(0, 4);
+                if vn < 1 {
+                    break;
+                }
+            }
+            assert_agrees(&l, &ext, 0..30);
+        }
+    }
+
+    #[test]
+    fn projection_decodes_only_requested_columns() {
+        let l = layout(2);
+        let c = codec(&l);
+        // Project (total_sales, city) — reversed order, updatable + not.
+        let scanner = ByteScanner::new(&l, &c, Some(&[4, 0]));
+        let current = row2(
+            4,
+            "u",
+            "Berkeley",
+            "racquetball",
+            14,
+            Value::from(12_000),
+            Value::from(10_000),
+        );
+        let buf = c.encode(&current).unwrap();
+        // Current view: post-update total_sales.
+        let got = scanner
+            .decode_visible(&c, &buf, Classified::Current)
+            .unwrap();
+        assert_eq!(got, vec![Value::from(12_000), Value::from("Berkeley")]);
+        // Pre-update view: the updatable column swaps to its pre copy.
+        assert_eq!(scanner.classify(&buf, 3), Classified::Pre(0));
+        let got = scanner
+            .decode_visible(&c, &buf, Classified::Pre(0))
+            .unwrap();
+        assert_eq!(got, vec![Value::from(10_000), Value::from("Berkeley")]);
+    }
+}

@@ -7,10 +7,10 @@ use crate::rewrite::QueryRewriter;
 use crate::schema_ext::ExtLayout;
 use crate::version::{VersionNo, VersionState};
 use crate::visibility;
-use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::sync::{Mutex, RwLock};
 use wh_index::{IndexKey, KeyDirectory, OrderedIndex};
 use wh_storage::{IoStats, Rid, Table};
 use wh_types::{Row, Schema, Value};
@@ -76,11 +76,7 @@ impl VnlTable {
 
     /// Create an empty nVNL table with an explicit relation name (used to
     /// resolve SQL statements against it).
-    pub fn create_named(
-        name: impl Into<String>,
-        base_schema: Schema,
-        n: usize,
-    ) -> VnlResult<Self> {
+    pub fn create_named(name: impl Into<String>, base_schema: Schema, n: usize) -> VnlResult<Self> {
         let io = Arc::new(IoStats::new());
         let version = Arc::new(VersionState::new(Arc::clone(&io))?);
         Self::create_shared(name, base_schema, n, version, io)
@@ -198,7 +194,7 @@ impl VnlTable {
         if snap.maintenance_active {
             return Err(VnlError::MaintenanceAlreadyActive);
         }
-        if !self.sessions.lock().is_empty() {
+        if !self.sessions.lock().unwrap().is_empty() {
             return Err(VnlError::KeyRequired(
                 "load_initial requires no active sessions",
             ));
@@ -245,12 +241,12 @@ impl VnlTable {
     /// by warehouse-wide sessions so every table reads the same `sessionVN`).
     pub(crate) fn begin_session_at(&self, vn: VersionNo) -> ReaderSession<'_> {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-        self.sessions.lock().insert(id, vn);
+        self.sessions.lock().unwrap().insert(id, vn);
         ReaderSession::new(self, id, vn)
     }
 
     pub(crate) fn end_session(&self, id: u64) {
-        self.sessions.lock().remove(&id);
+        self.sessions.lock().unwrap().remove(&id);
     }
 
     pub(crate) fn note_expiration(&self) {
@@ -264,12 +260,12 @@ impl VnlTable {
 
     /// Number of currently active reader sessions.
     pub fn active_session_count(&self) -> usize {
-        self.sessions.lock().len()
+        self.sessions.lock().unwrap().len()
     }
 
     /// The smallest `sessionVN` among active sessions, if any.
     pub fn min_active_session_vn(&self) -> Option<VersionNo> {
-        self.sessions.lock().values().copied().min()
+        self.sessions.lock().unwrap().values().copied().min()
     }
 
     /// Read one tuple as seen by `session_vn` (point lookup via the key
@@ -307,20 +303,128 @@ impl VnlTable {
     /// session expired (the per-tuple detector of §3.2).
     pub(crate) fn scan_visible(&self, session_vn: VersionNo) -> VnlResult<Vec<Row>> {
         let mut out = Vec::new();
-        let mut expired = false;
-        self.storage.scan(|_, ext| {
-            match visibility::extract(&self.layout, &ext, session_vn) {
-                visibility::Visible::Row(r) => out.push(r),
-                visibility::Visible::Ignore => {}
-                visibility::Visible::Expired => expired = true,
-            }
+        self.scan_visible_with(session_vn, None, |row| {
+            out.push(row);
             Ok(())
         })?;
-        if expired {
-            self.note_expiration();
-            return Err(VnlError::SessionExpired { session_vn });
-        }
         Ok(out)
+    }
+
+    /// Streaming visitor scan of the tuples visible to `session_vn` through
+    /// the byte-level Table 1 classifier ([`crate::scan::ByteScanner`]):
+    /// invisible tuples are skipped before any row decode, and only the
+    /// `projection` base columns (all when `None`) are materialized. Stops
+    /// at the first expired tuple or visitor error.
+    pub(crate) fn scan_visible_with<F>(
+        &self,
+        session_vn: VersionNo,
+        projection: Option<&[usize]>,
+        mut visit: F,
+    ) -> VnlResult<()>
+    where
+        F: FnMut(Row) -> VnlResult<()>,
+    {
+        let codec = self.storage.codec();
+        let scanner = crate::scan::ByteScanner::new(&self.layout, codec, projection);
+        let mut failure: Option<VnlError> = None;
+        let res = self.storage.heap().scan(|_, buf| {
+            match scanner.classify(buf, session_vn) {
+                crate::scan::Classified::Ignore => return Ok(()),
+                crate::scan::Classified::Expired => {
+                    failure = Some(VnlError::SessionExpired { session_vn });
+                }
+                which => match scanner.decode_visible(codec, buf, which) {
+                    Ok(row) => {
+                        if let Err(e) = visit(row) {
+                            failure = Some(e);
+                        }
+                    }
+                    Err(e) => failure = Some(e.into()),
+                },
+            }
+            if failure.is_some() {
+                Err(wh_storage::StorageError::ScanAborted)
+            } else {
+                Ok(())
+            }
+        });
+        self.settle_scan(res, failure)
+    }
+
+    /// Parallel twin of [`VnlTable::scan_visible_with`]: partitions the heap
+    /// into contiguous page ranges scanned by `threads` workers
+    /// ([`wh_storage::HeapFile::scan_parallel`]). `visit(worker, row)` runs
+    /// on worker threads; the first failure (expiration, decode error, or
+    /// visitor error) aborts all partitions. Which worker sees which tuple
+    /// is deterministic for a fixed heap, but call interleaving is not — the
+    /// visitor must not rely on ordering.
+    pub(crate) fn scan_visible_parallel<F>(
+        &self,
+        threads: usize,
+        session_vn: VersionNo,
+        projection: Option<&[usize]>,
+        visit: F,
+    ) -> VnlResult<()>
+    where
+        F: Fn(usize, Row) -> VnlResult<()> + Sync,
+    {
+        let codec = self.storage.codec();
+        let scanner = crate::scan::ByteScanner::new(&self.layout, codec, projection);
+        let failure: Mutex<Option<VnlError>> = Mutex::new(None);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let fail = |e: VnlError| {
+            let mut slot = failure.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+            failed.store(true, Ordering::Release);
+        };
+        let res = self
+            .storage
+            .heap()
+            .scan_parallel(threads, |worker, _, buf| {
+                match scanner.classify(buf, session_vn) {
+                    crate::scan::Classified::Ignore => {}
+                    crate::scan::Classified::Expired => {
+                        fail(VnlError::SessionExpired { session_vn });
+                    }
+                    which => match scanner.decode_visible(codec, buf, which) {
+                        Ok(row) => {
+                            if let Err(e) = visit(worker, row) {
+                                fail(e);
+                            }
+                        }
+                        Err(e) => fail(e.into()),
+                    },
+                }
+                if failed.load(Ordering::Acquire) {
+                    Err(wh_storage::StorageError::ScanAborted)
+                } else {
+                    Ok(())
+                }
+            });
+        self.settle_scan(res, failure.into_inner().unwrap())
+    }
+
+    /// Resolve a heap-scan result against an error stashed by the visitor:
+    /// the stashed [`VnlError`] wins (the paired `ScanAborted` is only its
+    /// transport), expiration is counted, and genuine storage errors pass
+    /// through.
+    fn settle_scan(
+        &self,
+        res: Result<(), wh_storage::StorageError>,
+        failure: Option<VnlError>,
+    ) -> VnlResult<()> {
+        match (res, failure) {
+            (_, Some(e)) => {
+                if matches!(e, VnlError::SessionExpired { .. }) {
+                    self.note_expiration();
+                }
+                Err(e)
+            }
+            (Err(e), None) => Err(e.into()),
+            (Ok(()), None) => Ok(()),
+        }
     }
 
     /// Raw extended rows with their RIDs (reports, GC, tests).
@@ -348,7 +452,7 @@ impl VnlTable {
             base_cols.push(idx);
         }
         let ext_cols: Vec<usize> = base_cols.iter().map(|&b| self.layout.base_col(b)).collect();
-        let mut indexes = self.indexes.write();
+        let mut indexes = self.indexes.write().unwrap();
         if indexes.iter().any(|i| i.name == name) {
             return Err(VnlError::DuplicateIndex(name.to_string()));
         }
@@ -372,6 +476,7 @@ impl VnlTable {
     pub fn index(&self, name: &str) -> VnlResult<Arc<SecondaryIndex>> {
         self.indexes
             .read()
+            .unwrap()
             .iter()
             .find(|i| i.name == name)
             .cloned()
@@ -401,14 +506,14 @@ impl VnlTable {
 
     /// Hook: a tuple was physically inserted.
     pub(crate) fn on_physical_insert(&self, ext_row: &[Value], rid: Rid) {
-        for idx in self.indexes.read().iter() {
+        for idx in self.indexes.read().unwrap().iter() {
             idx.index.insert(ext_row, rid);
         }
     }
 
     /// Hook: a tuple was physically deleted.
     pub(crate) fn on_physical_delete(&self, ext_row: &[Value], rid: Rid) {
-        for idx in self.indexes.read().iter() {
+        for idx in self.indexes.read().unwrap().iter() {
             let _ = idx.index.remove(ext_row, rid);
         }
     }
@@ -417,11 +522,8 @@ impl VnlTable {
     /// changed (only possible through the resurrection path's `CV ← MV` on
     /// non-key, non-updatable attributes).
     pub(crate) fn on_physical_update(&self, old_ext: &[Value], new_ext: &[Value], rid: Rid) {
-        for idx in self.indexes.read().iter() {
-            let changed = idx
-                .ext_cols
-                .iter()
-                .any(|&c| old_ext[c] != new_ext[c]);
+        for idx in self.indexes.read().unwrap().iter() {
+            let changed = idx.ext_cols.iter().any(|&c| old_ext[c] != new_ext[c]);
             if changed {
                 let _ = idx.index.remove(old_ext, rid);
                 idx.index.insert(new_ext, rid);

@@ -18,9 +18,9 @@
 //! happens, atomically, under the latch.
 
 use crate::error::{VnlError, VnlResult};
-use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
+use std::sync::Mutex;
 use wh_storage::{IoStats, Rid, Table};
 use wh_types::{Column, DataType, Schema, Value};
 
@@ -127,7 +127,7 @@ impl VersionState {
     /// Read both globals under the latch (also reads the Version relation,
     /// charging the reader one page read, as the §4.1 global check would).
     pub fn snapshot(&self) -> VersionSnapshot {
-        let inner = self.inner.lock();
+        let inner = self.inner.lock().unwrap();
         // Mirror read — the I/O a query-rewrite reader would pay.
         let _ = self.relation.read(self.relation_rid);
         VersionSnapshot {
@@ -140,7 +140,7 @@ impl VersionState {
     /// currentVN + 1` and sets the active flag. Enforces the one-at-a-time
     /// external protocol.
     pub fn begin_maintenance(&self) -> VnlResult<VersionNo> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         if inner.maintenance_active {
             return Err(VnlError::MaintenanceAlreadyActive);
         }
@@ -157,7 +157,7 @@ impl VersionState {
     /// Runs as its own latched step *after* all data changes are in place,
     /// per the §4 abort-safety note.
     pub fn publish_commit(&self, maintenance_vn: VersionNo) -> VnlResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         debug_assert_eq!(maintenance_vn, inner.current_vn + 1);
         inner.current_vn = maintenance_vn;
         inner.maintenance_active = false;
@@ -170,7 +170,7 @@ impl VersionState {
 
     /// Record a maintenance abort: flag off, `currentVN` unchanged.
     pub fn publish_abort(&self) -> VnlResult<()> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         inner.maintenance_active = false;
         self.relation.update(
             self.relation_rid,

@@ -111,10 +111,42 @@ mod tests {
     /// The Figure 4 relation.
     fn figure_4() -> Vec<Row> {
         vec![
-            row2(3, "i", "San Jose", "golf equip", 14, Value::from(10_000), Value::Null),
-            row2(4, "i", "San Jose", "golf equip", 15, Value::from(1_500), Value::Null),
-            row2(4, "u", "Berkeley", "racquetball", 14, Value::from(12_000), Value::from(10_000)),
-            row2(4, "d", "Novato", "rollerblades", 13, Value::from(8_000), Value::from(8_000)),
+            row2(
+                3,
+                "i",
+                "San Jose",
+                "golf equip",
+                14,
+                Value::from(10_000),
+                Value::Null,
+            ),
+            row2(
+                4,
+                "i",
+                "San Jose",
+                "golf equip",
+                15,
+                Value::from(1_500),
+                Value::Null,
+            ),
+            row2(
+                4,
+                "u",
+                "Berkeley",
+                "racquetball",
+                14,
+                Value::from(12_000),
+                Value::from(10_000),
+            ),
+            row2(
+                4,
+                "d",
+                "Novato",
+                "rollerblades",
+                13,
+                Value::from(8_000),
+                Value::from(8_000),
+            ),
         ]
     }
 
@@ -170,7 +202,9 @@ mod tests {
             ])
         );
         // Update at 4: current values.
-        assert!(matches!(extract(&l, &rows[2], 4), Visible::Row(ref r) if r[4] == Value::from(12_000)));
+        assert!(
+            matches!(extract(&l, &rows[2], 4), Visible::Row(ref r) if r[4] == Value::from(12_000))
+        );
         // Delete at 4: logically absent.
         assert_eq!(extract(&l, &rows[3], 4), Visible::Ignore);
     }

@@ -126,11 +126,7 @@ impl Warehouse {
     /// `sessionVN`, so cross-view queries are mutually consistent.
     pub fn begin_session(&self) -> WarehouseSession<'_> {
         let vn = self.version.snapshot().current_vn;
-        let sessions = self
-            .tables
-            .iter()
-            .map(|t| t.begin_session_at(vn))
-            .collect();
+        let sessions = self.tables.iter().map(|t| t.begin_session_at(vn)).collect();
         WarehouseSession {
             warehouse: self,
             vn,
@@ -326,7 +322,10 @@ mod tests {
             .unwrap()
             .table("A", monthly_schema(), 2)
             .unwrap_err();
-        assert!(matches!(err, VnlError::Sql(wh_sql::SqlError::TableExists(_))));
+        assert!(matches!(
+            err,
+            VnlError::Sql(wh_sql::SqlError::TableExists(_))
+        ));
     }
 
     #[test]
@@ -397,8 +396,22 @@ mod tests {
         assert_eq!(txn.maintenance_vn(), 2);
         txn.commit().unwrap();
         // Both tables observe the same currentVN through the shared state.
-        assert_eq!(w.table("CitySales").unwrap().version().snapshot().current_vn, 2);
-        assert_eq!(w.table("ProductSales").unwrap().version().snapshot().current_vn, 2);
+        assert_eq!(
+            w.table("CitySales")
+                .unwrap()
+                .version()
+                .snapshot()
+                .current_vn,
+            2
+        );
+        assert_eq!(
+            w.table("ProductSales")
+                .unwrap()
+                .version()
+                .snapshot()
+                .current_vn,
+            2
+        );
         // One maintenance at a time, warehouse-wide.
         let t1 = w.begin_maintenance().unwrap();
         assert!(matches!(
@@ -407,7 +420,10 @@ mod tests {
         ));
         // Even directly on a member table.
         assert!(matches!(
-            w.table("CitySales").unwrap().begin_maintenance().unwrap_err(),
+            w.table("CitySales")
+                .unwrap()
+                .begin_maintenance()
+                .unwrap_err(),
             VnlError::MaintenanceAlreadyActive
         ));
         t1.commit().unwrap();

@@ -23,18 +23,24 @@ fn figure_4_table() -> VnlTable {
     let t = VnlTable::create_named("DailySales", daily_sales_schema(), 2).unwrap();
     // VN 2: seed Berkeley and Novato.
     let txn = t.begin_maintenance().unwrap();
-    txn.insert(row("Berkeley", "racquetball", 14, 10_000)).unwrap();
-    txn.insert(row("Novato", "rollerblades", 13, 8_000)).unwrap();
+    txn.insert(row("Berkeley", "racquetball", 14, 10_000))
+        .unwrap();
+    txn.insert(row("Novato", "rollerblades", 13, 8_000))
+        .unwrap();
     txn.commit().unwrap();
     // VN 3: San Jose 10/14.
     let txn = t.begin_maintenance().unwrap();
-    txn.insert(row("San Jose", "golf equip", 14, 10_000)).unwrap();
+    txn.insert(row("San Jose", "golf equip", 14, 10_000))
+        .unwrap();
     txn.commit().unwrap();
     // VN 4: San Jose 10/15 insert, Berkeley update, Novato delete.
     let txn = t.begin_maintenance().unwrap();
-    txn.insert(row("San Jose", "golf equip", 15, 1_500)).unwrap();
-    txn.update_row(&row("Berkeley", "racquetball", 14, 12_000)).unwrap();
-    txn.delete_row(&row("Novato", "rollerblades", 13, 0)).unwrap();
+    txn.insert(row("San Jose", "golf equip", 15, 1_500))
+        .unwrap();
+    txn.update_row(&row("Berkeley", "racquetball", 14, 12_000))
+        .unwrap();
+    txn.delete_row(&row("Novato", "rollerblades", 13, 0))
+        .unwrap();
     txn.commit().unwrap();
     assert_eq!(t.version().snapshot().current_vn, 4);
     t
@@ -72,10 +78,38 @@ fn figure_4_state_is_reached() {
     assert_eq!(
         physical_state(&t),
         vec![
-            (4, "update".into(), "Berkeley".into(), 14, Value::from(12_000), Value::from(10_000)),
-            (4, "delete".into(), "Novato".into(), 13, Value::from(8_000), Value::from(8_000)),
-            (3, "insert".into(), "San Jose".into(), 14, Value::from(10_000), Value::Null),
-            (4, "insert".into(), "San Jose".into(), 15, Value::from(1_500), Value::Null),
+            (
+                4,
+                "update".into(),
+                "Berkeley".into(),
+                14,
+                Value::from(12_000),
+                Value::from(10_000)
+            ),
+            (
+                4,
+                "delete".into(),
+                "Novato".into(),
+                13,
+                Value::from(8_000),
+                Value::from(8_000)
+            ),
+            (
+                3,
+                "insert".into(),
+                "San Jose".into(),
+                14,
+                Value::from(10_000),
+                Value::Null
+            ),
+            (
+                4,
+                "insert".into(),
+                "San Jose".into(),
+                15,
+                Value::from(1_500),
+                Value::Null
+            ),
         ]
     );
 }
@@ -87,21 +121,60 @@ fn example_3_3_figure_5_to_figure_6() {
     let t = figure_4_table();
     let txn = t.begin_maintenance().unwrap();
     assert_eq!(txn.maintenance_vn(), 5);
-    txn.insert(row("San Jose", "golf equip", 16, 11_000)).unwrap();
-    txn.insert(row("Novato", "rollerblades", 13, 6_000)).unwrap(); // resurrection
-    txn.update_row(&row("San Jose", "golf equip", 14, 10_200)).unwrap();
-    txn.delete_row(&row("Berkeley", "racquetball", 14, 0)).unwrap();
+    txn.insert(row("San Jose", "golf equip", 16, 11_000))
+        .unwrap();
+    txn.insert(row("Novato", "rollerblades", 13, 6_000))
+        .unwrap(); // resurrection
+    txn.update_row(&row("San Jose", "golf equip", 14, 10_200))
+        .unwrap();
+    txn.delete_row(&row("Berkeley", "racquetball", 14, 0))
+        .unwrap();
     txn.commit().unwrap();
 
     assert_eq!(
         physical_state(&t),
         vec![
             // Figure 6 rows, sorted by (city, day):
-            (5, "delete".into(), "Berkeley".into(), 14, Value::from(12_000), Value::from(12_000)),
-            (5, "insert".into(), "Novato".into(), 13, Value::from(6_000), Value::Null),
-            (5, "update".into(), "San Jose".into(), 14, Value::from(10_200), Value::from(10_000)),
-            (4, "insert".into(), "San Jose".into(), 15, Value::from(1_500), Value::Null),
-            (5, "insert".into(), "San Jose".into(), 16, Value::from(11_000), Value::Null),
+            (
+                5,
+                "delete".into(),
+                "Berkeley".into(),
+                14,
+                Value::from(12_000),
+                Value::from(12_000)
+            ),
+            (
+                5,
+                "insert".into(),
+                "Novato".into(),
+                13,
+                Value::from(6_000),
+                Value::Null
+            ),
+            (
+                5,
+                "update".into(),
+                "San Jose".into(),
+                14,
+                Value::from(10_200),
+                Value::from(10_000)
+            ),
+            (
+                4,
+                "insert".into(),
+                "San Jose".into(),
+                15,
+                Value::from(1_500),
+                Value::Null
+            ),
+            (
+                5,
+                "insert".into(),
+                "San Jose".into(),
+                16,
+                Value::from(11_000),
+                Value::Null
+            ),
         ]
     );
 }
@@ -111,9 +184,12 @@ fn readers_across_the_example_3_3_boundary() {
     let t = figure_4_table();
     let session4 = t.begin_session(); // sees the Figure 4 current state
     let txn = t.begin_maintenance().unwrap();
-    txn.insert(row("San Jose", "golf equip", 16, 11_000)).unwrap();
-    txn.update_row(&row("San Jose", "golf equip", 14, 10_200)).unwrap();
-    txn.delete_row(&row("Berkeley", "racquetball", 14, 0)).unwrap();
+    txn.insert(row("San Jose", "golf equip", 16, 11_000))
+        .unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 10_200))
+        .unwrap();
+    txn.delete_row(&row("Berkeley", "racquetball", 14, 0))
+        .unwrap();
     // Mid-transaction: session 4 sees the old state.
     let rows = session4.scan().unwrap();
     let total: i64 = rows.iter().map(|r| r[4].as_int().unwrap()).sum();
@@ -208,9 +284,9 @@ fn table_2_insert_after_own_delete_nets_to_update() {
     assert_eq!(state[0].1, "update"); // net effect
     assert_eq!(state[0].4, Value::from(900));
     assert_eq!(state[0].5, Value::from(100)); // pre-txn value preserved
-    // A reader at the previous version sees the pre-update value.
-    // (currentVN is now 2; the change was at VN 2; session at 1 reads pre.)
-    // Simulate by a new maintenance txn + old-session check:
+                                              // A reader at the previous version sees the pre-update value.
+                                              // (currentVN is now 2; the change was at VN 2; session at 1 reads pre.)
+                                              // Simulate by a new maintenance txn + old-session check:
     let s = t.begin_session(); // VN 2
     assert_eq!(s.scan().unwrap()[0][4], Value::from(900));
     s.finish();
@@ -352,7 +428,10 @@ fn sql_update_cursor_skips_deleted_tuples() {
     let txn = t.begin_maintenance().unwrap();
     txn.delete_row(&row("Seed", "seed", 1, 0)).unwrap();
     let affected = txn
-        .execute_sql("UPDATE DailySales SET total_sales = total_sales + 1", &Params::new())
+        .execute_sql(
+            "UPDATE DailySales SET total_sales = total_sales + 1",
+            &Params::new(),
+        )
         .unwrap();
     assert_eq!(affected, 0);
     txn.abort().unwrap();
@@ -403,7 +482,7 @@ fn table_4_delete_of_own_insert_physically_deletes() {
     assert_eq!(trace[1].0, PhysicalAction::RemoveOwnInsert);
     txn.commit().unwrap();
     assert_eq!(t.storage().len(), 1); // only the seed remains
-    // The key is free again.
+                                      // The key is free again.
     let txn = t.begin_maintenance().unwrap();
     txn.insert(row("New", "p", 2, 2)).unwrap();
     txn.commit().unwrap();
@@ -563,7 +642,8 @@ fn example_4_2_insert_statement_with_conflicts() {
     let (t, _) = paper_update_sql_table();
     // Delete one key so the insert can resurrect it.
     let txn = t.begin_maintenance().unwrap();
-    txn.delete_row(&row("San Jose", "golf equip", 13, 0)).unwrap();
+    txn.delete_row(&row("San Jose", "golf equip", 13, 0))
+        .unwrap();
     txn.commit().unwrap();
     let txn = t.begin_maintenance().unwrap();
     txn.set_tracing(true);
@@ -585,8 +665,10 @@ fn maintenance_reads_see_own_changes() {
     // §3.3: "a maintenance transaction always reads the current version".
     let (t, _) = paper_update_sql_table();
     let txn = t.begin_maintenance().unwrap();
-    txn.update_row(&row("Berkeley", "golf equip", 13, 9_999)).unwrap();
-    txn.delete_row(&row("San Jose", "racquetball", 13, 0)).unwrap();
+    txn.update_row(&row("Berkeley", "golf equip", 13, 9_999))
+        .unwrap();
+    txn.delete_row(&row("San Jose", "racquetball", 13, 0))
+        .unwrap();
     txn.insert(row("Oakland", "golf equip", 13, 1)).unwrap();
     let rows = txn.scan_current().unwrap();
     let mut cities: Vec<String> = rows
@@ -594,10 +676,7 @@ fn maintenance_reads_see_own_changes() {
         .map(|r| format!("{}:{}", r[0].as_str().unwrap(), r[4]))
         .collect();
     cities.sort();
-    assert_eq!(
-        cities,
-        vec!["Berkeley:9999", "Oakland:1", "San Jose:10000"]
-    );
+    assert_eq!(cities, vec!["Berkeley:9999", "Oakland:1", "San Jose:10000"]);
     txn.abort().unwrap();
 }
 

@@ -2,7 +2,7 @@
 //! transactions, keyless relations, and boundary schemas.
 
 use wh_sql::Params;
-use wh_types::{Column, DataType, Row, Schema, Value};
+use wh_types::{Column, DataType, Schema, Value};
 use wh_vnl::{gc, ReadOutcome, VnlError, VnlTable};
 
 fn keyless_schema() -> Schema {
@@ -121,7 +121,8 @@ fn single_column_all_updatable_schema() {
     txn.commit().unwrap();
     let old = t.begin_session();
     let txn = t.begin_maintenance().unwrap();
-    txn.execute_sql("UPDATE T SET x = 2", &Params::new()).unwrap();
+    txn.execute_sql("UPDATE T SET x = 2", &Params::new())
+        .unwrap();
     txn.commit().unwrap();
     assert_eq!(old.scan().unwrap()[0][0], Value::from(1));
     old.finish();

@@ -107,18 +107,24 @@ fn index_respects_session_versions() {
     let old = t.begin_session(); // VN 1
     let txn = t.begin_maintenance().unwrap();
     txn.insert(row("San Jose", "swimming", 15, 500)).unwrap();
-    txn.delete_row(&row("San Jose", "racquetball", 14, 0)).unwrap();
-    txn.update_row(&row("San Jose", "golf equip", 14, 99_999)).unwrap();
+    txn.delete_row(&row("San Jose", "racquetball", 14, 0))
+        .unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 99_999))
+        .unwrap();
     txn.commit().unwrap();
     // Old session: still the two original San Jose rows, old values.
-    let rows = old.lookup_eq("by_city", &[Value::from("San Jose")]).unwrap();
+    let rows = old
+        .lookup_eq("by_city", &[Value::from("San Jose")])
+        .unwrap();
     assert_eq!(rows.len(), 2);
     assert!(rows.iter().any(|r| r[4] == Value::from(10_000)));
     assert!(rows.iter().any(|r| r[4] == Value::from(2_000)));
     old.finish();
     // New session: swimming appeared, racquetball gone, golf updated.
     let new = t.begin_session();
-    let rows = new.lookup_eq("by_city", &[Value::from("San Jose")]).unwrap();
+    let rows = new
+        .lookup_eq("by_city", &[Value::from("San Jose")])
+        .unwrap();
     assert_eq!(rows.len(), 2);
     assert!(rows.iter().any(|r| r[4] == Value::from(99_999)));
     assert!(rows.iter().any(|r| r[2] == Value::from("swimming")));
@@ -134,16 +140,32 @@ fn index_tracks_physical_insert_delete_and_gc() {
     // there) until GC removes both.
     let txn = t.begin_maintenance().unwrap();
     txn.insert(row("Fresno", "camping", 15, 42)).unwrap();
-    txn.delete_row(&row("Novato", "rollerblades", 13, 0)).unwrap();
+    txn.delete_row(&row("Novato", "rollerblades", 13, 0))
+        .unwrap();
     txn.commit().unwrap();
     let s = t.begin_session();
-    assert_eq!(s.lookup_eq("by_city", &[Value::from("Fresno")]).unwrap().len(), 1);
+    assert_eq!(
+        s.lookup_eq("by_city", &[Value::from("Fresno")])
+            .unwrap()
+            .len(),
+        1
+    );
     // Deleted tuple: index still holds the RID, but visibility filters it.
-    assert_eq!(s.lookup_eq("by_city", &[Value::from("Novato")]).unwrap().len(), 0);
+    assert_eq!(
+        s.lookup_eq("by_city", &[Value::from("Novato")])
+            .unwrap()
+            .len(),
+        0
+    );
     s.finish();
     gc::collect(&t).unwrap();
     let s = t.begin_session();
-    assert_eq!(s.lookup_eq("by_city", &[Value::from("Novato")]).unwrap().len(), 0);
+    assert_eq!(
+        s.lookup_eq("by_city", &[Value::from("Novato")])
+            .unwrap()
+            .len(),
+        0
+    );
     s.finish();
 }
 
@@ -156,7 +178,12 @@ fn index_survives_insert_then_delete_same_txn() {
     txn.delete_row(&row("Fresno", "camping", 15, 0)).unwrap(); // physical delete
     txn.commit().unwrap();
     let s = t.begin_session();
-    assert_eq!(s.lookup_eq("by_city", &[Value::from("Fresno")]).unwrap().len(), 0);
+    assert_eq!(
+        s.lookup_eq("by_city", &[Value::from("Fresno")])
+            .unwrap()
+            .len(),
+        0
+    );
     s.finish();
 }
 
@@ -166,10 +193,16 @@ fn index_survives_rollback() {
     t.create_index("by_city", &["city"]).unwrap();
     let txn = t.begin_maintenance().unwrap();
     txn.insert(row("Fresno", "camping", 15, 42)).unwrap();
-    txn.update_row(&row("San Jose", "golf equip", 14, 1)).unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 1))
+        .unwrap();
     txn.abort().unwrap();
     let s = t.begin_session();
-    assert_eq!(s.lookup_eq("by_city", &[Value::from("Fresno")]).unwrap().len(), 0);
+    assert_eq!(
+        s.lookup_eq("by_city", &[Value::from("Fresno")])
+            .unwrap()
+            .len(),
+        0
+    );
     let sj = s.lookup_eq("by_city", &[Value::from("San Jose")]).unwrap();
     assert!(sj.iter().any(|r| r[4] == Value::from(10_000)));
     s.finish();
@@ -212,7 +245,8 @@ fn index_consistent_with_scan_through_busy_history() {
 #[test]
 fn composite_index() {
     let t = seeded();
-    t.create_index("by_city_pl", &["city", "product_line"]).unwrap();
+    t.create_index("by_city_pl", &["city", "product_line"])
+        .unwrap();
     let s = t.begin_session();
     let hit = s
         .lookup_eq(

@@ -2,9 +2,8 @@
 //! slot extraction for sessions overlapping up to n − 1 maintenance
 //! transactions, on arbitrary histories.
 
-use proptest::prelude::*;
 use wh_types::schema::daily_sales_schema;
-use wh_types::{Date, Row, Value};
+use wh_types::{Date, Row, SplitMix64, Value};
 use wh_vnl::VnlTable;
 
 fn row(city: &str, v: i64) -> Row {
@@ -42,9 +41,7 @@ fn apply_batch(table: &VnlTable, batch: &[(usize, usize, i64)]) {
 
 fn check_equivalence(n: usize, batches: Vec<Vec<(usize, usize, i64)>>) {
     let table = VnlTable::create_named("DailySales", daily_sales_schema(), n).unwrap();
-    table
-        .load_initial(&[row("A", 10), row("B", 20)])
-        .unwrap();
+    table.load_initial(&[row("A", 10), row("B", 20)]).unwrap();
     // First batch commits before the session begins.
     let mut iter = batches.into_iter();
     if let Some(first) = iter.next() {
@@ -63,27 +60,29 @@ fn check_equivalence(n: usize, batches: Vec<Vec<(usize, usize, i64)>>) {
     session.finish();
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn random_batches(rng: &mut SplitMix64, max_batches: u64) -> Vec<Vec<(usize, usize, i64)>> {
+    (0..rng.range_inclusive_u64(1, max_batches))
+        .map(|_| {
+            (0..rng.range_inclusive_u64(1, 11))
+                .map(|_| (rng.index(5), rng.index(3), rng.range_i64(0, 1000)))
+                .collect()
+        })
+        .collect()
+}
 
-    #[test]
-    fn rewrite_matches_extraction_3vnl(
-        batches in prop::collection::vec(
-            prop::collection::vec((0usize..5, 0usize..3, 0i64..1000), 1..12),
-            1..3,
-        )
-    ) {
-        check_equivalence(3, batches);
+#[test]
+fn rewrite_matches_extraction_3vnl() {
+    let mut rng = SplitMix64::seed_from_u64(0x3711_0001);
+    for _ in 0..48 {
+        check_equivalence(3, random_batches(&mut rng, 2));
     }
+}
 
-    #[test]
-    fn rewrite_matches_extraction_4vnl(
-        batches in prop::collection::vec(
-            prop::collection::vec((0usize..5, 0usize..3, 0i64..1000), 1..12),
-            1..4,
-        )
-    ) {
-        check_equivalence(4, batches);
+#[test]
+fn rewrite_matches_extraction_4vnl() {
+    let mut rng = SplitMix64::seed_from_u64(0x3711_0002);
+    for _ in 0..48 {
+        check_equivalence(4, random_batches(&mut rng, 3));
     }
 }
 

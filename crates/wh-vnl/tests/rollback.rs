@@ -46,9 +46,12 @@ fn abort_restores_exact_state_after_mixed_batch() {
     let before = state(&t);
     let txn = t.begin_maintenance().unwrap();
     txn.insert(row("Oakland", "swimming", 15, 3_000)).unwrap();
-    txn.update_row(&row("San Jose", "golf equip", 14, 11_111)).unwrap();
-    txn.update_row(&row("San Jose", "golf equip", 14, 22_222)).unwrap();
-    txn.delete_row(&row("Berkeley", "racquetball", 14, 0)).unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 11_111))
+        .unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 22_222))
+        .unwrap();
+    txn.delete_row(&row("Berkeley", "racquetball", 14, 0))
+        .unwrap();
     txn.execute_sql(
         "UPDATE DailySales SET total_sales = total_sales + 5 WHERE city = 'Novato'",
         &Params::new(),
@@ -80,13 +83,16 @@ fn abort_restores_resurrected_tuple() {
     // version intact.
     let t = seeded(2);
     let txn = t.begin_maintenance().unwrap();
-    txn.delete_row(&row("Novato", "rollerblades", 13, 0)).unwrap();
+    txn.delete_row(&row("Novato", "rollerblades", 13, 0))
+        .unwrap();
     txn.commit().unwrap(); // Novato deleted at VN 2
     let before = state(&t);
     let old_session = t.begin_session(); // VN 2: Novato absent for it
     let txn = t.begin_maintenance().unwrap(); // VN 3
-    txn.insert(row("Novato", "rollerblades", 13, 4_242)).unwrap(); // resurrect
-    txn.update_row(&row("San Jose", "golf equip", 14, 1)).unwrap();
+    txn.insert(row("Novato", "rollerblades", 13, 4_242))
+        .unwrap(); // resurrect
+    txn.update_row(&row("San Jose", "golf equip", 14, 1))
+        .unwrap();
     txn.abort().unwrap();
     assert_eq!(state(&t), before);
     // The old session's view is unperturbed.
@@ -101,8 +107,10 @@ fn abort_preserves_concurrent_reader_view_throughout() {
     let session = t.begin_session();
     let baseline = session.scan().unwrap();
     let txn = t.begin_maintenance().unwrap();
-    txn.update_row(&row("San Jose", "golf equip", 14, 999)).unwrap();
-    txn.delete_row(&row("Novato", "rollerblades", 13, 0)).unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 999))
+        .unwrap();
+    txn.delete_row(&row("Novato", "rollerblades", 13, 0))
+        .unwrap();
     // Mid-transaction the reader's view is unchanged.
     assert_eq!(session.scan().unwrap(), baseline);
     txn.abort().unwrap();
@@ -121,13 +129,16 @@ fn nvnl_abort_restores_pushed_back_slots() {
     // Build two generations of history on San Jose.
     for sales in [11_000, 12_000] {
         let txn = t.begin_maintenance().unwrap();
-        txn.update_row(&row("San Jose", "golf equip", 14, sales)).unwrap();
+        txn.update_row(&row("San Jose", "golf equip", 14, sales))
+            .unwrap();
         txn.commit().unwrap();
     }
     let before = state(&t);
     let txn = t.begin_maintenance().unwrap();
-    txn.update_row(&row("San Jose", "golf equip", 14, 99_999)).unwrap();
-    txn.delete_row(&row("Berkeley", "racquetball", 14, 0)).unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 99_999))
+        .unwrap();
+    txn.delete_row(&row("Berkeley", "racquetball", 14, 0))
+        .unwrap();
     txn.abort().unwrap();
     assert_eq!(state(&t), before);
     // Historical sessions still resolve correctly after the abort:
@@ -146,7 +157,8 @@ fn dropped_maintenance_txn_auto_aborts() {
     let before = state(&t);
     {
         let txn = t.begin_maintenance().unwrap();
-        txn.update_row(&row("San Jose", "golf equip", 14, 1)).unwrap();
+        txn.update_row(&row("San Jose", "golf equip", 14, 1))
+            .unwrap();
         // Dropped without commit/abort.
     }
     assert_eq!(state(&t), before);
@@ -160,7 +172,8 @@ fn dropped_maintenance_txn_auto_aborts() {
 fn operations_after_commit_or_abort_fail() {
     let t = seeded(2);
     let txn = t.begin_maintenance().unwrap();
-    txn.update_row(&row("San Jose", "golf equip", 14, 1)).unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 1))
+        .unwrap();
     // We cannot call methods on a moved txn after commit(), but execute_sql
     // on a *reference* after internal finish is exercised via
     // commit_when_quiescent's self-consumption. Here, verify abort() on an

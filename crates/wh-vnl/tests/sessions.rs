@@ -3,10 +3,9 @@
 //! tested), expiration (both detectors), and a multithreaded
 //! serializability stress test.
 
-use proptest::prelude::*;
 use std::sync::Arc;
 use wh_types::schema::daily_sales_schema;
-use wh_types::{Date, Row, Value};
+use wh_types::{Date, Row, SplitMix64, Value};
 use wh_vnl::{ReadOutcome, VnlError, VnlTable};
 
 fn row(city: &str, pl: &str, day: u8, sales: i64) -> Row {
@@ -50,7 +49,8 @@ fn example_2_1_analyst_drilldown_is_consistent() {
 
     // Maintenance lands between the analyst's two queries.
     let txn = t.begin_maintenance().unwrap();
-    txn.update_row(&row("San Jose", "golf equip", 14, 99_999)).unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 99_999))
+        .unwrap();
     txn.insert(row("San Jose", "swimming", 14, 5)).unwrap();
     txn.commit().unwrap();
 
@@ -60,20 +60,14 @@ fn example_2_1_analyst_drilldown_is_consistent() {
              WHERE city = 'San Jose' AND state = 'CA' GROUP BY product_line",
         )
         .unwrap();
-    let drilldown_total: i64 = drilldown
-        .rows
-        .iter()
-        .map(|r| r[1].as_int().unwrap())
-        .sum();
+    let drilldown_total: i64 = drilldown.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
     assert_eq!(Value::from(drilldown_total), san_jose_total);
     session.finish();
 
     // A fresh session sees the new state, where the sums also agree.
     let s2 = t.begin_session();
     let drill2 = s2
-        .query(
-            "SELECT SUM(total_sales) FROM DailySales WHERE city = 'San Jose'",
-        )
+        .query("SELECT SUM(total_sales) FROM DailySales WHERE city = 'San Jose'")
         .unwrap();
     assert_eq!(drill2.rows[0][0], Value::from(99_999 + 2_000 + 5));
     s2.finish();
@@ -86,7 +80,8 @@ fn example_4_1_rewritten_query_end_to_end() {
     let t = seeded();
     let session = t.begin_session();
     let txn = t.begin_maintenance().unwrap();
-    txn.update_row(&row("Berkeley", "racquetball", 14, 50_000)).unwrap();
+    txn.update_row(&row("Berkeley", "racquetball", 14, 50_000))
+        .unwrap();
     txn.commit().unwrap();
     let via_rewrite = session
         .query_via_rewrite(
@@ -116,7 +111,8 @@ fn global_expiration_check_detects_second_overlap() {
     assert_eq!(session.status(), ReadOutcome::Live);
     // First overlapping maintenance txn: still live.
     let txn = t.begin_maintenance().unwrap();
-    txn.update_row(&row("Novato", "rollerblades", 13, 1)).unwrap();
+    txn.update_row(&row("Novato", "rollerblades", 13, 1))
+        .unwrap();
     assert_eq!(session.status(), ReadOutcome::Live);
     txn.commit().unwrap();
     assert_eq!(session.status(), ReadOutcome::Live);
@@ -138,7 +134,8 @@ fn per_tuple_expiration_detector_fires_on_double_touch() {
     let session = t.begin_session(); // VN 1
     for sales in [1, 2] {
         let txn = t.begin_maintenance().unwrap();
-        txn.update_row(&row("Novato", "rollerblades", 13, sales)).unwrap();
+        txn.update_row(&row("Novato", "rollerblades", 13, sales))
+            .unwrap();
         txn.commit().unwrap();
     }
     // Novato has now been modified by two maintenance txns since VN 1:
@@ -160,7 +157,8 @@ fn untouched_tuples_remain_readable_even_when_technically_expired() {
     let session = t.begin_session(); // VN 1
     for sales in [1, 2] {
         let txn = t.begin_maintenance().unwrap();
-        txn.update_row(&row("Novato", "rollerblades", 13, sales)).unwrap();
+        txn.update_row(&row("Novato", "rollerblades", 13, sales))
+            .unwrap();
         txn.commit().unwrap();
     }
     // Point lookups of untouched keys still work...
@@ -178,27 +176,33 @@ fn rewrite_equals_extraction_on_random_histories() {
     // Property: for any batch history and any live session, the §4 SQL
     // rewrite path and the programmatic Table-1 extraction agree.
     let cities = ["San Jose", "Berkeley", "Novato", "Oakland"];
-    proptest!(ProptestConfig::with_cases(64), |(
-        ops in prop::collection::vec(
-            (0usize..4, 0usize..3, 0i64..10_000),
-            1..40,
-        ),
-        batches in 1usize..4,
-    )| {
+    let mut rng = SplitMix64::seed_from_u64(0x5E55_0001);
+    for _ in 0..64 {
+        let ops: Vec<(usize, usize, i64)> = (0..rng.range_inclusive_u64(1, 39))
+            .map(|_| (rng.index(4), rng.index(3), rng.range_i64(0, 10_000)))
+            .collect();
+        let batches = rng.range_inclusive_u64(1, 3) as usize;
         let t = VnlTable::create_named("DailySales", daily_sales_schema(), 2).unwrap();
         t.load_initial(&[
             row("San Jose", "golf equip", 14, 100),
             row("Berkeley", "golf equip", 14, 200),
-        ]).unwrap();
+        ])
+        .unwrap();
         let per_batch = ops.len().div_ceil(batches);
         for chunk in ops.chunks(per_batch.max(1)) {
             let txn = t.begin_maintenance().unwrap();
             for &(c, op, v) in chunk {
                 let r = row(cities[c], "golf equip", 14, v);
                 match op {
-                    0 => { let _ = txn.insert(r); }
-                    1 => { let _ = txn.update_row(&r); }
-                    _ => { let _ = txn.delete_row(&r); }
+                    0 => {
+                        let _ = txn.insert(r);
+                    }
+                    1 => {
+                        let _ = txn.update_row(&r);
+                    }
+                    _ => {
+                        let _ = txn.delete_row(&r);
+                    }
                 }
             }
             txn.commit().unwrap();
@@ -207,9 +211,9 @@ fn rewrite_equals_extraction_on_random_histories() {
         let sql = "SELECT city, SUM(total_sales) FROM DailySales GROUP BY city ORDER BY city";
         let a = session.query(sql).unwrap();
         let b = session.query_via_rewrite(sql).unwrap();
-        prop_assert_eq!(a.rows, b.rows);
+        assert_eq!(a.rows, b.rows);
         session.finish();
-    });
+    }
 }
 
 #[test]
@@ -237,12 +241,12 @@ fn concurrent_readers_see_consistent_generations() {
         t
     });
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         // Maintenance thread: 6 generations; generation g sets every tuple
         // to exactly g (so any consistent snapshot is uniform).
         {
             let t = Arc::clone(&t);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 for g in 1..=6i64 {
                     let txn = t.begin_maintenance().unwrap();
                     txn.execute_sql(
@@ -258,7 +262,7 @@ fn concurrent_readers_see_consistent_generations() {
         // Reader threads.
         for _ in 0..4 {
             let t = Arc::clone(&t);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut checked = 0;
                 while checked < 30 {
                     let session = t.begin_session();
@@ -282,8 +286,7 @@ fn concurrent_readers_see_consistent_generations() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
     // Final state: generation 6 everywhere.
     let s = t.begin_session();
     let rows = s.scan().unwrap();
@@ -298,7 +301,8 @@ fn between_and_in_work_through_the_rewrite() {
     // rest alone.
     let t = seeded();
     let txn = t.begin_maintenance().unwrap();
-    txn.update_row(&row("San Jose", "golf equip", 14, 50_000)).unwrap();
+    txn.update_row(&row("San Jose", "golf equip", 14, 50_000))
+        .unwrap();
     txn.commit().unwrap();
     let session = t.begin_session();
     for sql in [
@@ -321,16 +325,29 @@ fn point_lookup_respects_session_version() {
     let t = seeded();
     let s1 = t.begin_session();
     let txn = t.begin_maintenance().unwrap();
-    txn.delete_row(&row("Novato", "rollerblades", 13, 0)).unwrap();
+    txn.delete_row(&row("Novato", "rollerblades", 13, 0))
+        .unwrap();
     txn.insert(row("Fresno", "golf equip", 14, 7)).unwrap();
     txn.commit().unwrap();
     // Old session: Novato exists, Fresno does not.
-    assert!(s1.read_by_key(&row("Novato", "rollerblades", 13, 0)).unwrap().is_some());
-    assert!(s1.read_by_key(&row("Fresno", "golf equip", 14, 0)).unwrap().is_none());
+    assert!(s1
+        .read_by_key(&row("Novato", "rollerblades", 13, 0))
+        .unwrap()
+        .is_some());
+    assert!(s1
+        .read_by_key(&row("Fresno", "golf equip", 14, 0))
+        .unwrap()
+        .is_none());
     // New session: the reverse.
     let s2 = t.begin_session();
-    assert!(s2.read_by_key(&row("Novato", "rollerblades", 13, 0)).unwrap().is_none());
-    assert!(s2.read_by_key(&row("Fresno", "golf equip", 14, 0)).unwrap().is_some());
+    assert!(s2
+        .read_by_key(&row("Novato", "rollerblades", 13, 0))
+        .unwrap()
+        .is_none());
+    assert!(s2
+        .read_by_key(&row("Fresno", "golf equip", 14, 0))
+        .unwrap()
+        .is_some());
     s1.finish();
     s2.finish();
 }
@@ -357,7 +374,8 @@ fn commit_when_quiescent_waits_for_readers() {
     let t2 = Arc::clone(&t);
     let handle = std::thread::spawn(move || {
         let txn = t2.begin_maintenance().unwrap();
-        txn.update_row(&row("San Jose", "golf equip", 14, 1)).unwrap();
+        txn.update_row(&row("San Jose", "golf equip", 14, 1))
+            .unwrap();
         txn.commit_when_quiescent(std::time::Duration::from_millis(5))
             .unwrap()
     });

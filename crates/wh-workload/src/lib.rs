@@ -17,3 +17,4 @@ pub use sales::{SalesConfig, SalesGenerator};
 pub use sim::{
     availability_comparison, empirical_guaranteed_length, AvailabilityReport, PeriodicSchedule,
 };
+pub use wh_types::SplitMix64;

@@ -1,9 +1,7 @@
 //! Synthetic sporting-goods sales feed (the paper's running example, at
 //! scale).
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
-use wh_types::{Column, DataType, Date, Row, Schema, Value};
+use wh_types::{Column, DataType, Date, Row, Schema, SplitMix64, Value};
 use wh_view::SourceDelta;
 
 /// Configuration of the synthetic feed.
@@ -37,7 +35,7 @@ impl Default for SalesConfig {
 /// Deterministic generator of daily sales batches.
 pub struct SalesGenerator {
     config: SalesConfig,
-    rng: StdRng,
+    rng: SplitMix64,
     day: Date,
     /// Recent sales eligible for later correction (bounded buffer).
     recent: Vec<Row>,
@@ -60,7 +58,7 @@ const PRODUCT_LINES: &[&str] = &[
 impl SalesGenerator {
     /// Create a generator starting at `first_day`.
     pub fn new(config: SalesConfig, first_day: Date) -> Self {
-        let rng = StdRng::seed_from_u64(config.seed);
+        let rng = SplitMix64::seed_from_u64(config.seed);
         SalesGenerator {
             config,
             rng,
@@ -85,7 +83,7 @@ impl SalesGenerator {
         // Zipf-ish skew: city popularity ~ 1/(rank+1).
         let n = self.config.cities;
         let weights: f64 = (0..n).map(|i| 1.0 / (i + 1) as f64).sum();
-        let mut x: f64 = self.rng.random_range(0.0..weights);
+        let mut x: f64 = self.rng.float_below(weights);
         let mut idx = 0;
         for i in 0..n {
             let w = 1.0 / (i + 1) as f64;
@@ -102,8 +100,8 @@ impl SalesGenerator {
         let (city, state) = self.city();
         let pl = PRODUCT_LINES[self
             .rng
-            .random_range(0..self.config.product_lines.min(PRODUCT_LINES.len()))];
-        let amount: i64 = self.rng.random_range(5..500);
+            .index(self.config.product_lines.min(PRODUCT_LINES.len()))];
+        let amount: i64 = self.rng.range_i64(5, 500);
         vec![
             Value::from(city),
             Value::from(state),
@@ -126,10 +124,10 @@ impl SalesGenerator {
             batch.push(SourceDelta::Insert(row));
         }
         // Corrections: retract previously-recorded sales.
-        let corrections = (self.config.sales_per_day as u32 * self.config.correction_per_mille
-            / 1000) as usize;
+        let corrections =
+            (self.config.sales_per_day as u32 * self.config.correction_per_mille / 1000) as usize;
         for _ in 0..corrections.min(self.recent.len()) {
-            let i = self.rng.random_range(0..self.recent.len());
+            let i = self.rng.index(self.recent.len());
             let row = self.recent.swap_remove(i);
             batch.push(SourceDelta::Delete(row));
         }
@@ -237,16 +235,15 @@ mod tests {
         let batch = g.next_day();
         let count_city0 = batch
             .iter()
-            .filter(|d| {
-                matches!(d, SourceDelta::Insert(r) if r[0] == Value::from("city000"))
-            })
+            .filter(|d| matches!(d, SourceDelta::Insert(r) if r[0] == Value::from("city000")))
             .count();
         let count_city9 = batch
             .iter()
-            .filter(|d| {
-                matches!(d, SourceDelta::Insert(r) if r[0] == Value::from("city009"))
-            })
+            .filter(|d| matches!(d, SourceDelta::Insert(r) if r[0] == Value::from("city009")))
             .count();
-        assert!(count_city0 > count_city9 * 2, "{count_city0} vs {count_city9}");
+        assert!(
+            count_city0 > count_city9 * 2,
+            "{count_city0} vs {count_city9}"
+        );
     }
 }

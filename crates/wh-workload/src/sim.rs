@@ -6,8 +6,7 @@
 //! session-expiration counts, and the §5 guarantee `(n−1)(i+m) − m` — while
 //! running in microseconds.
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use wh_types::SplitMix64;
 
 /// A periodic maintenance schedule: transaction `k` runs over
 /// `[start + k·(m+i), start + k·(m+i) + m)`, so consecutive transactions are
@@ -138,12 +137,12 @@ pub fn availability_comparison(
     max_session_len: u64,
     seed: u64,
 ) -> AvailabilityReport {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let mut nightly_blocked = 0;
     let mut vnl_expired = 0;
     for _ in 0..sessions {
-        let start = rng.random_range(0..horizon);
-        let len = rng.random_range(1..=max_session_len);
+        let start = rng.next_below(horizon);
+        let len = rng.range_inclusive_u64(1, max_session_len);
         let end = start + len;
         // Figure 1 regime: blocked if any overlap with a maintenance window.
         let overlaps_window = (start..=end).any(|t| schedule.active_at(t));

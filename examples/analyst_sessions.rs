@@ -39,7 +39,10 @@ fn main() {
     let rollup = session
         .query("SELECT city, state, SUM(total_sales) FROM DailySales GROUP BY city, state ORDER BY city")
         .unwrap();
-    println!("Roll-up (total sales by city):\n{}", rollup.to_table_string());
+    println!(
+        "Roll-up (total sales by city):\n{}",
+        rollup.to_table_string()
+    );
     let san_jose_total = rollup
         .rows
         .iter()
@@ -66,7 +69,10 @@ fn main() {
              WHERE city = 'San Jose' AND state = 'CA' GROUP BY product_line ORDER BY product_line",
         )
         .unwrap();
-    println!("Drill-down (San Jose by product line):\n{}", drill.to_table_string());
+    println!(
+        "Drill-down (San Jose by product line):\n{}",
+        drill.to_table_string()
+    );
     let drill_total: i64 = drill.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
 
     println!("roll-up said San Jose = {san_jose_total}");
@@ -86,6 +92,9 @@ fn main() {
              WHERE city = 'San Jose' GROUP BY product_line ORDER BY product_line",
         )
         .unwrap();
-    println!("\nA new session sees today's numbers:\n{}", drill_new.to_table_string());
+    println!(
+        "\nA new session sees today's numbers:\n{}",
+        drill_new.to_table_string()
+    );
     fresh.finish();
 }

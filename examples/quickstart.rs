@@ -39,7 +39,10 @@ fn main() {
     let before = session
         .query("SELECT city, SUM(total_sales) FROM DailySales GROUP BY city ORDER BY city")
         .unwrap();
-    println!("analyst sees (before maintenance):\n{}", before.to_table_string());
+    println!(
+        "analyst sees (before maintenance):\n{}",
+        before.to_table_string()
+    );
 
     // ...and the maintenance transaction runs CONCURRENTLY: no locks, no
     // blocking, on either side.
@@ -57,7 +60,10 @@ fn main() {
         .unwrap();
     assert_eq!(before.rows, after.rows);
     assert!(matches!(session.status(), ReadOutcome::Live));
-    println!("analyst still sees (after concurrent maintenance commit):\n{}", after.to_table_string());
+    println!(
+        "analyst still sees (after concurrent maintenance commit):\n{}",
+        after.to_table_string()
+    );
     session.finish();
 
     // A new session picks up the committed state.

@@ -14,7 +14,10 @@ fn show(rewriter: &QueryRewriter, sql: &str) {
         panic!("demo queries are SELECTs")
     };
     println!("  reader writes : {sql}");
-    println!("  DBMS executes : {}\n", rewriter.rewrite_select(&stmt).unwrap());
+    println!(
+        "  DBMS executes : {}\n",
+        rewriter.rewrite_select(&stmt).unwrap()
+    );
 }
 
 fn main() {

@@ -43,16 +43,11 @@ fn run(n: usize) -> (u64, u64) {
     for _day in 0..14 {
         // Morning analysis: two queries that must be mutually consistent.
         for _ in 0..3 {
-            let q1 = session.query(
-                "SELECT city, SUM(total_sales) FROM DailySales GROUP BY city ORDER BY city",
-            );
+            let q1 = session
+                .query("SELECT city, SUM(total_sales) FROM DailySales GROUP BY city ORDER BY city");
             match q1 {
                 Ok(rollup) => {
-                    let total: i64 = rollup
-                        .rows
-                        .iter()
-                        .map(|r| r[1].as_int().unwrap())
-                        .sum();
+                    let total: i64 = rollup.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
                     let q2 = session
                         .query("SELECT SUM(total_sales) FROM DailySales")
                         .unwrap();

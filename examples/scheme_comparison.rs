@@ -10,9 +10,7 @@ use warehouse_2vnl::bench::{all_schemes, mixed_run, print_table};
 
 fn main() {
     let keys = 256;
-    println!(
-        "one maintenance writer (4 rounds over {keys} tuples) vs 2 reader threads\n"
-    );
+    println!("one maintenance writer (4 rounds over {keys} tuples) vs 2 reader threads\n");
     let mut rows = Vec::new();
     for scheme in all_schemes(keys) {
         let r = mixed_run(scheme.as_ref(), keys, 2, 128, 4);

@@ -13,7 +13,10 @@ use warehouse_2vnl::workload::empirical_guaranteed_length;
 fn main() {
     println!("nVNL tuning for the Figure 2 schedule (i = 60 min gap, m = 23 h maintenance)\n");
     let (i, m) = (60u64, 23 * 60u64);
-    println!("{:>16}  {:>3}  {:>18}  {:>18}", "session target", "n", "formula guarantee", "simulated");
+    println!(
+        "{:>16}  {:>3}  {:>18}  {:>18}",
+        "session target", "n", "formula guarantee", "simulated"
+    );
     for target_hours in [1u64, 4, 12, 24, 48, 96] {
         let target = target_hours * 60;
         let n = choose_n(target, i, m).expect("schedule is non-degenerate");

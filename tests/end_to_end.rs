@@ -145,12 +145,12 @@ fn analysts_stay_consistent_through_a_week_with_threads() {
     let maintainer = ViewMaintainer::new(def);
     let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         // Maintenance thread: 7 daily batches.
         {
             let table = Arc::clone(&table);
             let stop = Arc::clone(&stop);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 let mut gen = generator(47);
                 for _ in 0..7 {
                     let txn = table.begin_maintenance().unwrap();
@@ -165,25 +165,25 @@ fn analysts_stay_consistent_through_a_week_with_threads() {
         for _ in 0..3 {
             let table = Arc::clone(&table);
             let stop = Arc::clone(&stop);
-            s.spawn(move |_| {
+            s.spawn(move || {
                 while !stop.load(std::sync::atomic::Ordering::SeqCst) {
                     let session = table.begin_session();
-                    let per_city = session.query(
-                        "SELECT city, SUM(total_sales) FROM DailySales GROUP BY city",
-                    );
+                    let per_city = session
+                        .query("SELECT city, SUM(total_sales) FROM DailySales GROUP BY city");
                     match per_city {
                         Ok(rollup) => {
-                            let total: i64 = rollup
-                                .rows
-                                .iter()
-                                .map(|r| r[1].as_int().unwrap())
-                                .sum();
+                            let total: i64 =
+                                rollup.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
                             let grand = session
                                 .query("SELECT SUM(total_sales) FROM DailySales")
                                 .unwrap();
                             assert_eq!(
                                 grand.rows[0][0],
-                                if total == 0 { Value::Null } else { Value::from(total) },
+                                if total == 0 {
+                                    Value::Null
+                                } else {
+                                    Value::from(total)
+                                },
                                 "drill-down must match roll-up inside one session"
                             );
                         }
@@ -194,8 +194,7 @@ fn analysts_stay_consistent_through_a_week_with_threads() {
                 }
             });
         }
-    })
-    .unwrap();
+    });
 }
 
 #[test]

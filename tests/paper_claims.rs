@@ -42,7 +42,10 @@ fn claim_section_5_choose_n_validated_by_simulation() {
                     n - 1
                 );
             }
-            assert!(guaranteed_session_length(n, i, m) >= target, "formula agrees");
+            assert!(
+                guaranteed_session_length(n, i, m) >= target,
+                "formula agrees"
+            );
         }
     }
 }
