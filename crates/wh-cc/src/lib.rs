@@ -25,7 +25,7 @@ pub mod scheme;
 pub mod stats;
 pub mod v2v2pl;
 
-pub use lock::{LockManager, LockMode, LockRequestOutcome};
+pub use lock::{LockManager, LockMode, LockRequestOutcome, FAILPOINTS};
 pub use mv2pl::Mv2plStore;
 pub use s2pl::S2plStore;
 pub use scheme::{CcError, CcResult, ConcurrencyScheme, ReaderTxn, WriterTxn};

@@ -3,6 +3,12 @@
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+use wh_types::fail_point;
+
+/// Failpoints compiled into this crate under `--features failpoints`
+/// (disarmed and zero-cost otherwise). Names are stable: the crash-matrix
+/// driver enumerates this catalog.
+pub const FAILPOINTS: &[&str] = &["cc.lock.grant", "cc.lock.release"];
 
 /// Lock modes. The compatibility matrix follows \[BHG87\]:
 ///
@@ -134,6 +140,9 @@ impl LockManager {
     /// timeout. Re-acquiring a mode already held (or weaker) is a no-op;
     /// requesting a stronger mode upgrades in place.
     pub fn acquire(&self, txn: u64, key: u64, mode: LockMode) -> LockRequestOutcome {
+        // Injected fault = the grant is refused, as a timeout (the caller's
+        // abort path is the same either way).
+        fail_point!("cc.lock.grant", LockRequestOutcome::TimedOut);
         let start = Instant::now();
         let deadline = start + self.timeout;
         let mut table = self.table.lock().unwrap();
@@ -193,6 +202,9 @@ impl LockManager {
 
     /// Release every lock held by `txn`.
     pub fn release_all(&self, txn: u64) {
+        // Injected fault = the client crashed before releasing: its locks
+        // stay granted and waiters run into the timeout path.
+        fail_point!("cc.lock.release", ());
         let mut table = self.table.lock().unwrap();
         table.retain(|_, entry| {
             entry.granted.retain(|&(t, _)| t != txn);
@@ -298,6 +310,38 @@ mod tests {
         lm.acquire(2, 11, LockMode::Shared);
         lm.release_all(1);
         assert_eq!(lm.locked_keys(), 1);
+    }
+
+    #[cfg(feature = "failpoints")]
+    #[test]
+    fn failpoints_refuse_grants_and_swallow_releases() {
+        use wh_types::fault::{self, FaultAction};
+        // Serialize with other failpoint users (registry is process-global).
+        static GATE: Mutex<()> = Mutex::new(());
+        let _gate = GATE
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        fault::clear_all();
+
+        let lm = LockManager::strict(T);
+        fault::configure("cc.lock.grant", FaultAction::Error);
+        assert_eq!(
+            lm.acquire(1, 10, LockMode::Shared),
+            LockRequestOutcome::TimedOut
+        );
+        fault::clear_all();
+
+        // A swallowed release leaves the lock granted: a conflicting request
+        // times out as if the holder had crashed.
+        assert!(lm.acquire(1, 10, LockMode::Shared).granted());
+        fault::configure("cc.lock.release", FaultAction::Error);
+        lm.release_all(1);
+        fault::clear_all();
+        assert_eq!(lm.locked_keys(), 1);
+        let short = LockManager::strict(Duration::from_millis(20));
+        drop(short);
+        lm.release_all(1);
+        assert_eq!(lm.locked_keys(), 0);
     }
 
     #[test]

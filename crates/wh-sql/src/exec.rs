@@ -13,10 +13,23 @@ use crate::error::{SqlError, SqlResult};
 use crate::eval::{EvalContext, Params};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use wh_index::IndexKey;
 use wh_storage::{StorageError, Table};
 use wh_types::{Row, Schema, Value};
+
+/// Acquire a worker-state mutex, recovering from poison: these mutexes only
+/// guard per-worker accumulation buffers, and a panicking worker (e.g. an
+/// injected `Panic` fault below the scan) aborts the whole query anyway, so
+/// surviving workers must not turn one panic into a cascade of them.
+fn lock_state<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `into_inner` twin of [`lock_state`].
+fn unwrap_state<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Anything that can supply a schema and a row scan. Implemented by storage
 /// tables; the 2VNL layer implements it for version-filtered views.
@@ -91,7 +104,7 @@ impl ParallelRowSource for Table {
         let failed = AtomicBool::new(false);
         let res = self.scan_parallel(threads, |worker, _, row| {
             if let Err(e) = visit(worker, row) {
-                let mut slot = stash.lock().unwrap();
+                let mut slot = lock_state(&stash);
                 if slot.is_none() {
                     *slot = Some(e);
                 }
@@ -103,7 +116,7 @@ impl ParallelRowSource for Table {
                 Ok(())
             }
         });
-        settle_scan(res, stash.into_inner().unwrap())
+        settle_scan(res, unwrap_state(stash))
     }
 }
 
@@ -388,7 +401,7 @@ fn execute_plain_parallel(
                 .map(|it| ctx.eval(&it.expr, &row))
                 .collect::<SqlResult<Vec<_>>>()?
         };
-        let mut state = workers[w].lock().unwrap();
+        let mut state = lock_state(&workers[w]);
         if !stmt.order_by.is_empty() {
             state.order_keys.push(
                 stmt.order_by
@@ -414,7 +427,7 @@ fn execute_plain_parallel(
     let mut out_rows = Vec::new();
     let mut order_keys = Vec::new();
     for state in workers {
-        let state = state.into_inner().unwrap();
+        let state = unwrap_state(state);
         out_rows.extend(state.out_rows);
         order_keys.extend(state.order_keys);
     }
@@ -497,7 +510,7 @@ impl AggAcc {
                 }
             }
             AggAcc::Value(slot) => {
-                let v = value.expect("SUM/MIN/MAX require an argument");
+                let v = value.ok_or(SqlError::MisplacedAggregate)?;
                 if v.is_null() {
                     return Ok(());
                 }
@@ -507,7 +520,7 @@ impl AggAcc {
                 });
             }
             AggAcc::Avg { acc, n } => {
-                let v = value.expect("AVG requires an argument");
+                let v = value.ok_or(SqlError::MisplacedAggregate)?;
                 if v.is_null() {
                     return Ok(());
                 }
@@ -542,7 +555,11 @@ impl AggAcc {
                     });
                 }
             }
-            _ => unreachable!("mismatched accumulator shapes for one call site"),
+            _ => {
+                return Err(SqlError::Unsupported(
+                    "mismatched accumulator shapes for one aggregate call site".into(),
+                ))
+            }
         }
         Ok(())
     }
@@ -585,7 +602,9 @@ fn combine(func: AggFunc, prev: Value, next: Value) -> SqlResult<Value> {
             };
             Ok(if keep_next { next } else { prev })
         }
-        _ => unreachable!("combine only serves SUM/MIN/MAX"),
+        _ => Err(SqlError::Unsupported(
+            "combine only serves SUM/MIN/MAX".into(),
+        )),
     }
 }
 
@@ -743,7 +762,7 @@ fn execute_grouped_parallel(
                 None => None,
             });
         }
-        let mut state = workers[w].lock().unwrap();
+        let mut state = lock_state(&workers[w]);
         let idx_key = IndexKey(key.clone());
         let i = match state.lookup.get(&idx_key) {
             Some(&i) => i,
@@ -770,7 +789,7 @@ fn execute_grouped_parallel(
     let mut groups: Vec<GroupAcc> = Vec::new();
     let mut lookup: HashMap<IndexKey, usize> = HashMap::new();
     for state in workers {
-        let state = state.into_inner().unwrap();
+        let state = unwrap_state(state);
         for group in state.groups {
             let idx_key = IndexKey(group.key.clone());
             match lookup.get(&idx_key) {
@@ -1043,7 +1062,9 @@ fn compute_aggregate(
                             }))?;
                     Ok(Value::Float(t / n as f64))
                 }
-                _ => unreachable!(),
+                _ => Err(SqlError::Unsupported(
+                    "aggregate dispatch reached a foreign function arm".into(),
+                )),
             }
         }
         AggFunc::Min | AggFunc::Max => {

@@ -32,6 +32,9 @@ pub enum StorageError {
     /// scan, stash their real error on the side, and translate on the way
     /// out. It should never escape to end users.
     ScanAborted,
+    /// An armed failpoint injected a fault at the named site (fault-injection
+    /// testing only; sites compile in under the `failpoints` feature).
+    FaultInjected(&'static str),
 }
 
 impl fmt::Display for StorageError {
@@ -50,6 +53,9 @@ impl fmt::Display for StorageError {
             StorageError::RecordTooLarge(n) => write!(f, "record of {n} bytes exceeds page size"),
             StorageError::Type(e) => write!(f, "{e}"),
             StorageError::ScanAborted => write!(f, "scan aborted by visitor"),
+            StorageError::FaultInjected(point) => {
+                write!(f, "injected fault at failpoint '{point}'")
+            }
         }
     }
 }
@@ -59,6 +65,12 @@ impl std::error::Error for StorageError {}
 impl From<TypeError> for StorageError {
     fn from(e: TypeError) -> Self {
         StorageError::Type(e)
+    }
+}
+
+impl From<wh_types::fault::FaultError> for StorageError {
+    fn from(e: wh_types::fault::FaultError) -> Self {
+        StorageError::FaultInjected(e.point)
     }
 }
 

@@ -4,7 +4,40 @@ use crate::error::{StorageError, StorageResult};
 use crate::iostats::IoStats;
 use crate::page::{Page, Rid};
 use std::sync::Arc;
-use std::sync::{Mutex, RwLock};
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use wh_types::fail_point;
+
+/// Failpoints compiled into this crate under `--features failpoints`
+/// (disarmed and zero-cost otherwise). Names are stable: the crash-matrix
+/// driver enumerates this catalog.
+pub const FAILPOINTS: &[&str] = &[
+    "storage.heap.latch",
+    "storage.heap.insert",
+    "storage.heap.read",
+    "storage.heap.write",
+    "storage.heap.modify",
+    "storage.heap.delete",
+    "storage.heap.free_space",
+];
+
+/// Acquire a read latch, recovering from poison: a panic (e.g. an injected
+/// `Panic` fault) can never leave a page mid-mutation — every mutation is a
+/// full-record store after validation — so the data under a poisoned latch
+/// is intact and readers (crash recovery in particular) must keep working
+/// instead of cascading the panic.
+fn read_latch<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write twin of [`read_latch`].
+fn write_latch<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mutex twin of [`read_latch`] (free-list bookkeeping).
+fn lock_list<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// A heap file of fixed-width records.
 ///
@@ -53,13 +86,13 @@ impl HeapFile {
 
     /// Number of allocated pages.
     pub fn page_count(&self) -> u32 {
-        self.pages.read().unwrap().len() as u32
+        read_latch(&self.pages).len() as u32
     }
 
     /// Number of live records.
     pub fn len(&self) -> u64 {
-        let pages = self.pages.read().unwrap();
-        pages.iter().map(|p| p.read().unwrap().live() as u64).sum()
+        let pages = read_latch(&self.pages);
+        pages.iter().map(|p| read_latch(p).live() as u64).sum()
     }
 
     /// Whether the file holds no live records.
@@ -68,9 +101,8 @@ impl HeapFile {
     }
 
     fn page(&self, page_no: u32) -> StorageResult<Arc<RwLock<Page>>> {
-        self.pages
-            .read()
-            .unwrap()
+        fail_point!("storage.heap.latch");
+        read_latch(&self.pages)
             .get(page_no as usize)
             .cloned()
             .ok_or(StorageError::NoSuchPage(page_no))
@@ -78,38 +110,40 @@ impl HeapFile {
 
     /// Insert a record, returning its RID.
     pub fn insert(&self, record: &[u8]) -> StorageResult<Rid> {
+        fail_point!("storage.heap.insert");
         loop {
             // Try a page believed to have room.
-            let candidate = self.free_pages.lock().unwrap().last().copied();
+            let candidate = lock_list(&self.free_pages).last().copied();
             if let Some(page_no) = candidate {
                 let page = self.page(page_no)?;
-                let mut guard = page.write().unwrap();
+                let mut guard = write_latch(&page);
                 self.stats.count_page_reads(1);
                 if let Some(slot) = guard.insert(record)? {
                     self.stats.count_page_writes(1);
                     self.stats.count_tuple_writes(1);
                     if !guard.has_room() {
-                        self.free_pages.lock().unwrap().retain(|&p| p != page_no);
+                        lock_list(&self.free_pages).retain(|&p| p != page_no);
                     }
                     return Ok(Rid::new(page_no, slot));
                 }
                 // Page filled up under us; drop it from the free list and retry.
-                self.free_pages.lock().unwrap().retain(|&p| p != page_no);
+                lock_list(&self.free_pages).retain(|&p| p != page_no);
                 continue;
             }
             // Allocate a new page.
-            let mut pages = self.pages.write().unwrap();
+            let mut pages = write_latch(&self.pages);
             let page_no = pages.len() as u32;
             pages.push(Arc::new(RwLock::new(Page::new(self.record_len)?)));
             drop(pages);
-            self.free_pages.lock().unwrap().push(page_no);
+            lock_list(&self.free_pages).push(page_no);
         }
     }
 
     /// Read the record at `rid` into an owned buffer.
     pub fn read(&self, rid: Rid) -> StorageResult<Vec<u8>> {
+        fail_point!("storage.heap.read");
         let page = self.page(rid.page)?;
-        let guard = page.read().unwrap();
+        let guard = read_latch(&page);
         self.stats.count_page_reads(1);
         let rec = guard.read(rid.page, rid.slot)?;
         self.stats.count_tuple_reads(1);
@@ -118,8 +152,9 @@ impl HeapFile {
 
     /// Overwrite the record at `rid` in place (width-preserving).
     pub fn update_in_place(&self, rid: Rid, record: &[u8]) -> StorageResult<()> {
+        fail_point!("storage.heap.write");
         let page = self.page(rid.page)?;
-        let mut guard = page.write().unwrap();
+        let mut guard = write_latch(&page);
         self.stats.count_page_reads(1);
         guard.update_in_place(rid.page, rid.slot, record)?;
         self.stats.count_page_writes(1);
@@ -138,9 +173,10 @@ impl HeapFile {
         F: FnOnce(&[u8]) -> StorageResult<Vec<u8>>,
     {
         let page = self.page(rid.page)?;
-        let mut guard = page.write().unwrap();
+        let mut guard = write_latch(&page);
         self.stats.count_page_reads(1);
         let current = guard.read(rid.page, rid.slot)?.to_vec();
+        fail_point!("storage.heap.modify");
         let replacement = f(&current)?;
         guard.update_in_place(rid.page, rid.slot, &replacement)?;
         self.stats.count_page_writes(1);
@@ -156,8 +192,9 @@ impl HeapFile {
     where
         F: FnOnce(&[u8]) -> bool,
     {
+        fail_point!("storage.heap.delete");
         let page = self.page(rid.page)?;
-        let mut guard = page.write().unwrap();
+        let mut guard = write_latch(&page);
         self.stats.count_page_reads(1);
         let current = guard.read(rid.page, rid.slot)?;
         if !pred(current) {
@@ -167,7 +204,8 @@ impl HeapFile {
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
         drop(guard);
-        let mut free = self.free_pages.lock().unwrap();
+        fail_point!("storage.heap.free_space");
+        let mut free = lock_list(&self.free_pages);
         if !free.contains(&rid.page) {
             free.push(rid.page);
         }
@@ -176,13 +214,16 @@ impl HeapFile {
 
     /// Physically delete the record at `rid`.
     pub fn delete(&self, rid: Rid) -> StorageResult<()> {
+        fail_point!("storage.heap.delete");
         let page = self.page(rid.page)?;
-        let mut guard = page.write().unwrap();
+        let mut guard = write_latch(&page);
         self.stats.count_page_reads(1);
         guard.delete(rid.page, rid.slot)?;
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
-        let mut free = self.free_pages.lock().unwrap();
+        drop(guard);
+        fail_point!("storage.heap.free_space");
+        let mut free = lock_list(&self.free_pages);
         if !free.contains(&rid.page) {
             free.push(rid.page);
         }
@@ -216,7 +257,7 @@ impl HeapFile {
         F: FnMut(Rid, &[u8]) -> StorageResult<()>,
     {
         let page_handles: Vec<(u32, Arc<RwLock<Page>>)> = {
-            let pages = self.pages.read().unwrap();
+            let pages = read_latch(&self.pages);
             let end = (range.end as usize).min(pages.len());
             let start = (range.start as usize).min(end);
             pages[start..end]
@@ -229,7 +270,7 @@ impl HeapFile {
         let mut tuple_reads = 0u64;
         let mut result = Ok(());
         'pages: for (page_no, page) in page_handles {
-            let guard = page.read().unwrap();
+            let guard = read_latch(&page);
             page_reads += 1;
             for (slot, rec) in guard.iter() {
                 tuple_reads += 1;

@@ -22,7 +22,7 @@ pub mod page;
 pub mod table;
 
 pub use error::{StorageError, StorageResult};
-pub use heap::HeapFile;
+pub use heap::{HeapFile, FAILPOINTS};
 pub use iostats::IoStats;
 pub use page::{Page, Rid, PAGE_SIZE};
 pub use table::Table;

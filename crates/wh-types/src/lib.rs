@@ -9,6 +9,7 @@
 
 pub mod date;
 pub mod error;
+pub mod fault;
 pub mod rng;
 pub mod row;
 pub mod schema;

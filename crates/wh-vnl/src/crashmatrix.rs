@@ -1,0 +1,338 @@
+//! Deterministic crash-matrix driver (compiled only under `failpoints`).
+//!
+//! Sweeps **every registered failpoint × every maintenance operation type**:
+//! each cell builds a fresh table with a scripted committed history, arms
+//! one failpoint, runs one operation script, "crashes" (the transaction is
+//! forgotten — its in-memory undo map is lost, exactly what a process crash
+//! loses), disarms, runs [`recover`], and asserts that every session version
+//! inside the exactness window reads exactly the reference state. Each cell
+//! also re-runs recovery to prove idempotence and asserts that zero log
+//! records were written.
+//!
+//! The driver is a library module (not test-only code) so both the
+//! `crash_recovery` integration test and the `report_fault` bench binary
+//! share it. Cells panic on divergence; a completed sweep *is* the proof.
+//!
+//! The fault registry is process-global: callers running cells from
+//! multiple tests in one binary must serialize them.
+//!
+//! [`recover`]: crate::recovery::recover
+
+use crate::gc;
+use crate::recovery::{self, RecoveryReport};
+use crate::table::VnlTable;
+use crate::visibility;
+use crate::Visible;
+use wh_types::fault::{self, FaultAction, PointStats};
+use wh_types::{Column, DataType, Schema, Value};
+
+/// Every failpoint compiled into the workspace: storage, vnl, and lock
+/// manager catalogs.
+pub fn catalog() -> Vec<&'static str> {
+    let mut all = Vec::new();
+    all.extend_from_slice(wh_storage::FAILPOINTS);
+    all.extend_from_slice(crate::FAILPOINTS);
+    all.extend_from_slice(wh_cc::FAILPOINTS);
+    all
+}
+
+/// The maintenance operation type a cell crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Fresh insert plus a resurrecting insert.
+    Insert,
+    /// First-touch updates plus a same-transaction repeat update.
+    Update,
+    /// Logical delete, update∘delete, and insert∘delete chains.
+    Delete,
+    /// A garbage-collection pass (physical expiry of deleted tuples).
+    Expire,
+    /// A mixed batch followed by `commit()`.
+    Commit,
+    /// A mixed batch followed by `abort()`.
+    Abort,
+}
+
+impl OpKind {
+    /// All operation types, in sweep order.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::Insert,
+        OpKind::Update,
+        OpKind::Delete,
+        OpKind::Expire,
+        OpKind::Commit,
+        OpKind::Abort,
+    ];
+}
+
+/// What one `(failpoint, op)` cell observed.
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// The armed failpoint.
+    pub point: &'static str,
+    /// The operation script.
+    pub op: OpKind,
+    /// The table's nVNL `n`.
+    pub n: usize,
+    /// Whether the armed point actually fired during the script (points off
+    /// the script's path yield a plain end-of-script crash instead).
+    pub injected: bool,
+    /// Commit cells only: whether the version flip happened before the
+    /// crash (decides which reference state applies).
+    pub committed: bool,
+    /// The (first) recovery pass report.
+    pub recovery: RecoveryReport,
+}
+
+/// Aggregate result of a sweep.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// One entry per cell, in sweep order.
+    pub cells: Vec<CellReport>,
+    /// Per-point hit/fired counters accumulated over the whole sweep.
+    pub coverage: Vec<PointStats>,
+}
+
+fn schema() -> Schema {
+    Schema::with_key_names(
+        vec![
+            Column::new("k", DataType::Int64),
+            Column::updatable("v", DataType::Int64),
+        ],
+        &["k"],
+    )
+    .unwrap()
+}
+
+fn row(k: i64, v: i64) -> Vec<Value> {
+    vec![Value::from(k), Value::from(v)]
+}
+
+/// Scripted history every cell starts from:
+/// VN 1 — load k0=0, k1=100, k2=200;
+/// VN 2 (committed) — k0←1000, delete k1, insert k3=300.
+fn build_table(n: usize) -> VnlTable {
+    let table = VnlTable::create_named("T", schema(), n).unwrap();
+    for k in 0..3i64 {
+        table.load_initial(&[row(k, k * 100)]).unwrap();
+    }
+    let txn = table.begin_maintenance().unwrap();
+    txn.update_row(&row(0, 1000)).unwrap();
+    txn.delete_row(&row(1, 0)).unwrap();
+    txn.insert(row(3, 300)).unwrap();
+    txn.commit().unwrap();
+    table
+}
+
+/// The reference (model) state at `svn`. `svn = 3` is only reachable from
+/// Commit cells whose version flip happened.
+fn expected_live(svn: u64) -> Vec<(i64, i64)> {
+    match svn {
+        0 | 1 => vec![(0, 0), (1, 100), (2, 200)],
+        2 => vec![(0, 1000), (2, 200), (3, 300)],
+        _ => vec![(0, 1001), (3, 300), (4, 400)],
+    }
+}
+
+/// Reader-visible `(k, v)` set at `svn`, via the real visibility function.
+fn visible_state(table: &VnlTable, svn: u64) -> Vec<(i64, i64)> {
+    let mut rows: Vec<(i64, i64)> = table
+        .scan_raw()
+        .unwrap()
+        .iter()
+        .filter_map(
+            |(_, ext)| match visibility::extract(table.layout(), ext, svn) {
+                Visible::Row(r) => Some((r[0].as_int().unwrap(), r[1].as_int().unwrap())),
+                Visible::Ignore => None,
+                Visible::Expired => panic!("unexpected expiry at sessionVN {svn}"),
+            },
+        )
+        .collect();
+    rows.sort_unstable();
+    rows
+}
+
+/// A stable fingerprint of the physical table state (idempotence checks).
+fn fingerprint(table: &VnlTable) -> String {
+    let mut rows: Vec<String> = table
+        .scan_raw()
+        .unwrap()
+        .iter()
+        .map(|(rid, ext)| format!("{rid}:{ext:?}"))
+        .collect();
+    rows.sort_unstable();
+    rows.join("\n")
+}
+
+/// Run one cell: arm `point`, crash `op` against a fresh scripted table,
+/// recover, and model-check. Panics on any divergence.
+///
+/// Counters are *not* cleared, so a sweep accumulates coverage; callers
+/// wanting isolated counts should call [`fault::clear_all`] first.
+pub fn run_cell(n: usize, point: &'static str, op: OpKind) -> CellReport {
+    let table = build_table(n);
+    let fired_before = fault::fired(point);
+    fault::configure(point, FaultAction::Error);
+    let mut committed = false;
+
+    match op {
+        OpKind::Expire => {
+            // GC runs outside any maintenance transaction; a fault mid-pass
+            // abandons the remaining victims.
+            let _ = gc::collect(&table);
+        }
+        _ => {
+            // A fault inside begin_maintenance leaves the maintenanceActive
+            // flag stuck with no transaction to clean it up.
+            if let Ok(txn) = table.begin_maintenance() {
+                let mut ok = true;
+                match op {
+                    OpKind::Insert => {
+                        ok &= txn.insert(row(4, 400)).is_ok();
+                        ok &= txn.insert(row(1, 111)).is_ok(); // resurrects k1
+                        let _ = ok;
+                        std::mem::forget(txn); // crash: undo map lost
+                    }
+                    OpKind::Update => {
+                        ok &= txn.update_row(&row(0, 1001)).is_ok();
+                        ok &= txn.update_row(&row(0, 1002)).is_ok(); // same-txn repeat
+                        ok &= txn.update_row(&row(2, 222)).is_ok();
+                        let _ = ok;
+                        std::mem::forget(txn);
+                    }
+                    OpKind::Delete => {
+                        ok &= txn.delete_row(&row(0, 0)).is_ok();
+                        ok &= txn.update_row(&row(2, 222)).is_ok();
+                        ok &= txn.delete_row(&row(2, 0)).is_ok(); // update∘delete
+                        ok &= txn.insert(row(4, 400)).is_ok();
+                        ok &= txn.delete_row(&row(4, 0)).is_ok(); // insert∘delete
+                        let _ = ok;
+                        std::mem::forget(txn);
+                    }
+                    OpKind::Commit => {
+                        ok &= txn.update_row(&row(0, 1001)).is_ok();
+                        ok &= txn.insert(row(4, 400)).is_ok();
+                        ok &= txn.delete_row(&row(2, 0)).is_ok();
+                        if ok {
+                            committed = txn.commit().is_ok();
+                        } else {
+                            std::mem::forget(txn); // crash mid-batch
+                        }
+                    }
+                    OpKind::Abort => {
+                        let _ = txn.update_row(&row(0, 1001));
+                        let _ = txn.insert(row(4, 400));
+                        let _ = txn.delete_row(&row(2, 0));
+                        // A fault mid-rollback leaves a *partial* abort; the
+                        // txn is consumed either way, with its undo map.
+                        let _ = txn.abort();
+                    }
+                    OpKind::Expire => unreachable!("handled above"),
+                }
+            }
+        }
+    }
+
+    fault::disarm_all(); // keep counters: the sweep's coverage proof
+    let injected = fault::fired(point) > fired_before;
+
+    let report = recovery::recover(&table).unwrap();
+    assert_eq!(report.log_writes, 0, "recovery must not write a log");
+
+    let snap = table.version().snapshot();
+    assert!(
+        !snap.maintenance_active,
+        "recovery must clear maintenanceActive ({point} × {op:?}, n={n})"
+    );
+    assert_eq!(snap.current_vn, if committed { 3 } else { 2 });
+
+    // Model-check every session version that recovery guarantees exact.
+    // Expire cells additionally bound the window at currentVN: with no
+    // registered sessions, GC's horizon is currentVN, so older versions are
+    // legitimately reclaimed.
+    let window_start = snap.current_vn.saturating_sub(n as u64 - 1).max(1);
+    let mut check_from = window_start.max(report.exact_horizon);
+    if op == OpKind::Expire {
+        check_from = check_from.max(snap.current_vn);
+    }
+    for svn in check_from..=snap.current_vn {
+        assert_eq!(
+            visible_state(&table, svn),
+            expected_live(svn),
+            "divergence at sessionVN {svn} ({point} × {op:?}, n={n}, injected={injected})"
+        );
+    }
+
+    // Idempotence: a second pass finds nothing and changes nothing.
+    let before = fingerprint(&table);
+    let again = recovery::recover(&table).unwrap();
+    assert_eq!(
+        again.pending_found, 0,
+        "second recovery must find nothing pending ({point} × {op:?}, n={n})"
+    );
+    assert_eq!(
+        fingerprint(&table),
+        before,
+        "second recovery must be a no-op ({point} × {op:?}, n={n})"
+    );
+
+    CellReport {
+        point,
+        op,
+        n,
+        injected,
+        committed,
+        recovery: report,
+    }
+}
+
+/// Exercise the lock-manager failpoints (they sit outside the maintenance
+/// path, so the table cells never reach them): a refused grant surfaces as a
+/// timeout, and a swallowed release leaves the crashed client's locks held.
+pub fn run_cc_cells() {
+    use wh_cc::{LockManager, LockMode, LockRequestOutcome};
+    let lm = LockManager::strict(std::time::Duration::from_millis(10));
+
+    fault::configure("cc.lock.grant", FaultAction::Error);
+    assert_eq!(
+        lm.acquire(1, 1, LockMode::Shared),
+        LockRequestOutcome::TimedOut
+    );
+    fault::disarm_all();
+
+    assert!(lm.acquire(1, 1, LockMode::Shared).granted());
+    fault::configure("cc.lock.release", FaultAction::Error);
+    lm.release_all(1); // swallowed: the "crashed" client keeps its locks
+    fault::disarm_all();
+    assert_eq!(lm.locked_keys(), 1);
+    lm.release_all(1);
+    assert_eq!(lm.locked_keys(), 0);
+}
+
+/// Run the full sweep — every cataloged failpoint × every [`OpKind`], for
+/// each `n` in `ns` — plus the lock-manager cells, then assert that every
+/// registered failpoint fired at least once. Panics on any cell divergence
+/// or coverage hole.
+pub fn run_matrix(ns: &[usize]) -> MatrixReport {
+    fault::clear_all();
+    let mut cells = Vec::new();
+    for &n in ns {
+        assert!(n >= 2, "nVNL requires n >= 2");
+        for point in catalog() {
+            for op in OpKind::ALL {
+                cells.push(run_cell(n, point, op));
+            }
+        }
+    }
+    run_cc_cells();
+    for point in catalog() {
+        assert!(
+            fault::fired(point) > 0,
+            "failpoint {point} never fired during the sweep — coverage hole"
+        );
+    }
+    MatrixReport {
+        cells,
+        coverage: fault::snapshot(),
+    }
+}

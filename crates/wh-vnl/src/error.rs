@@ -41,6 +41,9 @@ pub enum VnlError {
     /// only (updatable attributes live inside CASE expressions after the
     /// rewrite, which a stock optimizer cannot index).
     IndexOnUpdatable(String),
+    /// An armed failpoint injected a fault at the named site (fault-injection
+    /// testing only; sites compile in under the `failpoints` feature).
+    FaultInjected(&'static str),
     /// Storage failure.
     Storage(wh_storage::StorageError),
     /// SQL failure (rewrite or execution).
@@ -82,6 +85,9 @@ impl fmt::Display for VnlError {
                 f,
                 "cannot index updatable attribute {col} (§4.3: it is hidden inside CASE expressions after the rewrite)"
             ),
+            VnlError::FaultInjected(point) => {
+                write!(f, "injected fault at failpoint '{point}'")
+            }
             VnlError::Storage(e) => write!(f, "{e}"),
             VnlError::Sql(e) => write!(f, "{e}"),
             VnlError::Type(e) => write!(f, "{e}"),
@@ -90,6 +96,12 @@ impl fmt::Display for VnlError {
 }
 
 impl std::error::Error for VnlError {}
+
+impl From<wh_types::fault::FaultError> for VnlError {
+    fn from(e: wh_types::fault::FaultError) -> Self {
+        VnlError::FaultInjected(e.point)
+    }
+}
 
 impl From<wh_storage::StorageError> for VnlError {
     fn from(e: wh_storage::StorageError) -> Self {

@@ -11,6 +11,7 @@
 use crate::error::VnlResult;
 use crate::table::VnlTable;
 use crate::version::Operation;
+use wh_types::fail_point;
 
 /// Result of one collection pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -57,6 +58,9 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
         Ok(())
     })?;
     for (rid, ext) in victims {
+        // Per-victim crash window: a fault mid-pass leaves the remaining
+        // victims unreclaimed — a later pass picks them up.
+        fail_point!("vnl.gc.reclaim");
         // Re-verify under the page latch: a maintenance transaction may have
         // resurrected the tuple since the scan (Table 2 row 1), in which
         // case it must not be touched.
@@ -69,6 +73,10 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
         if !deleted {
             continue;
         }
+        // Crash window: tuple physically gone, key/index entries still
+        // registered — readers and maintenance already tolerate the stale
+        // entries (NoSuchSlot is skipped; inserts unregister and retry).
+        fail_point!("vnl.gc.unregister");
         if let Some(dir) = table.key_dir() {
             let _ = dir.unregister(&ext, rid);
         }

@@ -31,14 +31,19 @@
 //! * [`rewrite`] — the query-rewrite implementation (§4, Example 4.1),
 //!   generalized to nVNL.
 //! * [`gc`] — garbage collection of logically-deleted tuples (§7).
+//! * [`recovery`] — log-free crash recovery: reconstructing a consistent
+//!   pre-transaction state from the tuple version slots alone (§7).
 //! * [`adapter`] — a `wh_cc::ConcurrencyScheme` implementation so 2VNL runs
 //!   head-to-head against S2PL/2V2PL/MV2PL in the §6 experiments.
 
 pub mod adapter;
+#[cfg(feature = "failpoints")]
+pub mod crashmatrix;
 pub mod error;
 pub mod gc;
 pub mod maintenance;
 pub mod reader;
+pub mod recovery;
 pub mod rewrite;
 pub mod scan;
 pub mod schema_ext;
@@ -51,6 +56,7 @@ pub use adapter::VnlStore;
 pub use error::{VnlError, VnlResult};
 pub use maintenance::{MaintenanceTxn, PhysicalAction};
 pub use reader::{ReadOutcome, ReaderSession};
+pub use recovery::{recover, RecoveryReport};
 pub use rewrite::QueryRewriter;
 pub use scan::{ByteScanner, Classified};
 pub use schema_ext::{ExtLayout, StorageOverhead};
@@ -58,6 +64,26 @@ pub use table::VnlTable;
 pub use version::{Operation, VersionNo, VersionState};
 pub use visibility::Visible;
 pub use warehouse::{Warehouse, WarehouseBuilder, WarehouseSession, WarehouseTxn};
+
+/// Failpoints compiled into this crate under `--features failpoints`
+/// (disarmed and zero-cost otherwise). Names are stable: the crash-matrix
+/// driver enumerates this catalog.
+pub const FAILPOINTS: &[&str] = &[
+    "vnl.txn.insert.fresh",
+    "vnl.txn.insert.register",
+    "vnl.txn.insert.resurrect",
+    "vnl.txn.update.save_pre",
+    "vnl.txn.update.in_place",
+    "vnl.txn.delete.mark",
+    "vnl.txn.delete.remove_own",
+    "vnl.txn.delete.mark_own_update",
+    "vnl.txn.rollback.step",
+    "vnl.version.begin",
+    "vnl.version.publish_commit",
+    "vnl.version.publish_abort",
+    "vnl.gc.reclaim",
+    "vnl.gc.unregister",
+];
 
 /// §5's never-expire guarantee: with `n` versions, a minimum
 /// inter-maintenance gap `i`, and minimum maintenance duration `m` (any time

@@ -23,6 +23,7 @@ use std::collections::HashMap;
 use std::sync::Mutex;
 use wh_sql::{parse_statement, EvalContext, Expr, Params, Statement};
 use wh_storage::Rid;
+use wh_types::fail_point;
 use wh_types::{Row, Value};
 
 /// What a logical maintenance operation physically did to a tuple — one
@@ -226,8 +227,12 @@ impl<'t> MaintenanceTxn<'t> {
             .find_physical(&self.table.base_to_ext_positions(&base_row));
         let Some(rid) = conflict else {
             // Row 3: physical insert.
+            fail_point!("vnl.txn.insert.fresh");
             let ext = layout.new_insert_row(&base_row, self.vn);
             let new_rid = self.table.storage().insert(&ext)?;
+            // Crash window: the tuple exists but is not yet key-registered
+            // (an orphan until rollback or recovery reclaims it).
+            fail_point!("vnl.txn.insert.register");
             if let Some(dir) = self.table.key_dir() {
                 dir.register(&ext, new_rid)
                     .expect("no conflict was found just above");
@@ -263,6 +268,7 @@ impl<'t> MaintenanceTxn<'t> {
             }),
             (true, Operation::Delete) => {
                 self.save_undo_existing(rid, &ext);
+                fail_point!("vnl.txn.insert.resurrect");
                 let mut new_ext = None;
                 let modified = self.table.storage().modify(rid, |mut row| {
                     layout.push_back(&mut row);
@@ -348,6 +354,7 @@ impl<'t> MaintenanceTxn<'t> {
             (true, Operation::Insert | Operation::Update) => {
                 // Row 1: save pre-update values, stamp the new slot.
                 self.save_undo_existing(rid, &ext);
+                fail_point!("vnl.txn.update.save_pre");
                 self.table.storage().modify(rid, |mut row| {
                     layout.push_back(&mut row);
                     for (u_pos, &u) in layout.updatable().iter().enumerate() {
@@ -364,6 +371,7 @@ impl<'t> MaintenanceTxn<'t> {
             (false, Operation::Insert | Operation::Update) => {
                 // Row 2: overwrite current values only; net effect keeps the
                 // recorded operation (insert stays insert).
+                fail_point!("vnl.txn.update.in_place");
                 self.table.storage().modify(rid, |mut row| {
                     for (u_pos, &u) in layout.updatable().iter().enumerate() {
                         row[layout.base_col(u)] = new_updatable[u_pos].clone();
@@ -461,6 +469,7 @@ impl<'t> MaintenanceTxn<'t> {
                 // Row 1: logical delete — preserve current values as the
                 // pre-delete version, keep CV (Figure 6's Berkeley row).
                 self.save_undo_existing(rid, &ext);
+                fail_point!("vnl.txn.delete.mark");
                 self.table.storage().modify(rid, |mut row| {
                     layout.push_back(&mut row);
                     for (u_pos, &u) in layout.updatable().iter().enumerate() {
@@ -483,6 +492,8 @@ impl<'t> MaintenanceTxn<'t> {
                         if let Some(dir) = self.table.key_dir() {
                             let _ = dir.unregister(&ext, rid);
                         }
+                        // Crash window: key unregistered, tuple still stored.
+                        fail_point!("vnl.txn.delete.remove_own");
                         self.table.storage().delete(rid)?;
                         self.table.on_physical_delete(&ext, rid);
                         self.undo.lock().unwrap().remove(&rid);
@@ -502,6 +513,7 @@ impl<'t> MaintenanceTxn<'t> {
             }
             (false, Operation::Update) => {
                 // Row 2, previous update: update∘delete = delete.
+                fail_point!("vnl.txn.delete.mark_own_update");
                 self.table.storage().modify(rid, |mut row| {
                     row[layout.op_col(0)] = Operation::Delete.value();
                     Ok(row)
@@ -724,6 +736,9 @@ impl<'t> MaintenanceTxn<'t> {
         })?;
         let undo = std::mem::take(&mut *self.undo.lock().unwrap());
         for rid in touched {
+            // Per-tuple crash window: a fault mid-rollback leaves some
+            // tuples restored and others still carrying maintenanceVN.
+            fail_point!("vnl.txn.rollback.step");
             let ext = self.table.storage().read(rid)?;
             match undo.get(&rid) {
                 Some(UndoEntry::Fresh) | None => {

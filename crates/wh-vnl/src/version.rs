@@ -22,6 +22,7 @@ use std::fmt;
 use std::sync::Arc;
 use std::sync::Mutex;
 use wh_storage::{IoStats, Rid, Table};
+use wh_types::fail_point;
 use wh_types::{Column, DataType, Schema, Value};
 
 /// Database / maintenance-transaction version numbers.
@@ -145,6 +146,9 @@ impl VersionState {
             return Err(VnlError::MaintenanceAlreadyActive);
         }
         inner.maintenance_active = true;
+        // Placed after the flag flip: a crash here leaves maintenanceActive
+        // stuck on, exactly the state recovery must be able to clear.
+        fail_point!("vnl.version.begin");
         let maintenance_vn = inner.current_vn + 1;
         self.relation.update(
             self.relation_rid,
@@ -158,6 +162,9 @@ impl VersionState {
     /// per the §4 abort-safety note.
     pub fn publish_commit(&self, maintenance_vn: VersionNo) -> VnlResult<()> {
         let mut inner = self.inner.lock().unwrap();
+        // Before any mutation: a crash here commits nothing — readers keep
+        // the old currentVN and never see a half-published flip.
+        fail_point!("vnl.version.publish_commit");
         debug_assert_eq!(maintenance_vn, inner.current_vn + 1);
         inner.current_vn = maintenance_vn;
         inner.maintenance_active = false;
@@ -171,6 +178,8 @@ impl VersionState {
     /// Record a maintenance abort: flag off, `currentVN` unchanged.
     pub fn publish_abort(&self) -> VnlResult<()> {
         let mut inner = self.inner.lock().unwrap();
+        // Before any mutation, mirroring `publish_commit`.
+        fail_point!("vnl.version.publish_abort");
         inner.maintenance_active = false;
         self.relation.update(
             self.relation_rid,
