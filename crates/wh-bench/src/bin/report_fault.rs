@@ -69,6 +69,32 @@ fn main() {
     }
     print_table(&["failpoint", "hits", "fired"], &rows);
     println!("\nEvery registered failpoint fired at least once: coverage holds.");
+
+    // Machine-readable JSON (same shared writer as the other reports).
+    use wh_bench::json::{self, Json};
+    let doc = Json::obj([
+        ("experiment", "E19".into()),
+        ("cells", report.cells.len().into()),
+        ("injected", injected.into()),
+        ("committed", committed.into()),
+        (
+            "coverage",
+            Json::Array(
+                report
+                    .coverage
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("failpoint", s.point.to_string().into()),
+                            ("hits", s.hits.into()),
+                            ("fired", s.fired.into()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    json::write_report("BENCH_fault.json", &doc);
 }
 
 #[cfg(not(feature = "failpoints"))]

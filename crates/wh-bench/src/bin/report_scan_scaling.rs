@@ -21,6 +21,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+use wh_bench::json::{self, Json};
 use wh_bench::print_table;
 use wh_sql::Params;
 use wh_types::schema::daily_sales_schema;
@@ -258,30 +259,31 @@ fn main() {
     );
 
     // Machine-readable JSON.
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"experiment\": \"E18\",\n");
-    json.push_str(&format!("  \"rows\": {},\n", cfg.rows()));
-    json.push_str(&format!("  \"quick\": {},\n", cfg.quick));
-    json.push_str(&format!("  \"repeats\": {},\n", cfg.repeats));
-    json.push_str("  \"results\": [\n");
-    for (i, m) in results.iter().enumerate() {
-        let base = baseline_ms(&results, m.workload, m.maintenance_active);
-        json.push_str(&format!(
-            "    {{\"workload\": \"{}\", \"maintenance_active\": {}, \"threads\": {}, \
-             \"median_ms\": {:.3}, \"speedup_vs_1\": {:.3}}}{}\n",
-            m.workload,
-            m.maintenance_active,
-            m.threads,
-            m.median_ms,
-            base / m.median_ms,
-            if i + 1 == results.len() { "" } else { "," }
-        ));
-    }
-    json.push_str("  ]\n}\n");
-    let out_path = std::env::var("WH_BENCH_OUT").unwrap_or_else(|_| "BENCH_scan.json".to_string());
-    std::fs::write(&out_path, json).expect("write BENCH_scan.json");
-    println!("\nwrote {out_path}");
+    let doc = Json::obj([
+        ("experiment", "E18".into()),
+        ("rows", cfg.rows().into()),
+        ("quick", cfg.quick.into()),
+        ("repeats", cfg.repeats.into()),
+        (
+            "results",
+            Json::Array(
+                results
+                    .iter()
+                    .map(|m| {
+                        let base = baseline_ms(&results, m.workload, m.maintenance_active);
+                        Json::obj([
+                            ("workload", m.workload.into()),
+                            ("maintenance_active", m.maintenance_active.into()),
+                            ("threads", m.threads.into()),
+                            ("median_ms", Json::Fixed(m.median_ms, 3)),
+                            ("speedup_vs_1", Json::Fixed(base / m.median_ms, 3)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    json::write_report("BENCH_scan.json", &doc);
 
     // The ISSUE acceptance bar: >= 2x at 4 threads on the grouped aggregate,
     // with and without active maintenance. Reported, not asserted, so the

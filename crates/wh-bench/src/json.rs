@@ -1,0 +1,251 @@
+//! Minimal JSON document builder shared by the `report_*` bins.
+//!
+//! Every experiment report writes a machine-readable `BENCH_*.json` next to
+//! its human-readable table. The repo takes no external dependencies, so
+//! this is the one hand-rolled JSON writer — the bins build a [`Json`] tree
+//! and hand it to [`write_report`], which honors the `WH_BENCH_OUT` override
+//! the CI jobs use to redirect artifacts.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Object keys keep insertion order (reports read better when
+/// fields appear in the order the experiment produced them).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    /// Rendered with `{}` (shortest roundtrip form).
+    Float(f64),
+    /// Rendered with fixed precision — `Fixed(1.23456, 3)` → `1.235`.
+    Fixed(f64, u8),
+    Str(String),
+    /// Pre-rendered JSON spliced in verbatim (e.g. a
+    /// `wh_obs::registry::Snapshot::to_json()` document).
+    Raw(String),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience: an object from `(key, value)` pairs.
+    pub fn obj(fields: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Render as pretty-printed JSON (2-space indent, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(f) => render_float(out, *f),
+            Json::Fixed(f, prec) => {
+                if f.is_finite() {
+                    let _ = write!(out, "{f:.prec$}", prec = *prec as usize);
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => render_string(out, s),
+            Json::Raw(r) => out.push_str(r.trim_end()),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    render_string(out, key);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::UInt(n)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::UInt(n as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(n: i64) -> Json {
+        Json::Int(n)
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn render_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let _ = write!(out, "{f}");
+    } else {
+        // NaN/inf have no JSON form; null keeps the document parseable.
+        out.push_str("null");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Resolve the output path for a report: `WH_BENCH_OUT` when set, else
+/// `default_name` in the working directory.
+pub fn out_path(default_name: &str) -> String {
+    std::env::var("WH_BENCH_OUT").unwrap_or_else(|_| default_name.to_string())
+}
+
+/// Write `doc` to [`out_path`]`(default_name)` and announce the path on
+/// stdout, as every report bin does.
+pub fn write_report(default_name: &str, doc: &Json) -> String {
+    let path = out_path(default_name);
+    std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("\nwrote {path}");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_documents() {
+        let doc = Json::obj([
+            ("experiment", "E18".into()),
+            ("rows", 100usize.into()),
+            ("quick", false.into()),
+            (
+                "results",
+                Json::Array(vec![Json::obj([
+                    ("threads", 4usize.into()),
+                    ("median_ms", Json::Fixed(1.23456, 3)),
+                ])]),
+            ),
+        ]);
+        let text = doc.render();
+        assert!(text.contains("\"experiment\": \"E18\""));
+        assert!(text.contains("\"median_ms\": 1.235"));
+        assert!(text.ends_with("}\n"));
+        // Brackets balance — cheap well-formedness check.
+        let opens = text.matches(['{', '[']).count();
+        let closes = text.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn escapes_strings_and_handles_non_finite() {
+        let doc = Json::Object(vec![
+            ("quote\"\\".to_string(), Json::Str("line\nbreak".into())),
+            ("nan".to_string(), Json::Float(f64::NAN)),
+            ("inf".to_string(), Json::Fixed(f64::INFINITY, 2)),
+        ]);
+        let text = doc.render();
+        assert!(text.contains("\"quote\\\"\\\\\""));
+        assert!(text.contains("\\nbreak"));
+        assert!(text.contains("\"nan\": null"));
+        assert!(text.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn raw_splices_verbatim() {
+        let doc = Json::obj([("snapshot", Json::Raw("{\"a\": 1}\n".into()))]);
+        assert!(doc.render().contains("\"snapshot\": {\"a\": 1}"));
+    }
+
+    #[test]
+    fn empty_containers_render_compact() {
+        assert_eq!(Json::Array(vec![]).render(), "[]\n");
+        assert_eq!(Json::Object(vec![]).render(), "{}\n");
+    }
+}

@@ -10,6 +10,7 @@
 //! * micro-benches (`benches/*.rs`, via [`micro::Micro`]) measure the
 //!   overhead claims (E13, E15) and the concurrency behaviour under load.
 
+pub mod json;
 pub mod micro;
 
 use std::sync::atomic::{AtomicU64, Ordering};

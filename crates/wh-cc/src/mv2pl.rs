@@ -89,7 +89,7 @@ impl Mv2plStore {
             chains: Mutex::new(HashMap::new()),
             committed_ts: AtomicI64::new(0),
             active_readers: Mutex::new(Vec::new()),
-            stats: CcStats::new(),
+            stats: CcStats::for_scheme(if cached { "mv2pl_cache" } else { "mv2pl" }),
             io,
             page_cache: cached.then(|| Mutex::new(HashMap::new())),
         })

@@ -44,7 +44,7 @@ impl S2plStore {
             table,
             key_map,
             locks: LockManager::strict(timeout),
-            stats: CcStats::new(),
+            stats: CcStats::for_scheme("s2pl"),
             io,
             next_txn: AtomicU64::new(1),
             undo: Mutex::new(Vec::new()),

@@ -68,7 +68,7 @@ impl TwoV2plStore {
             } else {
                 LockManager::two_version(timeout)
             },
-            stats: CcStats::new(),
+            stats: CcStats::for_scheme(if writer_priority { "2v2pl_wp" } else { "2v2pl" }),
             io,
             next_txn: AtomicU64::new(1),
             writer_priority,

@@ -65,6 +65,7 @@ impl HashIndex {
             }
         }
         entry.push(rid);
+        wh_obs::counter!("index.hash.inserts").inc();
         Ok(())
     }
 
@@ -82,11 +83,13 @@ impl HashIndex {
         if entry.is_empty() {
             map.remove(&key);
         }
+        wh_obs::counter!("index.hash.removes").inc();
         Ok(())
     }
 
     /// All RIDs under `key`.
     pub fn lookup(&self, key: &IndexKey) -> Vec<Rid> {
+        wh_obs::counter!("index.hash.lookups").inc();
         self.map
             .read()
             .unwrap()

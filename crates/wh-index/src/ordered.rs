@@ -41,6 +41,7 @@ impl OrderedIndex {
     pub fn insert(&self, row: &[Value], rid: Rid) {
         let key = IndexKey::project(row, &self.columns);
         self.map.write().unwrap().entry(key).or_default().push(rid);
+        wh_obs::counter!("index.ordered.inserts").inc();
     }
 
     /// Remove the entry for (`row`, `rid`).
@@ -57,11 +58,13 @@ impl OrderedIndex {
         if entry.is_empty() {
             map.remove(&key);
         }
+        wh_obs::counter!("index.ordered.removes").inc();
         Ok(())
     }
 
     /// All RIDs under exactly `key`.
     pub fn lookup(&self, key: &IndexKey) -> Vec<Rid> {
+        wh_obs::counter!("index.ordered.lookups").inc();
         self.map
             .read()
             .unwrap()
@@ -73,6 +76,7 @@ impl OrderedIndex {
     /// All RIDs with keys in `[lo, hi]` (inclusive bounds; pass `None` for
     /// unbounded ends), in key order.
     pub fn range(&self, lo: Option<&IndexKey>, hi: Option<&IndexKey>) -> Vec<Rid> {
+        wh_obs::counter!("index.ordered.range_lookups").inc();
         let map = self.map.read().unwrap();
         let lo_bound = lo.map_or(Bound::Unbounded, |k| Bound::Included(k.clone()));
         let hi_bound = hi.map_or(Bound::Unbounded, |k| Bound::Included(k.clone()));

@@ -1,0 +1,211 @@
+//! Snapshot encoders: JSON and Prometheus text exposition.
+//!
+//! Both are hand-rolled — the workspace takes no external dependencies —
+//! and deterministic (BTreeMap iteration order), so encoded snapshots
+//! diff cleanly across runs.
+
+use crate::histogram::{bucket_upper_bound, HistogramSnapshot, BUCKETS};
+use crate::registry::Snapshot;
+
+/// Escape a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Rewrite a `layer.object.metric` name into a Prometheus-legal metric
+/// name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+fn prom_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+fn hist_json(h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    let mut first = true;
+    for (i, &n) in h.buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if !first {
+            buckets.push(',');
+        }
+        first = false;
+        buckets.push_str(&format!("[{},{}]", bucket_upper_bound(i), n));
+    }
+    buckets.push(']');
+    let min = if h.min == u64::MAX { 0 } else { h.min };
+    format!(
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{},\"buckets\":{}}}",
+        h.count(),
+        h.sum,
+        min,
+        h.max,
+        h.mean(),
+        h.quantile(0.5),
+        h.quantile(0.99),
+        buckets
+    )
+}
+
+impl Snapshot {
+    /// Encode the snapshot as a single JSON object: counters and gauges as
+    /// flat maps, histograms with summary stats plus nonzero
+    /// `[upper_bound, count]` bucket pairs, spans as an array.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!(
+            "{{\n  \"enabled\": {},\n  \"seq\": {},\n",
+            crate::is_enabled(),
+            self.seq
+        ));
+
+        out.push_str("  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {}", json_escape(name), v));
+        }
+        out.push_str("\n  },\n");
+
+        out.push_str("  \"gauges\": {");
+        for (i, (name, (v, hw))) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {{\"value\": {}, \"high_water\": {}}}",
+                json_escape(name),
+                v,
+                hw
+            ));
+        }
+        out.push_str("\n  },\n");
+
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    \"{}\": {}",
+                json_escape(name),
+                hist_json(h)
+            ));
+        }
+        out.push_str("\n  },\n");
+
+        out.push_str("  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"thread\": {}, \"depth\": {}, \"start_ns\": {}, \"dur_ns\": {}, \"seq\": {}}}",
+                json_escape(s.name),
+                s.thread,
+                s.depth,
+                s.start_ns,
+                s.dur_ns,
+                s.seq
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Encode the snapshot in the Prometheus text exposition format:
+    /// counters as `<name>_total`, gauges as `<name>` plus `<name>_max`,
+    /// histograms as cumulative `_bucket{le=...}` series with `_sum` and
+    /// `_count`. Spans are not exported (they are events, not series).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for (name, v) in &self.counters {
+            let p = prom_name(name);
+            out.push_str(&format!("# TYPE {p}_total counter\n{p}_total {v}\n"));
+        }
+        for (name, (v, hw)) in &self.gauges {
+            let p = prom_name(name);
+            out.push_str(&format!(
+                "# TYPE {p} gauge\n{p} {v}\n# TYPE {p}_max gauge\n{p}_max {hw}\n"
+            ));
+        }
+        for (name, h) in &self.histograms {
+            let p = prom_name(name);
+            out.push_str(&format!("# TYPE {p} histogram\n"));
+            let mut cumulative = 0u64;
+            for (i, &n) in h.buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                cumulative += n;
+                if i == BUCKETS - 1 {
+                    break; // folded into the +Inf bucket below
+                }
+                out.push_str(&format!(
+                    "{p}_bucket{{le=\"{}\"}} {cumulative}\n",
+                    bucket_upper_bound(i)
+                ));
+            }
+            out.push_str(&format!(
+                "{p}_bucket{{le=\"+Inf\"}} {}\n{p}_sum {}\n{p}_count {}\n",
+                h.count(),
+                h.sum,
+                h.count()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::registry::Snapshot;
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn empty_snapshot_encodes() {
+        let snap = Snapshot::default();
+        let json = snap.to_json();
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"spans\""));
+        assert!(snap.to_prometheus().is_empty());
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitised() {
+        assert_eq!(
+            super::prom_name("storage.latch.read_wait_ns"),
+            "storage_latch_read_wait_ns"
+        );
+        assert_eq!(super::prom_name("9lives"), "_9lives");
+    }
+}

@@ -1,0 +1,223 @@
+//! Fixed-bucket log-scale histograms.
+//!
+//! Values land in bucket `bit_length(v)` — bucket 0 holds only zero, bucket
+//! `i` holds `[2^(i-1), 2^i - 1]` — clamped to [`BUCKETS`]`- 1` so a u64
+//! nanosecond or byte count always fits. Power-of-two buckets keep
+//! recording branch-free (one `leading_zeros` + one relaxed `fetch_add`)
+//! and give ~2× resolution everywhere on the scale, which is plenty for
+//! latency work where the interesting differences are orders of magnitude.
+//!
+//! [`HistogramSnapshot`] is plain data: element-wise mergeable (associative
+//! and commutative, so per-thread or per-partition snapshots can be folded
+//! in any order) and subtractable ([`HistogramSnapshot::since`]) for
+//! interval reporting, mirroring `IoSnapshot::since` in wh-storage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log-scale buckets. Bucket `i < BUCKETS-1` has upper bound
+/// `2^i - 1`; the final bucket is unbounded.
+pub const BUCKETS: usize = 64;
+
+/// Index of the bucket a value lands in: its bit length, clamped.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    ((u64::BITS - v.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last bucket).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A concurrent log-scale histogram. Recording is one relaxed `fetch_add`
+/// into the bucket plus sum/min/max maintenance; no locks.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub const fn new() -> Histogram {
+        // `[const { ... }; N]` array-of-atomics initialisation.
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.min.fetch_min(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Record a `Duration` in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(d.as_nanos() as u64);
+    }
+
+    /// Freeze the current state into a mergeable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (slot, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = b.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every bucket (bench/report use).
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An immutable copy of a histogram's buckets, usable as a value type:
+/// merge per-thread copies, subtract an earlier snapshot, query quantiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub sum: u64,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> HistogramSnapshot {
+        HistogramSnapshot::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    pub const fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Element-wise merge. Associative and commutative, so snapshots from
+    /// any partitioning of the workload fold to the same result.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        for (slot, b) in out.buckets.iter_mut().zip(other.buckets.iter()) {
+            *slot += b;
+        }
+        out.sum += other.sum;
+        out.min = out.min.min(other.min);
+        out.max = out.max.max(other.max);
+        out
+    }
+
+    /// Observations recorded since `older` was taken (saturating, like
+    /// `IoSnapshot::since`). `min`/`max` are lifetime extremes, not
+    /// interval extremes — the buckets don't retain enough to recover
+    /// interval min/max, so the newer snapshot's values are kept.
+    pub fn since(&self, older: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = *self;
+        for (slot, b) in out.buckets.iter_mut().zip(older.buckets.iter()) {
+            *slot = slot.saturating_sub(*b);
+        }
+        out.sum = out.sum.saturating_sub(older.sum);
+        out
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in [0, 1] — an
+    /// over-estimate by at most 2×, which is the resolution of the scale.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                // The true maximum caps the last occupied bucket's bound.
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantile_caps_at_observed_max() {
+        let h = Histogram::new();
+        h.record(1000);
+        let s = h.snapshot();
+        if crate::is_enabled() {
+            assert_eq!(s.quantile(0.5), 1000);
+            assert_eq!(s.quantile(1.0), 1000);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Scalar metrics: monotonically increasing [`Counter`]s and last-value
+//! [`Gauge`]s. Both are a single relaxed atomic per operation when the
+//! `enabled` feature is on, and empty inline bodies when it is off.
+//!
+//! The structs keep their atomic fields in both builds so the registry and
+//! encoders need no conditional types; only the *recording* methods are
+//! feature-gated, which is where the per-operation cost lives.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter (e.g.
+/// `vnl.maintenance.arm.update_in_place`).
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n` occurrences.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.value.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Record one occurrence.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total (0 in disabled builds).
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value instrument that can move both ways (e.g.
+/// `vnl.reader.staleness` = currentVN − sessionVN, or
+/// `storage.heap.free_pages`).
+///
+/// Alongside the live value it tracks the high-water mark seen since the
+/// last reset, so a snapshot taken after a workload still shows the peak
+/// even if the gauge has since relaxed back to zero.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+    max: AtomicI64,
+}
+
+impl Gauge {
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+            max: AtomicI64::new(i64::MIN),
+        }
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        #[cfg(feature = "enabled")]
+        {
+            self.value.store(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+
+    /// Adjust the gauge by `delta` (possibly negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        #[cfg(feature = "enabled")]
+        {
+            let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+            self.max.fetch_max(now, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = delta;
+    }
+
+    /// Current value (0 in disabled builds).
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest value observed since creation/reset; 0 if never set.
+    #[inline]
+    pub fn high_water(&self) -> i64 {
+        match self.max.load(Ordering::Relaxed) {
+            i64::MIN => 0,
+            m => m,
+        }
+    }
+
+    /// Reset value and high-water mark to the initial state.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.max.store(i64::MIN, Ordering::Relaxed);
+    }
+}
+
+impl Counter {
+    /// Reset the counter to zero (bench/report use; metrics are normally
+    /// read via snapshot deltas instead).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        if crate::is_enabled() {
+            assert_eq!(c.get(), 5);
+        } else {
+            assert_eq!(c.get(), 0);
+        }
+    }
+
+    #[test]
+    fn gauge_tracks_value_and_high_water() {
+        let g = Gauge::new();
+        g.set(3);
+        g.add(-5);
+        if crate::is_enabled() {
+            assert_eq!(g.get(), -2);
+            assert_eq!(g.high_water(), 3);
+        }
+        g.reset();
+        assert_eq!(g.get(), 0);
+        assert_eq!(g.high_water(), 0);
+    }
+}

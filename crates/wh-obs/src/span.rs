@@ -1,0 +1,228 @@
+//! A bounded ring-buffer span recorder.
+//!
+//! [`span("vnl.maintenance.commit")`](span) returns a [`SpanGuard`]; when
+//! the guard drops, a [`SpanRecord`] with the span's name, compact thread
+//! id, nesting depth, start offset, and duration is written into a
+//! fixed-capacity ring, overwriting the oldest entry on wraparound. The
+//! ring gives "what was the system doing just now" forensics — the last
+//! [`RING_CAPACITY`] completed spans — without unbounded memory or any
+//! allocation on the recording path.
+//!
+//! Nesting depth comes from a thread-local counter bumped while a guard is
+//! live, so `storage.page.read` recorded under `sql.exec.select` shows up
+//! at depth 1. Thread ids are compact (0, 1, 2, …) per-process, assigned
+//! on first use, so encoders can group by thread without OS tids.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// Completed spans retained (per process) before the oldest is overwritten.
+pub const RING_CAPACITY: usize = 1024;
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Static span name (`layer.object.metric` convention).
+    pub name: &'static str,
+    /// Compact per-process thread id (assigned on first span per thread).
+    pub thread: u32,
+    /// Nesting depth at entry: 0 for top-level spans.
+    pub depth: u32,
+    /// Nanoseconds from process-epoch (first observability use) to entry.
+    pub start_ns: u64,
+    /// Span duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Global completion sequence number (monotone; orders ring entries).
+    pub seq: u64,
+}
+
+/// The fixed-capacity span store: an atomic write cursor plus one tiny
+/// mutex per slot. Writers claim a slot with a relaxed `fetch_add` and
+/// only then take that slot's lock, so two writers contend only on the
+/// rare lap collision, never on a global lock.
+pub struct SpanRing {
+    slots: Vec<Mutex<Option<SpanRecord>>>,
+    cursor: AtomicU64,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.slots.len())
+            .field("written", &self.cursor.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SpanRing {
+    pub fn with_capacity(capacity: usize) -> SpanRing {
+        SpanRing {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+        }
+    }
+
+    /// Append a record, overwriting the oldest entry when full.
+    pub fn push(&self, mut rec: SpanRecord) {
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed);
+        rec.seq = seq;
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(rec);
+    }
+
+    /// Total spans ever pushed (not capped at capacity).
+    pub fn pushed(&self) -> u64 {
+        self.cursor.load(Ordering::Relaxed)
+    }
+
+    /// Retained records, oldest first.
+    pub fn drain_ordered(&self) -> Vec<SpanRecord> {
+        let mut out: Vec<SpanRecord> = self
+            .slots
+            .iter()
+            .filter_map(|s| *s.lock().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        out.sort_by_key(|r| r.seq);
+        out
+    }
+
+    /// Clear all retained records and the cursor.
+    pub fn reset(&self) {
+        for s in &self.slots {
+            *s.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        }
+        self.cursor.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod thread_state {
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(0);
+
+    thread_local! {
+        static THREAD_ID: u32 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+        static DEPTH: Cell<u32> = const { Cell::new(0) };
+    }
+
+    pub fn thread_id() -> u32 {
+        THREAD_ID.with(|id| *id)
+    }
+
+    pub fn enter() -> u32 {
+        DEPTH.with(|d| {
+            let depth = d.get();
+            d.set(depth + 1);
+            depth
+        })
+    }
+
+    pub fn exit() {
+        DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    }
+
+    /// Nanoseconds since the first observability use in this process.
+    pub fn epoch_ns() -> u64 {
+        use std::sync::OnceLock;
+        use std::time::Instant;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// RAII guard: records a [`SpanRecord`] into the global ring on drop.
+/// In disabled builds this is a zero-sized no-op (no clock read).
+#[must_use = "a span measures the scope it is held for"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    #[cfg(feature = "enabled")]
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    depth: u32,
+    #[cfg(feature = "enabled")]
+    start_ns: u64,
+}
+
+/// Open a span; the returned guard records it when dropped.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    #[cfg(feature = "enabled")]
+    {
+        SpanGuard {
+            name,
+            depth: thread_state::enter(),
+            start_ns: thread_state::epoch_ns(),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = name;
+        SpanGuard {}
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        {
+            let end_ns = thread_state::epoch_ns();
+            thread_state::exit();
+            crate::registry::global().spans().push(SpanRecord {
+                name: self.name,
+                thread: thread_state::thread_id(),
+                depth: self.depth,
+                start_ns: self.start_ns,
+                dur_ns: end_ns.saturating_sub(self.start_ns),
+                seq: 0, // assigned by the ring
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &'static str) -> SpanRecord {
+        SpanRecord {
+            name,
+            thread: 0,
+            depth: 0,
+            start_ns: 0,
+            dur_ns: 1,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_on_wraparound() {
+        let ring = SpanRing::with_capacity(4);
+        for name in ["a", "b", "c", "d", "e", "f"] {
+            ring.push(rec(name));
+        }
+        let kept: Vec<&str> = ring.drain_ordered().iter().map(|r| r.name).collect();
+        assert_eq!(kept, ["c", "d", "e", "f"]);
+        assert_eq!(ring.pushed(), 6);
+    }
+
+    #[test]
+    fn nested_spans_report_depth() {
+        if !crate::is_enabled() {
+            return;
+        }
+        crate::registry::global().spans().reset();
+        {
+            let _outer = span("obs.test.outer");
+            let _inner = span("obs.test.inner");
+        }
+        let spans = crate::registry::global().spans().drain_ordered();
+        let inner = spans.iter().find(|s| s.name == "obs.test.inner").unwrap();
+        let outer = spans.iter().find(|s| s.name == "obs.test.outer").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        // Inner drops first, so it completes earlier in sequence order.
+        assert!(inner.seq < outer.seq);
+    }
+}

@@ -179,8 +179,11 @@ pub fn execute_select(
     }
 
     // Streaming scan with WHERE pushdown: filtered-out rows never buffer.
+    let scan_timer = wh_obs::Timer::start();
+    let mut scanned: u64 = 0;
     let mut rows = Vec::new();
     source.for_each(&mut |row| {
+        scanned += 1;
         let keep = match &stmt.where_clause {
             Some(pred) => ctx.eval_predicate(pred, &row)?,
             None => true,
@@ -190,14 +193,28 @@ pub fn execute_select(
         }
         Ok(())
     })?;
+    wh_obs::histogram!("sql.exec.scan_filter_ns").record(scan_timer.elapsed_ns());
+    wh_obs::counter!("sql.exec.scan.rows_in").add(scanned);
+    wh_obs::counter!("sql.exec.filter.rows_out").add(rows.len() as u64);
 
-    let (columns, out_rows, order_keys) = if is_aggregate_query(stmt) {
+    let stage_timer = wh_obs::Timer::start();
+    let aggregate = is_aggregate_query(stmt);
+    let (columns, out_rows, order_keys) = if aggregate {
         execute_grouped(schema, &ctx, stmt, rows)?
     } else {
         execute_plain(schema, &ctx, stmt, rows)?
     };
+    if aggregate {
+        wh_obs::histogram!("sql.exec.aggregate_ns").record(stage_timer.elapsed_ns());
+    } else {
+        wh_obs::histogram!("sql.exec.project_ns").record(stage_timer.elapsed_ns());
+    }
 
-    Ok(sort_and_limit(stmt, columns, out_rows, order_keys))
+    let sort_timer = wh_obs::Timer::start();
+    let result = sort_and_limit(stmt, columns, out_rows, order_keys);
+    wh_obs::histogram!("sql.exec.sort_limit_ns").record(sort_timer.elapsed_ns());
+    wh_obs::counter!("sql.exec.rows_out").add(result.rows.len() as u64);
+    Ok(result)
 }
 
 fn is_aggregate_query(stmt: &SelectStmt) -> bool {
@@ -364,11 +381,17 @@ pub fn execute_select_parallel(
         }
     }
 
-    if is_aggregate_query(stmt) {
+    let timer = wh_obs::Timer::start();
+    let result = if is_aggregate_query(stmt) {
         execute_grouped_parallel(source, schema, &ctx, stmt, threads)
     } else {
         execute_plain_parallel(source, &ctx, stmt, threads)
+    };
+    wh_obs::histogram!("sql.exec.parallel_select_ns").record(timer.elapsed_ns());
+    if let Ok(r) = &result {
+        wh_obs::counter!("sql.exec.rows_out").add(r.rows.len() as u64);
     }
+    result
 }
 
 fn execute_plain_parallel(

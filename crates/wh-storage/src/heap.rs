@@ -39,6 +39,50 @@ fn lock_list<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// [`read_latch`] with contention telemetry for page latches: uncontended
+/// acquisitions take the `try_read` fast path and never touch the clock;
+/// only a blocked acquisition pays for two `Instant` reads, recorded in
+/// `storage.latch.read_wait_ns`. The contended path is `#[cold]` and
+/// never inlined so the timing machinery stays out of scan-loop codegen —
+/// the E20 overhead gate holds the fast path to the bare `try_read`.
+fn read_latch_timed<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    use std::sync::TryLockError;
+    match lock.try_read() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => read_latch_contended(lock),
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn read_latch_contended<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    let wait = wh_obs::Timer::start();
+    let g = read_latch(lock);
+    wh_obs::histogram!("storage.latch.read_wait_ns").record(wait.elapsed_ns());
+    g
+}
+
+/// Write twin of [`read_latch_timed`]; waits land in
+/// `storage.latch.write_wait_ns`.
+fn write_latch_timed<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    use std::sync::TryLockError;
+    match lock.try_write() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => write_latch_contended(lock),
+    }
+}
+
+#[cold]
+#[inline(never)]
+fn write_latch_contended<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    let wait = wh_obs::Timer::start();
+    let g = write_latch(lock);
+    wh_obs::histogram!("storage.latch.write_wait_ns").record(wait.elapsed_ns());
+    g
+}
+
 /// A heap file of fixed-width records.
 ///
 /// Concurrency model (deliberately matching the paper's §4 substrate
@@ -59,6 +103,8 @@ pub struct HeapFile {
     /// Pages that may have free slots; checked before allocating a new page.
     free_pages: Mutex<Vec<u32>>,
     stats: Arc<IoStats>,
+    /// Rolling op count behind [`HeapFile::sample_op`].
+    op_probe: std::sync::atomic::AtomicU32,
 }
 
 impl HeapFile {
@@ -71,6 +117,7 @@ impl HeapFile {
             pages: RwLock::new(Vec::new()),
             free_pages: Mutex::new(Vec::new()),
             stats,
+            op_probe: std::sync::atomic::AtomicU32::new(0),
         })
     }
 
@@ -100,6 +147,18 @@ impl HeapFile {
         self.len() == 0
     }
 
+    /// Whether this operation should pay for latency timing: a point read
+    /// finishes in ~0.5µs, where two clock reads per call are a measurable
+    /// tax, so the per-op latency histogram samples every 16th call (the
+    /// first always records). Counters stay exact; only timing is thinned.
+    fn sample_op(&self) -> bool {
+        wh_obs::is_enabled()
+            && self
+                .op_probe
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                .is_multiple_of(16)
+    }
+
     fn page(&self, page_no: u32) -> StorageResult<Arc<RwLock<Page>>> {
         fail_point!("storage.heap.latch");
         read_latch(&self.pages)
@@ -108,21 +167,34 @@ impl HeapFile {
             .ok_or(StorageError::NoSuchPage(page_no))
     }
 
+    /// Publish the current free-list size to `storage.heap.free_pages`
+    /// (free-list pressure: near-zero under append-heavy load means every
+    /// insert is allocating, high values mean deletes are outpacing reuse).
+    fn note_free_list(free: &[u32]) {
+        wh_obs::gauge!("storage.heap.free_pages").set(free.len() as i64);
+    }
+
     /// Insert a record, returning its RID.
     pub fn insert(&self, record: &[u8]) -> StorageResult<Rid> {
         fail_point!("storage.heap.insert");
+        let op = self.sample_op().then(wh_obs::Timer::start);
         loop {
             // Try a page believed to have room.
             let candidate = lock_list(&self.free_pages).last().copied();
             if let Some(page_no) = candidate {
                 let page = self.page(page_no)?;
-                let mut guard = write_latch(&page);
+                let mut guard = write_latch_timed(&page);
                 self.stats.count_page_reads(1);
                 if let Some(slot) = guard.insert(record)? {
                     self.stats.count_page_writes(1);
                     self.stats.count_tuple_writes(1);
                     if !guard.has_room() {
-                        lock_list(&self.free_pages).retain(|&p| p != page_no);
+                        let mut free = lock_list(&self.free_pages);
+                        free.retain(|&p| p != page_no);
+                        Self::note_free_list(&free);
+                    }
+                    if let Some(op) = op {
+                        wh_obs::histogram!("storage.heap.insert_ns").record(op.elapsed_ns());
                     }
                     return Ok(Rid::new(page_no, slot));
                 }
@@ -135,30 +207,44 @@ impl HeapFile {
             let page_no = pages.len() as u32;
             pages.push(Arc::new(RwLock::new(Page::new(self.record_len)?)));
             drop(pages);
-            lock_list(&self.free_pages).push(page_no);
+            wh_obs::counter!("storage.heap.page_allocs").inc();
+            let mut free = lock_list(&self.free_pages);
+            free.push(page_no);
+            Self::note_free_list(&free);
         }
     }
 
     /// Read the record at `rid` into an owned buffer.
     pub fn read(&self, rid: Rid) -> StorageResult<Vec<u8>> {
         fail_point!("storage.heap.read");
+        let op = self.sample_op().then(wh_obs::Timer::start);
         let page = self.page(rid.page)?;
-        let guard = read_latch(&page);
+        let guard = read_latch_timed(&page);
         self.stats.count_page_reads(1);
         let rec = guard.read(rid.page, rid.slot)?;
         self.stats.count_tuple_reads(1);
-        Ok(rec.to_vec())
+        let out = rec.to_vec();
+        drop(guard);
+        if let Some(op) = op {
+            wh_obs::histogram!("storage.heap.read_ns").record(op.elapsed_ns());
+        }
+        Ok(out)
     }
 
     /// Overwrite the record at `rid` in place (width-preserving).
     pub fn update_in_place(&self, rid: Rid, record: &[u8]) -> StorageResult<()> {
         fail_point!("storage.heap.write");
+        let op = self.sample_op().then(wh_obs::Timer::start);
         let page = self.page(rid.page)?;
-        let mut guard = write_latch(&page);
+        let mut guard = write_latch_timed(&page);
         self.stats.count_page_reads(1);
         guard.update_in_place(rid.page, rid.slot, record)?;
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
+        drop(guard);
+        if let Some(op) = op {
+            wh_obs::histogram!("storage.heap.write_ns").record(op.elapsed_ns());
+        }
         Ok(())
     }
 
@@ -172,8 +258,13 @@ impl HeapFile {
     where
         F: FnOnce(&[u8]) -> StorageResult<Vec<u8>>,
     {
+        let sampled = self.sample_op();
         let page = self.page(rid.page)?;
-        let mut guard = write_latch(&page);
+        let mut guard = write_latch_timed(&page);
+        // Hold time matters here: the latch stays down across the caller's
+        // decision closure, which is exactly where 2VNL maintenance spends
+        // its per-tuple time and what concurrent readers wait behind.
+        let hold = sampled.then(wh_obs::Timer::start);
         self.stats.count_page_reads(1);
         let current = guard.read(rid.page, rid.slot)?.to_vec();
         fail_point!("storage.heap.modify");
@@ -181,6 +272,12 @@ impl HeapFile {
         guard.update_in_place(rid.page, rid.slot, &replacement)?;
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
+        drop(guard);
+        if let Some(hold) = hold {
+            let ns = hold.elapsed_ns();
+            wh_obs::histogram!("storage.latch.write_hold_ns").record(ns);
+            wh_obs::histogram!("storage.heap.write_ns").record(ns);
+        }
         Ok(())
     }
 
@@ -193,8 +290,9 @@ impl HeapFile {
         F: FnOnce(&[u8]) -> bool,
     {
         fail_point!("storage.heap.delete");
+        let op = self.sample_op().then(wh_obs::Timer::start);
         let page = self.page(rid.page)?;
-        let mut guard = write_latch(&page);
+        let mut guard = write_latch_timed(&page);
         self.stats.count_page_reads(1);
         let current = guard.read(rid.page, rid.slot)?;
         if !pred(current) {
@@ -209,14 +307,20 @@ impl HeapFile {
         if !free.contains(&rid.page) {
             free.push(rid.page);
         }
+        Self::note_free_list(&free);
+        drop(free);
+        if let Some(op) = op {
+            wh_obs::histogram!("storage.heap.delete_ns").record(op.elapsed_ns());
+        }
         Ok(true)
     }
 
     /// Physically delete the record at `rid`.
     pub fn delete(&self, rid: Rid) -> StorageResult<()> {
         fail_point!("storage.heap.delete");
+        let op = self.sample_op().then(wh_obs::Timer::start);
         let page = self.page(rid.page)?;
-        let mut guard = write_latch(&page);
+        let mut guard = write_latch_timed(&page);
         self.stats.count_page_reads(1);
         guard.delete(rid.page, rid.slot)?;
         self.stats.count_page_writes(1);
@@ -226,6 +330,11 @@ impl HeapFile {
         let mut free = lock_list(&self.free_pages);
         if !free.contains(&rid.page) {
             free.push(rid.page);
+        }
+        Self::note_free_list(&free);
+        drop(free);
+        if let Some(op) = op {
+            wh_obs::histogram!("storage.heap.delete_ns").record(op.elapsed_ns());
         }
         Ok(())
     }
@@ -266,11 +375,12 @@ impl HeapFile {
                 .map(|(i, p)| ((start + i) as u32, Arc::clone(p)))
                 .collect()
         };
+        let op = wh_obs::Timer::start();
         let mut page_reads = 0u64;
         let mut tuple_reads = 0u64;
         let mut result = Ok(());
         'pages: for (page_no, page) in page_handles {
-            let guard = read_latch(&page);
+            let guard = read_latch_timed(&page);
             page_reads += 1;
             for (slot, rec) in guard.iter() {
                 tuple_reads += 1;
@@ -282,6 +392,7 @@ impl HeapFile {
         }
         self.stats.count_page_reads(page_reads);
         self.stats.count_tuple_reads(tuple_reads);
+        wh_obs::histogram!("storage.heap.scan_partition_ns").record(op.elapsed_ns());
         result
     }
 

@@ -6,6 +6,13 @@
 //! version out. Those are claims about *counts of page accesses*, so the
 //! substrate counts every logical page read and write at the point where a
 //! page latch is taken. Experiment E10 (`report_io`) reads these counters.
+//!
+//! Every `IoStats` instance additionally forwards its counts into the
+//! process-global `wh-obs` registry (`storage.io.*`), so one
+//! `Registry::snapshot()` sees total I/O traffic across all storage areas
+//! without plumbing. The per-instance counters stay authoritative for the
+//! paper experiments, which compare areas against each other; this struct
+//! is now a thin per-area view over the same recording points.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -58,21 +65,25 @@ impl IoStats {
     /// Record `n` logical page reads.
     pub fn count_page_reads(&self, n: u64) {
         self.page_reads.fetch_add(n, Ordering::Relaxed);
+        wh_obs::counter!("storage.io.page_reads").add(n);
     }
 
     /// Record `n` logical page writes.
     pub fn count_page_writes(&self, n: u64) {
         self.page_writes.fetch_add(n, Ordering::Relaxed);
+        wh_obs::counter!("storage.io.page_writes").add(n);
     }
 
     /// Record `n` tuples handed to a reader.
     pub fn count_tuple_reads(&self, n: u64) {
         self.tuple_reads.fetch_add(n, Ordering::Relaxed);
+        wh_obs::counter!("storage.io.tuple_reads").add(n);
     }
 
     /// Record `n` tuple mutations.
     pub fn count_tuple_writes(&self, n: u64) {
         self.tuple_writes.fetch_add(n, Ordering::Relaxed);
+        wh_obs::counter!("storage.io.tuple_writes").add(n);
     }
 
     /// Read all counters.

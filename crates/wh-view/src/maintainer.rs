@@ -135,6 +135,7 @@ impl ViewMaintainer {
         txn: &MaintenanceTxn<'_>,
         deltas: &[GroupDelta],
     ) -> VnlResult<PropagationReport> {
+        let batch_timer = wh_obs::Timer::start();
         let arity = self.def.group_cols.len() + 2;
         let mut report = PropagationReport::default();
         for d in deltas {
@@ -165,6 +166,11 @@ impl ViewMaintainer {
                 }
             }
         }
+        wh_obs::histogram!("view.maintainer.batch_ns").record(batch_timer.elapsed_ns());
+        wh_obs::counter!("view.maintainer.deltas_applied").add(deltas.len() as u64);
+        wh_obs::counter!("view.maintainer.inserts").add(report.inserts);
+        wh_obs::counter!("view.maintainer.updates").add(report.updates);
+        wh_obs::counter!("view.maintainer.deletes").add(report.deletes);
         Ok(report)
     }
 }

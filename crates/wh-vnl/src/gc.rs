@@ -35,6 +35,7 @@ pub struct GcReport {
 /// us, in which case we still must not touch uncommitted work — the pass
 /// therefore also requires `tupleVN ≤ currentVN`.
 pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
+    let pass = wh_obs::Timer::start();
     let layout = table.layout().clone();
     let snap = table.version().snapshot();
     // The horizon: the oldest version any active session reads. Future
@@ -43,12 +44,26 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
         .min_active_session_vn()
         .unwrap_or(snap.current_vn)
         .min(snap.current_vn);
+    // How far the oldest live session holds reclamation behind the present:
+    // 0 means GC can reach everything committed, k means k generations of
+    // logically-deleted tuples are pinned by readers.
+    wh_obs::gauge!("vnl.gc.horizon_lag").set(snap.current_vn.saturating_sub(horizon) as i64);
     let mut report = GcReport::default();
     let tuple_bytes = table.storage().codec().encoded_len() as u64;
     // Collect victims first; mutate after the scan.
     let mut victims = Vec::new();
+    let mut occupied_slots: u64 = 0;
     table.storage().scan(|rid, ext| {
         report.scanned += 1;
+        // Version-slot occupancy: how many older version slots (beyond the
+        // always-populated newest slot 0) actually hold a saved version
+        // (§5's space-in-use measure). Piggybacked on the GC scan so it
+        // costs no extra pass.
+        if wh_obs::is_enabled() {
+            occupied_slots += (1..layout.slots())
+                .filter(|&j| layout.slot(&ext, j).is_some())
+                .count() as u64;
+        }
         if let Some((vn, Operation::Delete)) = layout.slot(&ext, 0) {
             report.deleted_found += 1;
             if vn <= horizon && vn <= snap.current_vn {
@@ -57,7 +72,9 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
         }
         Ok(())
     })?;
+    wh_obs::gauge!("vnl.storage.occupied_version_slots").set(occupied_slots as i64);
     for (rid, ext) in victims {
+        let reclaim = wh_obs::Timer::start();
         // Per-victim crash window: a fault mid-pass leaves the remaining
         // victims unreclaimed — a later pass picks them up.
         fail_point!("vnl.gc.reclaim");
@@ -83,35 +100,65 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
         table.on_physical_delete(&ext, rid);
         report.reclaimed += 1;
         report.bytes_reclaimed += tuple_bytes;
+        wh_obs::histogram!("vnl.gc.reclaim_ns").record(reclaim.elapsed_ns());
+        wh_obs::counter!("vnl.gc.reclaimed").inc();
+        wh_obs::counter!("vnl.gc.bytes_reclaimed").add(tuple_bytes);
     }
+    wh_obs::histogram!("vnl.gc.pass_ns").record(pass.elapsed_ns());
     Ok(report)
 }
 
 /// A background collector: §3.3's "periodically running a process to
 /// physically delete" logically-deleted tuples, as a stoppable thread.
 pub struct Collector {
-    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    shared: std::sync::Arc<CollectorShared>,
     reclaimed: std::sync::Arc<std::sync::atomic::AtomicU64>,
     handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// Stop flag under a mutex + condvar so `stop()` interrupts the
+/// inter-pass wait immediately instead of letting the thread finish a
+/// full `interval` sleep.
+struct CollectorShared {
+    stopped: std::sync::Mutex<bool>,
+    wake: std::sync::Condvar,
 }
 
 impl Collector {
     /// Spawn a collector over `table`, sweeping every `interval`.
     pub fn spawn(table: std::sync::Arc<VnlTable>, interval: std::time::Duration) -> Self {
-        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let shared = std::sync::Arc::new(CollectorShared {
+            stopped: std::sync::Mutex::new(false),
+            wake: std::sync::Condvar::new(),
+        });
         let reclaimed = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
-        let stop2 = std::sync::Arc::clone(&stop);
+        let shared2 = std::sync::Arc::clone(&shared);
         let reclaimed2 = std::sync::Arc::clone(&reclaimed);
-        let handle = std::thread::spawn(move || {
-            while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
-                if let Ok(report) = collect(&table) {
-                    reclaimed2.fetch_add(report.reclaimed, std::sync::atomic::Ordering::Relaxed);
-                }
-                std::thread::sleep(interval);
+        let handle = std::thread::spawn(move || loop {
+            // The pass's count is published before the stop flag is
+            // re-checked, so a pass in flight when `stop()` is called is
+            // always included (exactly once) in the total that `stop()`
+            // returns after joining.
+            if let Ok(report) = collect(&table) {
+                reclaimed2.fetch_add(report.reclaimed, std::sync::atomic::Ordering::Relaxed);
+            }
+            let guard = shared2
+                .stopped
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if *guard {
+                break;
+            }
+            let (guard, _) = shared2
+                .wake
+                .wait_timeout(guard, interval)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if *guard {
+                break;
             }
         });
         Collector {
-            stop,
+            shared,
             reclaimed,
             handle: Some(handle),
         }
@@ -122,14 +169,25 @@ impl Collector {
         self.reclaimed.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Stop the collector and wait for its thread.
+    /// Stop the collector and wait for its thread. The returned total
+    /// includes any pass that was in flight at stop time, exactly once:
+    /// the worker publishes each pass's count before re-checking the stop
+    /// flag, and this joins the thread before reading the total.
     pub fn stop(mut self) -> u64 {
         self.shutdown();
         self.reclaimed()
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        {
+            let mut stopped = self
+                .shared
+                .stopped
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *stopped = true;
+            self.shared.wake.notify_all();
+        }
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -230,6 +288,35 @@ mod tests {
         }
         assert_eq!(t.storage().len(), 1);
         assert_eq!(collector.stop(), 1);
+    }
+
+    #[test]
+    fn stop_during_collect_counts_in_flight_pass_exactly_once() {
+        // Many logically-deleted tuples make the first pass substantial;
+        // the 30s interval means a correct `stop()` must interrupt the
+        // inter-pass wait (a sleep-based loop would hang the test) and the
+        // total it returns must match physical reclamation exactly — the
+        // in-flight pass is joined and counted once, wherever stop lands.
+        let t = std::sync::Arc::new(VnlTable::create(daily_sales_schema(), 2).unwrap());
+        let rows: Vec<Row> = (0..40).map(|i| row(&format!("city{i}"), i)).collect();
+        t.load_initial(&rows).unwrap();
+        let txn = t.begin_maintenance().unwrap();
+        for i in 0..39 {
+            txn.delete_row(&row(&format!("city{i}"), 0)).unwrap();
+        }
+        txn.commit().unwrap();
+        let physical_before = t.storage().len();
+        assert_eq!(physical_before, 40);
+        let collector = Collector::spawn(
+            std::sync::Arc::clone(&t),
+            std::time::Duration::from_secs(30),
+        );
+        let total = collector.stop();
+        assert_eq!(
+            total,
+            physical_before - t.storage().len(),
+            "stop() total must equal tuples physically removed"
+        );
     }
 
     #[test]

@@ -56,6 +56,56 @@ pub enum PhysicalAction {
     MarkOwnUpdateDeleted,
 }
 
+impl PhysicalAction {
+    /// Stable registry-metric suffix for this decision-table arm, used as
+    /// `vnl.maintenance.arm.<suffix>` so a single snapshot shows which
+    /// Tables 2–4 cells a workload actually exercises.
+    pub fn metric_suffix(&self) -> &'static str {
+        match self {
+            PhysicalAction::InsertTuple => "insert_tuple",
+            PhysicalAction::ResurrectTuple => "resurrect_tuple",
+            PhysicalAction::UpdateAfterOwnDelete => "update_after_own_delete",
+            PhysicalAction::UpdateSavingPre => "update_saving_pre",
+            PhysicalAction::UpdateInPlace => "update_in_place",
+            PhysicalAction::MarkDeleted => "mark_deleted",
+            PhysicalAction::RemoveOwnInsert => "remove_own_insert",
+            PhysicalAction::RestoreResurrected => "restore_resurrected",
+            PhysicalAction::MarkOwnUpdateDeleted => "mark_own_update_deleted",
+        }
+    }
+
+    /// Cached `vnl.maintenance.arm.<suffix>` counter for this arm. Each
+    /// variant resolves through its own `counter!` call site, so after the
+    /// first hit this is a single static load — no registry lock.
+    fn arm_counter(&self) -> &'static wh_obs::Counter {
+        match self {
+            PhysicalAction::InsertTuple => wh_obs::counter!("vnl.maintenance.arm.insert_tuple"),
+            PhysicalAction::ResurrectTuple => {
+                wh_obs::counter!("vnl.maintenance.arm.resurrect_tuple")
+            }
+            PhysicalAction::UpdateAfterOwnDelete => {
+                wh_obs::counter!("vnl.maintenance.arm.update_after_own_delete")
+            }
+            PhysicalAction::UpdateSavingPre => {
+                wh_obs::counter!("vnl.maintenance.arm.update_saving_pre")
+            }
+            PhysicalAction::UpdateInPlace => {
+                wh_obs::counter!("vnl.maintenance.arm.update_in_place")
+            }
+            PhysicalAction::MarkDeleted => wh_obs::counter!("vnl.maintenance.arm.mark_deleted"),
+            PhysicalAction::RemoveOwnInsert => {
+                wh_obs::counter!("vnl.maintenance.arm.remove_own_insert")
+            }
+            PhysicalAction::RestoreResurrected => {
+                wh_obs::counter!("vnl.maintenance.arm.restore_resurrected")
+            }
+            PhysicalAction::MarkOwnUpdateDeleted => {
+                wh_obs::counter!("vnl.maintenance.arm.mark_own_update_deleted")
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for PhysicalAction {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -92,6 +142,28 @@ enum UndoEntry {
 }
 
 /// The single active maintenance transaction on a [`VnlTable`].
+/// Records the elapsed time of one maintenance phase into a histogram when
+/// dropped, so early returns (`?`) and error paths are timed like successes.
+struct PhaseTimer {
+    hist: &'static wh_obs::Histogram,
+    timer: wh_obs::Timer,
+}
+
+impl PhaseTimer {
+    fn new(hist: &'static wh_obs::Histogram) -> Self {
+        PhaseTimer {
+            hist,
+            timer: wh_obs::Timer::start(),
+        }
+    }
+}
+
+impl Drop for PhaseTimer {
+    fn drop(&mut self) {
+        self.hist.record(self.timer.elapsed_ns());
+    }
+}
+
 pub struct MaintenanceTxn<'t> {
     table: &'t VnlTable,
     vn: VersionNo,
@@ -130,6 +202,10 @@ impl<'t> MaintenanceTxn<'t> {
     }
 
     fn record(&self, action: PhysicalAction, ext_row: &[Value]) {
+        // Decision-table arm counters fire regardless of the tracing flag:
+        // they are one relaxed atomic add each, and the arm distribution is
+        // exactly what E20's snapshot wants from a production-shaped run.
+        action.arm_counter().inc();
         if self.tracing.load(std::sync::atomic::Ordering::Relaxed) {
             let key = self.table.layout().ext_schema().key_of(ext_row);
             self.trace.lock().unwrap().push((action, key));
@@ -216,6 +292,7 @@ impl<'t> MaintenanceTxn<'t> {
 
     /// Logically insert `base_row` (Table 2).
     pub fn insert(&self, base_row: Row) -> VnlResult<()> {
+        let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.insert_ns"));
         self.check_open()?;
         self.table.layout().base_schema().validate(&base_row)?;
         let layout = self.table.layout();
@@ -341,6 +418,7 @@ impl<'t> MaintenanceTxn<'t> {
     // ------------------------------------------------------------------
 
     fn apply_update(&self, rid: Rid, new_updatable: &[Value]) -> VnlResult<()> {
+        let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.update_ns"));
         let layout = self.table.layout();
         let ext = match self.table.storage().read(rid) {
             Ok(e) => e,
@@ -455,6 +533,7 @@ impl<'t> MaintenanceTxn<'t> {
     // ------------------------------------------------------------------
 
     fn apply_delete(&self, rid: Rid) -> VnlResult<()> {
+        let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.delete_ns"));
         let layout = self.table.layout();
         let ext = match self.table.storage().read(rid) {
             Ok(e) => e,
@@ -676,6 +755,7 @@ impl<'t> MaintenanceTxn<'t> {
     /// Commit: data changes are already in place; publishing the new
     /// `currentVN` happens as its own latched step (§4's abort-safe order).
     pub fn commit(self) -> VnlResult<()> {
+        let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.commit_ns"));
         self.check_open()?;
         *self.finished.lock().unwrap() = true;
         self.table.version().publish_commit(self.vn)?;
@@ -699,6 +779,7 @@ impl<'t> MaintenanceTxn<'t> {
     /// Abort by reverting every touched tuple from its own version slots
     /// (§7's log-free rollback), then clearing the maintenance flag.
     pub fn abort(self) -> VnlResult<()> {
+        let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.abort_ns"));
         self.check_open()?;
         *self.finished.lock().unwrap() = true;
         self.rollback_changes()?;
@@ -723,6 +804,7 @@ impl<'t> MaintenanceTxn<'t> {
     }
 
     fn rollback_changes(&self) -> VnlResult<()> {
+        let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.rollback_ns"));
         let layout = self.table.layout();
         // Collect this txn's tuples first (stable iteration while mutating).
         let mut touched = Vec::new();

@@ -30,6 +30,8 @@ pub struct ReaderSession<'t> {
     id: u64,
     session_vn: VersionNo,
     finished: bool,
+    /// Rolling call count behind [`ReaderSession::note_staleness_sampled`].
+    staleness_probe: std::sync::atomic::AtomicU32,
 }
 
 impl<'t> ReaderSession<'t> {
@@ -39,12 +41,45 @@ impl<'t> ReaderSession<'t> {
             id,
             session_vn,
             finished: false,
+            staleness_probe: std::sync::atomic::AtomicU32::new(0),
         }
     }
 
     /// The version this session reads.
     pub fn session_vn(&self) -> VersionNo {
         self.session_vn
+    }
+
+    /// Publish this session's staleness (`currentVN − sessionVN`, the §3.2
+    /// "how far behind the warehouse is this reader" measure) into the
+    /// registry. Called at every scan/query entry point; reads the
+    /// version's relaxed mirror so telemetry takes no latch and never
+    /// charges the experiments' mirrored-I/O counters.
+    fn note_staleness(&self) {
+        if !wh_obs::is_enabled() {
+            return;
+        }
+        let current = self.table.version().current_vn_relaxed();
+        let lag = current.saturating_sub(self.session_vn);
+        wh_obs::gauge!("vnl.reader.staleness").set(lag as i64);
+        wh_obs::histogram!("vnl.reader.staleness_vns").record(lag);
+    }
+
+    /// Sampled [`ReaderSession::note_staleness`] for point-read entry
+    /// points: a key lookup finishes in well under a microsecond, where
+    /// even the lock-free staleness note is a measurable fraction of the
+    /// operation, so only every 16th call records (the first always does).
+    fn note_staleness_sampled(&self) {
+        if !wh_obs::is_enabled() {
+            return;
+        }
+        if self
+            .staleness_probe
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            .is_multiple_of(16)
+        {
+            self.note_staleness();
+        }
     }
 
     /// The §4.1 global (pessimistic) expiration check against the Version
@@ -79,6 +114,7 @@ impl<'t> ReaderSession<'t> {
     /// expiration detector: a tuple modified out from under the session
     /// raises [`VnlError::SessionExpired`].
     pub fn scan(&self) -> VnlResult<Vec<Row>> {
+        self.note_staleness();
         self.table.scan_visible(self.session_vn)
     }
 
@@ -90,6 +126,7 @@ impl<'t> ReaderSession<'t> {
     where
         F: FnMut(Row) -> VnlResult<()>,
     {
+        self.note_staleness();
         self.table.scan_visible_with(self.session_vn, None, visit)
     }
 
@@ -100,6 +137,7 @@ impl<'t> ReaderSession<'t> {
     where
         F: FnMut(Row) -> VnlResult<()>,
     {
+        self.note_staleness();
         self.table
             .scan_visible_with(self.session_vn, Some(cols), visit)
     }
@@ -124,6 +162,7 @@ impl<'t> ReaderSession<'t> {
     where
         F: Fn(usize, Row) -> VnlResult<()> + Sync,
     {
+        self.note_staleness();
         self.table
             .scan_visible_parallel(threads, self.session_vn, None, visit)
     }
@@ -138,6 +177,7 @@ impl<'t> ReaderSession<'t> {
     where
         F: Fn(usize, Row) -> VnlResult<()> + Sync,
     {
+        self.note_staleness();
         self.table
             .scan_visible_parallel(threads, self.session_vn, Some(cols), visit)
     }
@@ -145,12 +185,14 @@ impl<'t> ReaderSession<'t> {
     /// Point lookup by key (base-schema row whose key columns are set).
     /// `Ok(None)` when the tuple is logically absent at this version.
     pub fn read_by_key(&self, key_row: &[Value]) -> VnlResult<Option<Row>> {
+        self.note_staleness_sampled();
         self.table.read_visible_by_key(key_row, self.session_vn)
     }
 
     /// Equality lookup through a §4.3 secondary index: all *visible* rows
     /// whose indexed columns equal `key` (values in index-column order).
     pub fn lookup_eq(&self, index: &str, key: &[Value]) -> VnlResult<Vec<Row>> {
+        self.note_staleness_sampled();
         let rids = self.table.index_lookup_eq(index, key)?;
         self.resolve_rids(rids)
     }
@@ -163,6 +205,7 @@ impl<'t> ReaderSession<'t> {
         lo: Option<&[Value]>,
         hi: Option<&[Value]>,
     ) -> VnlResult<Vec<Row>> {
+        self.note_staleness_sampled();
         let rids = self.table.index_lookup_range(index, lo, hi)?;
         self.resolve_rids(rids)
     }
@@ -211,6 +254,7 @@ impl<'t> ReaderSession<'t> {
     /// is applied per tuple as it is extracted, never against a
     /// materialized snapshot.
     pub fn query_stmt(&self, select: &SelectStmt) -> VnlResult<QueryResult> {
+        self.note_staleness();
         let source = self.source_for(select)?;
         let res = execute_select(&source, select, &Params::new());
         source.settle(res)
@@ -237,6 +281,7 @@ impl<'t> ReaderSession<'t> {
         select: &SelectStmt,
         threads: usize,
     ) -> VnlResult<QueryResult> {
+        self.note_staleness();
         let source = self.source_for(select)?;
         let res = execute_select_parallel(&source, select, &Params::new(), threads);
         source.settle(res)
@@ -268,6 +313,7 @@ impl<'t> ReaderSession<'t> {
         if select.from != self.table.name() {
             return Err(VnlError::Sql(SqlError::NoSuchTable(select.from)));
         }
+        self.note_staleness();
         let rewritten = self.table.rewriter().rewrite_select(&select)?;
         let mut params = Params::new();
         params.insert("sessionVN".into(), Value::from(self.session_vn as i64));

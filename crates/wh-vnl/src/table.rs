@@ -241,16 +241,28 @@ impl VnlTable {
     /// by warehouse-wide sessions so every table reads the same `sessionVN`).
     pub(crate) fn begin_session_at(&self, vn: VersionNo) -> ReaderSession<'_> {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-        self.sessions.lock().unwrap().insert(id, vn);
+        let active = {
+            let mut sessions = self.sessions.lock().unwrap();
+            sessions.insert(id, vn);
+            sessions.len()
+        };
+        wh_obs::counter!("vnl.reader.sessions").inc();
+        wh_obs::gauge!("vnl.reader.active_sessions").set(active as i64);
         ReaderSession::new(self, id, vn)
     }
 
     pub(crate) fn end_session(&self, id: u64) {
-        self.sessions.lock().unwrap().remove(&id);
+        let active = {
+            let mut sessions = self.sessions.lock().unwrap();
+            sessions.remove(&id);
+            sessions.len()
+        };
+        wh_obs::gauge!("vnl.reader.active_sessions").set(active as i64);
     }
 
     pub(crate) fn note_expiration(&self) {
         self.expired_notifications.fetch_add(1, Ordering::Relaxed);
+        wh_obs::counter!("vnl.reader.expirations").inc();
     }
 
     /// How many sessions have been notified of expiration so far.
@@ -506,6 +518,11 @@ impl VnlTable {
 
     /// Hook: a tuple was physically inserted.
     pub(crate) fn on_physical_insert(&self, ext_row: &[Value], rid: Rid) {
+        // §5's storage-cost measure: extra bytes each physical tuple carries
+        // for its version slots, accumulated across the live heap.
+        let growth = self.layout.overhead();
+        wh_obs::gauge!("vnl.storage.tuple_growth_bytes")
+            .add(growth.ext_tuple_bytes as i64 - growth.base_tuple_bytes as i64);
         for idx in self.indexes.read().unwrap().iter() {
             idx.index.insert(ext_row, rid);
         }
@@ -513,6 +530,9 @@ impl VnlTable {
 
     /// Hook: a tuple was physically deleted.
     pub(crate) fn on_physical_delete(&self, ext_row: &[Value], rid: Rid) {
+        let growth = self.layout.overhead();
+        wh_obs::gauge!("vnl.storage.tuple_growth_bytes")
+            .add(growth.base_tuple_bytes as i64 - growth.ext_tuple_bytes as i64);
         for idx in self.indexes.read().unwrap().iter() {
             let _ = idx.index.remove(ext_row, rid);
         }

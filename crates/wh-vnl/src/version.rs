@@ -19,6 +19,7 @@
 
 use crate::error::{VnlError, VnlResult};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 use wh_storage::{IoStats, Rid, Table};
@@ -82,6 +83,11 @@ impl fmt::Display for Operation {
 /// `Version` relation.
 pub struct VersionState {
     inner: Mutex<Inner>,
+    /// Relaxed mirror of `Inner::current_vn` so telemetry hot paths (the
+    /// per-reader staleness probe fires on every read entry point) can see
+    /// the current version without taking the latch. May trail the latched
+    /// value by an instant; never torn.
+    current_vn_relaxed: AtomicU64,
     /// The single-tuple Version relation of §4.
     relation: Table,
     relation_rid: Rid,
@@ -120,6 +126,7 @@ impl VersionState {
                 current_vn: 1,
                 maintenance_active: false,
             }),
+            current_vn_relaxed: AtomicU64::new(1),
             relation,
             relation_rid,
         })
@@ -135,6 +142,25 @@ impl VersionState {
             current_vn: inner.current_vn,
             maintenance_active: inner.maintenance_active,
         }
+    }
+
+    /// Read both globals under the latch *without* the mirror-relation
+    /// read. This is the instrumentation form: telemetry (e.g. the
+    /// per-reader staleness gauge) must not charge the experiment's I/O
+    /// counters, whose exact values the paper claims are about.
+    pub fn peek(&self) -> VersionSnapshot {
+        // (Latched form; see `current_vn_relaxed` for the lock-free read.)
+        let inner = self.inner.lock().unwrap();
+        VersionSnapshot {
+            current_vn: inner.current_vn,
+            maintenance_active: inner.maintenance_active,
+        }
+    }
+
+    /// Lock-free read of `currentVN` alone — the telemetry form: no latch,
+    /// no mirror-relation I/O charge.
+    pub fn current_vn_relaxed(&self) -> VersionNo {
+        self.current_vn_relaxed.load(Ordering::Relaxed)
     }
 
     /// Begin a maintenance transaction: returns `maintenanceVN =
@@ -167,11 +193,14 @@ impl VersionState {
         fail_point!("vnl.version.publish_commit");
         debug_assert_eq!(maintenance_vn, inner.current_vn + 1);
         inner.current_vn = maintenance_vn;
+        self.current_vn_relaxed
+            .store(maintenance_vn, Ordering::Relaxed);
         inner.maintenance_active = false;
         self.relation.update(
             self.relation_rid,
             &[Value::from(maintenance_vn as i64), Value::from(0)],
         )?;
+        wh_obs::gauge!("vnl.version.current_vn").set(maintenance_vn as i64);
         Ok(())
     }
 
@@ -290,6 +319,18 @@ mod tests {
         let _vn = s.begin_maintenance().unwrap(); // third overlap begins
         assert!(!s.session_live(1, 3));
         assert!(s.session_live(1, 4));
+    }
+
+    #[test]
+    fn peek_matches_snapshot_without_io_charge() {
+        let io = Arc::new(IoStats::new());
+        let s = VersionState::new(Arc::clone(&io)).unwrap();
+        let before = io.snapshot();
+        let peeked = s.peek();
+        assert_eq!(io.snapshot(), before, "peek must not charge any I/O");
+        let snapped = s.snapshot();
+        assert!(io.snapshot().page_reads > before.page_reads);
+        assert_eq!(peeked, snapped);
     }
 
     #[test]

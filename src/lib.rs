@@ -26,6 +26,10 @@
 //!   garbage collection, and log-free rollback.
 //! * [`view`] — incremental maintenance of summary tables (net-effect delta
 //!   batching feeding maintenance transactions).
+//! * [`obs`] — the unified observability layer: lock-free counters, gauges,
+//!   log-scale histograms, and a span ring behind one process-global
+//!   registry; every crate above reports into it, and disabling the `obs`
+//!   feature compiles all instrumentation to no-ops.
 //! * [`workload`] — synthetic warehouse workloads and the discrete-event
 //!   timeline simulator behind the Figure 1/2 experiments.
 //!
@@ -60,6 +64,7 @@
 pub use wh_bench as bench;
 pub use wh_cc as cc;
 pub use wh_index as index;
+pub use wh_obs as obs;
 pub use wh_sql as sql;
 pub use wh_storage as storage;
 pub use wh_types as types;
