@@ -302,24 +302,29 @@ fn reader_maintenance_phase(table: &std::sync::Arc<VnlTable>, cfg: &Config) -> (
             }
             done.store(true, Ordering::SeqCst);
         });
-        // Readers: sessions of scans; an expired session (the txn committed
-        // past its window) is simply restarted, as §4.1 prescribes.
-        for _ in 0..cfg.reader_threads {
-            s.spawn(|| loop {
-                let session = table.begin_session();
-                sessions.fetch_add(1, Ordering::Relaxed);
-                for _ in 0..4 {
-                    match session.scan_with(|_| Ok(())) {
-                        Ok(()) => {
-                            reads_ok.fetch_add(1, Ordering::Relaxed);
+        // Readers: sessions of scans, expiration handled by the shared
+        // retry discipline (§4.1's "begin a new session", with bounded
+        // attempts and jittered backoff) instead of a hand-rolled restart.
+        for seed in 0..cfg.reader_threads as u64 {
+            let (reads_ok, sessions, done) = (&reads_ok, &sessions, &done);
+            s.spawn(move || {
+                let retry = wh_vnl::RetryPolicy::default()
+                    .with_max_attempts(64)
+                    .with_seed(seed);
+                while !done.load(Ordering::SeqCst) {
+                    let (res, stats) = retry.run_with_stats(table, |session| {
+                        for _ in 0..4 {
+                            session.scan_with(|_| Ok(()))?;
                         }
-                        Err(wh_vnl::VnlError::SessionExpired { .. }) => break,
+                        Ok(())
+                    });
+                    sessions.fetch_add(u64::from(stats.attempts), Ordering::Relaxed);
+                    match res {
+                        Ok(()) => {
+                            reads_ok.fetch_add(4, Ordering::Relaxed);
+                        }
                         Err(e) => panic!("reader error: {e}"),
                     }
-                }
-                session.finish();
-                if done.load(Ordering::SeqCst) {
-                    break;
                 }
             });
         }

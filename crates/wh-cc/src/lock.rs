@@ -1,7 +1,7 @@
 //! A shared lock manager with S / X / Certify modes and wait timeouts.
 
 use std::collections::HashMap;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use wh_types::fail_point;
 
@@ -70,6 +70,12 @@ struct LockEntry {
 
 /// Table of per-key locks. Keys are logical (`u64`); transactions are
 /// identified by caller-assigned ids.
+///
+/// Internal mutexes recover from poisoning rather than propagating the
+/// panic: a benchmark worker that panics mid-request must not take the
+/// whole scheme down with it — the lock table's invariants hold at every
+/// await point, so the surviving threads can keep going (and the panicking
+/// transaction's locks are released by its abort/drop path).
 pub struct LockManager {
     /// Whether S conflicts with X (strict 2PL) or not (2V2PL).
     s_conflicts_x: bool,
@@ -145,7 +151,7 @@ impl LockManager {
         fail_point!("cc.lock.grant", LockRequestOutcome::TimedOut);
         let start = Instant::now();
         let deadline = start + self.timeout;
-        let mut table = self.table.lock().unwrap();
+        let mut table = self.table.lock().unwrap_or_else(PoisonError::into_inner);
         let mut registered_certify = false;
         let outcome = loop {
             let entry = table.entry(key).or_default();
@@ -184,7 +190,10 @@ impl LockManager {
             else {
                 break LockRequestOutcome::TimedOut;
             };
-            let (guard, timed_out) = self.changed.wait_timeout(table, remaining).unwrap();
+            let (guard, timed_out) = self
+                .changed
+                .wait_timeout(table, remaining)
+                .unwrap_or_else(PoisonError::into_inner);
             table = guard;
             if timed_out.timed_out() && Instant::now() >= deadline {
                 break LockRequestOutcome::TimedOut;
@@ -205,7 +214,7 @@ impl LockManager {
         // Injected fault = the client crashed before releasing: its locks
         // stay granted and waiters run into the timeout path.
         fail_point!("cc.lock.release", ());
-        let mut table = self.table.lock().unwrap();
+        let mut table = self.table.lock().unwrap_or_else(PoisonError::into_inner);
         table.retain(|_, entry| {
             entry.granted.retain(|&(t, _)| t != txn);
             // Entries with waiting Certify requests must survive even when
@@ -217,7 +226,10 @@ impl LockManager {
 
     /// Number of keys with at least one granted lock (diagnostics).
     pub fn locked_keys(&self) -> usize {
-        self.table.lock().unwrap().len()
+        self.table
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
     }
 }
 

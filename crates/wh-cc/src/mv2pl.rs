@@ -23,7 +23,7 @@ use crate::stats::{CcStats, CcStatsSnapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use wh_storage::iostats::IoSnapshot;
 use wh_storage::{IoStats, Rid, Table};
 use wh_types::{Column, DataType, Schema, Value};
@@ -112,14 +112,17 @@ impl Mv2plStore {
     /// active begin-timestamp.
     pub fn gc(&self) -> CcResult<u64> {
         let min_ts = {
-            let readers = self.active_readers.lock().unwrap();
+            let readers = self
+                .active_readers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             readers
                 .iter()
                 .copied()
                 .min()
                 .unwrap_or_else(|| self.committed_ts.load(Ordering::SeqCst))
         };
-        let mut chains = self.chains.lock().unwrap();
+        let mut chains = self.chains.lock().unwrap_or_else(PoisonError::into_inner);
         let mut reclaimed = 0;
         let mut dead = Vec::new();
         for (&key, chain) in chains.iter_mut() {
@@ -167,7 +170,11 @@ struct Reader<'s> {
 impl Reader<'_> {
     fn deregister(&mut self) {
         if !self.finished {
-            let mut readers = self.store.active_readers.lock().unwrap();
+            let mut readers = self
+                .store
+                .active_readers
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if let Some(pos) = readers.iter().position(|&t| t == self.ts) {
                 readers.swap_remove(pos);
             }
@@ -185,7 +192,11 @@ impl ReaderTxn for Reader<'_> {
         }
         // Chase the version chain: newest-first, take the first ts <= ours.
         let chain = {
-            let chains = self.store.chains.lock().unwrap();
+            let chains = self
+                .store
+                .chains
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             chains.get(&key).cloned().unwrap_or_default()
         };
         for (hop, (ts, rid)) in chain.into_iter().enumerate() {
@@ -194,7 +205,11 @@ impl ReaderTxn for Reader<'_> {
                 // itself — serving it costs no pool I/O.
                 if hop == 0 {
                     if let Some(cache) = &self.store.page_cache {
-                        if let Some(&(cts, cval)) = cache.lock().unwrap().get(&key) {
+                        if let Some(&(cts, cval)) = cache
+                            .lock()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .get(&key)
+                        {
                             if cts == ts {
                                 return Ok(cval);
                             }
@@ -274,7 +289,11 @@ impl WriterTxn for Writer<'_> {
 
     fn abort(self: Box<Self>) -> CcResult<()> {
         // Restore each touched tuple from its newest pool version.
-        let mut chains = self.store.chains.lock().unwrap();
+        let mut chains = self
+            .store
+            .chains
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         for key in &self.touched {
             let rid = self.store.rid(*key)?;
             if let Some(chain) = chains.get_mut(key) {
@@ -304,7 +323,10 @@ impl ConcurrencyScheme for Mv2plStore {
 
     fn begin_reader(&self) -> Box<dyn ReaderTxn + '_> {
         let ts = self.committed_ts.load(Ordering::SeqCst);
-        self.active_readers.lock().unwrap().push(ts);
+        self.active_readers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(ts);
         Box::new(Reader {
             store: self,
             ts,

@@ -11,7 +11,7 @@ use crate::stats::{CcStats, CcStatsSnapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 use wh_storage::iostats::IoSnapshot;
 use wh_storage::{IoStats, Rid, Table};
@@ -107,7 +107,11 @@ impl WriterTxn for S2plWriter<'_> {
         }
         let rid = self.store.rid(key)?;
         let old = self.store.read_value(rid)?;
-        self.store.undo.lock().unwrap().push((rid, old));
+        self.store
+            .undo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push((rid, old));
         self.store
             .table
             .update(rid, &[Value::from(key as i64), Value::from(value)])?;
@@ -115,13 +119,23 @@ impl WriterTxn for S2plWriter<'_> {
     }
 
     fn commit(self: Box<Self>) -> CcResult<()> {
-        self.store.undo.lock().unwrap().clear();
+        self.store
+            .undo
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
         self.store.locks.release_all(self.txn);
         Ok(())
     }
 
     fn abort(self: Box<Self>) -> CcResult<()> {
-        let undo: Vec<_> = std::mem::take(&mut *self.store.undo.lock().unwrap());
+        let undo: Vec<_> = std::mem::take(
+            &mut *self
+                .store
+                .undo
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
         for (rid, old) in undo.into_iter().rev() {
             let key = self.store.table.read(rid)?[0].clone();
             self.store.table.update(rid, &[key, Value::from(old)])?;

@@ -13,7 +13,7 @@ use crate::stats::{CcStats, CcStatsSnapshot};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 use wh_storage::iostats::IoSnapshot;
 use wh_storage::{IoStats, Rid, Table};
@@ -129,7 +129,11 @@ impl WriterTxn for Writer<'_> {
             LockRequestOutcome::Granted => {}
         }
         self.store.rid(key)?; // validate the key exists
-        let mut pending = self.store.pending_map.lock().unwrap();
+        let mut pending = self
+            .store
+            .pending_map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         match pending.get(&key) {
             Some(&prid) => {
                 // Second write to the same key: overwrite the pending version.
@@ -171,7 +175,11 @@ impl WriterTxn for Writer<'_> {
             self.store.stats.commit_delayed(certify_start.elapsed());
         }
         // Apply pending versions to the main table in place.
-        let mut pending = self.store.pending_map.lock().unwrap();
+        let mut pending = self
+            .store
+            .pending_map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         for (&key, &prid) in pending.iter() {
             let new_row = self.store.pending.read(prid)?;
             self.store.main.update(self.store.rid(key)?, &new_row)?;
@@ -185,7 +193,11 @@ impl WriterTxn for Writer<'_> {
 
     fn abort(self: Box<Self>) -> CcResult<()> {
         // Discard pending versions; main was never touched.
-        let mut pending = self.store.pending_map.lock().unwrap();
+        let mut pending = self
+            .store
+            .pending_map
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         for (_, prid) in pending.drain() {
             self.store.pending.delete(prid)?;
         }

@@ -289,6 +289,20 @@ impl HeapFile {
     where
         F: FnOnce(&[u8]) -> bool,
     {
+        self.delete_if_then(rid, pred, || ())
+    }
+
+    /// [`Heap::delete_if`], plus a `then` hook that runs after the delete
+    /// while the page latch is still held. Callers retire external
+    /// bookkeeping (key directory, secondary indexes) atomically with the
+    /// physical removal: done after the latch drops, the freed slot can be
+    /// reallocated — possibly to the same key — and the late cleanup would
+    /// tear down the new record's entries instead.
+    pub fn delete_if_then<F, G>(&self, rid: Rid, pred: F, then: G) -> StorageResult<bool>
+    where
+        F: FnOnce(&[u8]) -> bool,
+        G: FnOnce(),
+    {
         fail_point!("storage.heap.delete");
         let op = self.sample_op().then(wh_obs::Timer::start);
         let page = self.page(rid.page)?;
@@ -301,6 +315,7 @@ impl HeapFile {
         guard.delete(rid.page, rid.slot)?;
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
+        then();
         drop(guard);
         fail_point!("storage.heap.free_space");
         let mut free = lock_list(&self.free_pages);

@@ -104,11 +104,25 @@ impl Table {
     where
         F: FnOnce(&Row) -> bool,
     {
-        self.heap
-            .delete_if(rid, |buf| match self.codec.decode(buf) {
+        self.delete_if_then(rid, pred, || ())
+    }
+
+    /// [`Table::delete_if`] plus a hook run under the same page latch after
+    /// the delete — see [`Heap::delete_if_then`] for why cleanup that must
+    /// not interleave with slot reuse belongs inside the latch.
+    pub fn delete_if_then<F, G>(&self, rid: Rid, pred: F, then: G) -> StorageResult<bool>
+    where
+        F: FnOnce(&Row) -> bool,
+        G: FnOnce(),
+    {
+        self.heap.delete_if_then(
+            rid,
+            |buf| match self.codec.decode(buf) {
                 Ok(row) => pred(&row),
                 Err(_) => false,
-            })
+            },
+            then,
+        )
     }
 
     /// Visit every live row.

@@ -57,7 +57,13 @@ impl VnlStore {
 
 fn to_cc(e: VnlError, key: u64) -> CcError {
     match e {
-        VnlError::SessionExpired { .. } => CcError::VersionUnavailable(key),
+        // Both the raw expiration and its retry-exhausted terminal form
+        // mean the same thing to a CC harness: the version this reader
+        // needs is gone. The enriched fields (currentVN, table) only feed
+        // the error message, which `CcError` does not carry.
+        VnlError::SessionExpired { .. } | VnlError::RetryExhausted { .. } => {
+            CcError::VersionUnavailable(key)
+        }
         other => CcError::Storage(other.to_string()),
     }
 }

@@ -23,6 +23,25 @@ pub enum VnlError {
     SessionExpired {
         /// The session's version number.
         session_vn: u64,
+        /// `currentVN` when the expiration was detected — how far the
+        /// warehouse had moved past the session. Retry policies use the gap
+        /// to decide whether re-reading at a fresh VN is worthwhile.
+        current_vn: u64,
+        /// The relation whose read detected the expiration, when known
+        /// (`None` for expirations detected against the bare version state).
+        table: Option<String>,
+    },
+    /// A [`crate::resilience::RetryPolicy`] gave up: every attempt within
+    /// its budget expired. This is the *typed terminal* form of
+    /// [`VnlError::SessionExpired`] — callers seeing it know the retry layer
+    /// already did its job and the workload is outpacing the version window.
+    RetryExhausted {
+        /// Attempts made (including the first, non-retry execution).
+        attempts: u32,
+        /// The last attempt's session version.
+        session_vn: u64,
+        /// `currentVN` at the last detected expiration.
+        current_vn: u64,
     },
     /// `begin_maintenance` while another maintenance transaction is active;
     /// the paper's external protocol allows one at a time (§2.2).
@@ -68,9 +87,29 @@ impl fmt::Display for VnlError {
                     "earlier transaction"
                 }
             ),
-            VnlError::SessionExpired { session_vn } => {
-                write!(f, "reader session at version {session_vn} has expired; begin a new session")
+            VnlError::SessionExpired {
+                session_vn,
+                current_vn,
+                table,
+            } => {
+                write!(
+                    f,
+                    "reader session at version {session_vn} has expired (currentVN {current_vn}"
+                )?;
+                if let Some(t) = table {
+                    write!(f, ", table {t}")?;
+                }
+                write!(f, "); begin a new session")
             }
+            VnlError::RetryExhausted {
+                attempts,
+                session_vn,
+                current_vn,
+            } => write!(
+                f,
+                "retry budget exhausted after {attempts} attempts: session at version \
+                 {session_vn} kept expiring (currentVN {current_vn})"
+            ),
             VnlError::MaintenanceAlreadyActive => {
                 write!(f, "a maintenance transaction is already active (one at a time)")
             }

@@ -50,6 +50,11 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
     wh_obs::gauge!("vnl.gc.horizon_lag").set(snap.current_vn.saturating_sub(horizon) as i64);
     let mut report = GcReport::default();
     let tuple_bytes = table.storage().codec().encoded_len() as u64;
+    // Registry snapshot taken outside any page latch (see
+    // `indexes_snapshot` for the lock-order constraint). An index created
+    // mid-pass may keep a stale entry for a reclaimed rid; readers already
+    // tolerate those.
+    let index_snap = table.indexes_snapshot();
     // Collect victims first; mutate after the scan.
     let mut victims = Vec::new();
     let mut occupied_slots: u64 = 0;
@@ -80,24 +85,35 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
         fail_point!("vnl.gc.reclaim");
         // Re-verify under the page latch: a maintenance transaction may have
         // resurrected the tuple since the scan (Table 2 row 1), in which
-        // case it must not be touched.
-        let deleted = table.storage().delete_if(rid, |row| {
-            matches!(
-                layout.slot(row, 0),
-                Some((vn, Operation::Delete)) if vn <= horizon && vn <= snap.current_vn
-            )
-        })?;
+        // case it must not be touched. The key-directory and index entries
+        // are retired inside the same latch hold: once the slot is freed, a
+        // concurrent insert of the same key can reuse this very rid, and a
+        // late unregister would then tear down the *new* tuple's entries,
+        // orphaning the key.
+        let deleted = table.storage().delete_if_then(
+            rid,
+            |row| {
+                matches!(
+                    layout.slot(row, 0),
+                    Some((vn, Operation::Delete)) if vn <= horizon && vn <= snap.current_vn
+                )
+            },
+            || {
+                if let Some(dir) = table.key_dir() {
+                    let _ = dir.unregister(&ext, rid);
+                }
+                for idx in &index_snap {
+                    idx.remove_entry(&ext, rid);
+                }
+            },
+        )?;
         if !deleted {
             continue;
         }
-        // Crash window: tuple physically gone, key/index entries still
-        // registered — readers and maintenance already tolerate the stale
-        // entries (NoSuchSlot is skipped; inserts unregister and retry).
+        table.note_physical_delete();
+        // Crash window: reclamation fully applied, stats not yet counted —
+        // a fault here under-reports the pass but leaves the table sound.
         fail_point!("vnl.gc.unregister");
-        if let Some(dir) = table.key_dir() {
-            let _ = dir.unregister(&ext, rid);
-        }
-        table.on_physical_delete(&ext, rid);
         report.reclaimed += 1;
         report.bytes_reclaimed += tuple_bytes;
         wh_obs::histogram!("vnl.gc.reclaim_ns").record(reclaim.elapsed_ns());

@@ -33,6 +33,9 @@
 //! * [`gc`] — garbage collection of logically-deleted tuples (§7).
 //! * [`recovery`] — log-free crash recovery: reconstructing a consistent
 //!   pre-transaction state from the tuple version slots alone (§7).
+//! * [`resilience`] — graceful degradation under reader/maintenance
+//!   contention: session leases, expiration-aware retry, maintenance
+//!   pacing, and the adaptive effective-`n` controller.
 //! * [`adapter`] — a `wh_cc::ConcurrencyScheme` implementation so 2VNL runs
 //!   head-to-head against S2PL/2V2PL/MV2PL in the §6 experiments.
 
@@ -44,6 +47,7 @@ pub mod gc;
 pub mod maintenance;
 pub mod reader;
 pub mod recovery;
+pub mod resilience;
 pub mod rewrite;
 pub mod scan;
 pub mod schema_ext;
@@ -57,6 +61,10 @@ pub use error::{VnlError, VnlResult};
 pub use maintenance::{MaintenanceTxn, PhysicalAction};
 pub use reader::{ReadOutcome, ReaderSession};
 pub use recovery::{recover, RecoveryReport};
+pub use resilience::{
+    AdaptiveN, LeaseId, LeaseInfo, LeaseRegistry, MaintenancePacer, PaceReport, PacerPolicy,
+    RetryPolicy, RetryStats,
+};
 pub use rewrite::QueryRewriter;
 pub use scan::{ByteScanner, Classified};
 pub use schema_ext::{ExtLayout, StorageOverhead};

@@ -190,6 +190,12 @@ impl<'t> MaintenanceTxn<'t> {
         self.vn
     }
 
+    /// The table this transaction maintains (the pacer consults its leases
+    /// and effective window right before commit).
+    pub(crate) fn table(&self) -> &VnlTable {
+        self.table
+    }
+
     /// Enable recording of per-tuple physical actions (Examples 4.2–4.4
     /// traces). Off by default.
     pub fn set_tracing(&self, on: bool) {

@@ -1,9 +1,11 @@
 //! Reader sessions: consistent reads without locks (§3.2, §4.1).
 
 use crate::error::{VnlError, VnlResult};
+use crate::resilience::LeaseId;
 use crate::table::VnlTable;
 use crate::version::VersionNo;
 use std::sync::Mutex;
+use std::time::Duration;
 use wh_sql::{
     exec::{execute_select, execute_select_parallel},
     parse_statement, ParallelRowSource, Params, QueryResult, RowSource, SelectStmt, SqlError,
@@ -30,6 +32,9 @@ pub struct ReaderSession<'t> {
     id: u64,
     session_vn: VersionNo,
     finished: bool,
+    /// Set when the session was begun through
+    /// [`VnlTable::begin_leased_session`]; released with the session.
+    lease: Option<LeaseId>,
     /// Rolling call count behind [`ReaderSession::note_staleness_sampled`].
     staleness_probe: std::sync::atomic::AtomicU32,
 }
@@ -41,6 +46,7 @@ impl<'t> ReaderSession<'t> {
             id,
             session_vn,
             finished: false,
+            lease: None,
             staleness_probe: std::sync::atomic::AtomicU32::new(0),
         }
     }
@@ -48,6 +54,41 @@ impl<'t> ReaderSession<'t> {
     /// The version this session reads.
     pub fn session_vn(&self) -> VersionNo {
         self.session_vn
+    }
+
+    pub(crate) fn set_lease(&mut self, lease: LeaseId) {
+        self.lease = Some(lease);
+    }
+
+    /// The session's lease, when begun through
+    /// [`VnlTable::begin_leased_session`].
+    pub fn lease(&self) -> Option<LeaseId> {
+        self.lease
+    }
+
+    /// Renew the session's lease, declaring about `hint` of remaining
+    /// work. Fails with [`VnlError::SessionExpired`] when the session
+    /// already failed the §4.1 global check or a pacer revoked the lease
+    /// (`ExpireOldest`) — either way the holder should finish and restart
+    /// at a fresh VN (see [`crate::resilience::RetryPolicy`]). On an
+    /// unleased session this is just the liveness check.
+    pub fn renew_lease(&self, hint: Duration) -> VnlResult<()> {
+        self.assert_live()?;
+        match self.lease {
+            Some(id) if !self.table.version().leases().renew(id, hint) => {
+                self.table.note_expiration();
+                Err(self.table.expired_error(self.session_vn))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Whether a pacer revoked this session's lease. The session may still
+    /// pass the global check for a moment; a cooperative reader treats
+    /// revocation as "wrap up and restart".
+    pub fn lease_revoked(&self) -> bool {
+        self.lease
+            .is_some_and(|id| self.table.version().leases().is_revoked(id))
     }
 
     /// Publish this session's staleness (`currentVN − sessionVN`, the §3.2
@@ -89,7 +130,7 @@ impl<'t> ReaderSession<'t> {
         if self
             .table
             .version()
-            .session_live(self.session_vn, self.table.layout().n())
+            .session_live(self.session_vn, self.table.effective_n())
         {
             ReadOutcome::Live
         } else {
@@ -103,9 +144,7 @@ impl<'t> ReaderSession<'t> {
             ReadOutcome::Live => Ok(()),
             ReadOutcome::Expired => {
                 self.table.note_expiration();
-                Err(VnlError::SessionExpired {
-                    session_vn: self.session_vn,
-                })
+                Err(self.table.expired_error(self.session_vn))
             }
         }
     }
@@ -227,12 +266,14 @@ impl<'t> ReaderSession<'t> {
                 crate::visibility::Visible::Ignore => {}
                 crate::visibility::Visible::Expired => {
                     self.table.note_expiration();
-                    return Err(VnlError::SessionExpired {
-                        session_vn: self.session_vn,
-                    });
+                    return Err(self.table.expired_error(self.session_vn));
                 }
             }
         }
+        // Re-check the recovery fence after the resolves: a crash recovery
+        // concurrent with this lookup may have reconstructed the slots the
+        // resolves read from.
+        self.table.fence_check(self.session_vn)?;
         Ok(out)
     }
 
@@ -322,17 +363,24 @@ impl<'t> ReaderSession<'t> {
         Ok(result)
     }
 
-    /// End the session, deregistering it.
+    /// End the session, deregistering it (and releasing its lease).
     pub fn finish(mut self) {
-        self.table.end_session(self.id);
+        self.release();
         self.finished = true;
+    }
+
+    fn release(&mut self) {
+        if let Some(lease) = self.lease.take() {
+            self.table.version().leases().release(lease);
+        }
+        self.table.end_session(self.id);
     }
 }
 
 impl Drop for ReaderSession<'_> {
     fn drop(&mut self) {
         if !self.finished {
-            self.table.end_session(self.id);
+            self.release();
         }
     }
 }

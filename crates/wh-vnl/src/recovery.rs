@@ -51,7 +51,16 @@
 //!
 //! [`RecoveryReport::exact_horizon`] is the smallest `sessionVN` for which
 //! reads of the recovered table are guaranteed to equal the
-//! pre-transaction state; `1` means the recovery was fully exact. As with
+//! pre-transaction state; `1` means the recovery was fully exact.
+//!
+//! The horizon is not only reported but **enforced**: before mutating
+//! anything, [`recover`] raises the warehouse-wide *recovery fence*
+//! ([`crate::VersionState::recovery_floor`]) to it. Every live session
+//! below the fence fails its next §4.1 global check — and every scan or
+//! lookup re-checks the fence on completion, so even a read in flight
+//! across the recovery raises `SessionExpired` instead of returning
+//! reconstructed values. Inexact recovery expires rather than lies,
+//! uniformly for 2VNL and nVNL. As with
 //! live aborts, restoration covers updatable columns (non-updatable columns
 //! are never changed by updates; a reversed resurrection keeps the
 //! resurrector's non-updatable non-key values, matching
@@ -122,6 +131,9 @@ pub fn recover(table: &VnlTable) -> VnlResult<RecoveryReport> {
         log_writes: 0,
     };
 
+    // Pass 1 (read-only): find the crashed transaction's tuples and compute
+    // the exactness horizon *before* touching anything.
+    let mut pending = Vec::new();
     for (rid, ext) in table.scan_raw()? {
         report.scanned += 1;
         let Some((vn0, op0)) = layout.slot(&ext, 0) else {
@@ -131,6 +143,24 @@ pub fn recover(table: &VnlTable) -> VnlResult<RecoveryReport> {
             continue;
         }
         report.pending_found += 1;
+        report.exact_horizon = report
+            .exact_horizon
+            .max(prospective_horizon(&layout, &ext, v, op0));
+        pending.push((rid, ext, op0));
+    }
+
+    // Raise the session fence before the first mutation: sessions the
+    // reconstruction cannot serve exactly must expire rather than read a
+    // reconstructed guess — including scans already in flight, which
+    // re-check the fence when they complete. (Until `publish_abort` below,
+    // the stuck `maintenanceActive` flag keeps the *global* check strict;
+    // the fence is what outlives it.)
+    if report.exact_horizon > 1 {
+        table.version().raise_recovery_floor(report.exact_horizon);
+    }
+
+    // Pass 2: roll the pending tuples back from their own slots.
+    for (rid, ext, op0) in pending {
         match op0 {
             Operation::Insert => {
                 let resurrected = layout.slots() > 1
@@ -147,9 +177,8 @@ pub fn recover(table: &VnlTable) -> VnlResult<RecoveryReport> {
                         Ok(row)
                     })?;
                     report.resurrections_reversed += 1;
-                    if let Some(Some(w)) = duplicated {
+                    if let Some(Some(_)) = duplicated {
                         report.duplicated_oldest_slots += 1;
-                        report.exact_horizon = report.exact_horizon.max(w.saturating_sub(1));
                     }
                 } else {
                     // Fresh insert: remove the orphan. A missing slot means
@@ -164,12 +193,6 @@ pub fn recover(table: &VnlTable) -> VnlResult<RecoveryReport> {
                         Err(e) => return Err(e.into()),
                     }
                     report.orphans_removed += 1;
-                    if layout.slots() == 1 {
-                        // A 2VNL resurrection is indistinguishable from a
-                        // fresh insert; only sessions at V are guaranteed
-                        // exact.
-                        report.exact_horizon = report.exact_horizon.max(v);
-                    }
                 }
             }
             Operation::Update | Operation::Delete => {
@@ -197,13 +220,11 @@ pub fn recover(table: &VnlTable) -> VnlResult<RecoveryReport> {
                 })?;
                 report.slots_restored += 1;
                 match duplicated {
-                    Some(Some(w)) => {
+                    Some(Some(_)) => {
                         report.duplicated_oldest_slots += 1;
-                        report.exact_horizon = report.exact_horizon.max(w.saturating_sub(1));
                     }
                     Some(None) if layout.slots() == 1 => {
                         report.reconstructed_slots += 1;
-                        report.exact_horizon = report.exact_horizon.max(v);
                     }
                     _ => {}
                 }
@@ -215,6 +236,44 @@ pub fn recover(table: &VnlTable) -> VnlResult<RecoveryReport> {
     // Version relation) — harmless when it was never stuck.
     table.version().publish_abort()?;
     Ok(report)
+}
+
+/// The exactness horizon one pending tuple will contribute once pass 2
+/// rolls it back — computed read-only so [`recover`] can raise the session
+/// fence before the first mutation. Mirrors pass 2's case analysis: a full
+/// nVNL tuple loses its true oldest slot (exact from the duplicate's VN − 1
+/// on), and 2VNL loses its only slot outright (exact from `v` on).
+fn prospective_horizon(layout: &ExtLayout, ext: &Row, v: VersionNo, op0: Operation) -> VersionNo {
+    let last = layout.slots() - 1;
+    let full_shift_horizon = || match layout.slot(ext, last) {
+        // `reverse_push_back` will duplicate this slot's `(w, op, PV)`.
+        Some((w, _)) => w.saturating_sub(1),
+        None => 1,
+    };
+    match op0 {
+        Operation::Insert => {
+            let resurrected =
+                layout.slots() > 1 && matches!(layout.slot(ext, 1), Some((_, Operation::Delete)));
+            if resurrected {
+                full_shift_horizon()
+            } else if layout.slots() == 1 {
+                // A 2VNL resurrection is indistinguishable from a fresh
+                // insert; only sessions at `v` are guaranteed exact.
+                v
+            } else {
+                1
+            }
+        }
+        Operation::Update | Operation::Delete => {
+            if layout.slots() == 1 {
+                // The single slot's pre-transaction content is destroyed;
+                // its reconstruction serves only sessions at `v`.
+                v
+            } else {
+                full_shift_horizon()
+            }
+        }
+    }
 }
 
 /// Undo a crashed `push_back` on an nVNL tuple: shift the slots forward so

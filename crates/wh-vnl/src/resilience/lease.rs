@@ -1,0 +1,238 @@
+//! Reader-session leases: declared-work hints registered with the
+//! warehouse-wide version state.
+//!
+//! A plain reader session is invisible to maintenance until it *fails* —
+//! the version window moves, the session expires, the reader retries. A
+//! *leased* session additionally tells the warehouse how much longer it
+//! expects to run (the hint), renewable as work progresses. The
+//! [`crate::resilience::MaintenancePacer`] reads the registry before the
+//! version flip and can hold the flip (or revoke the stalest leases) when
+//! committing would expire a load-bearing reader.
+//!
+//! A lease is advisory: it never blocks maintenance by itself, and an
+//! expired or revoked lease degrades to exactly the base-layer behavior —
+//! the session's next read raises `SessionExpired` and the retry layer
+//! restarts it at a fresh VN.
+
+use crate::version::VersionNo;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Handle to one registered lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeaseId(u64);
+
+/// Point-in-time copy of one lease's state.
+#[derive(Debug, Clone)]
+pub struct LeaseInfo {
+    /// The lease handle.
+    pub id: LeaseId,
+    /// The version the leased session reads.
+    pub session_vn: VersionNo,
+    /// When the declared work runs out (absent renewal).
+    pub deadline: Instant,
+    /// How many times the lease has been renewed.
+    pub renewals: u64,
+    /// Whether a pacer revoked the lease (`ExpireOldest`).
+    pub revoked: bool,
+}
+
+struct Slot {
+    session_vn: VersionNo,
+    deadline: Instant,
+    renewals: u64,
+    revoked: bool,
+}
+
+/// Registry of active leases, owned by [`crate::VersionState`] so leases
+/// are warehouse-wide like the version globals they protect.
+pub struct LeaseRegistry {
+    slots: Mutex<HashMap<u64, Slot>>,
+    next: AtomicU64,
+}
+
+impl Default for LeaseRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LeaseRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        LeaseRegistry {
+            slots: Mutex::new(HashMap::new()),
+            next: AtomicU64::new(1),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Slot>> {
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register a lease for a session at `session_vn` expecting to run for
+    /// about `hint` more.
+    pub fn register(&self, session_vn: VersionNo, hint: Duration) -> LeaseId {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.locked().insert(
+            id,
+            Slot {
+                session_vn,
+                deadline: Instant::now() + hint,
+                renewals: 0,
+                revoked: false,
+            },
+        );
+        wh_obs::counter!("vnl.resilience.lease.granted").inc();
+        wh_obs::gauge!("vnl.resilience.active_leases").set(self.len() as i64);
+        LeaseId(id)
+    }
+
+    /// Extend a lease's deadline to `hint` from now. Returns `false` when
+    /// the lease is gone or revoked — the holder should treat that as
+    /// expiration and restart at a fresh VN.
+    pub fn renew(&self, id: LeaseId, hint: Duration) -> bool {
+        let mut slots = self.locked();
+        match slots.get_mut(&id.0) {
+            Some(slot) if !slot.revoked => {
+                slot.deadline = Instant::now() + hint;
+                slot.renewals += 1;
+                drop(slots);
+                wh_obs::counter!("vnl.resilience.lease.renewals").inc();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drop a lease (session finished).
+    pub fn release(&self, id: LeaseId) {
+        self.locked().remove(&id.0);
+        wh_obs::gauge!("vnl.resilience.active_leases").set(self.len() as i64);
+    }
+
+    /// Whether a pacer revoked this lease. Also `true` for a released or
+    /// unknown lease — from the holder's perspective both mean "stop
+    /// trusting this session".
+    pub fn is_revoked(&self, id: LeaseId) -> bool {
+        self.locked().get(&id.0).is_none_or(|s| s.revoked)
+    }
+
+    /// Revoke a lease (pacer `ExpireOldest`). Returns `false` when already
+    /// gone or revoked.
+    pub fn revoke(&self, id: LeaseId) -> bool {
+        let mut slots = self.locked();
+        match slots.get_mut(&id.0) {
+            Some(slot) if !slot.revoked => {
+                slot.revoked = true;
+                drop(slots);
+                wh_obs::counter!("vnl.resilience.lease.revocations").inc();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of registered leases (including expired/revoked ones whose
+    /// sessions have not finished yet).
+    pub fn len(&self) -> usize {
+        self.locked().len()
+    }
+
+    /// Whether no leases are registered.
+    pub fn is_empty(&self) -> bool {
+        self.locked().is_empty()
+    }
+
+    /// Leases still within their deadline and not revoked.
+    pub fn active(&self) -> Vec<LeaseInfo> {
+        let now = Instant::now();
+        self.locked()
+            .iter()
+            .filter(|(_, s)| !s.revoked && s.deadline > now)
+            .map(|(&id, s)| LeaseInfo {
+                id: LeaseId(id),
+                session_vn: s.session_vn,
+                deadline: s.deadline,
+                renewals: s.renewals,
+                revoked: s.revoked,
+            })
+            .collect()
+    }
+
+    /// Active leases that would fail the §4.1 global check right after a
+    /// commit publishes `vn_after` with an effective window of `n`:
+    /// `vn_after − sessionVN ≥ n`. These are the readers a commit would
+    /// expire — the pacer's working set.
+    pub fn at_risk(&self, vn_after: VersionNo, n: usize) -> Vec<LeaseInfo> {
+        let mut risky: Vec<LeaseInfo> = self
+            .active()
+            .into_iter()
+            .filter(|l| vn_after.saturating_sub(l.session_vn) >= n as u64)
+            .collect();
+        // Oldest (stalest) first: `ExpireOldest` revokes in this order.
+        risky.sort_by_key(|l| l.session_vn);
+        risky
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_lifecycle() {
+        let reg = LeaseRegistry::new();
+        assert!(reg.is_empty());
+        let id = reg.register(5, Duration::from_secs(10));
+        assert_eq!(reg.len(), 1);
+        assert!(!reg.is_revoked(id));
+        assert!(reg.renew(id, Duration::from_secs(10)));
+        assert_eq!(reg.active()[0].renewals, 1);
+        reg.release(id);
+        assert!(reg.is_empty());
+        // Released leases read as revoked and refuse renewal.
+        assert!(reg.is_revoked(id));
+        assert!(!reg.renew(id, Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn expired_deadline_drops_out_of_active() {
+        let reg = LeaseRegistry::new();
+        let _short = reg.register(1, Duration::ZERO);
+        let long = reg.register(2, Duration::from_secs(60));
+        let active = reg.active();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].session_vn, 2);
+        assert_eq!(reg.len(), 2, "expired leases stay registered");
+        reg.release(long);
+    }
+
+    #[test]
+    fn revocation_is_sticky() {
+        let reg = LeaseRegistry::new();
+        let id = reg.register(1, Duration::from_secs(60));
+        assert!(reg.revoke(id));
+        assert!(!reg.revoke(id), "second revoke is a no-op");
+        assert!(reg.is_revoked(id));
+        assert!(!reg.renew(id, Duration::from_secs(60)));
+        assert!(reg.active().is_empty());
+    }
+
+    #[test]
+    fn at_risk_orders_stalest_first() {
+        let reg = LeaseRegistry::new();
+        let hint = Duration::from_secs(60);
+        reg.register(3, hint);
+        reg.register(1, hint);
+        reg.register(5, hint);
+        // Committing VN 5 with n = 2 strands sessions at VN ≤ 3.
+        let risky = reg.at_risk(5, 2);
+        let vns: Vec<u64> = risky.iter().map(|l| l.session_vn).collect();
+        assert_eq!(vns, vec![1, 3]);
+        // A wider window saves them all.
+        assert!(reg.at_risk(5, 5).is_empty());
+    }
+}

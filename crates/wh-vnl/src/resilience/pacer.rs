@@ -1,0 +1,278 @@
+//! Maintenance admission control: pace `publish_commit` around leased
+//! readers.
+//!
+//! §4's commit protocol flips `currentVN` the instant the data changes are
+//! in place — correct, but oblivious: the flip is what expires trailing
+//! readers. The pacer inserts a policy decision in front of the flip. It
+//! asks the [`super::LeaseRegistry`] which active leases would fail the
+//! §4.1 global check *after* the flip (given the table's effective window)
+//! and, per [`PacerPolicy`], waits for them to drain, waits a bounded
+//! while, or revokes the stalest and proceeds.
+//!
+//! Pacing trades maintenance latency for reader survival — the on-line
+//! counterpart of §5's observation that a larger maintenance gap `i`
+//! lengthens the guaranteed session. It never compromises correctness:
+//! an unleased or overrun reader still expires exactly as before.
+
+use crate::error::VnlResult;
+use crate::maintenance::MaintenanceTxn;
+use crate::table::VnlTable;
+use crate::version::VersionNo;
+use std::time::{Duration, Instant};
+
+/// What to do when committing would expire leased readers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacerPolicy {
+    /// Never expire a leased reader: poll until no at-risk lease remains.
+    /// Bounded by the lease deadlines (a lease that stops renewing drops
+    /// out), but a perpetually-renewed lease holds commits indefinitely —
+    /// reserve for workloads whose readers are trusted to finish.
+    Never,
+    /// Wait up to the given duration for at-risk leases to drain, then
+    /// commit regardless.
+    BoundedDelay(Duration),
+    /// Don't wait: revoke every at-risk lease (stalest first) and commit.
+    /// Holders observe revocation via
+    /// [`crate::ReaderSession::lease_revoked`] or on their next renewal.
+    ExpireOldest,
+}
+
+/// What one paced commit did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PaceReport {
+    /// At-risk leases when pacing began.
+    pub at_risk_before: usize,
+    /// Time spent waiting for leases to drain.
+    pub waited: Duration,
+    /// Poll iterations while waiting.
+    pub polls: u64,
+    /// Leases revoked (`ExpireOldest` only).
+    pub revoked: usize,
+    /// At-risk leases remaining when the commit proceeded anyway (bounded
+    /// delay ran out, or the staleness gauge said waiting was pointless).
+    pub expired_through: usize,
+}
+
+/// Admission controller for maintenance commits.
+#[derive(Debug, Clone)]
+pub struct MaintenancePacer {
+    policy: PacerPolicy,
+    poll: Duration,
+}
+
+impl MaintenancePacer {
+    /// A pacer with the given policy and a 100µs drain-poll interval.
+    pub fn new(policy: PacerPolicy) -> Self {
+        MaintenancePacer {
+            policy,
+            poll: Duration::from_micros(100),
+        }
+    }
+
+    /// Override the drain-poll interval.
+    pub fn with_poll(mut self, poll: Duration) -> Self {
+        self.poll = poll;
+        self
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> PacerPolicy {
+        self.policy
+    }
+
+    /// Pace, then commit: the pacing decision runs against the txn's table
+    /// and `maintenanceVN` immediately before [`MaintenanceTxn::commit`].
+    pub fn commit(&self, txn: MaintenanceTxn<'_>) -> VnlResult<PaceReport> {
+        let report = self.pace(txn.table(), txn.maintenance_vn());
+        txn.commit()?;
+        Ok(report)
+    }
+
+    /// The pacing decision alone: consult leases (and the wh-obs staleness
+    /// gauge) and wait/revoke per policy, for callers owning a multi-table
+    /// commit protocol. `vn_after` is the VN the commit will publish.
+    pub fn pace(&self, table: &VnlTable, vn_after: VersionNo) -> PaceReport {
+        let n = table.effective_n();
+        let leases = table.version().leases();
+        let mut report = PaceReport {
+            at_risk_before: leases.at_risk(vn_after, n).len(),
+            ..PaceReport::default()
+        };
+        if report.at_risk_before == 0 {
+            return report;
+        }
+        match self.policy {
+            PacerPolicy::ExpireOldest => {
+                for lease in leases.at_risk(vn_after, n) {
+                    if leases.revoke(lease.id) {
+                        report.revoked += 1;
+                    }
+                }
+                wh_obs::counter!("vnl.resilience.pacer.revoked").add(report.revoked as u64);
+            }
+            PacerPolicy::Never => {
+                let start = Instant::now();
+                report.expired_through = self.drain(table, vn_after, n, None, &mut report.polls);
+                report.waited = start.elapsed();
+            }
+            PacerPolicy::BoundedDelay(budget) => {
+                // Staleness consult: when the latest reader probe already
+                // lags by the full window, a delay cannot save that reader —
+                // it is past rescue whether or not this commit waits.
+                let observed_lag = wh_obs::gauge!("vnl.reader.staleness").get();
+                if observed_lag >= n as i64 {
+                    wh_obs::counter!("vnl.resilience.pacer.stale_skips").inc();
+                    report.expired_through = report.at_risk_before;
+                } else {
+                    let start = Instant::now();
+                    report.expired_through =
+                        self.drain(table, vn_after, n, Some(budget), &mut report.polls);
+                    report.waited = start.elapsed();
+                }
+            }
+        }
+        if !report.waited.is_zero() {
+            wh_obs::counter!("vnl.resilience.pacer.delayed_commits").inc();
+            wh_obs::histogram!("vnl.resilience.pacer.delay_ns")
+                .record(report.waited.as_nanos() as u64);
+        }
+        report
+    }
+
+    /// Poll until no at-risk lease remains or the budget runs out; returns
+    /// how many were still at risk on exit.
+    fn drain(
+        &self,
+        table: &VnlTable,
+        vn_after: VersionNo,
+        n: usize,
+        budget: Option<Duration>,
+        polls: &mut u64,
+    ) -> usize {
+        let start = Instant::now();
+        loop {
+            let risky = table.version().leases().at_risk(vn_after, n).len();
+            if risky == 0 {
+                return 0;
+            }
+            if budget.is_some_and(|b| start.elapsed() >= b) {
+                return risky;
+            }
+            *polls += 1;
+            std::thread::sleep(self.poll);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wh_types::{Column, DataType, Schema, Value};
+
+    fn kv_table() -> VnlTable {
+        let schema = Schema::with_key_names(
+            vec![
+                Column::new("key", DataType::Int64),
+                Column::updatable("value", DataType::Int64),
+            ],
+            &["key"],
+        )
+        .unwrap();
+        let t = VnlTable::create_named("kv", schema, 2).unwrap();
+        t.load_initial(&[vec![Value::from(1), Value::from(0)]])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn unleased_readers_never_pace() {
+        let t = kv_table();
+        let _plain = t.begin_session();
+        let txn = t.begin_maintenance().unwrap();
+        txn.update_row(&vec![Value::from(1), Value::from(5)])
+            .unwrap();
+        let report = MaintenancePacer::new(PacerPolicy::Never)
+            .commit(txn)
+            .unwrap();
+        assert_eq!(report, PaceReport::default());
+    }
+
+    #[test]
+    fn fresh_leases_are_not_at_risk() {
+        let t = kv_table();
+        // A lease at the current VN survives one commit under n = 2.
+        let leased = t.begin_leased_session(Duration::from_secs(5));
+        let txn = t.begin_maintenance().unwrap();
+        txn.update_row(&vec![Value::from(1), Value::from(5)])
+            .unwrap();
+        let report = MaintenancePacer::new(PacerPolicy::Never)
+            .commit(txn)
+            .unwrap();
+        assert_eq!(report.at_risk_before, 0);
+        leased.finish();
+    }
+
+    #[test]
+    fn expire_oldest_revokes_and_commits_immediately() {
+        let t = kv_table();
+        let leased = t.begin_leased_session(Duration::from_secs(5)); // VN 1
+        let txn = t.begin_maintenance().unwrap(); // VN 2
+        txn.update_row(&vec![Value::from(1), Value::from(5)])
+            .unwrap();
+        txn.commit().unwrap();
+        // Committing VN 3 would strand the VN-1 lease (3 − 1 ≥ 2).
+        let txn = t.begin_maintenance().unwrap();
+        txn.update_row(&vec![Value::from(1), Value::from(6)])
+            .unwrap();
+        let report = MaintenancePacer::new(PacerPolicy::ExpireOldest)
+            .commit(txn)
+            .unwrap();
+        assert_eq!(report.at_risk_before, 1);
+        assert_eq!(report.revoked, 1);
+        assert!(report.waited.is_zero());
+        assert!(leased.lease_revoked());
+        leased.finish();
+    }
+
+    #[test]
+    fn bounded_delay_commits_after_budget() {
+        let t = kv_table();
+        let leased = t.begin_leased_session(Duration::from_secs(5)); // VN 1
+        let txn = t.begin_maintenance().unwrap();
+        txn.commit().unwrap(); // VN 2
+        let txn = t.begin_maintenance().unwrap(); // would publish VN 3
+        let pacer = MaintenancePacer::new(PacerPolicy::BoundedDelay(Duration::from_millis(5)))
+            .with_poll(Duration::from_micros(200));
+        let report = pacer.commit(txn).unwrap();
+        assert_eq!(report.at_risk_before, 1);
+        // Whether the pacer waited the budget out or short-circuited on the
+        // (process-global) staleness gauge, the held lease expires through.
+        assert_eq!(report.expired_through, 1, "lease held through the budget");
+        assert!(!leased.lease_revoked(), "bounded delay never revokes");
+        leased.finish();
+    }
+
+    #[test]
+    fn never_policy_waits_for_the_lease_to_finish() {
+        let t = kv_table();
+        let leased = t.begin_leased_session(Duration::from_millis(20)); // VN 1
+        let txn = t.begin_maintenance().unwrap();
+        txn.commit().unwrap(); // VN 2
+        let txn = t.begin_maintenance().unwrap();
+        let start = Instant::now();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(3));
+                leased.finish();
+            });
+            let report = MaintenancePacer::new(PacerPolicy::Never)
+                .with_poll(Duration::from_micros(200))
+                .commit(txn)
+                .unwrap();
+            assert_eq!(report.at_risk_before, 1);
+            assert_eq!(report.expired_through, 0);
+        });
+        assert!(start.elapsed() >= Duration::from_millis(2));
+        assert_eq!(t.version().snapshot().current_vn, 3);
+    }
+}

@@ -8,7 +8,7 @@ use crate::schema_ext::ExtLayout;
 use crate::version::{VersionNo, VersionState};
 use crate::visibility;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
 use wh_index::{IndexKey, KeyDirectory, OrderedIndex};
@@ -34,6 +34,13 @@ impl SecondaryIndex {
     /// Indexed base-column positions.
     pub fn base_cols(&self) -> &[usize] {
         &self.base_cols
+    }
+
+    /// Drop the entry for (`ext_row`, `rid`); missing entries are ignored.
+    /// For callers working from an [`VnlTable::indexes_snapshot`] while
+    /// holding a page latch.
+    pub(crate) fn remove_entry(&self, ext_row: &[Value], rid: Rid) {
+        let _ = self.index.remove(ext_row, rid);
     }
 }
 
@@ -65,6 +72,12 @@ pub struct VnlTable {
     expired_notifications: AtomicU64,
     /// §4.3 secondary indexes (non-updatable attributes only).
     indexes: RwLock<Vec<Arc<SecondaryIndex>>>,
+    /// The *effective* version window `n_eff ∈ [2, layout.n()]` consulted
+    /// by the §4.1 global check and the maintenance pacer. The physical
+    /// slot mechanics (Table 1 extraction, `push_back`, rollback) always
+    /// use the provisioned `layout.n()`, so `n_eff` is strictly a
+    /// conservative admission bound — see [`crate::resilience::adaptive`].
+    effective_n: AtomicUsize,
 }
 
 impl VnlTable {
@@ -143,6 +156,7 @@ impl VnlTable {
             next_session: AtomicU64::new(1),
             expired_notifications: AtomicU64::new(0),
             indexes: RwLock::new(Vec::new()),
+            effective_n: AtomicUsize::new(n),
         })
     }
 
@@ -231,10 +245,42 @@ impl VnlTable {
         MaintenanceTxn::new(self, vn)
     }
 
+    /// The effective version window consulted by the §4.1 global check and
+    /// the maintenance pacer. Equals [`ExtLayout::n`] unless an
+    /// [`crate::resilience::AdaptiveN`] controller (or a direct
+    /// [`VnlTable::set_effective_n`]) narrowed or re-widened it.
+    pub fn effective_n(&self) -> usize {
+        self.effective_n.load(Ordering::Relaxed)
+    }
+
+    /// Set the effective window, clamped to `[2, layout.n()]`. Narrowing
+    /// expires trailing sessions earlier than the physical slots strictly
+    /// require (bounding staleness); widening readmits sessions the slots
+    /// still support. Neither direction affects Table 1 extraction.
+    pub fn set_effective_n(&self, n: usize) -> usize {
+        let clamped = n.clamp(2, self.layout.n());
+        self.effective_n.store(clamped, Ordering::Relaxed);
+        wh_obs::gauge!("vnl.resilience.effective_n").set(clamped as i64);
+        clamped
+    }
+
     /// Begin a reader session at the current database version.
     pub fn begin_session(&self) -> ReaderSession<'_> {
         let vn = self.version.snapshot().current_vn;
         self.begin_session_at(vn)
+    }
+
+    /// Begin a *leased* reader session declaring about `hint` of expected
+    /// remaining work. The lease registers this session's VN with the
+    /// warehouse-wide [`VersionState`] so a
+    /// [`crate::resilience::MaintenancePacer`] can hold the version flip
+    /// (or revoke the lease) instead of expiring the reader blindly. Renew
+    /// through [`ReaderSession::renew_lease`] as work progresses.
+    pub fn begin_leased_session(&self, hint: std::time::Duration) -> ReaderSession<'_> {
+        let vn = self.version.snapshot().current_vn;
+        let mut session = self.begin_session_at(vn);
+        session.set_lease(self.version.leases().register(vn, hint));
+        session
     }
 
     /// Begin a reader session pinned at an externally-chosen version (used
@@ -265,6 +311,30 @@ impl VnlTable {
         wh_obs::counter!("vnl.reader.expirations").inc();
     }
 
+    /// Build the enriched [`VnlError::SessionExpired`] for a session of
+    /// this table: every raise site reports how far `currentVN` had moved
+    /// and which relation detected it.
+    pub(crate) fn expired_error(&self, session_vn: VersionNo) -> VnlError {
+        VnlError::SessionExpired {
+            session_vn,
+            current_vn: self.version.current_vn_relaxed(),
+            table: Some(self.name.clone()),
+        }
+    }
+
+    /// The recovery-fence check, applied when a read *completes*: a crash
+    /// recovery that reconstructed slots this session cannot be served from
+    /// exactly raised [`VersionState::recovery_floor`] before mutating, so
+    /// a scan in flight across the recovery expires here instead of
+    /// returning reconstructed values. (See [`crate::recover`].)
+    pub(crate) fn fence_check(&self, session_vn: VersionNo) -> VnlResult<()> {
+        if session_vn < self.version.recovery_floor() {
+            self.note_expiration();
+            return Err(self.expired_error(session_vn));
+        }
+        Ok(())
+    }
+
     /// How many sessions have been notified of expiration so far.
     pub fn expired_session_count(&self) -> u64 {
         self.expired_notifications.load(Ordering::Relaxed)
@@ -291,23 +361,31 @@ impl VnlTable {
             return Err(VnlError::KeyRequired("point lookup"));
         }
         let Some(rid) = self.find_physical(&self.base_to_ext_positions(key_row)) else {
+            self.fence_check(session_vn)?;
             return Ok(None);
         };
         let ext = match self.storage.read(rid) {
             Ok(e) => e,
             // Reclaimed by GC between probe and read: logically absent (GC
             // only removes tuples invisible to every active session).
-            Err(wh_storage::StorageError::NoSuchSlot { .. }) => return Ok(None),
+            Err(wh_storage::StorageError::NoSuchSlot { .. }) => {
+                self.fence_check(session_vn)?;
+                return Ok(None);
+            }
             Err(e) => return Err(e.into()),
         };
-        match visibility::extract(&self.layout, &ext, session_vn) {
-            visibility::Visible::Row(r) => Ok(Some(r)),
-            visibility::Visible::Ignore => Ok(None),
+        let resolved = match visibility::extract(&self.layout, &ext, session_vn) {
+            visibility::Visible::Row(r) => Some(r),
+            visibility::Visible::Ignore => None,
             visibility::Visible::Expired => {
                 self.note_expiration();
-                Err(VnlError::SessionExpired { session_vn })
+                return Err(self.expired_error(session_vn));
             }
-        }
+        };
+        // Checked on `Ignore` too: a recovery may have physically removed
+        // a tuple whose pre-values this session should still see.
+        self.fence_check(session_vn)?;
+        Ok(resolved)
     }
 
     /// Scan all tuples as seen by `session_vn`. Errs with
@@ -343,7 +421,7 @@ impl VnlTable {
             match scanner.classify(buf, session_vn) {
                 crate::scan::Classified::Ignore => return Ok(()),
                 crate::scan::Classified::Expired => {
-                    failure = Some(VnlError::SessionExpired { session_vn });
+                    failure = Some(self.expired_error(session_vn));
                 }
                 which => match scanner.decode_visible(codec, buf, which) {
                     Ok(row) => {
@@ -360,7 +438,8 @@ impl VnlTable {
                 Ok(())
             }
         });
-        self.settle_scan(res, failure)
+        self.settle_scan(res, failure)?;
+        self.fence_check(session_vn)
     }
 
     /// Parallel twin of [`VnlTable::scan_visible_with`]: partitions the heap
@@ -398,7 +477,7 @@ impl VnlTable {
                 match scanner.classify(buf, session_vn) {
                     crate::scan::Classified::Ignore => {}
                     crate::scan::Classified::Expired => {
-                        fail(VnlError::SessionExpired { session_vn });
+                        fail(self.expired_error(session_vn));
                     }
                     which => match scanner.decode_visible(codec, buf, which) {
                         Ok(row) => {
@@ -415,7 +494,8 @@ impl VnlTable {
                     Ok(())
                 }
             });
-        self.settle_scan(res, failure.into_inner().unwrap())
+        self.settle_scan(res, failure.into_inner().unwrap())?;
+        self.fence_check(session_vn)
     }
 
     /// Resolve a heap-scan result against an error stashed by the visitor:
@@ -530,12 +610,27 @@ impl VnlTable {
 
     /// Hook: a tuple was physically deleted.
     pub(crate) fn on_physical_delete(&self, ext_row: &[Value], rid: Rid) {
+        self.note_physical_delete();
+        for idx in self.indexes_snapshot() {
+            idx.remove_entry(ext_row, rid);
+        }
+    }
+
+    /// Gauge bookkeeping for a physical delete, for callers that retire
+    /// index entries themselves from an [`VnlTable::indexes_snapshot`].
+    pub(crate) fn note_physical_delete(&self) {
         let growth = self.layout.overhead();
         wh_obs::gauge!("vnl.storage.tuple_growth_bytes")
             .add(growth.base_tuple_bytes as i64 - growth.ext_tuple_bytes as i64);
-        for idx in self.indexes.read().unwrap().iter() {
-            let _ = idx.index.remove(ext_row, rid);
-        }
+    }
+
+    /// `Arc` snapshot of the secondary-index registry. Code that must touch
+    /// indexes while holding a page latch works from this snapshot: the
+    /// registry lock itself may not be acquired under a page latch, because
+    /// index backfill holds the registry lock across a full storage scan
+    /// (page latches inside) and the inverted order would deadlock.
+    pub(crate) fn indexes_snapshot(&self) -> Vec<Arc<SecondaryIndex>> {
+        self.indexes.read().unwrap().to_vec()
     }
 
     /// Hook: a tuple was modified in place; re-key any index whose columns

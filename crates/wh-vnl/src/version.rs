@@ -18,6 +18,7 @@
 //! happens, atomically, under the latch.
 
 use crate::error::{VnlError, VnlResult};
+use crate::resilience::LeaseRegistry;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -91,6 +92,16 @@ pub struct VersionState {
     /// The single-tuple Version relation of §4.
     relation: Table,
     relation_rid: Rid,
+    /// Reader-session leases ([`crate::resilience`]): warehouse-wide, like
+    /// the version globals they protect, so a multi-table pacer sees every
+    /// load-bearing VN in one place.
+    leases: LeaseRegistry,
+    /// The recovery fence: smallest `sessionVN` that post-crash-recovery
+    /// reads are guaranteed to serve exactly
+    /// ([`crate::recovery::RecoveryReport::exact_horizon`]). Sessions below
+    /// it expire rather than read a reconstructed guess. Monotone;
+    /// `1` = no inexact recovery has ever run.
+    recovery_floor: AtomicU64,
 }
 
 struct Inner {
@@ -129,7 +140,29 @@ impl VersionState {
             current_vn_relaxed: AtomicU64::new(1),
             relation,
             relation_rid,
+            leases: LeaseRegistry::new(),
+            recovery_floor: AtomicU64::new(1),
         })
+    }
+
+    /// The warehouse-wide lease registry.
+    pub fn leases(&self) -> &LeaseRegistry {
+        &self.leases
+    }
+
+    /// The current recovery fence: sessions with `sessionVN` below this
+    /// fail the global check (and the per-scan fence), because a crash
+    /// recovery reconstructed version slots it cannot serve exactly.
+    pub fn recovery_floor(&self) -> VersionNo {
+        self.recovery_floor.load(Ordering::Acquire)
+    }
+
+    /// Raise the recovery fence to `floor` (monotone; lowering is a no-op).
+    /// Called by [`crate::recover`] *before* it mutates any tuple, so a
+    /// scan in flight across the recovery re-checks the fence when it
+    /// completes and expires instead of returning reconstructed values.
+    pub(crate) fn raise_recovery_floor(&self, floor: VersionNo) {
+        self.recovery_floor.fetch_max(floor, Ordering::AcqRel);
     }
 
     /// Read both globals under the latch (also reads the Version relation,
@@ -223,6 +256,11 @@ impl VersionState {
     /// boundary case. Returns `true` when the session is still guaranteed
     /// consistent.
     pub fn session_live(&self, session_vn: VersionNo, n: usize) -> bool {
+        if session_vn < self.recovery_floor() {
+            // A crash recovery reconstructed slots this session's reads
+            // would depend on; it must expire rather than read a guess.
+            return false;
+        }
         let snap = self.snapshot();
         let n = n as u64;
         // With n versions, a session survives overlapping n-1 maintenance

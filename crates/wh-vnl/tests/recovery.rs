@@ -138,6 +138,61 @@ fn recovery_rolls_back_a_forgotten_transaction() {
     }
 }
 
+/// The recovery fence: 2VNL reconstruction destroys the pre-transaction
+/// slot, so a live session at `currentVN − 1` — perfectly legal in 2VNL —
+/// would read the *current* values where the true slot held distinct
+/// pre-values. `recover` must raise the fence to its exactness horizon and
+/// the session must expire on its next read instead of being lied to.
+#[test]
+fn two_vnl_recovery_fences_sessions_it_cannot_serve_exactly() {
+    let table = build(2);
+    let t = table.begin_maintenance().unwrap();
+    t.update_row(&row(0, 100)).unwrap();
+    t.commit().unwrap(); // VN 2
+
+    let session = table.begin_session(); // pinned to VN 2
+    let t = table.begin_maintenance().unwrap();
+    t.update_row(&row(0, 200)).unwrap();
+    t.commit().unwrap(); // VN 3; the session legally spans this commit
+    assert_eq!(
+        session.read_by_key(&row(0, 0)).unwrap().unwrap()[1],
+        Value::from(100),
+        "2VNL serves the spanned session from the saved pre-image"
+    );
+
+    // Crash a third transaction after it overwrote the only version slot:
+    // the slot's true content `(3, update, 100)` is destroyed.
+    let t = table.begin_maintenance().unwrap();
+    t.update_row(&row(0, 300)).unwrap();
+    std::mem::forget(t);
+    let report = recover(&table).unwrap();
+    assert_eq!(report.reconstructed_slots, 1);
+    assert_eq!(
+        report.exact_horizon, 3,
+        "the reconstructed slot serves only sessions at currentVN"
+    );
+    assert_eq!(table.version().recovery_floor(), 3);
+
+    // Without the fence the session would now read the reconstructed
+    // pre-values — 200 where its consistent view says 100.
+    assert!(matches!(
+        session.read_by_key(&row(0, 0)),
+        Err(wh_vnl::VnlError::SessionExpired { session_vn: 2, .. })
+    ));
+    assert!(matches!(
+        session.scan(),
+        Err(wh_vnl::VnlError::SessionExpired { .. })
+    ));
+
+    // A fresh session sees exactly the rolled-back committed state.
+    let fresh = table.begin_session();
+    assert_eq!(
+        fresh.read_by_key(&row(0, 0)).unwrap().unwrap()[1],
+        Value::from(200)
+    );
+    assert_eq!(fresh.scan().unwrap().len(), 3);
+}
+
 /// A deterministic PRNG so the property test is reproducible.
 struct SplitMix64(u64);
 

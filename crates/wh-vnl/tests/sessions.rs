@@ -122,7 +122,7 @@ fn global_expiration_check_detects_second_overlap() {
     assert_eq!(session.status(), ReadOutcome::Expired);
     assert!(matches!(
         session.assert_live(),
-        Err(VnlError::SessionExpired { session_vn: 1 })
+        Err(VnlError::SessionExpired { session_vn: 1, .. })
     ));
     txn.abort().unwrap();
     session.finish();
@@ -259,30 +259,21 @@ fn concurrent_readers_see_consistent_generations() {
                 }
             });
         }
-        // Reader threads.
-        for _ in 0..4 {
+        // Reader threads: the retry policy owns the renew-on-expiration
+        // loop (each attempt is a fresh session at the then-current VN).
+        for seed in 0..4u64 {
             let t = Arc::clone(&t);
             s.spawn(move || {
-                let mut checked = 0;
-                while checked < 30 {
-                    let session = t.begin_session();
-                    match session.scan() {
-                        Ok(rows) => {
-                            // Consistency: all 32 tuples carry one value.
-                            let first = rows[0][4].as_int().unwrap();
-                            for r in &rows {
-                                assert_eq!(
-                                    r[4].as_int().unwrap(),
-                                    first,
-                                    "torn snapshot across tuples"
-                                );
-                            }
-                            checked += 1;
-                        }
-                        Err(VnlError::SessionExpired { .. }) => { /* renew */ }
-                        Err(e) => panic!("unexpected error: {e}"),
+                let retry = wh_vnl::RetryPolicy::default()
+                    .with_max_attempts(64)
+                    .with_seed(seed);
+                for _ in 0..30 {
+                    let rows = retry.scan(&t).expect("retry budget covers this workload");
+                    // Consistency: all 32 tuples carry one value.
+                    let first = rows[0][4].as_int().unwrap();
+                    for r in &rows {
+                        assert_eq!(r[4].as_int().unwrap(), first, "torn snapshot across tuples");
                     }
-                    session.finish();
                 }
             });
         }

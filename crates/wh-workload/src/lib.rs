@@ -9,12 +9,18 @@
 //!   (nightly) vs Figure 2 (2VNL round-the-clock) availability comparison
 //!   and validates §5's never-expire guarantee `(n−1)(i+m) − m` against
 //!   exhaustive simulation (experiments E1, E2, E9).
+//! * [`soak`] — a chaos soak in *real* time: concurrent retried readers,
+//!   a paced/adaptive maintenance loop, GC, and injected faults against a
+//!   live [`wh_vnl::VnlTable`], with a ground-truth oracle (experiment
+//!   E21).
 
 pub mod sales;
 pub mod sim;
+pub mod soak;
 
 pub use sales::{SalesConfig, SalesGenerator};
 pub use sim::{
     availability_comparison, empirical_guaranteed_length, AvailabilityReport, PeriodicSchedule,
 };
+pub use soak::{run_soak, SoakConfig, SoakReport};
 pub use wh_types::SplitMix64;

@@ -1,0 +1,96 @@
+//! The chaos soak with faults actually firing: update faults drive the
+//! abort path, commit faults drive log-free recovery, GC sweeps, and the
+//! adaptive/paced configuration must still produce zero incorrect reads.
+//!
+//! Compiled only with `--features failpoints`; the tier-1 suite runs the
+//! fault-free smoke tests in `soak::tests` instead.
+#![cfg(feature = "failpoints")]
+
+use std::sync::Mutex;
+use std::time::Duration;
+use wh_vnl::PacerPolicy;
+use wh_workload::{run_soak, SoakConfig};
+
+/// Failpoints (and their fired-counters) are process-global: soaks arming
+/// faults must not overlap, or `clear_all` in one zeroes the counters the
+/// other is diffing.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn chaos_config(seed: u64) -> SoakConfig {
+    SoakConfig {
+        seed,
+        keys: 16,
+        n_physical: 4,
+        initial_n: 2,
+        adaptive: true,
+        pacer: Some(PacerPolicy::BoundedDelay(Duration::from_millis(2))),
+        readers: 3,
+        reads_per_reader: 10,
+        reader_hold: Duration::from_millis(1),
+        commits: 30,
+        maintenance_gap: Duration::from_micros(500),
+        gc_interval: Some(Duration::from_micros(500)),
+        fault_every: Some(7),
+        abort_every: Some(5),
+        ..SoakConfig::default()
+    }
+}
+
+#[test]
+fn chaos_soak_zero_wrong_answers_across_seeds() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    for seed in [11, 42, 1997] {
+        wh_types::fault::clear_all();
+        let report = run_soak(&chaos_config(seed)).unwrap();
+        assert!(
+            report.is_correct(),
+            "seed {seed}: oracle violated: {report:?}"
+        );
+        assert!(
+            report.injected_faults > 0,
+            "seed {seed}: no fault fired — chaos soak degenerated: {report:?}"
+        );
+        assert!(
+            report.aborts > 0,
+            "seed {seed}: update faults never exercised the abort path"
+        );
+        assert!(
+            report.recoveries > 0,
+            "seed {seed}: commit faults never exercised recovery"
+        );
+        // Every commit either succeeded or was repaired; none vanished.
+        assert_eq!(
+            report.commits + report.aborts + report.recoveries,
+            30,
+            "seed {seed}: {report:?}"
+        );
+        assert!(report.reads_ok > 0, "seed {seed}: readers starved");
+    }
+    wh_types::fault::clear_all();
+}
+
+/// Expired readers stay within their retry budgets even while faults and
+/// GC churn the table: exhaustion is allowed only as the typed terminal
+/// error, and with a 16-attempt budget it should not occur at all here.
+#[test]
+fn chaos_soak_bounded_retries() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    wh_types::fault::clear_all();
+    let report = run_soak(&SoakConfig {
+        retry: wh_vnl::RetryPolicy::default()
+            .with_max_attempts(16)
+            .with_backoff(Duration::from_micros(50), Duration::from_millis(2)),
+        ..chaos_config(7)
+    })
+    .unwrap();
+    wh_types::fault::clear_all();
+    assert!(report.is_correct(), "{report:?}");
+    assert_eq!(report.retry_exhausted, 0, "{report:?}");
+    // Attempts are bounded by ops × budget — the policy was respected.
+    let ops = report.reads_ok + report.retry_exhausted;
+    assert!(report.attempts <= ops * 16, "{report:?}");
+}
