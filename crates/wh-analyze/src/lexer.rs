@@ -1,0 +1,387 @@
+//! A minimal Rust lexer — just enough fidelity for line-anchored lint
+//! rules.
+//!
+//! The workspace bans external dependencies, so there is no `syn` here.
+//! Instead this hand-rolled scanner splits source into identifiers,
+//! punctuation, literals, and comments, with exact line numbers, handling
+//! the constructs that break naive regex linting:
+//!
+//! * nested block comments (`/* /* */ */`);
+//! * string/char escapes, raw strings (`r#"…"#`, any `#` depth), and byte
+//!   strings, so `"unwrap()"` inside a literal never looks like code;
+//! * the `'a` lifetime vs `'a'` char-literal ambiguity.
+//!
+//! It does **not** resolve macros, paths, or types — the rules in
+//! [`crate::rules`] are token-pattern matchers and accept that tradeoff
+//! (documented per rule, with `lint: allow(...)` escapes for false
+//! positives).
+
+/// What a token is, coarsely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `unwrap`, `Ordering`, …).
+    Ident,
+    /// One punctuation character (`.`, `!`, `(`, `{`, …).
+    Punct,
+    /// String or byte-string literal, raw or not. `text` is the *content*
+    /// (delimiters stripped, escapes left as written).
+    Str,
+    /// Char literal (`'x'`, `'\n'`).
+    Char,
+    /// Lifetime (`'a`) or the loop-label form (`'outer`).
+    Lifetime,
+    /// Numeric literal (including suffixed forms like `0u64`).
+    Num,
+    /// `// …` comment (doc or not). `text` is everything after `//`.
+    LineComment,
+    /// `/* … */` comment. `text` is the interior, newlines preserved.
+    BlockComment,
+}
+
+/// One token with its source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Coarse class.
+    pub kind: Kind,
+    /// Token text (see [`Kind`] for what is included).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+/// Tokenize `src`. Unterminated literals/comments end at EOF rather than
+/// erroring: a linter must keep going on slightly broken input.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                c if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string(0),
+                '\'' => self.char_or_lifetime(),
+                'r' if self.raw_string_ahead(1) => {
+                    self.pos += 1;
+                    let hashes = self.count_hashes();
+                    self.string(hashes);
+                }
+                'b' if self.peek(1) == Some('"') => {
+                    self.pos += 1;
+                    self.string(0);
+                }
+                'b' if self.peek(1) == Some('\'') => {
+                    self.pos += 1;
+                    self.char_or_lifetime();
+                }
+                'b' if self.peek(1) == Some('r') && self.raw_string_ahead(2) => {
+                    self.pos += 2;
+                    let hashes = self.count_hashes();
+                    self.string(hashes);
+                }
+                c if c.is_alphabetic() || c == '_' => self.ident(),
+                c if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push(Kind::Punct, c.to_string(), self.line);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    /// After an `r` (at `self.pos + from`): does `#*"` follow?
+    fn raw_string_ahead(&self, from: usize) -> bool {
+        let mut i = from;
+        while self.peek(i) == Some('#') {
+            i += 1;
+        }
+        self.peek(i) == Some('"')
+    }
+
+    /// Consume `#` run before a raw-string quote; returns its length.
+    fn count_hashes(&mut self) -> usize {
+        let mut n = 0;
+        while self.peek(0) == Some('#') {
+            n += 1;
+            self.pos += 1;
+        }
+        n
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.line;
+        self.pos += 2;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.push(Kind::LineComment, text, start);
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.pos += 2;
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                self.pos += 2;
+                if depth == 0 {
+                    break;
+                }
+                text.push_str("*/");
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                text.push(c);
+                self.pos += 1;
+            }
+        }
+        self.push(Kind::BlockComment, text, start);
+    }
+
+    /// A (possibly raw) string body, opening quote at `self.pos`. For raw
+    /// strings `hashes` is the `#` count that must follow the closing
+    /// quote; raw strings process no escapes.
+    fn string(&mut self, hashes: usize) {
+        let start = self.line;
+        self.pos += 1; // opening quote
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '"' {
+                if hashes == 0 {
+                    self.pos += 1;
+                    break;
+                }
+                let closed = (1..=hashes).all(|i| self.peek(i) == Some('#'));
+                if closed {
+                    self.pos += 1 + hashes;
+                    break;
+                }
+                text.push(c);
+                self.pos += 1;
+            } else if c == '\\' && hashes == 0 {
+                text.push(c);
+                if let Some(esc) = self.peek(1) {
+                    if esc == '\n' {
+                        self.line += 1;
+                    }
+                    text.push(esc);
+                    self.pos += 2;
+                } else {
+                    self.pos += 1;
+                }
+            } else {
+                if c == '\n' {
+                    self.line += 1;
+                }
+                text.push(c);
+                self.pos += 1;
+            }
+        }
+        self.push(Kind::Str, text, start);
+    }
+
+    /// Disambiguate `'a'` / `'\n'` (char) from `'a` / `'outer` (lifetime).
+    fn char_or_lifetime(&mut self) {
+        let start = self.line;
+        self.pos += 1; // the quote
+        match self.peek(0) {
+            Some('\\') => {
+                // Escaped char literal: consume to the closing quote.
+                let mut text = String::from("\\");
+                self.pos += 1;
+                while let Some(c) = self.peek(0) {
+                    self.pos += 1;
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(Kind::Char, text, start);
+            }
+            Some(c) if c.is_alphanumeric() || c == '_' => {
+                // Could be `'x'` or a lifetime. Scan the ident run; a
+                // trailing quote makes it a char literal.
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if self.peek(0) == Some('\'') {
+                    self.pos += 1;
+                    self.push(Kind::Char, text, start);
+                } else {
+                    self.push(Kind::Lifetime, text, start);
+                }
+            }
+            Some(c) => {
+                // `'('`-style single-punct char literal.
+                let mut text = String::new();
+                text.push(c);
+                self.pos += 1;
+                if self.peek(0) == Some('\'') {
+                    self.pos += 1;
+                }
+                self.push(Kind::Char, text, start);
+            }
+            None => {}
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(Kind::Ident, text, start);
+    }
+
+    fn number(&mut self) {
+        let start = self.line;
+        let mut text = String::new();
+        // Digits, `_` separators, type suffixes, hex/float bodies — one
+        // alnum run is enough resolution for the rules.
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric()
+                || c == '_'
+                || c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+            {
+                text.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        self.push(Kind::Num, text, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_lines() {
+        let toks = lex("fn a() {\n  b.c();\n}");
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == Kind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(idents, vec![("fn", 1), ("a", 1), ("b", 2), ("c", 2)]);
+    }
+
+    #[test]
+    fn strings_hide_code() {
+        let toks = kinds(r#"let s = "x.unwrap()";"#);
+        assert!(toks.contains(&(Kind::Str, "x.unwrap()".into())));
+        assert!(!toks.contains(&(Kind::Ident, "unwrap".into())));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r###"let s = r#"a "quoted" b"#;"###);
+        assert!(toks.contains(&(Kind::Str, r#"a "quoted" b"#.into())));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ tail */ x");
+        assert_eq!(toks.last(), Some(&(Kind::Ident, "x".into())));
+        assert_eq!(toks.len(), 2);
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'a'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == Kind::Lifetime).count();
+        let chars = toks.iter().filter(|(k, _)| *k == Kind::Char).count();
+        assert_eq!((lifetimes, chars), (2, 1));
+    }
+
+    #[test]
+    fn escaped_quote_char() {
+        let toks = kinds(r"let q = '\''; let n = '\n'; x");
+        assert_eq!(toks.last(), Some(&(Kind::Ident, "x".into())));
+    }
+
+    #[test]
+    fn multiline_string_counts_lines() {
+        let toks = lex("let s = \"a\nb\";\nnext");
+        let next = toks.iter().find(|t| t.is_ident("next")).expect("lexed");
+        assert_eq!(next.line, 3);
+    }
+
+    #[test]
+    fn comment_text_is_captured() {
+        let toks = lex("// ordering: Relaxed is a hint\nx");
+        assert_eq!(toks[0].kind, Kind::LineComment);
+        assert!(toks[0].text.contains("ordering:"));
+    }
+}

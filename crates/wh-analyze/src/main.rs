@@ -1,0 +1,26 @@
+//! CLI entry point: analyze a tree, print diagnostics, exit non-zero on
+//! any finding. See the crate docs for the rule list.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = std::env::args_os().nth(1).map_or_else(
+        // Default: the workspace containing this crate (manifest dir is
+        // `crates/wh-analyze`), so `cargo run -p wh-analyze` needs no args
+        // from any working directory.
+        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        PathBuf::from,
+    );
+    let diagnostics = wh_analyze::analyze_tree(&root);
+    for d in &diagnostics {
+        println!("{d}");
+    }
+    if diagnostics.is_empty() {
+        println!("wh-analyze: clean ({} rules)", wh_analyze::RULES.len());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("wh-analyze: {} violation(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}

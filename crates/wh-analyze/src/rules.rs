@@ -1,0 +1,722 @@
+//! The lint rules: repo-specific invariants enforced as token patterns.
+//!
+//! Each rule has a stable kebab-case name, usable in suppression pragmas:
+//!
+//! * `// lint: allow(rule-name) — why` suppresses that rule on the pragma's
+//!   line and the line after it (so the pragma can sit above the flagged
+//!   statement);
+//! * `// lint: allow-file(rule-name) — why` suppresses the rule for the
+//!   whole file (reserved for files whose *purpose* conflicts with a rule,
+//!   e.g. the model checker's engine, which panics by design).
+//!
+//! The rules:
+//!
+//! | name | invariant |
+//! |------|-----------|
+//! | `no-panic` | no `.unwrap()` / `.expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in non-test library code |
+//! | `ordering-comment` | every atomic `Ordering::…` use carries an adjacent `// ordering:` justification |
+//! | `failpoint-registry` | every `fail_point!("name")` is in `wh_types::fault::REGISTRY`, and every registry entry has a call site |
+//! | `lock-order` | the secondary-index registry lock is never acquired after a page latch in the same function |
+//! | `version-encapsulation` | the version kernel's atomic fields are never poked directly outside `wh-kernel` |
+
+use crate::lexer::{Kind, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// All rule names, for pragma validation and docs.
+pub const RULES: &[&str] = &[
+    "no-panic",
+    "ordering-comment",
+    "failpoint-registry",
+    "lock-order",
+    "version-encapsulation",
+];
+
+/// One finding, anchored to a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path as given to the analyzer (relative to the scanned root).
+    pub file: PathBuf,
+    /// 1-based line.
+    pub line: u32,
+    /// Which rule fired (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// One source file queued for analysis.
+pub struct SourceFile {
+    /// Root-relative path (used in diagnostics and scope decisions).
+    pub path: PathBuf,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// Per-file context shared by the rules.
+struct FileCtx<'a> {
+    path: &'a Path,
+    toks: Vec<Tok>,
+    lines: Vec<String>,
+    /// Token-index ranges inside `#[cfg(test)]` items.
+    test_ranges: Vec<(usize, usize)>,
+    /// (rule, line) pairs suppressed by `lint: allow(...)` pragmas.
+    allow: BTreeSet<(String, u32)>,
+    /// Rules suppressed file-wide by `lint: allow-file(...)`.
+    allow_file: BTreeSet<String>,
+    /// Whether this file is a binary target (`src/bin/…` or `main.rs`).
+    is_bin: bool,
+}
+
+impl FileCtx<'_> {
+    fn in_test(&self, tok_idx: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(lo, hi)| tok_idx >= lo && tok_idx < hi)
+    }
+
+    fn suppressed(&self, rule: &str, line: u32) -> bool {
+        self.allow_file.contains(rule) || self.allow.contains(&(rule.to_string(), line))
+    }
+
+    fn emit(&self, out: &mut Vec<Diagnostic>, rule: &'static str, line: u32, message: String) {
+        if !self.suppressed(rule, line) {
+            out.push(Diagnostic {
+                file: self.path.to_path_buf(),
+                line,
+                rule,
+                message,
+            });
+        }
+    }
+}
+
+/// Analyze a set of files as one unit (the cross-file failpoint check
+/// needs the whole set). Paths should be root-relative; scope decisions
+/// (bin targets, the `wh-kernel` exemption) look at path components.
+pub fn analyze(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // name → call-site lines, for the registry cross-check.
+    let mut failpoint_sites: BTreeMap<String, Vec<(PathBuf, u32)>> = BTreeMap::new();
+    // Where each registry entry's string literal lives in fault.rs, so the
+    // "registered but never marked" diagnostic can anchor somewhere real.
+    let mut registry_entry_lines: BTreeMap<String, u32> = BTreeMap::new();
+
+    for file in files {
+        let ctx = build_ctx(file);
+        no_panic(&ctx, &mut out);
+        ordering_comment(&ctx, &mut out);
+        lock_order(&ctx, &mut out);
+        version_encapsulation(&ctx, &mut out);
+        collect_failpoints(
+            &ctx,
+            &mut failpoint_sites,
+            &mut registry_entry_lines,
+            &mut out,
+        );
+    }
+
+    // Reverse direction: a registered name nothing marks is dead weight in
+    // the crash matrix (the sweep would "cover" a point that cannot fire).
+    for &name in wh_types::fault::REGISTRY {
+        if !failpoint_sites.contains_key(name) {
+            let (file, line) = registry_entry_lines.get(name).map_or_else(
+                || (PathBuf::from("crates/wh-types/src/fault.rs"), 1),
+                |&l| (PathBuf::from("crates/wh-types/src/fault.rs"), l),
+            );
+            out.push(Diagnostic {
+                file,
+                line,
+                rule: "failpoint-registry",
+                message: format!("registered failpoint '{name}' has no fail_point! call site"),
+            });
+        }
+    }
+
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out
+}
+
+fn build_ctx(file: &SourceFile) -> FileCtx<'_> {
+    let toks = crate::lexer::lex(&file.text);
+    let lines: Vec<String> = file.text.lines().map(str::to_string).collect();
+    let mut allow = BTreeSet::new();
+    let mut allow_file = BTreeSet::new();
+    for t in &toks {
+        if t.kind != Kind::LineComment && t.kind != Kind::BlockComment {
+            continue;
+        }
+        for (rule, file_wide) in parse_pragmas(&t.text) {
+            if file_wide {
+                allow_file.insert(rule);
+            } else {
+                allow.insert((rule.clone(), t.line));
+                allow.insert((rule, t.line + 1));
+            }
+        }
+    }
+    let is_bin = file.path.components().any(|c| c.as_os_str() == "bin")
+        || file.path.file_name().is_some_and(|f| f == "main.rs");
+    FileCtx {
+        path: &file.path,
+        test_ranges: test_ranges(&toks),
+        toks,
+        lines,
+        allow,
+        allow_file,
+        is_bin,
+    }
+}
+
+/// Extract `lint: allow(rule)` / `lint: allow-file(rule)` from one comment.
+fn parse_pragmas(comment: &str) -> Vec<(String, bool)> {
+    let mut found = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint:") {
+        rest = &rest[at + "lint:".len()..];
+        let trimmed = rest.trim_start();
+        let file_wide = trimmed.starts_with("allow-file(");
+        let prefix = if file_wide { "allow-file(" } else { "allow(" };
+        if let Some(stripped) = trimmed.strip_prefix(prefix) {
+            if let Some(end) = stripped.find(')') {
+                found.push((stripped[..end].trim().to_string(), file_wide));
+            }
+        }
+    }
+    found
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` items: from the attribute
+/// to the close of the following brace-delimited body.
+fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let code = |t: &Tok| t.kind != Kind::LineComment && t.kind != Kind::BlockComment;
+    let mut i = 0;
+    while i < toks.len() {
+        // Match `# [ cfg ( test ) ]`.
+        let is_attr = toks[i].is_punct('#')
+            && matches!(toks.get(i + 1), Some(t) if t.is_punct('['))
+            && matches!(toks.get(i + 2), Some(t) if t.is_ident("cfg"))
+            && matches!(toks.get(i + 3), Some(t) if t.is_punct('('))
+            && matches!(toks.get(i + 4), Some(t) if t.is_ident("test"))
+            && matches!(toks.get(i + 5), Some(t) if t.is_punct(')'))
+            && matches!(toks.get(i + 6), Some(t) if t.is_punct(']'));
+        if !is_attr {
+            i += 1;
+            continue;
+        }
+        // Find the item's body: the first `{` at depth 0 after the
+        // attribute, skipping any `(...)`/`[...]` groups on the way (other
+        // attributes, generics are fine — `<` isn't tracked but never
+        // contains `{`).
+        let start = i;
+        let mut j = i + 7;
+        let mut depth = 0i32;
+        let mut end = None;
+        while j < toks.len() {
+            let t = &toks[j];
+            if code(t) {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        end = Some(close_of_brace(toks, j));
+                        break;
+                    }
+                    ";" if depth == 0 => {
+                        // `#[cfg(test)] use …;` — covers through the `;`.
+                        end = Some(j + 1);
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let end = end.unwrap_or(toks.len());
+        ranges.push((start, end));
+        i = end;
+    }
+    ranges
+}
+
+/// Index one past the `}` matching the `{` at `open`.
+fn close_of_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+    }
+    toks.len()
+}
+
+fn prev_code(toks: &[Tok], i: usize) -> Option<&Tok> {
+    toks[..i]
+        .iter()
+        .rev()
+        .find(|t| t.kind != Kind::LineComment && t.kind != Kind::BlockComment)
+}
+
+fn next_code(toks: &[Tok], i: usize) -> Option<&Tok> {
+    toks[i + 1..]
+        .iter()
+        .find(|t| t.kind != Kind::LineComment && t.kind != Kind::BlockComment)
+}
+
+/// `no-panic`: library code must propagate errors, not abort. Tier-1 CI
+/// runs fault injection with panic actions; any *incidental* panic path
+/// poisons latches that the read side then has to special-case. The repo's
+/// house style is `unwrap_or_else(PoisonError::into_inner)` for lock
+/// poisoning and typed errors for everything else. Bin targets (report
+/// generators) and `#[cfg(test)]` code may panic freely.
+fn no_panic(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.is_bin {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind != Kind::Ident || ctx.in_test(i) {
+            continue;
+        }
+        match t.text.as_str() {
+            "unwrap" | "expect" => {
+                let method_call = prev_code(&ctx.toks, i).is_some_and(|p| p.is_punct('.'))
+                    && next_code(&ctx.toks, i).is_some_and(|n| n.is_punct('('));
+                if method_call {
+                    ctx.emit(
+                        out,
+                        "no-panic",
+                        t.line,
+                        format!(
+                            ".{}() in library code — propagate a typed error, or recover \
+                             lock poisoning with unwrap_or_else(PoisonError::into_inner)",
+                            t.text
+                        ),
+                    );
+                }
+            }
+            "panic" | "unreachable" | "todo" | "unimplemented" => {
+                let is_macro = next_code(&ctx.toks, i).is_some_and(|n| n.is_punct('!'));
+                // `#[allow(unreachable_…)]`-style attr idents have no `!`.
+                if is_macro {
+                    ctx.emit(
+                        out,
+                        "no-panic",
+                        t.line,
+                        format!("{}! in library code — return an error instead", t.text),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// `ordering-comment`: every atomic `Ordering::X` use must carry an
+/// adjacent `// ordering:` comment saying why X is sufficient. The memory
+/// model is the one part of the 2VNL hot path the type system cannot
+/// check; the wh-kernel model suite proves the kernels, and these comments
+/// keep every production site honest about which proof (or reasoning)
+/// covers it. `std::cmp::Ordering` never collides: its variants are
+/// Less/Equal/Greater.
+fn ordering_comment(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.is_bin {
+        return;
+    }
+    let mut flagged_lines = BTreeSet::new();
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !t.is_ident("Ordering") || ctx.in_test(i) {
+            continue;
+        }
+        let path_sep = matches!(ctx.toks.get(i + 1), Some(t) if t.is_punct(':'))
+            && matches!(ctx.toks.get(i + 2), Some(t) if t.is_punct(':'));
+        let variant = ctx.toks.get(i + 3);
+        let Some(variant) = variant else { continue };
+        if !path_sep || !ATOMIC_ORDERINGS.contains(&variant.text.as_str()) {
+            continue;
+        }
+        let line = t.line;
+        if flagged_lines.contains(&line) || has_ordering_comment(ctx, line) {
+            continue;
+        }
+        flagged_lines.insert(line);
+        ctx.emit(
+            out,
+            "ordering-comment",
+            line,
+            format!(
+                "Ordering::{} without an adjacent `// ordering:` justification",
+                variant.text
+            ),
+        );
+    }
+}
+
+/// Same line, or the comment block directly above the statement (walking
+/// up through comment/attribute lines and multiline-expression
+/// continuations until the previous statement's terminator).
+fn has_ordering_comment(ctx: &FileCtx<'_>, line: u32) -> bool {
+    let idx = (line as usize).saturating_sub(1);
+    let has = |s: &str| s.contains("ordering:");
+    if ctx
+        .lines
+        .get(idx)
+        .is_some_and(|s| comment_part(s).is_some_and(has))
+    {
+        return true;
+    }
+    let mut up = idx;
+    for _ in 0..16 {
+        if up == 0 {
+            return false;
+        }
+        up -= 1;
+        let Some(raw) = ctx.lines.get(up) else {
+            return false;
+        };
+        let s = raw.trim();
+        if s.starts_with("//") || s.starts_with("/*") || s.starts_with('*') {
+            if has(s) {
+                return true;
+            }
+            continue;
+        }
+        if s.is_empty() || s.starts_with("#[") {
+            continue;
+        }
+        // A code line: if it terminates a statement/item, the walk is out
+        // of this statement's range; otherwise it's a continuation line of
+        // the same expression (method chains split across lines).
+        if comment_part(raw).is_some_and(has) {
+            return true;
+        }
+        if s.ends_with(';') || s.ends_with('{') || s.ends_with('}') {
+            return false;
+        }
+    }
+    false
+}
+
+/// The `// …` tail of a line, if any (good enough here: the rules' own
+/// marker never appears inside string literals on the same line as an
+/// atomic access).
+fn comment_part(line: &str) -> Option<&str> {
+    line.find("//").map(|i| &line[i..])
+}
+
+/// `failpoint-registry` (forward direction): every call site's name must
+/// be registered. The meta-test pins the per-crate `FAILPOINTS` consts to
+/// the registry; this rule pins the *call sites*, closing the loop — a
+/// typo'd name would otherwise compile fine and silently never fire.
+fn collect_failpoints(
+    ctx: &FileCtx<'_>,
+    sites: &mut BTreeMap<String, Vec<(PathBuf, u32)>>,
+    registry_lines: &mut BTreeMap<String, u32>,
+    out: &mut Vec<Diagnostic>,
+) {
+    if ctx.path.ends_with("crates/wh-types/src/fault.rs") || ctx.path.ends_with("fault.rs") {
+        for t in &ctx.toks {
+            if t.kind == Kind::Str && wh_types::fault::REGISTRY.contains(&t.text.as_str()) {
+                registry_lines.entry(t.text.clone()).or_insert(t.line);
+            }
+        }
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !t.is_ident("fail_point") {
+            continue;
+        }
+        let is_call = matches!(ctx.toks.get(i + 1), Some(t) if t.is_punct('!'))
+            && matches!(ctx.toks.get(i + 2), Some(t) if t.is_punct('('));
+        let Some(name_tok) = ctx.toks.get(i + 3) else {
+            continue;
+        };
+        if !is_call || name_tok.kind != Kind::Str {
+            continue;
+        }
+        let name = name_tok.text.clone();
+        if !wh_types::fault::REGISTRY.contains(&name.as_str()) {
+            ctx.emit(
+                out,
+                "failpoint-registry",
+                name_tok.line,
+                format!("fail_point!(\"{name}\") is not in wh_types::fault::REGISTRY"),
+            );
+        }
+        sites
+            .entry(name)
+            .or_default()
+            .push((ctx.path.to_path_buf(), name_tok.line));
+    }
+}
+
+const LATCH_CALLS: &[&str] = &[
+    "read_latch",
+    "write_latch",
+    "try_read_latch",
+    "try_write_latch",
+    "lock_list",
+];
+
+/// `lock-order`: the secondary-index registry lock may not be acquired
+/// under a page latch. Index backfill holds the registry lock across a
+/// full storage scan (page latches inside), so the inverted order
+/// deadlocks — see `VnlTable::indexes_snapshot`. The rule is lexical and
+/// function-granular: once a function acquires a latch, any later
+/// `.indexes.read()/.write()` or `indexes_snapshot()` in the same function
+/// is flagged, even if the guard was dropped (take the snapshot first —
+/// it is never wrong to).
+fn lock_order(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    struct Frame {
+        is_fn: bool,
+        first_latch: Option<u32>,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pending_fn = false;
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == Kind::LineComment || t.kind == Kind::BlockComment {
+            continue;
+        }
+        if t.is_ident("fn") {
+            pending_fn = true;
+            continue;
+        }
+        if t.is_punct('{') {
+            stack.push(Frame {
+                is_fn: pending_fn,
+                first_latch: None,
+            });
+            pending_fn = false;
+            continue;
+        }
+        if t.is_punct('}') {
+            stack.pop();
+            continue;
+        }
+        if t.is_punct(';') {
+            // Bodiless trait-method declaration: `fn f(…);`.
+            pending_fn = false;
+            continue;
+        }
+        if ctx.in_test(i) {
+            continue;
+        }
+        // Latch acquisition: `read_latch(…)` etc., excluding the helper
+        // definitions themselves (`fn read_latch(`).
+        if t.kind == Kind::Ident
+            && LATCH_CALLS.contains(&t.text.as_str())
+            && next_code(toks, i).is_some_and(|n| n.is_punct('('))
+            && !prev_code(toks, i).is_some_and(|p| p.is_ident("fn"))
+        {
+            if let Some(frame) = stack.iter_mut().rev().find(|f| f.is_fn) {
+                frame.first_latch.get_or_insert(t.line);
+            }
+            continue;
+        }
+        // Registry acquisition: `indexes.read(` / `indexes.write(` /
+        // `indexes_snapshot(`.
+        let registry_hit = (t.is_ident("indexes")
+            && matches!(toks.get(i + 1), Some(t) if t.is_punct('.'))
+            && matches!(toks.get(i + 2), Some(t) if t.is_ident("read") || t.is_ident("write"))
+            && matches!(toks.get(i + 3), Some(t) if t.is_punct('(')))
+            || (t.is_ident("indexes_snapshot")
+                && next_code(toks, i).is_some_and(|n| n.is_punct('('))
+                && !prev_code(toks, i).is_some_and(|p| p.is_ident("fn")));
+        if registry_hit {
+            if let Some(latch_line) = stack
+                .iter()
+                .rev()
+                .find(|f| f.is_fn)
+                .and_then(|f| f.first_latch)
+            {
+                ctx.emit(
+                    out,
+                    "lock-order",
+                    t.line,
+                    format!(
+                        "index-registry lock acquired after a page latch (latched at \
+                         line {latch_line}); take an indexes_snapshot() before latching"
+                    ),
+                );
+            }
+        }
+    }
+}
+
+const KERNEL_FIELDS: &[&str] = &["current_vn_relaxed", "recovery_floor", "n_eff"];
+
+/// `version-encapsulation`: the version kernel's atomic fields
+/// (`current_vn_relaxed`, `recovery_floor`, `n_eff`) are wh-kernel
+/// internals — their whole contract is the ordering discipline the model
+/// suite verifies, so every outside touch must go through the kernel's
+/// methods. A bare field access (`.current_vn_relaxed` with no call
+/// parens) outside `crates/wh-kernel` is flagged; method calls of the
+/// same name (accessor wrappers) are fine.
+fn version_encapsulation(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.path.starts_with("crates/wh-kernel") {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if t.kind != Kind::Ident || !KERNEL_FIELDS.contains(&t.text.as_str()) || ctx.in_test(i) {
+            continue;
+        }
+        let field_poke = prev_code(&ctx.toks, i).is_some_and(|p| p.is_punct('.'))
+            && !next_code(&ctx.toks, i).is_some_and(|n| n.is_punct('('));
+        if field_poke {
+            ctx.emit(
+                out,
+                "version-encapsulation",
+                t.line,
+                format!(
+                    ".{} poked directly outside wh-kernel — use the VersionCore/\
+                     EffectiveWindow methods (the verified surface)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(path: &str, text: &str) -> Vec<Diagnostic> {
+        analyze(&[SourceFile {
+            path: PathBuf::from(path),
+            text: text.to_string(),
+        }])
+        .into_iter()
+        // The registry reverse-check needs the whole tree; single-file
+        // unit tests only look at forward diagnostics.
+        .filter(|d| d.file != Path::new("crates/wh-types/src/fault.rs"))
+        .collect()
+    }
+
+    #[test]
+    fn unwrap_in_lib_flagged_but_not_in_tests_or_bins() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }\n";
+        let d = run_one("crates/a/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].rule), (1, "no-panic"));
+        assert!(run_one("crates/a/src/bin/report.rs", src).is_empty());
+        assert!(run_one("crates/a/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_macros_flagged_identifier_uses_are_not() {
+        let d = run_one(
+            "crates/a/src/lib.rs",
+            "fn f() { panic!(\"boom\"); }\nfn g(p: fn()) { let _ = p; } // panic as word\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("panic!"));
+    }
+
+    #[test]
+    fn pragma_suppresses_same_and_next_line() {
+        let src = "// lint: allow(no-panic) — startup invariant\nfn f() { x.unwrap(); }\n";
+        assert!(run_one("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_file_pragma_covers_everything() {
+        let src = "// lint: allow-file(no-panic) — checker aborts by design\n\
+                   fn f() { a.unwrap(); }\nfn g() { b.unwrap(); }\n";
+        assert!(run_one("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn ordering_needs_adjacent_comment() {
+        let bad = "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed); }\n";
+        let d = run_one("crates/a/src/lib.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "ordering-comment");
+
+        let same_line =
+            "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed) } // ordering: hint only\n";
+        assert!(run_one("crates/a/src/lib.rs", same_line).is_empty());
+
+        let above = "fn f(a: &AtomicU64) {\n    // ordering: monotone counter, no data guarded\n    a.fetch_add(1, Ordering::Relaxed);\n}\n";
+        assert!(run_one("crates/a/src/lib.rs", above).is_empty());
+
+        let chained = "fn f(s: &S) {\n    // ordering: paired with the Release store in publish\n    let v = s\n        .inner\n        .load(Ordering::Acquire);\n    let _ = v;\n}\n";
+        assert!(run_one("crates/a/src/lib.rs", chained).is_empty());
+    }
+
+    #[test]
+    fn cmp_ordering_is_ignored() {
+        let src = "fn f(a: i32, b: i32) -> Ordering { if a < b { Ordering::Less } else { Ordering::Greater } }\n";
+        assert!(run_one("crates/a/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unknown_failpoint_name_is_flagged() {
+        let d = run_one(
+            "crates/a/src/lib.rs",
+            "fn f() -> Result<(), E> { fail_point!(\"no.such.point\"); Ok(()) }\n",
+        );
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "failpoint-registry");
+        assert!(d[0].message.contains("no.such.point"));
+    }
+
+    #[test]
+    fn latch_then_registry_is_flagged_registry_then_latch_is_not() {
+        let bad = "fn f(&self) {\n    let g = write_latch(&page);\n    let snap = self.indexes_snapshot();\n}\n";
+        let d = run_one("crates/a/src/lib.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].line), ("lock-order", 3));
+
+        let good = "fn f(&self) {\n    let snap = self.indexes_snapshot();\n    let g = write_latch(&page);\n}\n";
+        assert!(run_one("crates/a/src/lib.rs", good).is_empty());
+
+        // Separate functions don't contaminate each other.
+        let split =
+            "fn a(&self) { let g = write_latch(&p); }\nfn b(&self) { self.indexes.read(); }\n";
+        assert!(run_one("crates/a/src/lib.rs", split).is_empty());
+    }
+
+    #[test]
+    fn kernel_field_pokes_flagged_outside_kernel_only() {
+        let poke = "fn f(c: &VersionCore) { let _ = c.current_vn_relaxed; }\n";
+        let d = run_one("crates/wh-vnl/src/version.rs", poke);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "version-encapsulation");
+        assert!(run_one("crates/wh-kernel/src/version.rs", poke).is_empty());
+
+        let call = "fn f(c: &VersionCore) { let _ = c.current_vn_relaxed(); }\n";
+        assert!(run_one("crates/wh-vnl/src/version.rs", call).is_empty());
+    }
+
+    #[test]
+    fn diagnostics_render_with_file_and_line() {
+        let d = run_one("crates/a/src/lib.rs", "fn f() { x.unwrap(); }\n");
+        let rendered = d[0].to_string();
+        assert!(
+            rendered.starts_with("crates/a/src/lib.rs:1: [no-panic]"),
+            "{rendered}"
+        );
+    }
+}

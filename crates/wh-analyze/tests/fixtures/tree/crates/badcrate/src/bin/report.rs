@@ -1,0 +1,8 @@
+// Fixture: binary target — panic paths and bare orderings are allowed.
+
+fn main() {
+    let v: Option<u32> = Some(1);
+    println!("{}", v.unwrap());
+    let a = AtomicU64::new(0);
+    a.store(1, Ordering::SeqCst);
+}

@@ -1,0 +1,50 @@
+// Fixture: a library crate seeded with panic-path, ordering, and
+// failpoint violations plus the suppression/exemption cases that must
+// NOT fire. Line numbers are asserted by the integration test.
+
+pub fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap() // line 6: no-panic
+}
+
+pub fn panics() {
+    panic!("fixture"); // line 10: no-panic
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // lint: allow(no-panic) — fixture: pragma directly above the call
+    x.expect("suppressed")
+}
+
+pub fn suppressed_inline(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(no-panic) — fixture: same-line pragma
+}
+
+pub fn bare_load(a: &AtomicU64) -> u64 {
+    a.load(Ordering::Relaxed) // line 23: ordering-comment (no marker word)
+}
+
+pub fn justified_load(a: &AtomicU64) -> u64 {
+    // ordering: fixture — monotone counter, guards no other data
+    a.load(Ordering::Relaxed)
+}
+
+pub fn fires() -> Result<(), Error> {
+    fail_point!("fixture.not.registered"); // line 32: failpoint-registry
+    fail_point!("vnl.version.begin"); // fine: registered name
+    Ok(())
+}
+
+pub fn cmp_is_fine(a: i32, b: i32) -> std::cmp::Ordering {
+    a.cmp(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic_and_skip_ordering_comments() {
+        let v: Option<u32> = None;
+        assert!(std::panic::catch_unwind(|| v.unwrap()).is_err());
+        let a = AtomicU64::new(0);
+        a.store(1, Ordering::SeqCst);
+    }
+}

@@ -84,7 +84,7 @@ fn main() {
         .scan()
         .unwrap()
         .into_iter()
-        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .map(|r| r.iter().map(std::string::ToString::to_string).collect())
         .collect();
     print_table(
         &["city", "state", "product_line", "date", "total_sales"],
@@ -154,7 +154,7 @@ fn main() {
         cells.push(ext[l.op_col(j)].to_string());
         cells.push(ext[l.pre_set(j)[0]].to_string());
     }
-    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let headers_ref: Vec<&str> = headers.iter().map(std::string::String::as_str).collect();
     print_table(&headers_ref, &[cells]);
 
     println!("\nExample 5.1 — per-session visibility of that tuple:");

@@ -389,7 +389,7 @@ fn main() {
     let mut probes = overhead_probes(&table, &cfg);
     if merge_probes {
         if let Ok(prev) = std::fs::read_to_string(json::out_path("BENCH_obs.json")) {
-            for (name, ms) in probes.iter_mut() {
+            for (name, ms) in &mut probes {
                 if let Some(old) = extract_number(&prev, name) {
                     *ms = ms.min(old);
                 }

@@ -202,8 +202,7 @@ fn baseline_ms(results: &[Measurement], workload: &str, active: bool) -> f64 {
     results
         .iter()
         .find(|m| m.workload == workload && m.maintenance_active == active && m.threads == 1)
-        .map(|m| m.median_ms)
-        .unwrap_or(f64::NAN)
+        .map_or(f64::NAN, |m| m.median_ms)
 }
 
 fn main() {
@@ -293,8 +292,7 @@ fn main() {
         let at4 = results
             .iter()
             .find(|m| m.workload == "aggregate" && m.maintenance_active == active && m.threads == 4)
-            .map(|m| m.median_ms)
-            .unwrap_or(f64::NAN);
+            .map_or(f64::NAN, |m| m.median_ms);
         println!(
             "aggregate speedup at 4 threads ({}): {:.2}x",
             if active {

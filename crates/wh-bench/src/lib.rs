@@ -10,6 +10,9 @@
 //! * micro-benches (`benches/*.rs`, via [`micro::Micro`]) measure the
 //!   overhead claims (E13, E15) and the concurrency behaviour under load.
 
+// lint: allow-file(no-panic) — bench harness: setup failures and oracle
+// violations abort the run by design (a wrong answer must not produce a
+// plausible-looking BENCH json).
 pub mod json;
 pub mod micro;
 
@@ -102,13 +105,13 @@ pub fn mixed_run(
                     }
                     if ok {
                         if w.commit().is_ok() {
-                            commits.fetch_add(1, Ordering::Relaxed);
+                            commits.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
                         }
                     } else {
                         let _ = w.abort();
                     }
                 }
-                done.store(true, Ordering::SeqCst);
+                done.store(true, Ordering::SeqCst); // ordering: SeqCst — stop flag on a cold path; strongest order costs nothing here
             });
         }
         // Reader threads: keep running sessions until maintenance finishes.
@@ -133,10 +136,10 @@ pub fn mixed_run(
                             % keys;
                         match r.read(k) {
                             Ok(_) => {
-                                reads_ok.fetch_add(1, Ordering::Relaxed);
+                                reads_ok.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
                             }
                             Err(CcError::Aborted | CcError::VersionUnavailable(_)) => {
-                                reads_failed.fetch_add(1, Ordering::Relaxed);
+                                reads_failed.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
                                 failed = true;
                                 break;
                             }
@@ -145,8 +148,9 @@ pub fn mixed_run(
                     }
                     r.finish();
                     if failed {
-                        restarts.fetch_add(1, Ordering::Relaxed);
+                        restarts.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
                     }
+                    // ordering: SeqCst — stop flag on a cold path; strongest order costs nothing here
                     if done.load(Ordering::SeqCst) {
                         break;
                     }
@@ -156,10 +160,10 @@ pub fn mixed_run(
     });
     MixedRunReport {
         scheme: scheme.name().to_string(),
-        reads_ok: reads_ok.load(Ordering::Relaxed),
-        reads_failed: reads_failed.load(Ordering::Relaxed),
-        sessions_restarted: restarts.load(Ordering::Relaxed),
-        commits: commits.load(Ordering::Relaxed),
+        reads_ok: reads_ok.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        reads_failed: reads_failed.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        sessions_restarted: restarts.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        commits: commits.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
         elapsed: start.elapsed(),
         cc: scheme.cc_stats(),
         io: scheme.io_stats(),
@@ -182,7 +186,12 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         }
         println!("{}", out.trim_end());
     };
-    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    line(
+        &headers
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect::<Vec<_>>(),
+    );
     line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
     for row in rows {
         line(row);

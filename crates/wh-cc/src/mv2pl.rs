@@ -37,7 +37,7 @@ fn versioned_schema() -> Schema {
         ],
         &["key"],
     )
-    .expect("versioned schema is valid")
+    .expect("versioned schema is valid") // lint: allow(no-panic) — static schema literal, valid by construction
 }
 
 /// A `(key, value)` store under MV2PL-style transient versioning.
@@ -120,7 +120,7 @@ impl Mv2plStore {
                 .iter()
                 .copied()
                 .min()
-                .unwrap_or_else(|| self.committed_ts.load(Ordering::SeqCst))
+                .unwrap_or_else(|| self.committed_ts.load(Ordering::SeqCst)) // ordering: SeqCst — the MV2PL commit timestamp is a global publication point
         };
         let mut chains = self.chains.lock().unwrap_or_else(PoisonError::into_inner);
         let mut reclaimed = 0;
@@ -131,11 +131,10 @@ impl Mv2plStore {
             let main_visible = self
                 .rid(key)
                 .and_then(|rid| Ok(self.main.read(rid)?))
-                .map(|row| row[2].as_int().expect("ts column") <= min_ts)
-                .unwrap_or(false);
-            // chain is newest-first; the newest version with ts <= min_ts is
-            // still potentially visible (unless main covers it); everything
-            // older is dead.
+                .is_ok_and(|row| row[2].as_int().expect("ts column") <= min_ts); // lint: allow(no-panic) — invariant documented in the expect message
+                                                                                 // chain is newest-first; the newest version with ts <= min_ts is
+                                                                                 // still potentially visible (unless main covers it); everything
+                                                                                 // older is dead.
             let cut = if main_visible {
                 0
             } else {
@@ -186,9 +185,9 @@ impl Reader<'_> {
 impl ReaderTxn for Reader<'_> {
     fn read(&mut self, key: u64) -> CcResult<i64> {
         let row = self.store.main.read(self.store.rid(key)?)?;
-        let tuple_ts = row[2].as_int().expect("ts column");
+        let tuple_ts = row[2].as_int().expect("ts column"); // lint: allow(no-panic) — invariant documented in the expect message
         if tuple_ts <= self.ts {
-            return Ok(row[1].as_int().expect("value column"));
+            return Ok(row[1].as_int().expect("value column")); // lint: allow(no-panic) — invariant documented in the expect message
         }
         // Chase the version chain: newest-first, take the first ts <= ours.
         let chain = {
@@ -217,7 +216,7 @@ impl ReaderTxn for Reader<'_> {
                     }
                 }
                 let v = self.store.pool.read(rid)?;
-                return Ok(v[1].as_int().expect("value column"));
+                return Ok(v[1].as_int().expect("value column")); // lint: allow(no-panic) — invariant documented in the expect message
             }
             // Skipped (too-new) hops still cost a pool read in the classic
             // design: the chain is walked through the pool pages.
@@ -247,7 +246,7 @@ impl WriterTxn for Writer<'_> {
     fn update(&mut self, key: u64, value: i64) -> CcResult<()> {
         let rid = self.store.rid(key)?;
         let row = self.store.main.read(rid)?;
-        let tuple_ts = row[2].as_int().expect("ts column");
+        let tuple_ts = row[2].as_int().expect("ts column"); // lint: allow(no-panic) — invariant documented in the expect message
         if tuple_ts < self.ts {
             // First touch in this transaction: copy the committed image out
             // to the version pool (the extra write I/O §6 talks about).
@@ -255,7 +254,7 @@ impl WriterTxn for Writer<'_> {
             self.store
                 .chains
                 .lock()
-                .unwrap()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .entry(key)
                 .or_default()
                 .insert(0, (tuple_ts, pool_rid));
@@ -264,7 +263,8 @@ impl WriterTxn for Writer<'_> {
             if let Some(cache) = &self.store.page_cache {
                 cache
                     .lock()
-                    .unwrap()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    // lint: allow(no-panic) — invariant documented in the expect message
                     .insert(key, (tuple_ts, row[1].as_int().expect("value column")));
             }
             self.touched.push(key);
@@ -283,7 +283,7 @@ impl WriterTxn for Writer<'_> {
     fn commit(self: Box<Self>) -> CcResult<()> {
         // Publication is a single timestamp bump: readers that began earlier
         // keep resolving through the pool.
-        self.store.committed_ts.store(self.ts, Ordering::SeqCst);
+        self.store.committed_ts.store(self.ts, Ordering::SeqCst); // ordering: SeqCst — the MV2PL commit timestamp is a global publication point
         Ok(())
     }
 
@@ -322,7 +322,7 @@ impl ConcurrencyScheme for Mv2plStore {
     }
 
     fn begin_reader(&self) -> Box<dyn ReaderTxn + '_> {
-        let ts = self.committed_ts.load(Ordering::SeqCst);
+        let ts = self.committed_ts.load(Ordering::SeqCst); // ordering: SeqCst — the MV2PL commit timestamp is a global publication point
         self.active_readers
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -337,7 +337,7 @@ impl ConcurrencyScheme for Mv2plStore {
     fn begin_writer(&self) -> Box<dyn WriterTxn + '_> {
         Box::new(Writer {
             store: self,
-            ts: self.committed_ts.load(Ordering::SeqCst) + 1,
+            ts: self.committed_ts.load(Ordering::SeqCst) + 1, // ordering: SeqCst — the MV2PL commit timestamp is a global publication point
             touched: Vec::new(),
         })
     }

@@ -60,7 +60,7 @@ impl S2plStore {
 
     fn read_value(&self, rid: Rid) -> CcResult<i64> {
         let row = self.table.read(rid)?;
-        Ok(row[1].as_int().expect("value column is BIGINT"))
+        Ok(row[1].as_int().expect("value column is BIGINT")) // lint: allow(no-panic) — invariant documented in the expect message
     }
 }
 
@@ -153,14 +153,14 @@ impl ConcurrencyScheme for S2plStore {
     fn begin_reader(&self) -> Box<dyn ReaderTxn + '_> {
         Box::new(S2plReader {
             store: self,
-            txn: self.next_txn.fetch_add(1, Ordering::Relaxed),
+            txn: self.next_txn.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — unique-ID allocation; only atomicity of the increment matters
         })
     }
 
     fn begin_writer(&self) -> Box<dyn WriterTxn + '_> {
         Box::new(S2plWriter {
             store: self,
-            txn: self.next_txn.fetch_add(1, Ordering::Relaxed),
+            txn: self.next_txn.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — unique-ID allocation; only atomicity of the increment matters
         })
     }
 

@@ -95,5 +95,5 @@ pub fn kv_schema() -> wh_types::Schema {
         ],
         &["key"],
     )
-    .expect("kv schema is valid")
+    .expect("kv schema is valid") // lint: allow(no-panic) — static schema literal, valid by construction
 }

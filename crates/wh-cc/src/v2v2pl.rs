@@ -103,7 +103,7 @@ impl ReaderTxn for Reader<'_> {
             LockRequestOutcome::Granted => {}
         }
         let row = self.store.main.read(self.store.rid(key)?)?;
-        Ok(row[1].as_int().expect("value column is BIGINT"))
+        Ok(row[1].as_int().expect("value column is BIGINT")) // lint: allow(no-panic) — invariant documented in the expect message
     }
 
     fn finish(self: Box<Self>) {
@@ -219,14 +219,14 @@ impl ConcurrencyScheme for TwoV2plStore {
     fn begin_reader(&self) -> Box<dyn ReaderTxn + '_> {
         Box::new(Reader {
             store: self,
-            txn: self.next_txn.fetch_add(1, Ordering::Relaxed),
+            txn: self.next_txn.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — unique-ID allocation; only atomicity of the increment matters
         })
     }
 
     fn begin_writer(&self) -> Box<dyn WriterTxn + '_> {
         Box::new(Writer {
             store: self,
-            txn: self.next_txn.fetch_add(1, Ordering::Relaxed),
+            txn: self.next_txn.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — unique-ID allocation; only atomicity of the increment matters
             written: Vec::new(),
         })
     }

@@ -50,14 +50,20 @@ impl HashIndex {
 
     /// Number of distinct keys.
     pub fn key_count(&self) -> usize {
-        self.map.read().unwrap().len()
+        self.map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Index `row` (stored at `rid`). For unique indexes, a duplicate key
     /// fails with [`IndexError::KeyConflict`] carrying the incumbent RID.
     pub fn insert(&self, row: &[Value], rid: Rid) -> Result<(), IndexError> {
         let key = IndexKey::project(row, &self.columns);
-        let mut map = self.map.write().unwrap();
+        let mut map = self
+            .map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let entry = map.entry(key).or_default();
         if self.unique {
             if let Some(&existing) = entry.first() {
@@ -72,7 +78,10 @@ impl HashIndex {
     /// Remove the entry for (`row`, `rid`).
     pub fn remove(&self, row: &[Value], rid: Rid) -> Result<(), IndexError> {
         let key = IndexKey::project(row, &self.columns);
-        let mut map = self.map.write().unwrap();
+        let mut map = self
+            .map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let Some(entry) = map.get_mut(&key) else {
             return Err(IndexError::MissingEntry);
         };
@@ -92,7 +101,7 @@ impl HashIndex {
         wh_obs::counter!("index.hash.lookups").inc();
         self.map
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(key)
             .cloned()
             .unwrap_or_default()
@@ -102,7 +111,7 @@ impl HashIndex {
     pub fn get(&self, key: &IndexKey) -> Option<Rid> {
         self.map
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(key)
             .and_then(|v| v.first().copied())
     }

@@ -34,20 +34,31 @@ impl OrderedIndex {
 
     /// Number of distinct keys.
     pub fn key_count(&self) -> usize {
-        self.map.read().unwrap().len()
+        self.map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// Index `row` (stored at `rid`).
     pub fn insert(&self, row: &[Value], rid: Rid) {
         let key = IndexKey::project(row, &self.columns);
-        self.map.write().unwrap().entry(key).or_default().push(rid);
+        self.map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .entry(key)
+            .or_default()
+            .push(rid);
         wh_obs::counter!("index.ordered.inserts").inc();
     }
 
     /// Remove the entry for (`row`, `rid`).
     pub fn remove(&self, row: &[Value], rid: Rid) -> Result<(), IndexError> {
         let key = IndexKey::project(row, &self.columns);
-        let mut map = self.map.write().unwrap();
+        let mut map = self
+            .map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let Some(entry) = map.get_mut(&key) else {
             return Err(IndexError::MissingEntry);
         };
@@ -67,7 +78,7 @@ impl OrderedIndex {
         wh_obs::counter!("index.ordered.lookups").inc();
         self.map
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(key)
             .cloned()
             .unwrap_or_default()
@@ -77,7 +88,10 @@ impl OrderedIndex {
     /// unbounded ends), in key order.
     pub fn range(&self, lo: Option<&IndexKey>, hi: Option<&IndexKey>) -> Vec<Rid> {
         wh_obs::counter!("index.ordered.range_lookups").inc();
-        let map = self.map.read().unwrap();
+        let map = self
+            .map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let lo_bound = lo.map_or(Bound::Unbounded, |k| Bound::Included(k.clone()));
         let hi_bound = hi.map_or(Bound::Unbounded, |k| Bound::Included(k.clone()));
         map.range((lo_bound, hi_bound))

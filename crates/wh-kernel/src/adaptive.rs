@@ -1,0 +1,107 @@
+//! The adaptive-nVNL kernel: the effective-window cell and the grow/shrink
+//! decision rule.
+//!
+//! `wh_vnl::VnlTable` owns an [`EffectiveWindow`] (its `effective_n`) and
+//! `wh_vnl::resilience::AdaptiveN` applies [`decide`] at each decision
+//! boundary. The cell is the lock-free piece: the §4.1 global check and
+//! the pacer read it Relaxed while a controller narrows or re-widens it
+//! concurrently with maintenance commits.
+
+use crate::sync::atomic::{AtomicUsize, Ordering};
+
+/// A table's effective version window `n_eff ∈ [2, physical n]`.
+///
+/// Only the global (pessimistic) check and the pacer's at-risk computation
+/// read it; extraction, `push_back`, and rollback always use the physical
+/// slot count. Growing *admits* older sessions the slots already support,
+/// and shrinking merely expires sessions earlier than the slots strictly
+/// require, so neither direction can produce a wrong answer — which is why
+/// Relaxed suffices.
+pub struct EffectiveWindow {
+    physical_n: usize,
+    n_eff: AtomicUsize,
+}
+
+impl EffectiveWindow {
+    /// A window starting at the physical slot count.
+    pub fn new(physical_n: usize) -> Self {
+        EffectiveWindow {
+            physical_n,
+            n_eff: AtomicUsize::new(physical_n),
+        }
+    }
+
+    /// The physical slot count (the cap).
+    pub fn physical_n(&self) -> usize {
+        self.physical_n
+    }
+
+    /// The effective window.
+    pub fn get(&self) -> usize {
+        // ordering: Relaxed — n_eff only widens/narrows the liveness
+        // window; both directions are sound (doc above), so no other state
+        // needs to be ordered with the read.
+        self.n_eff.load(Ordering::Relaxed)
+    }
+
+    /// Set the effective window, clamped to `[2, physical n]`; returns the
+    /// clamped value.
+    pub fn set(&self, n: usize) -> usize {
+        let clamped = n.clamp(2, self.physical_n);
+        // ordering: Relaxed — see `get`; the clamp (not ordering) is the
+        // safety argument.
+        self.n_eff.store(clamped, Ordering::Relaxed);
+        clamped
+    }
+}
+
+/// The window controller's decision rule: given the observed
+/// expirations-per-commit `rate` over the closed window and the `current`
+/// effective n, grow by one at `rate ≥ grow_at`, shrink by one at
+/// `rate ≤ shrink_at`, within `[min_n, max_n]`.
+pub fn decide(
+    rate: f64,
+    current: usize,
+    min_n: usize,
+    max_n: usize,
+    grow_at: f64,
+    shrink_at: f64,
+) -> usize {
+    let current = current.clamp(min_n, max_n);
+    if rate >= grow_at && current < max_n {
+        current + 1
+    } else if rate <= shrink_at && current > min_n {
+        current - 1
+    } else {
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_clamps_to_physical_bounds() {
+        let w = EffectiveWindow::new(4);
+        assert_eq!(w.get(), 4);
+        assert_eq!(w.set(1), 2);
+        assert_eq!(w.set(9), 4);
+        assert_eq!(w.set(3), 3);
+        assert_eq!(w.get(), 3);
+        assert_eq!(w.physical_n(), 4);
+    }
+
+    #[test]
+    fn decision_rule_growth_and_hysteresis() {
+        // Noisy window grows, quiet window shrinks, middle holds.
+        assert_eq!(decide(0.5, 2, 2, 4, 0.5, 0.0), 3);
+        assert_eq!(decide(0.0, 3, 2, 4, 0.5, 0.0), 2);
+        assert_eq!(decide(0.25, 3, 2, 4, 0.5, 0.0), 3);
+        // Caps hold at both ends.
+        assert_eq!(decide(1.0, 4, 2, 4, 0.5, 0.0), 4);
+        assert_eq!(decide(0.0, 2, 2, 4, 0.5, 0.0), 2);
+        // Out-of-range current is clamped first.
+        assert_eq!(decide(0.25, 7, 2, 4, 0.5, 0.0), 4);
+    }
+}

@@ -1,0 +1,86 @@
+//! Poison-recovering latch acquisition — the page-latch kernel.
+//!
+//! A panic (e.g. an injected `Panic` fault) can never leave a page
+//! mid-mutation — every heap mutation is a full-record store after
+//! validation — so the data under a poisoned latch is intact and readers
+//! (crash recovery in particular) must keep working instead of cascading
+//! the panic. `wh_storage`'s heap calls these for every page visit; the
+//! timed/contended telemetry variants there wrap the same functions.
+
+use crate::sync::{
+    Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard, TryLockError,
+};
+
+/// Acquire a read latch, recovering from poison.
+pub fn read_latch<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write twin of [`read_latch`].
+pub fn write_latch<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mutex twin of [`read_latch`] (free-list bookkeeping).
+pub fn lock_list<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Non-blocking read latch: `None` only when contended (poison recovers,
+/// as in [`read_latch`]). The heap's timed fast path uses this and only
+/// starts a wait-clock when it returns `None`.
+pub fn try_read_latch<T>(lock: &RwLock<T>) -> Option<RwLockReadGuard<'_, T>> {
+    match lock.try_read() {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
+/// Write twin of [`try_read_latch`].
+pub fn try_write_latch<T>(lock: &RwLock<T>) -> Option<RwLockWriteGuard<'_, T>> {
+    match lock.try_write() {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latches_grant_and_release() {
+        let l = RwLock::new(1u64);
+        {
+            let r1 = read_latch(&l);
+            let r2 = try_read_latch(&l).expect("readers share");
+            assert_eq!((*r1, *r2), (1, 1));
+            assert!(try_write_latch(&l).is_none(), "writer excluded");
+        }
+        *write_latch(&l) = 2;
+        assert_eq!(*read_latch(&l), 2);
+        let m = Mutex::new(3u64);
+        *lock_list(&m) += 1;
+        assert_eq!(*lock_list(&m), 4);
+    }
+
+    #[test]
+    fn poisoned_latches_recover() {
+        let l = std::sync::Arc::new(RwLock::new(7u64));
+        let m = std::sync::Arc::new(Mutex::new(7u64));
+        let (l2, m2) = (std::sync::Arc::clone(&l), std::sync::Arc::clone(&m));
+        let _ = std::thread::spawn(move || {
+            let _g1 = l2.write();
+            let _g2 = m2.lock();
+            panic!("poison both");
+        })
+        .join();
+        assert_eq!(*read_latch(&l), 7);
+        assert_eq!(*write_latch(&l), 7);
+        assert_eq!(*lock_list(&m), 7);
+        assert_eq!(try_read_latch(&l).map(|g| *g), Some(7));
+        assert_eq!(try_write_latch(&l).map(|g| *g), Some(7));
+    }
+}

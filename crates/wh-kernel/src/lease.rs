@@ -1,0 +1,206 @@
+//! The lease-registry kernel: slot bookkeeping for reader-session leases.
+//!
+//! This is the latched core of `wh_vnl::resilience::LeaseRegistry`: the
+//! wrapper supplies wall-clock deadlines (`Instant`) and telemetry; the
+//! kernel is generic over the timestamp type so the model tests can drive
+//! it with plain integers and stay deterministic. A `BTreeMap` (not a
+//! `HashMap`) keeps iteration order deterministic for the same reason —
+//! model replay requires it — at no practical cost for lease counts.
+
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Mutex, MutexGuard, PoisonError};
+use std::collections::BTreeMap;
+
+/// Database version number (kept local so the kernel stays dependency-free).
+pub type VersionNo = u64;
+
+/// Handle to one registered lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LeaseId(pub(crate) u64);
+
+/// Point-in-time copy of one lease's state.
+#[derive(Debug, Clone)]
+pub struct LeaseView<T> {
+    /// The lease handle.
+    pub id: LeaseId,
+    /// The version the leased session reads.
+    pub session_vn: VersionNo,
+    /// When the declared work runs out (absent renewal).
+    pub deadline: T,
+    /// How many times the lease has been renewed.
+    pub renewals: u64,
+    /// Whether a pacer revoked the lease.
+    pub revoked: bool,
+}
+
+struct Slot<T> {
+    session_vn: VersionNo,
+    deadline: T,
+    renewals: u64,
+    revoked: bool,
+}
+
+/// Registry of active leases over timestamps of type `T`.
+pub struct LeaseCore<T> {
+    slots: Mutex<BTreeMap<u64, Slot<T>>>,
+    next: AtomicU64,
+}
+
+impl<T: Copy + Ord> Default for LeaseCore<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Ord> LeaseCore<T> {
+    /// Empty registry.
+    pub fn new() -> Self {
+        LeaseCore {
+            slots: Mutex::new(BTreeMap::new()),
+            next: AtomicU64::new(1),
+        }
+    }
+
+    /// Lease state is single-field-at-a-time under the lock, so a poisoned
+    /// map is still consistent; recover rather than cascade the panic.
+    fn locked(&self) -> MutexGuard<'_, BTreeMap<u64, Slot<T>>> {
+        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Register a lease for a session at `session_vn` running until about
+    /// `deadline`.
+    pub fn register(&self, session_vn: VersionNo, deadline: T) -> LeaseId {
+        // ordering: Relaxed — a pure ID allocator; uniqueness is all that
+        // matters and the RMW provides it without ordering anything else.
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.locked().insert(
+            id,
+            Slot {
+                session_vn,
+                deadline,
+                renewals: 0,
+                revoked: false,
+            },
+        );
+        LeaseId(id)
+    }
+
+    /// Extend a lease to `deadline`. Returns `false` when the lease is
+    /// gone or revoked — the holder should treat that as expiration and
+    /// restart at a fresh VN.
+    pub fn renew(&self, id: LeaseId, deadline: T) -> bool {
+        let mut slots = self.locked();
+        match slots.get_mut(&id.0) {
+            Some(slot) if !slot.revoked => {
+                slot.deadline = deadline;
+                slot.renewals += 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Drop a lease (session finished).
+    pub fn release(&self, id: LeaseId) {
+        self.locked().remove(&id.0);
+    }
+
+    /// Whether a pacer revoked this lease. Also `true` for a released or
+    /// unknown lease — from the holder's perspective both mean "stop
+    /// trusting this session".
+    pub fn is_revoked(&self, id: LeaseId) -> bool {
+        self.locked().get(&id.0).is_none_or(|s| s.revoked)
+    }
+
+    /// Revoke a lease (pacer `ExpireOldest`). Returns `false` when already
+    /// gone or revoked.
+    pub fn revoke(&self, id: LeaseId) -> bool {
+        let mut slots = self.locked();
+        match slots.get_mut(&id.0) {
+            Some(slot) if !slot.revoked => {
+                slot.revoked = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of registered leases (including expired/revoked ones whose
+    /// sessions have not finished yet).
+    pub fn len(&self) -> usize {
+        self.locked().len()
+    }
+
+    /// Whether no leases are registered.
+    pub fn is_empty(&self) -> bool {
+        self.locked().is_empty()
+    }
+
+    /// Leases still within their deadline (relative to `now`) and not
+    /// revoked.
+    pub fn active(&self, now: T) -> Vec<LeaseView<T>> {
+        self.locked()
+            .iter()
+            .filter(|(_, s)| !s.revoked && s.deadline > now)
+            .map(|(&id, s)| LeaseView {
+                id: LeaseId(id),
+                session_vn: s.session_vn,
+                deadline: s.deadline,
+                renewals: s.renewals,
+                revoked: s.revoked,
+            })
+            .collect()
+    }
+
+    /// Active leases that would fail the §4.1 global check right after a
+    /// commit publishes `vn_after` with an effective window of `n`:
+    /// `vn_after − sessionVN ≥ n`. Stalest first: `ExpireOldest` revokes
+    /// in this order.
+    pub fn at_risk(&self, vn_after: VersionNo, n: usize, now: T) -> Vec<LeaseView<T>> {
+        let mut risky: Vec<LeaseView<T>> = self
+            .active(now)
+            .into_iter()
+            .filter(|l| vn_after.saturating_sub(l.session_vn) >= n as u64)
+            .collect();
+        risky.sort_by_key(|l| l.session_vn);
+        risky
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_stickiness() {
+        let reg: LeaseCore<u64> = LeaseCore::new();
+        assert!(reg.is_empty());
+        let id = reg.register(5, 10);
+        assert_eq!(reg.len(), 1);
+        assert!(reg.renew(id, 20));
+        assert_eq!(reg.active(0)[0].renewals, 1);
+        assert!(reg.revoke(id));
+        assert!(!reg.revoke(id), "second revoke is a no-op");
+        assert!(reg.is_revoked(id));
+        assert!(!reg.renew(id, 30));
+        assert!(reg.active(0).is_empty());
+        reg.release(id);
+        assert!(reg.is_empty());
+        assert!(reg.is_revoked(id), "released reads as revoked");
+    }
+
+    #[test]
+    fn at_risk_orders_stalest_first() {
+        let reg: LeaseCore<u64> = LeaseCore::new();
+        reg.register(3, 100);
+        reg.register(1, 100);
+        reg.register(5, 100);
+        let vns: Vec<u64> = reg.at_risk(5, 2, 0).iter().map(|l| l.session_vn).collect();
+        assert_eq!(vns, vec![1, 3]);
+        assert!(reg.at_risk(5, 5, 0).is_empty());
+        // Past-deadline leases are not at risk (they are already expired).
+        let reg2: LeaseCore<u64> = LeaseCore::new();
+        reg2.register(1, 5);
+        assert!(reg2.at_risk(10, 2, 6).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! The lock-free kernels of the 2VNL engine, extracted so the exact code
+//! production runs can also be compiled onto `wh-model`'s checked types and
+//! explored exhaustively.
+//!
+//! Each module here is the concurrency-bearing core of a production
+//! component, stripped of its I/O, failpoint, and telemetry effects (those
+//! are passed back in as closures or live in the wrapping crate):
+//!
+//! * [`version`] — `currentVN`/`maintenanceActive` latching, the lock-free
+//!   `current_vn_relaxed` mirror, the `recovery_floor` fence, and the §4.1
+//!   global session-liveness check (wrapped by `wh_vnl::VersionState`).
+//! * [`lease`] — the reader-session lease registry's slot bookkeeping
+//!   (wrapped by `wh_vnl::resilience::LeaseRegistry`).
+//! * [`adaptive`] — the effective-`n` window cell and the grow/shrink
+//!   decision rule (wrapped by `wh_vnl::VnlTable` / `AdaptiveN`).
+//! * [`latch`] — poison-recovering page-latch acquisition (wrapped by
+//!   `wh_storage`'s heap).
+//!
+//! Everything synchronizes through the [`sync`] shim: `std::sync` by
+//! default, `wh_model`'s checked types under the `model` feature, which
+//! only this crate's own model tests enable. `cargo test -p wh-kernel
+//! --features model` runs the exhaustive-interleaving suite.
+
+pub mod adaptive;
+pub mod latch;
+pub mod lease;
+pub mod sync;
+pub mod version;

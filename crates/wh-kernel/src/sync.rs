@@ -1,0 +1,27 @@
+//! The sync shim: `std::sync` types by default, `wh-model`'s checked types
+//! under the `model` feature. Kernel code imports everything through here so
+//! the same source compiles both ways.
+
+#[cfg(not(feature = "model"))]
+pub use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(not(feature = "model"))]
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(not(feature = "model"))]
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+#[cfg(feature = "model")]
+pub use wh_model::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(feature = "model")]
+pub use wh_model::sync::atomic;
+
+#[cfg(feature = "model")]
+pub use wh_model::thread;
+
+pub use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};

@@ -1,0 +1,68 @@
+//! Vector clocks for the happens-before race detector.
+
+/// A vector clock: component `i` is the number of release events thread `i`
+/// had performed the last time its knowledge reached this clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub(crate) fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    pub(crate) fn get(&self, tid: usize) -> u64 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub(crate) fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    /// Component-wise maximum: afterwards `self` knows everything `other`
+    /// knew.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+
+    /// Raise component `tid` to at least `val` (recording an access stamp).
+    pub(crate) fn record(&mut self, tid: usize, val: u64) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = self.0[tid].max(val);
+    }
+
+    /// Whether every component of `self` is known to `other`
+    /// (`self ≤ other`): the event stamped `self` happens-before one whose
+    /// thread clock is `other`.
+    pub(crate) fn le(&self, other: &VClock) -> bool {
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_and_le() {
+        let mut a = VClock::new();
+        a.bump(0);
+        a.bump(0);
+        let mut b = VClock::new();
+        b.bump(1);
+        assert!(!a.le(&b));
+        b.join(&a);
+        assert!(a.le(&b));
+        assert_eq!(b.get(0), 2);
+        assert_eq!(b.get(1), 1);
+    }
+}

@@ -93,7 +93,7 @@ impl Registry {
     pub fn snapshot(&self) -> Snapshot {
         static SNAPSHOT_SEQ: AtomicU64 = AtomicU64::new(0);
         Snapshot {
-            seq: SNAPSHOT_SEQ.fetch_add(1, Ordering::Relaxed),
+            seq: SNAPSHOT_SEQ.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — independent event counter; read only for reporting
             counters: lock(&self.counters)
                 .iter()
                 .map(|(&k, v)| (k, v.get()))
@@ -152,12 +152,12 @@ impl Snapshot {
 
     /// Gauge current value by name (0 if absent).
     pub fn gauge(&self, name: &str) -> i64 {
-        self.gauges.get(name).map(|&(v, _)| v).unwrap_or(0)
+        self.gauges.get(name).map_or(0, |&(v, _)| v)
     }
 
     /// Gauge high-water mark by name (0 if absent).
     pub fn gauge_high_water(&self, name: &str) -> i64 {
-        self.gauges.get(name).map(|&(_, hw)| hw).unwrap_or(0)
+        self.gauges.get(name).map_or(0, |&(_, hw)| hw)
     }
 
     /// Histogram snapshot by name (empty if absent).

@@ -179,11 +179,11 @@ impl<'a> EvalContext<'a> {
                         BinOp::LtEq => ord != Ordering::Greater,
                         BinOp::Gt => ord == Ordering::Greater,
                         BinOp::GtEq => ord != Ordering::Less,
-                        _ => unreachable!(),
+                        _ => unreachable!(), // lint: allow(no-panic) — unreachable by construction (see message)
                     }),
                 })
             }
-            BinOp::And | BinOp::Or => unreachable!("handled by short-circuit paths"),
+            BinOp::And | BinOp::Or => unreachable!("handled by short-circuit paths"), // lint: allow(no-panic) — unreachable by construction (see message)
         }
     }
 

@@ -108,8 +108,9 @@ impl ParallelRowSource for Table {
                 if slot.is_none() {
                     *slot = Some(e);
                 }
-                failed.store(true, Ordering::Release);
+                failed.store(true, Ordering::Release); // ordering: Release — publishes the stashed error before the flag its reader Acquires
             }
+            // ordering: Acquire — pairs with the workers' Release store publishing the stashed error
             if failed.load(Ordering::Acquire) {
                 Err(StorageError::ScanAborted)
             } else {
@@ -132,11 +133,11 @@ pub struct QueryResult {
 impl QueryResult {
     /// Render as an aligned text table (for examples and reports).
     pub fn to_table_string(&self) -> String {
-        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        let mut widths: Vec<usize> = self.columns.iter().map(std::string::String::len).collect();
         let rendered: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .map(|r| r.iter().map(std::string::ToString::to_string).collect())
             .collect();
         for row in &rendered {
             for (i, cell) in row.iter().enumerate() {

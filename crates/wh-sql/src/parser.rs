@@ -538,7 +538,7 @@ impl Parser {
                             .ok_or_else(|| self.error(format!("invalid date literal '{s}'")))?;
                         Ok(Expr::lit(d))
                     }
-                    _ => unreachable!("peeked a string"),
+                    _ => unreachable!("peeked a string"), // lint: allow(no-panic) — unreachable by construction (see message)
                 }
             }
             TokenKind::Keyword(k) if k == "CASE" => {

@@ -4,7 +4,11 @@ use crate::error::{StorageError, StorageResult};
 use crate::iostats::IoStats;
 use crate::page::{Page, Rid};
 use std::sync::Arc;
-use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+// Latch acquisition is a verified kernel: `wh_kernel::latch` is the same
+// source the `cargo test -p wh-kernel --features model` suite explores
+// exhaustively on wh-model's checked sync types.
+use wh_kernel::latch::{lock_list, read_latch, try_read_latch, try_write_latch, write_latch};
 use wh_types::fail_point;
 
 /// Failpoints compiled into this crate under `--features failpoints`
@@ -20,25 +24,6 @@ pub const FAILPOINTS: &[&str] = &[
     "storage.heap.free_space",
 ];
 
-/// Acquire a read latch, recovering from poison: a panic (e.g. an injected
-/// `Panic` fault) can never leave a page mid-mutation — every mutation is a
-/// full-record store after validation — so the data under a poisoned latch
-/// is intact and readers (crash recovery in particular) must keep working
-/// instead of cascading the panic.
-fn read_latch<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    lock.read().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Write twin of [`read_latch`].
-fn write_latch<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    lock.write().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Mutex twin of [`read_latch`] (free-list bookkeeping).
-fn lock_list<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 /// [`read_latch`] with contention telemetry for page latches: uncontended
 /// acquisitions take the `try_read` fast path and never touch the clock;
 /// only a blocked acquisition pays for two `Instant` reads, recorded in
@@ -46,11 +31,9 @@ fn lock_list<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// never inlined so the timing machinery stays out of scan-loop codegen —
 /// the E20 overhead gate holds the fast path to the bare `try_read`.
 fn read_latch_timed<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    use std::sync::TryLockError;
-    match lock.try_read() {
-        Ok(g) => g,
-        Err(TryLockError::Poisoned(p)) => p.into_inner(),
-        Err(TryLockError::WouldBlock) => read_latch_contended(lock),
+    match try_read_latch(lock) {
+        Some(g) => g,
+        None => read_latch_contended(lock),
     }
 }
 
@@ -66,11 +49,9 @@ fn read_latch_contended<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
 /// Write twin of [`read_latch_timed`]; waits land in
 /// `storage.latch.write_wait_ns`.
 fn write_latch_timed<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    use std::sync::TryLockError;
-    match lock.try_write() {
-        Ok(g) => g,
-        Err(TryLockError::Poisoned(p)) => p.into_inner(),
-        Err(TryLockError::WouldBlock) => write_latch_contended(lock),
+    match try_write_latch(lock) {
+        Some(g) => g,
+        None => write_latch_contended(lock),
     }
 }
 
@@ -155,7 +136,7 @@ impl HeapFile {
         wh_obs::is_enabled()
             && self
                 .op_probe
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed) // ordering: Relaxed — independent event counter; read only for reporting
                 .is_multiple_of(16)
     }
 
@@ -440,7 +421,7 @@ impl HeapFile {
                 .collect();
             results = handles
                 .into_iter()
-                .map(|h| h.join().expect("scan worker panicked"))
+                .map(|h| h.join().expect("scan worker panicked")) // lint: allow(no-panic) — re-raises a scan-worker panic on the coordinator
                 .collect();
         });
         results.into_iter().collect()

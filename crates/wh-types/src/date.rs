@@ -44,7 +44,7 @@ impl Date {
     ///
     /// Convenient for literals in tests and examples.
     pub fn ymd(year: u16, month: u8, day: u8) -> Self {
-        Self::new(year, month, day).expect("invalid date literal")
+        Self::new(year, month, day).expect("invalid date literal") // lint: allow(no-panic) — invariant documented in the expect message
     }
 
     /// Year component.

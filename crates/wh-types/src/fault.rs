@@ -23,6 +23,45 @@ use std::fmt;
 use std::sync::{Mutex, OnceLock, PoisonError};
 use std::time::Duration;
 
+/// The central catalog of every failpoint name in the workspace.
+///
+/// Three places must agree, and two enforcers prove they do:
+///
+/// * each defining crate's `FAILPOINTS` const (what the crash matrix
+///   sweeps) — the `failpoints_meta` meta-test asserts their union is
+///   exactly this list;
+/// * every `fail_point!` call site — `cargo run -p wh-analyze` scans the
+///   source tree and rejects any site whose name is missing here (or any
+///   entry here with no call site).
+///
+/// Keep the list sorted; the meta-test checks that too, so merge conflicts
+/// stay textual.
+pub const REGISTRY: &[&str] = &[
+    "cc.lock.grant",
+    "cc.lock.release",
+    "storage.heap.delete",
+    "storage.heap.free_space",
+    "storage.heap.insert",
+    "storage.heap.latch",
+    "storage.heap.modify",
+    "storage.heap.read",
+    "storage.heap.write",
+    "vnl.gc.reclaim",
+    "vnl.gc.unregister",
+    "vnl.txn.delete.mark",
+    "vnl.txn.delete.mark_own_update",
+    "vnl.txn.delete.remove_own",
+    "vnl.txn.insert.fresh",
+    "vnl.txn.insert.register",
+    "vnl.txn.insert.resurrect",
+    "vnl.txn.rollback.step",
+    "vnl.txn.update.in_place",
+    "vnl.txn.update.save_pre",
+    "vnl.version.begin",
+    "vnl.version.publish_abort",
+    "vnl.version.publish_commit",
+];
+
 /// What an armed failpoint does when evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum FaultAction {
@@ -160,7 +199,7 @@ pub fn fire(point: &'static str) -> Result<(), FaultError> {
         FaultAction::Panic => {
             state.fired += 1;
             drop(map);
-            panic!("failpoint '{point}' fired with Panic action");
+            panic!("failpoint '{point}' fired with Panic action"); // lint: allow(no-panic) — this panic IS the configured Panic fault action
         }
     }
 }

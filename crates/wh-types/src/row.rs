@@ -67,12 +67,12 @@ impl RowCodec {
             match (col.ty, val) {
                 (DataType::UInt8, Value::Int(v)) => slot[0] = *v as u8,
                 (DataType::Int32, Value::Int(v)) => {
-                    slot[..4].copy_from_slice(&(*v as i32).to_le_bytes())
+                    slot[..4].copy_from_slice(&(*v as i32).to_le_bytes());
                 }
                 (DataType::Int64, Value::Int(v)) => slot[..8].copy_from_slice(&v.to_le_bytes()),
                 (DataType::Float64, Value::Float(v)) => slot[..8].copy_from_slice(&v.to_le_bytes()),
                 (DataType::Float64, Value::Int(v)) => {
-                    slot[..8].copy_from_slice(&(*v as f64).to_le_bytes())
+                    slot[..8].copy_from_slice(&(*v as f64).to_le_bytes());
                 }
                 (DataType::Char(n), Value::Str(s)) => {
                     slot[..s.len()].copy_from_slice(s.as_bytes());
@@ -81,9 +81,9 @@ impl RowCodec {
                     }
                 }
                 (DataType::Date, Value::Date(d)) => {
-                    slot[..4].copy_from_slice(&d.to_packed().to_le_bytes())
+                    slot[..4].copy_from_slice(&d.to_packed().to_le_bytes());
                 }
-                _ => unreachable!("validate() admitted an unstorable value"),
+                _ => unreachable!("validate() admitted an unstorable value"), // lint: allow(no-panic) — unreachable by construction (see message)
             }
         }
         Ok(buf)
@@ -141,9 +141,9 @@ impl RowCodec {
         let slot = &buf[self.bitmap_len + self.offsets[i]..];
         Ok(match self.schema.columns()[i].ty {
             DataType::UInt8 => Value::Int(slot[0] as i64),
-            DataType::Int32 => Value::Int(i32::from_le_bytes(slot[..4].try_into().unwrap()) as i64),
-            DataType::Int64 => Value::Int(i64::from_le_bytes(slot[..8].try_into().unwrap())),
-            DataType::Float64 => Value::Float(f64::from_le_bytes(slot[..8].try_into().unwrap())),
+            DataType::Int32 => Value::Int(i32::from_le_bytes(slot[..4].try_into().unwrap()) as i64), // lint: allow(no-panic) — infallible: fixed-width slice
+            DataType::Int64 => Value::Int(i64::from_le_bytes(slot[..8].try_into().unwrap())), // lint: allow(no-panic) — infallible: fixed-width slice
+            DataType::Float64 => Value::Float(f64::from_le_bytes(slot[..8].try_into().unwrap())), // lint: allow(no-panic) — infallible: fixed-width slice
             DataType::Char(n) => {
                 let raw = &slot[..n];
                 let trimmed = match raw.iter().rposition(|&b| b != b' ') {
@@ -157,7 +157,7 @@ impl RowCodec {
                 )
             }
             DataType::Date => {
-                let packed = u32::from_le_bytes(slot[..4].try_into().unwrap());
+                let packed = u32::from_le_bytes(slot[..4].try_into().unwrap()); // lint: allow(no-panic) — infallible: fixed-width slice
                 Value::Date(
                     Date::from_packed(packed)
                         .ok_or_else(|| TypeError::Codec(format!("bad date {packed}")))?,

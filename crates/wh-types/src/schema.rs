@@ -246,7 +246,7 @@ pub fn daily_sales_schema() -> Schema {
         ],
         &["city", "state", "product_line", "date"],
     )
-    .expect("DailySales schema is valid")
+    .expect("DailySales schema is valid") // lint: allow(no-panic) — static schema literal, valid by construction
 }
 
 #[cfg(test)]

@@ -60,7 +60,7 @@ impl SummaryViewDef {
         columns.push(Column::updatable(self.sum_name.clone(), DataType::Int64));
         columns.push(Column::updatable(self.count_name.clone(), DataType::Int64));
         let key: Vec<usize> = (0..self.group_cols.len()).collect();
-        Schema::with_key(columns, key).expect("summary schema is valid")
+        Schema::with_key(columns, key).expect("summary schema is valid") // lint: allow(no-panic) — static schema literal, valid by construction
     }
 
     /// Create an empty 2VNL (or nVNL) table for this view.

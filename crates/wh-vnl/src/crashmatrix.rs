@@ -18,6 +18,9 @@
 //!
 //! [`recover`]: crate::recovery::recover
 
+// lint: allow-file(no-panic) — the crash matrix is a test driver compiled
+// only under the failpoints feature: cells panic on oracle divergence (a
+// completed sweep is the proof) and scripted setup uses unwrap freely.
 use crate::gc;
 use crate::recovery::{self, RecoveryReport};
 use crate::table::VnlTable;

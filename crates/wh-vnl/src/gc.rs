@@ -156,6 +156,7 @@ impl Collector {
             // always included (exactly once) in the total that `stop()`
             // returns after joining.
             if let Ok(report) = collect(&table) {
+                // ordering: Relaxed — independent event counter; read only for reporting
                 reclaimed2.fetch_add(report.reclaimed, std::sync::atomic::Ordering::Relaxed);
             }
             let guard = shared2
@@ -182,7 +183,7 @@ impl Collector {
 
     /// Tuples reclaimed so far.
     pub fn reclaimed(&self) -> u64 {
-        self.reclaimed.load(std::sync::atomic::Ordering::Relaxed)
+        self.reclaimed.load(std::sync::atomic::Ordering::Relaxed) // ordering: Relaxed — statistical read; tearing across cells is acceptable
     }
 
     /// Stop the collector and wait for its thread. The returned total

@@ -199,12 +199,17 @@ impl<'t> MaintenanceTxn<'t> {
     /// Enable recording of per-tuple physical actions (Examples 4.2–4.4
     /// traces). Off by default.
     pub fn set_tracing(&self, on: bool) {
-        self.tracing.store(on, std::sync::atomic::Ordering::Relaxed);
+        self.tracing.store(on, std::sync::atomic::Ordering::Relaxed); // ordering: Relaxed — advisory trace toggle; no data is published through it
     }
 
     /// Drain the recorded `(action, key-values)` trace.
     pub fn take_trace(&self) -> Vec<(PhysicalAction, Row)> {
-        std::mem::take(&mut *self.trace.lock().unwrap())
+        std::mem::take(
+            &mut *self
+                .trace
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )
     }
 
     fn record(&self, action: PhysicalAction, ext_row: &[Value]) {
@@ -212,14 +217,22 @@ impl<'t> MaintenanceTxn<'t> {
         // they are one relaxed atomic add each, and the arm distribution is
         // exactly what E20's snapshot wants from a production-shaped run.
         action.arm_counter().inc();
+        // ordering: Relaxed — advisory trace toggle; no data is published through it
         if self.tracing.load(std::sync::atomic::Ordering::Relaxed) {
             let key = self.table.layout().ext_schema().key_of(ext_row);
-            self.trace.lock().unwrap().push((action, key));
+            self.trace
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push((action, key));
         }
     }
 
     fn check_open(&self) -> VnlResult<()> {
-        if *self.finished.lock().unwrap() {
+        if *self
+            .finished
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
             Err(VnlError::TxnFinished)
         } else {
             Ok(())
@@ -229,7 +242,10 @@ impl<'t> MaintenanceTxn<'t> {
     /// Save undo info for the first touch of an existing tuple, *before* its
     /// slots are pushed back.
     fn save_undo_existing(&self, rid: Rid, ext_row: &[Value]) {
-        let mut undo = self.undo.lock().unwrap();
+        let mut undo = self
+            .undo
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if undo.contains_key(&rid) {
             return;
         }
@@ -258,7 +274,7 @@ impl<'t> MaintenanceTxn<'t> {
         let layout = self.table.layout();
         let mut out = Vec::new();
         self.table.storage().scan(|_, ext| {
-            let (_, op) = layout.slot(&ext, 0).expect("slot 0 populated");
+            let (_, op) = layout.slot(&ext, 0).expect("slot 0 populated"); // lint: allow(no-panic) — invariant documented in the expect message
             if op != Operation::Delete {
                 out.push(layout.current_values(&ext));
             }
@@ -285,7 +301,7 @@ impl<'t> MaintenanceTxn<'t> {
             Err(wh_storage::StorageError::NoSuchSlot { .. }) => return Ok(None),
             Err(e) => return Err(e.into()),
         };
-        let (_, op) = layout.slot(&ext, 0).expect("slot 0 populated");
+        let (_, op) = layout.slot(&ext, 0).expect("slot 0 populated"); // lint: allow(no-panic) — invariant documented in the expect message
         if op == Operation::Delete {
             return Ok(None);
         }
@@ -318,10 +334,13 @@ impl<'t> MaintenanceTxn<'t> {
             fail_point!("vnl.txn.insert.register");
             if let Some(dir) = self.table.key_dir() {
                 dir.register(&ext, new_rid)
-                    .expect("no conflict was found just above");
+                    .expect("no conflict was found just above"); // lint: allow(no-panic) — invariant documented in the expect message
             }
             self.table.on_physical_insert(&ext, new_rid);
-            self.undo.lock().unwrap().insert(new_rid, UndoEntry::Fresh);
+            self.undo
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(new_rid, UndoEntry::Fresh);
             self.record(PhysicalAction::InsertTuple, &ext);
             return Ok(());
         };
@@ -340,7 +359,7 @@ impl<'t> MaintenanceTxn<'t> {
             }
             Err(e) => return Err(e.into()),
         };
-        let (tuple_vn, prev_op) = layout.slot(&ext, 0).expect("slot 0 populated");
+        let (tuple_vn, prev_op) = layout.slot(&ext, 0).expect("slot 0 populated"); // lint: allow(no-panic) — invariant documented in the expect message
         match (tuple_vn < self.vn, prev_op) {
             // Row 1: earlier transaction. Insert over a live tuple is
             // impossible; over a logically-deleted tuple it resurrects.
@@ -373,7 +392,10 @@ impl<'t> MaintenanceTxn<'t> {
                     // resurrecting write. Undo entry and key registration
                     // are stale; drop both and retry as a fresh insert.
                     Err(wh_storage::StorageError::NoSuchSlot { .. }) => {
-                        self.undo.lock().unwrap().remove(&rid);
+                        self.undo
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .remove(&rid);
                         if let Some(dir) = self.table.key_dir() {
                             let _ =
                                 dir.unregister(&self.table.base_to_ext_positions(&base_row), rid);
@@ -384,7 +406,7 @@ impl<'t> MaintenanceTxn<'t> {
                 }
                 // CV ← MV may have moved non-updatable indexed attributes.
                 self.table
-                    .on_physical_update(&ext, new_ext.as_ref().expect("modify ran"), rid);
+                    .on_physical_update(&ext, new_ext.as_ref().expect("modify ran"), rid); // lint: allow(no-panic) — invariant documented in the expect message
                 self.record(
                     PhysicalAction::ResurrectTuple,
                     &self.table.base_to_ext_positions(&base_row),
@@ -409,7 +431,7 @@ impl<'t> MaintenanceTxn<'t> {
                     Ok(row)
                 })?;
                 self.table
-                    .on_physical_update(&ext, new_ext.as_ref().expect("modify ran"), rid);
+                    .on_physical_update(&ext, new_ext.as_ref().expect("modify ran"), rid); // lint: allow(no-panic) — invariant documented in the expect message
                 self.record(
                     PhysicalAction::UpdateAfterOwnDelete,
                     &self.table.base_to_ext_positions(&base_row),
@@ -433,7 +455,7 @@ impl<'t> MaintenanceTxn<'t> {
             }
             Err(e) => return Err(e.into()),
         };
-        let (tuple_vn, prev_op) = layout.slot(&ext, 0).expect("slot 0 populated");
+        let (tuple_vn, prev_op) = layout.slot(&ext, 0).expect("slot 0 populated"); // lint: allow(no-panic) — invariant documented in the expect message
         match (tuple_vn < self.vn, prev_op) {
             (true, Operation::Insert | Operation::Update) => {
                 // Row 1: save pre-update values, stamp the new slot.
@@ -548,7 +570,7 @@ impl<'t> MaintenanceTxn<'t> {
             }
             Err(e) => return Err(e.into()),
         };
-        let (tuple_vn, prev_op) = layout.slot(&ext, 0).expect("slot 0 populated");
+        let (tuple_vn, prev_op) = layout.slot(&ext, 0).expect("slot 0 populated"); // lint: allow(no-panic) — invariant documented in the expect message
         match (tuple_vn < self.vn, prev_op) {
             (true, Operation::Insert | Operation::Update) => {
                 // Row 1: logical delete — preserve current values as the
@@ -570,7 +592,12 @@ impl<'t> MaintenanceTxn<'t> {
             (false, Operation::Insert) => {
                 // Row 2, previous insert: the tuple was created (or
                 // resurrected) by this very transaction.
-                let undo_entry = self.undo.lock().unwrap().get(&rid).cloned();
+                let undo_entry = self
+                    .undo
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .get(&rid)
+                    .cloned();
                 match undo_entry {
                     Some(UndoEntry::Fresh) | None => {
                         // Net effect insert∘delete = nothing: physical delete.
@@ -581,7 +608,10 @@ impl<'t> MaintenanceTxn<'t> {
                         fail_point!("vnl.txn.delete.remove_own");
                         self.table.storage().delete(rid)?;
                         self.table.on_physical_delete(&ext, rid);
-                        self.undo.lock().unwrap().remove(&rid);
+                        self.undo
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .remove(&rid);
                         self.record(PhysicalAction::RemoveOwnInsert, &ext);
                         Ok(())
                     }
@@ -590,7 +620,10 @@ impl<'t> MaintenanceTxn<'t> {
                         // rather than destroying the still-needed pre-delete
                         // version.
                         self.restore_touched(rid, &entry)?;
-                        self.undo.lock().unwrap().remove(&rid);
+                        self.undo
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .remove(&rid);
                         self.record(PhysicalAction::RestoreResurrected, &ext);
                         Ok(())
                     }
@@ -641,7 +674,7 @@ impl<'t> MaintenanceTxn<'t> {
         // A key pointing at a tuple already logically deleted by an earlier
         // transaction is "not there" for deletion purposes.
         let ext = self.table.storage().read(rid)?;
-        let (tuple_vn, op) = self.table.layout().slot(&ext, 0).expect("slot 0");
+        let (tuple_vn, op) = self.table.layout().slot(&ext, 0).expect("slot 0"); // lint: allow(no-panic) — invariant documented in the expect message
         if op == Operation::Delete && tuple_vn < self.vn {
             return Err(VnlError::NoSuchTuple(format!(
                 "{:?}",
@@ -667,7 +700,7 @@ impl<'t> MaintenanceTxn<'t> {
             if eval_err.is_some() {
                 return Ok(());
             }
-            let (_, op) = layout.slot(&ext, 0).expect("slot 0 populated");
+            let (_, op) = layout.slot(&ext, 0).expect("slot 0 populated"); // lint: allow(no-panic) — invariant documented in the expect message
             if op == Operation::Delete {
                 return Ok(());
             }
@@ -763,7 +796,10 @@ impl<'t> MaintenanceTxn<'t> {
     pub fn commit(self) -> VnlResult<()> {
         let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.commit_ns"));
         self.check_open()?;
-        *self.finished.lock().unwrap() = true;
+        *self
+            .finished
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
         self.table.version().publish_commit(self.vn)?;
         Ok(())
     }
@@ -787,7 +823,10 @@ impl<'t> MaintenanceTxn<'t> {
     pub fn abort(self) -> VnlResult<()> {
         let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.abort_ns"));
         self.check_open()?;
-        *self.finished.lock().unwrap() = true;
+        *self
+            .finished
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
         self.rollback_changes()?;
         self.table.version().publish_abort()?;
         Ok(())
@@ -797,14 +836,20 @@ impl<'t> MaintenanceTxn<'t> {
     /// publishes once for all tables.
     pub(crate) fn commit_local(&self) -> VnlResult<()> {
         self.check_open()?;
-        *self.finished.lock().unwrap() = true;
+        *self
+            .finished
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
         Ok(())
     }
 
     /// Roll back and mark finished without publishing (warehouse abort).
     pub(crate) fn abort_local(&self) -> VnlResult<()> {
         self.check_open()?;
-        *self.finished.lock().unwrap() = true;
+        *self
+            .finished
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
         self.rollback_changes()?;
         Ok(())
     }
@@ -822,7 +867,12 @@ impl<'t> MaintenanceTxn<'t> {
             }
             Ok(())
         })?;
-        let undo = std::mem::take(&mut *self.undo.lock().unwrap());
+        let undo = std::mem::take(
+            &mut *self
+                .undo
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
         for rid in touched {
             // Per-tuple crash window: a fault mid-rollback leaves some
             // tuples restored and others still carrying maintenanceVN.
@@ -850,11 +900,11 @@ impl<'t> MaintenanceTxn<'t> {
     fn restore_touched(&self, rid: Rid, entry: &UndoEntry) -> VnlResult<()> {
         let layout = self.table.layout();
         self.table.storage().modify(rid, |mut row| {
-            let (_, op) = layout.slot(&row, 0).expect("slot 0 populated");
-            // Current values: updates stashed the pre-txn values in
-            // pre_set(0); resurrections destroyed CV but deleted tuples have
-            // CV == pre-delete values, recoverable from the undo entry or
-            // slot 1; deletes left CV untouched.
+            let (_, op) = layout.slot(&row, 0).expect("slot 0 populated"); // lint: allow(no-panic) — invariant documented in the expect message
+                                                                           // Current values: updates stashed the pre-txn values in
+                                                                           // pre_set(0); resurrections destroyed CV but deleted tuples have
+                                                                           // CV == pre-delete values, recoverable from the undo entry or
+                                                                           // slot 1; deletes left CV untouched.
             match op {
                 Operation::Update => {
                     for (u_pos, &u) in layout.updatable().iter().enumerate() {
@@ -896,7 +946,7 @@ impl<'t> MaintenanceTxn<'t> {
                         row[i] = pre[u_pos].clone();
                     }
                 }
-                UndoEntry::Fresh => unreachable!("handled by caller"),
+                UndoEntry::Fresh => unreachable!("handled by caller"), // lint: allow(no-panic) — unreachable by construction (see message)
             }
             Ok(row)
         })?;
@@ -908,14 +958,23 @@ impl std::fmt::Debug for MaintenanceTxn<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MaintenanceTxn")
             .field("vn", &self.vn)
-            .field("finished", &*self.finished.lock().unwrap())
+            .field(
+                "finished",
+                &*self
+                    .finished
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner),
+            )
             .finish()
     }
 }
 
 impl Drop for MaintenanceTxn<'_> {
     fn drop(&mut self) {
-        let mut finished = self.finished.lock().unwrap();
+        let mut finished = self
+            .finished
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if !*finished {
             *finished = true;
             // Best-effort auto-abort so a dropped transaction cannot wedge

@@ -116,7 +116,7 @@ impl<'t> ReaderSession<'t> {
         }
         if self
             .staleness_probe
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed) // ordering: Relaxed — independent event counter; read only for reporting
             .is_multiple_of(16)
         {
             self.note_staleness();
@@ -407,7 +407,10 @@ impl SessionSource<'_> {
         match e {
             VnlError::Sql(sql) => sql,
             other => {
-                let mut slot = self.failure.lock().unwrap();
+                let mut slot = self
+                    .failure
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                 if slot.is_none() {
                     *slot = Some(other);
                 }
@@ -419,7 +422,11 @@ impl SessionSource<'_> {
     /// Resolve an executor result against the stash: the stashed
     /// [`VnlError`] wins (its paired `ScanAborted` was only the transport).
     fn settle(&self, res: SqlResult<QueryResult>) -> VnlResult<QueryResult> {
-        let stashed = self.failure.lock().unwrap().take();
+        let stashed = self
+            .failure
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take();
         match (res, stashed) {
             (_, Some(e)) => Err(e),
             (Err(e), None) => Err(VnlError::Sql(e)),

@@ -292,7 +292,7 @@ fn reverse_push_back(layout: &ExtLayout, row: &mut Row) -> Option<VersionNo> {
     }
     let (w, _) = layout
         .slot(row, last - 1)
-        .expect("a full tuple keeps its second-oldest slot through the shift");
+        .expect("a full tuple keeps its second-oldest slot through the shift"); // lint: allow(no-panic) — invariant documented in the expect message
     row[layout.vn_col(last)] = row[layout.vn_col(last - 1)].clone();
     row[layout.op_col(last)] = row[layout.op_col(last - 1)].clone();
     for u_pos in 0..layout.pre_set(last).len() {

@@ -101,14 +101,16 @@ impl AdaptiveN {
         self.commits_in_window = 0;
         self.expirations_at_window_start = expired;
 
-        let current = table.effective_n().clamp(self.min_n, self.max_n);
-        let target = if rate >= self.grow_at && current < self.max_n {
-            current + 1
-        } else if rate <= self.shrink_at && current > self.min_n {
-            current - 1
-        } else {
-            current
-        };
+        // The decision rule itself is a verified kernel (pure, but kept
+        // next to the EffectiveWindow cell it drives).
+        let target = wh_kernel::adaptive::decide(
+            rate,
+            table.effective_n(),
+            self.min_n,
+            self.max_n,
+            self.grow_at,
+            self.shrink_at,
+        );
         if target == table.effective_n() {
             return None;
         }

@@ -15,14 +15,14 @@
 //! restarts it at a fresh VN.
 
 use crate::version::VersionNo;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
+// The slot bookkeeping is a verified kernel: `wh_kernel::lease` is the
+// same source the wh-kernel model suite explores exhaustively (with
+// integer timestamps; this wrapper supplies the wall clock).
+use wh_kernel::lease::{LeaseCore, LeaseView};
 
 /// Handle to one registered lease.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct LeaseId(u64);
+pub use wh_kernel::lease::LeaseId;
 
 /// Point-in-time copy of one lease's state.
 #[derive(Debug, Clone)]
@@ -39,18 +39,10 @@ pub struct LeaseInfo {
     pub revoked: bool,
 }
 
-struct Slot {
-    session_vn: VersionNo,
-    deadline: Instant,
-    renewals: u64,
-    revoked: bool,
-}
-
 /// Registry of active leases, owned by [`crate::VersionState`] so leases
 /// are warehouse-wide like the version globals they protect.
 pub struct LeaseRegistry {
-    slots: Mutex<HashMap<u64, Slot>>,
-    next: AtomicU64,
+    core: LeaseCore<Instant>,
 }
 
 impl Default for LeaseRegistry {
@@ -63,53 +55,43 @@ impl LeaseRegistry {
     /// Empty registry.
     pub fn new() -> Self {
         LeaseRegistry {
-            slots: Mutex::new(HashMap::new()),
-            next: AtomicU64::new(1),
+            core: LeaseCore::new(),
         }
     }
 
-    fn locked(&self) -> std::sync::MutexGuard<'_, HashMap<u64, Slot>> {
-        self.slots.lock().unwrap_or_else(PoisonError::into_inner)
+    fn info(view: LeaseView<Instant>) -> LeaseInfo {
+        LeaseInfo {
+            id: view.id,
+            session_vn: view.session_vn,
+            deadline: view.deadline,
+            renewals: view.renewals,
+            revoked: view.revoked,
+        }
     }
 
     /// Register a lease for a session at `session_vn` expecting to run for
     /// about `hint` more.
     pub fn register(&self, session_vn: VersionNo, hint: Duration) -> LeaseId {
-        let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.locked().insert(
-            id,
-            Slot {
-                session_vn,
-                deadline: Instant::now() + hint,
-                renewals: 0,
-                revoked: false,
-            },
-        );
+        let id = self.core.register(session_vn, Instant::now() + hint);
         wh_obs::counter!("vnl.resilience.lease.granted").inc();
         wh_obs::gauge!("vnl.resilience.active_leases").set(self.len() as i64);
-        LeaseId(id)
+        id
     }
 
     /// Extend a lease's deadline to `hint` from now. Returns `false` when
     /// the lease is gone or revoked — the holder should treat that as
     /// expiration and restart at a fresh VN.
     pub fn renew(&self, id: LeaseId, hint: Duration) -> bool {
-        let mut slots = self.locked();
-        match slots.get_mut(&id.0) {
-            Some(slot) if !slot.revoked => {
-                slot.deadline = Instant::now() + hint;
-                slot.renewals += 1;
-                drop(slots);
-                wh_obs::counter!("vnl.resilience.lease.renewals").inc();
-                true
-            }
-            _ => false,
+        let renewed = self.core.renew(id, Instant::now() + hint);
+        if renewed {
+            wh_obs::counter!("vnl.resilience.lease.renewals").inc();
         }
+        renewed
     }
 
     /// Drop a lease (session finished).
     pub fn release(&self, id: LeaseId) {
-        self.locked().remove(&id.0);
+        self.core.release(id);
         wh_obs::gauge!("vnl.resilience.active_leases").set(self.len() as i64);
     }
 
@@ -117,64 +99,50 @@ impl LeaseRegistry {
     /// unknown lease — from the holder's perspective both mean "stop
     /// trusting this session".
     pub fn is_revoked(&self, id: LeaseId) -> bool {
-        self.locked().get(&id.0).is_none_or(|s| s.revoked)
+        self.core.is_revoked(id)
     }
 
     /// Revoke a lease (pacer `ExpireOldest`). Returns `false` when already
-    /// gone or revoked.
+    /// gone or revoked. Sticky: the wh-kernel model suite proves a renewal
+    /// racing this can never resurrect the lease.
     pub fn revoke(&self, id: LeaseId) -> bool {
-        let mut slots = self.locked();
-        match slots.get_mut(&id.0) {
-            Some(slot) if !slot.revoked => {
-                slot.revoked = true;
-                drop(slots);
-                wh_obs::counter!("vnl.resilience.lease.revocations").inc();
-                true
-            }
-            _ => false,
+        let revoked = self.core.revoke(id);
+        if revoked {
+            wh_obs::counter!("vnl.resilience.lease.revocations").inc();
         }
+        revoked
     }
 
     /// Number of registered leases (including expired/revoked ones whose
     /// sessions have not finished yet).
     pub fn len(&self) -> usize {
-        self.locked().len()
+        self.core.len()
     }
 
     /// Whether no leases are registered.
     pub fn is_empty(&self) -> bool {
-        self.locked().is_empty()
+        self.core.is_empty()
     }
 
     /// Leases still within their deadline and not revoked.
     pub fn active(&self) -> Vec<LeaseInfo> {
-        let now = Instant::now();
-        self.locked()
-            .iter()
-            .filter(|(_, s)| !s.revoked && s.deadline > now)
-            .map(|(&id, s)| LeaseInfo {
-                id: LeaseId(id),
-                session_vn: s.session_vn,
-                deadline: s.deadline,
-                renewals: s.renewals,
-                revoked: s.revoked,
-            })
+        self.core
+            .active(Instant::now())
+            .into_iter()
+            .map(Self::info)
             .collect()
     }
 
     /// Active leases that would fail the §4.1 global check right after a
     /// commit publishes `vn_after` with an effective window of `n`:
     /// `vn_after − sessionVN ≥ n`. These are the readers a commit would
-    /// expire — the pacer's working set.
+    /// expire — the pacer's working set, stalest first.
     pub fn at_risk(&self, vn_after: VersionNo, n: usize) -> Vec<LeaseInfo> {
-        let mut risky: Vec<LeaseInfo> = self
-            .active()
+        self.core
+            .at_risk(vn_after, n, Instant::now())
             .into_iter()
-            .filter(|l| vn_after.saturating_sub(l.session_vn) >= n as u64)
-            .collect();
-        // Oldest (stalest) first: `ExpireOldest` revokes in this order.
-        risky.sort_by_key(|l| l.session_vn);
-        risky
+            .map(Self::info)
+            .collect()
     }
 }
 

@@ -193,6 +193,8 @@ impl RetryPolicy {
 
     /// Retried [`ReaderSession::scan`]: the whole relation at one
     /// consistent version.
+    // The bare method path fails the `for<'a>` bound the closure satisfies.
+    #[allow(clippy::redundant_closure_for_method_calls)]
     pub fn scan(&self, table: &VnlTable) -> VnlResult<Vec<Row>> {
         self.run(table, |s| s.scan())
     }
@@ -272,6 +274,7 @@ mod tests {
     fn first_attempt_success_needs_no_retry() {
         let t = kv_table(2);
         let policy = RetryPolicy::default();
+        #[allow(clippy::redundant_closure_for_method_calls)]
         let (res, stats) = policy.run_with_stats(&t, |s| s.scan());
         assert_eq!(res.unwrap().len(), 8);
         assert_eq!(

@@ -72,7 +72,7 @@ impl QueryRewriter {
             .updatable()
             .iter()
             .position(|&u| u == base_idx)
-            .expect("value_case called for an updatable column");
+            .expect("value_case called for an updatable column"); // lint: allow(no-panic) — invariant documented in the expect message
         let slots = self.layout.slots();
         let mut branches = Vec::new();
         // Slot-0 current branch.
@@ -105,7 +105,7 @@ impl QueryRewriter {
             ));
             branches.push((next_empty_or_le, pre));
         }
-        unreachable!("loop always returns at the oldest slot")
+        unreachable!("loop always returns at the oldest slot") // lint: allow(no-panic) — unreachable by construction (see message)
     }
 
     /// The WHERE guard selecting visible tuples (Example 4.1's

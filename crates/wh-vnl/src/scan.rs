@@ -123,7 +123,7 @@ impl ByteScanner {
         if buf[p.vn_null.0] & p.vn_null.1 != 0 || buf[p.op_null.0] & p.op_null.1 != 0 {
             return None;
         }
-        let vn = i32::from_le_bytes(buf[p.vn_off..p.vn_off + 4].try_into().unwrap());
+        let vn = i32::from_le_bytes(buf[p.vn_off..p.vn_off + 4].try_into().unwrap()); // lint: allow(no-panic) — infallible: fixed-width slice
         let op = match buf[p.op_off] {
             b'i' => Operation::Insert,
             b'u' => Operation::Update,
@@ -138,8 +138,8 @@ impl ByteScanner {
     pub fn classify(&self, buf: &[u8], session_vn: VersionNo) -> Classified {
         let (vn1, op1) = self
             .slot(buf, 0)
-            .expect("slot 0 is always populated for live tuples");
-        // Case 1: the session is at or past the tuple's newest modification.
+            .expect("slot 0 is always populated for live tuples"); // lint: allow(no-panic) — invariant documented in the expect message
+                                                                   // Case 1: the session is at or past the tuple's newest modification.
         if session_vn >= vn1 {
             return match op1 {
                 Operation::Delete => Classified::Ignore,
@@ -164,12 +164,12 @@ impl ByteScanner {
         // the oldest recorded pre-update version's validity window.
         let slots_full = oldest_recorded == self.slots.len() - 1;
         if slots_full && j_star == oldest_recorded {
-            let (vn_oldest, _) = self.slot(buf, oldest_recorded).expect("recorded");
+            let (vn_oldest, _) = self.slot(buf, oldest_recorded).expect("recorded"); // lint: allow(no-panic) — invariant documented in the expect message
             if session_vn + 1 < vn_oldest {
                 return Classified::Expired;
             }
         }
-        let (_, op_j) = self.slot(buf, j_star).expect("j* is recorded");
+        let (_, op_j) = self.slot(buf, j_star).expect("j* is recorded"); // lint: allow(no-panic) — invariant documented in the expect message
         match op_j {
             Operation::Insert => Classified::Ignore,
             _ => Classified::Pre(j_star),
@@ -188,7 +188,7 @@ impl ByteScanner {
             Classified::Current => &self.current_cols,
             Classified::Pre(j) => &self.pre_cols[j],
             Classified::Ignore | Classified::Expired => {
-                unreachable!("decode_visible called on an invisible record")
+                unreachable!("decode_visible called on an invisible record") // lint: allow(no-panic) — unreachable by construction (see message)
             }
         };
         cols.iter().map(|&c| codec.decode_col(buf, c)).collect()

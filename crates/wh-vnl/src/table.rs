@@ -8,7 +8,7 @@ use crate::schema_ext::ExtLayout;
 use crate::version::{VersionNo, VersionState};
 use crate::visibility;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock};
 use wh_index::{IndexKey, KeyDirectory, OrderedIndex};
@@ -77,7 +77,9 @@ pub struct VnlTable {
     /// slot mechanics (Table 1 extraction, `push_back`, rollback) always
     /// use the provisioned `layout.n()`, so `n_eff` is strictly a
     /// conservative admission bound — see [`crate::resilience::adaptive`].
-    effective_n: AtomicUsize,
+    /// The cell is a verified kernel (`wh_kernel::adaptive`), explored
+    /// exhaustively against the global check by the wh-kernel model suite.
+    effective_n: wh_kernel::adaptive::EffectiveWindow,
 }
 
 impl VnlTable {
@@ -156,7 +158,7 @@ impl VnlTable {
             next_session: AtomicU64::new(1),
             expired_notifications: AtomicU64::new(0),
             indexes: RwLock::new(Vec::new()),
-            effective_n: AtomicUsize::new(n),
+            effective_n: wh_kernel::adaptive::EffectiveWindow::new(n),
         })
     }
 
@@ -208,7 +210,12 @@ impl VnlTable {
         if snap.maintenance_active {
             return Err(VnlError::MaintenanceAlreadyActive);
         }
-        if !self.sessions.lock().unwrap().is_empty() {
+        if !self
+            .sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .is_empty()
+        {
             return Err(VnlError::KeyRequired(
                 "load_initial requires no active sessions",
             ));
@@ -250,7 +257,7 @@ impl VnlTable {
     /// [`crate::resilience::AdaptiveN`] controller (or a direct
     /// [`VnlTable::set_effective_n`]) narrowed or re-widened it.
     pub fn effective_n(&self) -> usize {
-        self.effective_n.load(Ordering::Relaxed)
+        self.effective_n.get()
     }
 
     /// Set the effective window, clamped to `[2, layout.n()]`. Narrowing
@@ -258,8 +265,7 @@ impl VnlTable {
     /// require (bounding staleness); widening readmits sessions the slots
     /// still support. Neither direction affects Table 1 extraction.
     pub fn set_effective_n(&self, n: usize) -> usize {
-        let clamped = n.clamp(2, self.layout.n());
-        self.effective_n.store(clamped, Ordering::Relaxed);
+        let clamped = self.effective_n.set(n);
         wh_obs::gauge!("vnl.resilience.effective_n").set(clamped as i64);
         clamped
     }
@@ -286,9 +292,12 @@ impl VnlTable {
     /// Begin a reader session pinned at an externally-chosen version (used
     /// by warehouse-wide sessions so every table reads the same `sessionVN`).
     pub(crate) fn begin_session_at(&self, vn: VersionNo) -> ReaderSession<'_> {
-        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — unique-ID allocation; only atomicity of the increment matters
         let active = {
-            let mut sessions = self.sessions.lock().unwrap();
+            let mut sessions = self
+                .sessions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             sessions.insert(id, vn);
             sessions.len()
         };
@@ -299,7 +308,10 @@ impl VnlTable {
 
     pub(crate) fn end_session(&self, id: u64) {
         let active = {
-            let mut sessions = self.sessions.lock().unwrap();
+            let mut sessions = self
+                .sessions
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             sessions.remove(&id);
             sessions.len()
         };
@@ -307,7 +319,7 @@ impl VnlTable {
     }
 
     pub(crate) fn note_expiration(&self) {
-        self.expired_notifications.fetch_add(1, Ordering::Relaxed);
+        self.expired_notifications.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
         wh_obs::counter!("vnl.reader.expirations").inc();
     }
 
@@ -337,17 +349,25 @@ impl VnlTable {
 
     /// How many sessions have been notified of expiration so far.
     pub fn expired_session_count(&self) -> u64 {
-        self.expired_notifications.load(Ordering::Relaxed)
+        self.expired_notifications.load(Ordering::Relaxed) // ordering: Relaxed — statistical read; tearing across cells is acceptable
     }
 
     /// Number of currently active reader sessions.
     pub fn active_session_count(&self) -> usize {
-        self.sessions.lock().unwrap().len()
+        self.sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 
     /// The smallest `sessionVN` among active sessions, if any.
     pub fn min_active_session_vn(&self) -> Option<VersionNo> {
-        self.sessions.lock().unwrap().values().copied().min()
+        self.sessions
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+            .copied()
+            .min()
     }
 
     /// Read one tuple as seen by `session_vn` (point lookup via the key
@@ -464,11 +484,13 @@ impl VnlTable {
         let failure: Mutex<Option<VnlError>> = Mutex::new(None);
         let failed = std::sync::atomic::AtomicBool::new(false);
         let fail = |e: VnlError| {
-            let mut slot = failure.lock().unwrap();
+            let mut slot = failure
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             if slot.is_none() {
                 *slot = Some(e);
             }
-            failed.store(true, Ordering::Release);
+            failed.store(true, Ordering::Release); // ordering: Release — publishes the stashed error before the flag its reader Acquires
         };
         let res = self
             .storage
@@ -488,13 +510,19 @@ impl VnlTable {
                         Err(e) => fail(e.into()),
                     },
                 }
+                // ordering: Acquire — pairs with the workers' Release store publishing the stashed error
                 if failed.load(Ordering::Acquire) {
                     Err(wh_storage::StorageError::ScanAborted)
                 } else {
                     Ok(())
                 }
             });
-        self.settle_scan(res, failure.into_inner().unwrap())?;
+        self.settle_scan(
+            res,
+            failure
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )?;
         self.fence_check(session_vn)
     }
 
@@ -544,7 +572,10 @@ impl VnlTable {
             base_cols.push(idx);
         }
         let ext_cols: Vec<usize> = base_cols.iter().map(|&b| self.layout.base_col(b)).collect();
-        let mut indexes = self.indexes.write().unwrap();
+        let mut indexes = self
+            .indexes
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if indexes.iter().any(|i| i.name == name) {
             return Err(VnlError::DuplicateIndex(name.to_string()));
         }
@@ -568,7 +599,7 @@ impl VnlTable {
     pub fn index(&self, name: &str) -> VnlResult<Arc<SecondaryIndex>> {
         self.indexes
             .read()
-            .unwrap()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .find(|i| i.name == name)
             .cloned()
@@ -603,7 +634,12 @@ impl VnlTable {
         let growth = self.layout.overhead();
         wh_obs::gauge!("vnl.storage.tuple_growth_bytes")
             .add(growth.ext_tuple_bytes as i64 - growth.base_tuple_bytes as i64);
-        for idx in self.indexes.read().unwrap().iter() {
+        for idx in self
+            .indexes
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             idx.index.insert(ext_row, rid);
         }
     }
@@ -630,14 +666,22 @@ impl VnlTable {
     /// index backfill holds the registry lock across a full storage scan
     /// (page latches inside) and the inverted order would deadlock.
     pub(crate) fn indexes_snapshot(&self) -> Vec<Arc<SecondaryIndex>> {
-        self.indexes.read().unwrap().to_vec()
+        self.indexes
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .to_vec()
     }
 
     /// Hook: a tuple was modified in place; re-key any index whose columns
     /// changed (only possible through the resurrection path's `CV ← MV` on
     /// non-key, non-updatable attributes).
     pub(crate) fn on_physical_update(&self, old_ext: &[Value], new_ext: &[Value], rid: Rid) {
-        for idx in self.indexes.read().unwrap().iter() {
+        for idx in self
+            .indexes
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             let changed = idx.ext_cols.iter().any(|&c| old_ext[c] != new_ext[c]);
             if changed {
                 let _ = idx.index.remove(old_ext, rid);

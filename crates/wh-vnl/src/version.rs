@@ -20,9 +20,10 @@
 use crate::error::{VnlError, VnlResult};
 use crate::resilience::LeaseRegistry;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::sync::Mutex;
+// The latched/lock-free core is a verified kernel: `wh_kernel::version` is
+// the same source the wh-kernel model suite explores exhaustively.
+use wh_kernel::version::{BeginError, VersionCore};
 use wh_storage::{IoStats, Rid, Table};
 use wh_types::fail_point;
 use wh_types::{Column, DataType, Schema, Value};
@@ -82,13 +83,14 @@ impl fmt::Display for Operation {
 
 /// Global version state, latched in memory and mirrored in a one-tuple
 /// `Version` relation.
+///
+/// The latch, the relaxed `currentVN` mirror, and the recovery fence all
+/// live in [`wh_kernel::version::VersionCore`]; this wrapper adds the §4
+/// relation I/O, the failpoints (passed back in as `under_latch` closures
+/// so their position relative to the state mutations is exactly the
+/// kernel-verified one), and telemetry.
 pub struct VersionState {
-    inner: Mutex<Inner>,
-    /// Relaxed mirror of `Inner::current_vn` so telemetry hot paths (the
-    /// per-reader staleness probe fires on every read entry point) can see
-    /// the current version without taking the latch. May trail the latched
-    /// value by an instant; never torn.
-    current_vn_relaxed: AtomicU64,
+    core: VersionCore,
     /// The single-tuple Version relation of §4.
     relation: Table,
     relation_rid: Rid,
@@ -96,17 +98,6 @@ pub struct VersionState {
     /// the version globals they protect, so a multi-table pacer sees every
     /// load-bearing VN in one place.
     leases: LeaseRegistry,
-    /// The recovery fence: smallest `sessionVN` that post-crash-recovery
-    /// reads are guaranteed to serve exactly
-    /// ([`crate::recovery::RecoveryReport::exact_horizon`]). Sessions below
-    /// it expire rather than read a reconstructed guess. Monotone;
-    /// `1` = no inexact recovery has ever run.
-    recovery_floor: AtomicU64,
-}
-
-struct Inner {
-    current_vn: VersionNo,
-    maintenance_active: bool,
 }
 
 /// Point-in-time copy of the version globals.
@@ -123,7 +114,7 @@ fn version_relation_schema() -> Schema {
         Column::updatable("currentVN", DataType::Int64),
         Column::updatable("maintenanceActive", DataType::UInt8),
     ])
-    .expect("version relation schema is valid")
+    .expect("version relation schema is valid") // lint: allow(no-panic) — static schema literal, valid by construction
 }
 
 impl VersionState {
@@ -133,15 +124,10 @@ impl VersionState {
         let relation = Table::create("Version", version_relation_schema(), io)?;
         let relation_rid = relation.insert(&[Value::from(1), Value::from(0)])?;
         Ok(VersionState {
-            inner: Mutex::new(Inner {
-                current_vn: 1,
-                maintenance_active: false,
-            }),
-            current_vn_relaxed: AtomicU64::new(1),
+            core: VersionCore::new(),
             relation,
             relation_rid,
             leases: LeaseRegistry::new(),
-            recovery_floor: AtomicU64::new(1),
         })
     }
 
@@ -154,26 +140,29 @@ impl VersionState {
     /// fail the global check (and the per-scan fence), because a crash
     /// recovery reconstructed version slots it cannot serve exactly.
     pub fn recovery_floor(&self) -> VersionNo {
-        self.recovery_floor.load(Ordering::Acquire)
+        self.core.recovery_floor()
     }
 
     /// Raise the recovery fence to `floor` (monotone; lowering is a no-op).
     /// Called by [`crate::recover`] *before* it mutates any tuple, so a
     /// scan in flight across the recovery re-checks the fence when it
     /// completes and expires instead of returning reconstructed values.
+    /// (The wh-kernel model suite proves this ordering sound and the
+    /// reverse one unsound.)
     pub(crate) fn raise_recovery_floor(&self, floor: VersionNo) {
-        self.recovery_floor.fetch_max(floor, Ordering::AcqRel);
+        self.core.raise_recovery_floor(floor);
     }
 
     /// Read both globals under the latch (also reads the Version relation,
     /// charging the reader one page read, as the §4.1 global check would).
     pub fn snapshot(&self) -> VersionSnapshot {
-        let inner = self.inner.lock().unwrap();
-        // Mirror read — the I/O a query-rewrite reader would pay.
-        let _ = self.relation.read(self.relation_rid);
+        let view = self.core.snapshot_with(|_| {
+            // Mirror read — the I/O a query-rewrite reader would pay.
+            let _ = self.relation.read(self.relation_rid);
+        });
         VersionSnapshot {
-            current_vn: inner.current_vn,
-            maintenance_active: inner.maintenance_active,
+            current_vn: view.current_vn,
+            maintenance_active: view.maintenance_active,
         }
     }
 
@@ -183,96 +172,92 @@ impl VersionState {
     /// counters, whose exact values the paper claims are about.
     pub fn peek(&self) -> VersionSnapshot {
         // (Latched form; see `current_vn_relaxed` for the lock-free read.)
-        let inner = self.inner.lock().unwrap();
+        let view = self.core.peek();
         VersionSnapshot {
-            current_vn: inner.current_vn,
-            maintenance_active: inner.maintenance_active,
+            current_vn: view.current_vn,
+            maintenance_active: view.maintenance_active,
         }
     }
 
     /// Lock-free read of `currentVN` alone — the telemetry form: no latch,
-    /// no mirror-relation I/O charge.
+    /// no mirror-relation I/O charge. May trail the latched value by an
+    /// instant, never leads it (model-verified).
     pub fn current_vn_relaxed(&self) -> VersionNo {
-        self.current_vn_relaxed.load(Ordering::Relaxed)
+        self.core.current_vn_relaxed()
     }
 
     /// Begin a maintenance transaction: returns `maintenanceVN =
     /// currentVN + 1` and sets the active flag. Enforces the one-at-a-time
     /// external protocol.
     pub fn begin_maintenance(&self) -> VnlResult<VersionNo> {
-        let mut inner = self.inner.lock().unwrap();
-        if inner.maintenance_active {
-            return Err(VnlError::MaintenanceAlreadyActive);
-        }
-        inner.maintenance_active = true;
-        // Placed after the flag flip: a crash here leaves maintenanceActive
-        // stuck on, exactly the state recovery must be able to clear.
-        fail_point!("vnl.version.begin");
-        let maintenance_vn = inner.current_vn + 1;
-        self.relation.update(
-            self.relation_rid,
-            &[Value::from(inner.current_vn as i64), Value::from(1)],
-        )?;
-        Ok(maintenance_vn)
+        self.core
+            .begin_maintenance(|current_vn| {
+                // Placed after the flag flip: a crash here leaves
+                // maintenanceActive stuck on, exactly the state recovery
+                // must be able to clear.
+                fail_point!("vnl.version.begin");
+                self.relation.update(
+                    self.relation_rid,
+                    &[Value::from(current_vn as i64), Value::from(1)],
+                )?;
+                Ok(())
+            })
+            .map_err(|e| match e {
+                BeginError::AlreadyActive => VnlError::MaintenanceAlreadyActive,
+                BeginError::Effect(effect) => effect,
+            })
     }
 
     /// Publish a maintenance commit: `currentVN ← maintenanceVN`, flag off.
     /// Runs as its own latched step *after* all data changes are in place,
     /// per the §4 abort-safety note.
     pub fn publish_commit(&self, maintenance_vn: VersionNo) -> VnlResult<()> {
-        let mut inner = self.inner.lock().unwrap();
-        // Before any mutation: a crash here commits nothing — readers keep
-        // the old currentVN and never see a half-published flip.
-        fail_point!("vnl.version.publish_commit");
-        debug_assert_eq!(maintenance_vn, inner.current_vn + 1);
-        inner.current_vn = maintenance_vn;
-        self.current_vn_relaxed
-            .store(maintenance_vn, Ordering::Relaxed);
-        inner.maintenance_active = false;
-        self.relation.update(
-            self.relation_rid,
-            &[Value::from(maintenance_vn as i64), Value::from(0)],
-        )?;
-        wh_obs::gauge!("vnl.version.current_vn").set(maintenance_vn as i64);
-        Ok(())
+        self.core.publish_commit(
+            maintenance_vn,
+            || {
+                // Before any mutation: a crash here commits nothing —
+                // readers keep the old currentVN and never see a
+                // half-published flip.
+                fail_point!("vnl.version.publish_commit");
+                Ok(())
+            },
+            |vn| {
+                self.relation
+                    .update(self.relation_rid, &[Value::from(vn as i64), Value::from(0)])?;
+                wh_obs::gauge!("vnl.version.current_vn").set(vn as i64);
+                Ok(())
+            },
+        )
     }
 
     /// Record a maintenance abort: flag off, `currentVN` unchanged.
     pub fn publish_abort(&self) -> VnlResult<()> {
-        let mut inner = self.inner.lock().unwrap();
-        // Before any mutation, mirroring `publish_commit`.
-        fail_point!("vnl.version.publish_abort");
-        inner.maintenance_active = false;
-        self.relation.update(
-            self.relation_rid,
-            &[Value::from(inner.current_vn as i64), Value::from(0)],
-        )?;
-        Ok(())
+        self.core.publish_abort(
+            || {
+                // Before any mutation, mirroring `publish_commit`.
+                fail_point!("vnl.version.publish_abort");
+                Ok(())
+            },
+            |current_vn| {
+                self.relation.update(
+                    self.relation_rid,
+                    &[Value::from(current_vn as i64), Value::from(0)],
+                )?;
+                Ok(())
+            },
+        )
     }
 
     /// The §4.1 global (pessimistic) session-liveness check:
     /// `(sessionVN = currentVN) ∨ (sessionVN = currentVN − 1 ∧ ¬maintenanceActive)`,
     /// generalized for nVNL to `sessionVN ≥ currentVN − (n − 1)` plus the
-    /// boundary case. Returns `true` when the session is still guaranteed
-    /// consistent.
+    /// boundary case, fenced by the recovery floor. Returns `true` when
+    /// the session is still guaranteed consistent.
     pub fn session_live(&self, session_vn: VersionNo, n: usize) -> bool {
-        if session_vn < self.recovery_floor() {
-            // A crash recovery reconstructed slots this session's reads
-            // would depend on; it must expire rather than read a guess.
-            return false;
-        }
-        let snap = self.snapshot();
-        let n = n as u64;
-        // With n versions, a session survives overlapping n-1 maintenance
-        // transactions. Sessions at currentVN are always live. A session at
-        // currentVN - k (k >= 1) has overlapped k committed maintenance
-        // transactions plus possibly the active one.
-        let k = snap.current_vn.saturating_sub(session_vn);
-        if session_vn > snap.current_vn {
-            return false; // cannot happen through the public API
-        }
-        let overlapped = k + if snap.maintenance_active { 1 } else { 0 };
-        overlapped < n
+        self.core.session_live_with(session_vn, n, |_| {
+            // The snapshot's mirror read — the I/O the global check pays.
+            let _ = self.relation.read(self.relation_rid);
+        })
     }
 }
 

@@ -86,13 +86,13 @@ impl Warehouse {
         self.tables
             .iter()
             .find(|t| t.name() == name)
-            .map(|t| t.as_ref())
+            .map(Arc::as_ref)
             .ok_or_else(|| VnlError::Sql(wh_sql::SqlError::NoSuchTable(name.into())))
     }
 
     /// All views.
     pub fn tables(&self) -> impl Iterator<Item = &VnlTable> {
-        self.tables.iter().map(|t| t.as_ref())
+        self.tables.iter().map(Arc::as_ref)
     }
 
     /// The shared global version state.

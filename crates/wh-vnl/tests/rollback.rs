@@ -23,7 +23,7 @@ fn state(t: &VnlTable) -> Vec<Vec<String>> {
         .scan_raw()
         .unwrap()
         .into_iter()
-        .map(|(_, ext)| ext.iter().map(|v| v.to_string()).collect())
+        .map(|(_, ext)| ext.iter().map(std::string::ToString::to_string).collect())
         .collect();
     rows.sort();
     rows

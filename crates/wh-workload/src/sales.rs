@@ -76,7 +76,7 @@ impl SalesGenerator {
             Column::new("date", DataType::Date),
             Column::new("amount", DataType::Int32),
         ])
-        .expect("source schema is valid")
+        .expect("source schema is valid") // lint: allow(no-panic) — static schema literal, valid by construction
     }
 
     fn city(&mut self) -> (String, &'static str) {

@@ -88,7 +88,7 @@ impl PeriodicSchedule {
         (lo..hi)
             .map(|t| self.expiry_time(t, n) - t)
             .min()
-            .expect("non-empty period")
+            .expect("non-empty period") // lint: allow(no-panic) — invariant documented in the expect message
     }
 }
 

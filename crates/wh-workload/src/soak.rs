@@ -163,7 +163,7 @@ fn kv_schema() -> Schema {
         ],
         &["key"],
     )
-    .expect("kv schema is valid")
+    .expect("kv schema is valid") // lint: allow(no-panic) — static schema literal, valid by construction
 }
 
 fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -219,16 +219,13 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, VnlError> {
                     if armed_abort {
                         fault::configure(UPDATE_FAULT, FaultAction::ErrorTimes(1));
                     }
-                    let txn = match table.begin_maintenance() {
-                        Ok(txn) => txn,
-                        Err(_) => {
-                            // A prior fault left the flag stuck: repair and
-                            // move on to the next transaction.
-                            if recover(&table).is_ok() {
-                                r.recoveries += 1;
-                            }
-                            continue;
+                    let Ok(txn) = table.begin_maintenance() else {
+                        // A prior fault left the flag stuck: repair and
+                        // move on to the next transaction.
+                        if recover(&table).is_ok() {
+                            r.recoveries += 1;
                         }
+                        continue;
                     };
                     let update = format!("UPDATE kv SET value = {g}");
                     if txn.execute_sql(&update, &wh_sql::Params::new()).is_err() {
@@ -310,8 +307,8 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, VnlError> {
                         let second = session.scan()?;
                         Ok((first, second))
                     });
-                    att.fetch_add(u64::from(stats.attempts), Ordering::Relaxed);
-                    exp.fetch_add(u64::from(stats.expirations), Ordering::Relaxed);
+                    att.fetch_add(u64::from(stats.attempts), Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+                    exp.fetch_add(u64::from(stats.expirations), Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
                     match res {
                         Ok((first, second)) => {
                             let uniform = first.len() == cfg.keys as usize
@@ -322,16 +319,16 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, VnlError> {
                                     .is_some_and(|v| locked(&committed).contains(&v))
                             });
                             if uniform && stamp_ok && first == second {
-                                reads_ok.fetch_add(1, Ordering::Relaxed);
+                                reads_ok.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
                             } else {
-                                wrong.fetch_add(1, Ordering::Relaxed);
+                                wrong.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
                             }
                         }
                         Err(VnlError::RetryExhausted { .. }) => {
-                            exhausted.fetch_add(1, Ordering::Relaxed);
+                            exhausted.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
                         }
                         Err(_) => {
-                            unexpected.fetch_add(1, Ordering::Relaxed);
+                            unexpected.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
                         }
                     }
                     if rng.chance(1, 3) {
@@ -341,7 +338,7 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, VnlError> {
             });
         }
 
-        report = maintenance.join().expect("maintenance thread");
+        report = maintenance.join().expect("maintenance thread"); // lint: allow(no-panic) — re-raises a maintenance-thread panic on the driver
     });
 
     fault::configure(UPDATE_FAULT, FaultAction::Off);

@@ -1,0 +1,68 @@
+//! Meta-test: the failpoint catalogs are mutually exhaustive.
+//!
+//! Three layers name failpoints: the central `wh_types::fault::REGISTRY`,
+//! the per-crate `FAILPOINTS` consts the crash-matrix driver sweeps, and
+//! the `fail_point!` call sites in the source. This test pins the first
+//! two to each other (and the crash-matrix catalog to both); `wh-analyze`
+//! pins the call sites to the registry by scanning the tree.
+
+use std::collections::BTreeSet;
+
+fn registry() -> BTreeSet<&'static str> {
+    wh_types::fault::REGISTRY.iter().copied().collect()
+}
+
+fn crate_catalogs() -> BTreeSet<&'static str> {
+    wh_storage::FAILPOINTS
+        .iter()
+        .chain(wh_vnl::FAILPOINTS)
+        .chain(wh_cc::FAILPOINTS)
+        .copied()
+        .collect()
+}
+
+#[test]
+fn registry_is_sorted_and_unique() {
+    let reg = wh_types::fault::REGISTRY;
+    assert!(
+        reg.windows(2).all(|w| w[0] < w[1]),
+        "REGISTRY must stay sorted and duplicate-free; found disorder in {reg:?}"
+    );
+}
+
+#[test]
+fn per_crate_catalogs_union_to_the_registry() {
+    let reg = registry();
+    let crates = crate_catalogs();
+    let missing: Vec<_> = reg.difference(&crates).collect();
+    let unregistered: Vec<_> = crates.difference(&reg).collect();
+    assert!(
+        missing.is_empty() && unregistered.is_empty(),
+        "central registry and per-crate FAILPOINTS diverged:\n  in REGISTRY \
+         but no crate declares: {missing:?}\n  declared by a crate but not \
+         in REGISTRY: {unregistered:?}"
+    );
+}
+
+#[test]
+fn per_crate_catalogs_do_not_overlap() {
+    let total = wh_storage::FAILPOINTS.len() + wh_vnl::FAILPOINTS.len() + wh_cc::FAILPOINTS.len();
+    assert_eq!(
+        total,
+        crate_catalogs().len(),
+        "a failpoint name is declared by more than one crate"
+    );
+}
+
+// The crash-matrix driver only compiles under `failpoints` (the
+// fault-matrix CI job runs this test with the feature on).
+#[cfg(feature = "failpoints")]
+#[test]
+fn crash_matrix_sweeps_the_whole_registry() {
+    let swept: BTreeSet<&'static str> = wh_vnl::crashmatrix::catalog().into_iter().collect();
+    assert_eq!(
+        swept,
+        registry(),
+        "the crash-matrix catalog must sweep exactly the central registry"
+    );
+}
