@@ -15,6 +15,7 @@
 //! |------|-----------|
 //! | `no-panic` | no `.unwrap()` / `.expect()` / `panic!` / `unreachable!` / `todo!` / `unimplemented!` in non-test library code |
 //! | `ordering-comment` | every atomic `Ordering::…` use carries an adjacent `// ordering:` justification |
+//! | `safety-comment` | every `unsafe` block carries an adjacent `// safety:` justification |
 //! | `failpoint-registry` | every `fail_point!("name")` is in `wh_types::fault::REGISTRY`, and every registry entry has a call site |
 //! | `lock-order` | the secondary-index registry lock is never acquired after a page latch in the same function |
 //! | `version-encapsulation` | the version kernel's atomic fields are never poked directly outside `wh-kernel` |
@@ -28,6 +29,7 @@ use std::path::{Path, PathBuf};
 pub const RULES: &[&str] = &[
     "no-panic",
     "ordering-comment",
+    "safety-comment",
     "failpoint-registry",
     "lock-order",
     "version-encapsulation",
@@ -120,6 +122,7 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Diagnostic> {
         let ctx = build_ctx(file);
         no_panic(&ctx, &mut out);
         ordering_comment(&ctx, &mut out);
+        safety_comment(&ctx, &mut out);
         lock_order(&ctx, &mut out);
         version_encapsulation(&ctx, &mut out);
         collect_failpoints(
@@ -357,7 +360,7 @@ fn ordering_comment(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
             continue;
         }
         let line = t.line;
-        if flagged_lines.contains(&line) || has_ordering_comment(ctx, line) {
+        if flagged_lines.contains(&line) || has_marker_comment(ctx, line, "ordering:") {
             continue;
         }
         flagged_lines.insert(line);
@@ -373,12 +376,46 @@ fn ordering_comment(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
-/// Same line, or the comment block directly above the statement (walking
-/// up through comment/attribute lines and multiline-expression
-/// continuations until the previous statement's terminator).
-fn has_ordering_comment(ctx: &FileCtx<'_>, line: u32) -> bool {
+/// `safety-comment`: every `unsafe` block must carry an adjacent
+/// `// safety:` comment stating the invariant that makes it sound. The
+/// batch decode kernels use `get_unchecked` against bounds the classifier
+/// already proved; that proof lives outside the block, so the comment is
+/// the only thing binding them together. `unsafe fn`/`unsafe impl`/
+/// `unsafe trait` headers are declarations, not uses — only the block
+/// (`unsafe {`) is a site where an obligation is discharged.
+fn safety_comment(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.is_bin {
+        return;
+    }
+    for (i, t) in ctx.toks.iter().enumerate() {
+        if !t.is_ident("unsafe") || ctx.in_test(i) {
+            continue;
+        }
+        // An unsafe *block*: `unsafe {`. Headers (`unsafe fn`, `unsafe
+        // impl`, `unsafe trait`) are followed by an identifier instead.
+        if !next_code(&ctx.toks, i).is_some_and(|n| n.is_punct('{')) {
+            continue;
+        }
+        if has_marker_comment(ctx, t.line, "safety:") {
+            continue;
+        }
+        ctx.emit(
+            out,
+            "safety-comment",
+            t.line,
+            "unsafe block without an adjacent `// safety:` justification".to_string(),
+        );
+    }
+}
+
+/// Does `line` carry `marker` on the same line, or in the comment block
+/// directly above the statement (walking up through comment/attribute
+/// lines and multiline-expression continuations until the previous
+/// statement's terminator)? Shared by the `ordering-comment` and
+/// `safety-comment` rules — both enforce "adjacent justification".
+fn has_marker_comment(ctx: &FileCtx<'_>, line: u32, marker: &str) -> bool {
     let idx = (line as usize).saturating_sub(1);
-    let has = |s: &str| s.contains("ordering:");
+    let has = |s: &str| s.contains(marker);
     if ctx
         .lines
         .get(idx)
@@ -663,6 +700,33 @@ mod tests {
 
         let chained = "fn f(s: &S) {\n    // ordering: paired with the Release store in publish\n    let v = s\n        .inner\n        .load(Ordering::Acquire);\n    let _ = v;\n}\n";
         assert!(run_one("crates/a/src/lib.rs", chained).is_empty());
+    }
+
+    #[test]
+    fn unsafe_block_needs_adjacent_safety_comment() {
+        let bad = "fn f(v: &[u8]) -> u8 { unsafe { *v.get_unchecked(0) } }\n";
+        let d = run_one("crates/a/src/lib.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "safety-comment");
+
+        let same_line =
+            "fn f(v: &[u8]) -> u8 { unsafe { *v.get_unchecked(0) } } // safety: len checked\n";
+        assert!(run_one("crates/a/src/lib.rs", same_line).is_empty());
+
+        let above = "fn f(v: &[u8]) -> u8 {\n    // safety: caller guarantees v is non-empty\n    unsafe { *v.get_unchecked(0) }\n}\n";
+        assert!(run_one("crates/a/src/lib.rs", above).is_empty());
+    }
+
+    #[test]
+    fn unsafe_headers_and_test_blocks_are_not_flagged() {
+        // `unsafe fn` / `unsafe impl` declare obligations, they don't
+        // discharge them — no comment required on the header itself.
+        let headers = "unsafe fn f() {}\nunsafe impl Send for S {}\n";
+        assert!(run_one("crates/a/src/lib.rs", headers).is_empty());
+
+        let in_test =
+            "#[cfg(test)]\nmod tests { fn g(v: &[u8]) -> u8 { unsafe { *v.get_unchecked(0) } } }\n";
+        assert!(run_one("crates/a/src/lib.rs", in_test).is_empty());
     }
 
     #[test]

@@ -113,6 +113,231 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Object field lookup (first match; reports never duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (any numeric variant).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(n) => Some(*n as f64),
+            Json::UInt(n) => Some(*n as f64),
+            Json::Float(f) | Json::Fixed(f, _) => Some(*f),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (the counterpart of [`Json::render`], for the
+/// bins that read committed `BENCH_*.json` baselines back — `bench_check`).
+/// Numbers parse to [`Json::Float`]; `Raw` never round-trips (it re-parses
+/// as whatever it spliced).
+pub fn parse(text: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at {}", self.pos)),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "non-utf8 number".to_string())?;
+        s.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("bad number '{s}' at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u{hex}"))?;
+                            self.pos += 4;
+                            // Reports only emit BMP scalars; surrogates
+                            // degrade to the replacement character.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        c => return Err(format!("bad escape '\\{}'", c as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences pass
+                    // through verbatim).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "non-utf8 string".to_string())?;
+                    let c = rest.chars().next().ok_or("unterminated string")?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
 impl From<&str> for Json {
     fn from(s: &str) -> Json {
         Json::Str(s.to_string())
@@ -249,5 +474,57 @@ mod tests {
     fn empty_containers_render_compact() {
         assert_eq!(Json::Array(vec![]).render(), "[]\n");
         assert_eq!(Json::Object(vec![]).render(), "{}\n");
+    }
+
+    #[test]
+    fn parse_roundtrips_a_report_document() {
+        let doc = Json::obj([
+            ("experiment", "E18/E22".into()),
+            ("quick", false.into()),
+            ("nothing", Json::Null),
+            (
+                "results",
+                Json::Array(vec![Json::obj([
+                    ("pipeline", "batched".into()),
+                    ("threads", 4usize.into()),
+                    ("median_ms", Json::Fixed(1.25, 3)),
+                    ("note", Json::Str("a\"b\\c\nd".into())),
+                ])]),
+            ),
+        ]);
+        let parsed = parse(&doc.render()).expect("parse rendered report");
+        assert_eq!(parsed.get("experiment").unwrap().as_str(), Some("E18/E22"));
+        assert_eq!(parsed.get("quick").unwrap().as_bool(), Some(false));
+        assert_eq!(parsed.get("nothing"), Some(&Json::Null));
+        let r = &parsed.get("results").unwrap().as_array().unwrap()[0];
+        assert_eq!(r.get("pipeline").unwrap().as_str(), Some("batched"));
+        assert_eq!(r.get("threads").unwrap().as_f64(), Some(4.0));
+        assert_eq!(r.get("median_ms").unwrap().as_f64(), Some(1.25));
+        assert_eq!(r.get("note").unwrap().as_str(), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn parse_numbers_and_escapes() {
+        let v = parse("[-1.5e2, 0, 42, \"\\u0041\\t\"]").unwrap();
+        let a = v.as_array().unwrap();
+        assert_eq!(a[0].as_f64(), Some(-150.0));
+        assert_eq!(a[1].as_f64(), Some(0.0));
+        assert_eq!(a[2].as_f64(), Some(42.0));
+        assert_eq!(a[3].as_str(), Some("A\t"));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "nulll",
+            "[1] trailing",
+            "\"open",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
     }
 }

@@ -15,6 +15,8 @@
 //!   decision rule (wrapped by `wh_vnl::VnlTable` / `AdaptiveN`).
 //! * [`latch`] — poison-recovering page-latch acquisition (wrapped by
 //!   `wh_storage`'s heap).
+//! * [`epoch`] — epoch-based reclamation: reader pins, grace-period
+//!   detection, and deferred retire lists (wrapped by `wh_vnl::gc`).
 //!
 //! Everything synchronizes through the [`sync`] shim: `std::sync` by
 //! default, `wh_model`'s checked types under the `model` feature, which
@@ -22,6 +24,7 @@
 //! --features model` runs the exhaustive-interleaving suite.
 
 pub mod adaptive;
+pub mod epoch;
 pub mod latch;
 pub mod lease;
 pub mod sync;

@@ -7,16 +7,19 @@
 //! vector-clock race detection in which `Relaxed` atomics do not
 //! synchronize.
 //!
-//! Two tests are regression models of historical bugs: they re-implement
-//! the pre-fix ordering inline and assert the checker *finds* the bad
-//! interleaving, then the production ordering passes exhaustively.
+//! Some tests are regression models of historical (or deliberately
+//! re-introduced) bugs: they re-implement the pre-fix ordering inline and
+//! assert the checker *finds* the bad interleaving, then the production
+//! ordering passes exhaustively.
 
 #![cfg(feature = "model")]
 
 use std::sync::Arc;
 use wh_kernel::adaptive::EffectiveWindow;
+use wh_kernel::epoch::{EpochCore, RetireList};
 use wh_kernel::latch::{read_latch, write_latch};
 use wh_kernel::lease::LeaseCore;
+use wh_kernel::sync::atomic::{AtomicU64, Ordering};
 use wh_kernel::sync::RwLock;
 use wh_kernel::version::VersionCore;
 use wh_model::{try_model, Builder};
@@ -237,6 +240,113 @@ fn lease_renew_vs_revoke_is_sticky() {
             // superseded by the sticky revocation.
             assert!(reg.active(0).is_empty());
         }
+    }));
+}
+
+/// Epoch kernel, production protocol: a reader that pins an epoch and then
+/// follows a rid it found in an index can never land in a slot the GC has
+/// already handed out for reuse — in every interleaving of unlink → retire
+/// → advance ×2 → drain. This is exactly the rid-reuse scenario the epoch
+/// layer exists to close: the GC unlinks the index entry, retires the rid,
+/// and only overwrites the slot once `drain_safe` says the grace period
+/// has elapsed.
+#[test]
+fn epoch_pin_blocks_reclaim_of_reachable_slot() {
+    ok(try_model(builder(), || {
+        let core = Arc::new(EpochCore::new(1));
+        let list: Arc<RetireList<()>> = Arc::new(RetireList::new());
+        let linked = Arc::new(AtomicU64::new(1)); // index entry → rid
+        let page = Arc::new(RwLock::new(10u64)); // slot contents at the rid
+        let (c2, l2, k2, p2) = (
+            Arc::clone(&core),
+            Arc::clone(&list),
+            Arc::clone(&linked),
+            Arc::clone(&page),
+        );
+        let gc = wh_model::thread::spawn(move || {
+            // Unlink from the index, then retire — the tag is read by
+            // RetireList *after* the unlink, which is what makes the grace
+            // argument sound.
+            k2.store(0, Ordering::SeqCst);
+            l2.retire(&c2, ());
+            c2.try_advance();
+            c2.try_advance();
+            for () in l2.drain_safe(&c2) {
+                *write_latch(&p2) = 99; // slot released and reused
+            }
+        });
+        // Reader: pin, probe the index, follow the rid.
+        let pin = core.try_pin().expect("sole reader");
+        if linked.load(Ordering::SeqCst) == 1 {
+            let seen = *read_latch(&page);
+            assert_eq!(seen, 10, "pinned reader followed a rid into a reused slot");
+        }
+        drop(pin);
+        gc.join().unwrap();
+    }));
+}
+
+/// Regression model of reclaim-before-grace: a sweep that treats a retired
+/// slot as immediately reusable (the pre-epoch behaviour, where the latch
+/// was assumed to exclude readers end-to-end) lets a pinned reader follow
+/// an already-resolved rid into reused bytes. The checker must find it.
+#[test]
+fn epoch_reclaim_before_grace_is_caught() {
+    let failure = try_model(builder(), || {
+        let core = Arc::new(EpochCore::new(1));
+        let list: Arc<RetireList<()>> = Arc::new(RetireList::new());
+        let linked = Arc::new(AtomicU64::new(1));
+        let page = Arc::new(RwLock::new(10u64));
+        let (c2, l2, k2, p2) = (
+            Arc::clone(&core),
+            Arc::clone(&list),
+            Arc::clone(&linked),
+            Arc::clone(&page),
+        );
+        let gc = wh_model::thread::spawn(move || {
+            k2.store(0, Ordering::SeqCst);
+            l2.retire(&c2, ());
+            // Pre-fix behaviour: reclaim right away, no grace period.
+            *write_latch(&p2) = 99;
+        });
+        let pin = core.try_pin().expect("sole reader");
+        if linked.load(Ordering::SeqCst) == 1 {
+            let seen = *read_latch(&page);
+            assert_eq!(seen, 10, "pinned reader followed a rid into a reused slot");
+        }
+        drop(pin);
+        gc.join().unwrap();
+    })
+    .expect_err("graceless reclamation must have a failing interleaving");
+    assert!(
+        failure.message.contains("reused slot"),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// Epoch kernel, advance vs pin: however the announcement store races the
+/// advancer's sweep, at most one advance slips past a pinned reader — the
+/// global epoch never exceeds the announcement + 1 while the pin is held,
+/// which is the invariant the `GRACE = 2` margin rests on.
+#[test]
+fn epoch_advance_never_outruns_a_pin_by_two() {
+    ok(try_model(builder(), || {
+        let core = Arc::new(EpochCore::new(1));
+        let c2 = Arc::clone(&core);
+        let advancer = wh_model::thread::spawn(move || {
+            for _ in 0..2 {
+                c2.try_advance();
+            }
+        });
+        let pin = core.try_pin().expect("sole pinner");
+        let a = core.announced(pin.slot()).expect("pinned slot announces");
+        advancer.join().unwrap();
+        assert!(
+            core.epoch() <= a + 1,
+            "two advances slipped past a pinned reader"
+        );
+        drop(pin);
+        assert!(core.try_advance().is_some(), "idle core advances freely");
     }));
 }
 

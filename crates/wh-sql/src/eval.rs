@@ -14,14 +14,25 @@ pub type Params = HashMap<String, Value>;
 /// Evaluation context: resolves column names against a schema and parameters
 /// against a binding map.
 pub struct EvalContext<'a> {
-    schema: &'a Schema,
+    /// Column-name → index, built once per statement. The executor calls
+    /// `eval` per row, and `Schema::column_index` is a linear scan with
+    /// string compares over the (extended, in 2VNL) column list — hot
+    /// enough to show up in scan profiles. The map borrows the names from
+    /// the schema, so building it allocates nothing per column.
+    cols: HashMap<&'a str, usize>,
     params: &'a Params,
 }
 
 impl<'a> EvalContext<'a> {
     /// Build a context for `schema` with `params` bound.
     pub fn new(schema: &'a Schema, params: &'a Params) -> Self {
-        EvalContext { schema, params }
+        let cols = schema
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.as_str(), i))
+            .collect();
+        EvalContext { cols, params }
     }
 
     /// Evaluate `expr` against `row`. Aggregates are not allowed here — the
@@ -30,10 +41,10 @@ impl<'a> EvalContext<'a> {
     pub fn eval(&self, expr: &Expr, row: &[Value]) -> SqlResult<Value> {
         match expr {
             Expr::Column(name) => {
-                let idx = self
-                    .schema
-                    .column_index(name)
-                    .map_err(|_| SqlError::NoSuchColumn(name.clone()))?;
+                let idx = *self
+                    .cols
+                    .get(name.as_str())
+                    .ok_or_else(|| SqlError::NoSuchColumn(name.clone()))?;
                 Ok(row[idx].clone())
             }
             Expr::Literal(v) => Ok(v.clone()),

@@ -39,6 +39,7 @@ pub mod eval;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod pushdown;
 
 pub use ast::{
     AggFunc, BinOp, ColumnDef, CreateTableStmt, DeleteStmt, DropTableStmt, Expr, InsertStmt,
@@ -52,3 +53,4 @@ pub use exec::{
     execute_select, execute_select_parallel, ParallelRowSource, QueryResult, RowSource,
 };
 pub use parser::{parse_expression, parse_statement};
+pub use pushdown::{extract_scan_filters, FilterOp, ScanFilter};

@@ -1,0 +1,248 @@
+//! WHERE-clause pushdown analysis for batch scan kernels.
+//!
+//! The batched reader pipeline (see `wh_vnl::scan::BatchScanner`) classifies
+//! whole pages over *gathered* `i64` column images before any row is
+//! decoded. A WHERE conjunct of the shape `column <cmp> literal` over a
+//! fixed-width integer-image column can be evaluated on those same gathered
+//! images — rows that fail it are never decoded and never reach the
+//! executor. This module is the planning half: split a predicate into the
+//! pushable conjuncts and the residual expression the executor still has to
+//! evaluate per row.
+//!
+//! Eligibility is deliberately narrow:
+//!
+//! * Only top-level `AND` conjuncts split — anything under `OR`/`NOT`
+//!   stays residual.
+//! * The column must be `UInt8`, `Int32`, or `Date`. All three gather into
+//!   `i64` losslessly and order-preserving (`Date` packs as decimal
+//!   `yyyymmdd`, which is monotone in the calendar order), and none of them
+//!   can collide with the gather layer's `i64::MIN` NULL sentinel. `Int64`
+//!   is excluded exactly because a stored `i64::MIN` would be
+//!   indistinguishable from NULL in the gathered image.
+//! * The other side must be a literal of matching type (`Int` for the
+//!   integer columns, `Date` for date columns). Parameters are not pushable
+//!   — they are bound after planning.
+//!
+//! Three-valued logic is preserved: a pushed conjunct keeps a row iff the
+//! column is non-NULL and the comparison holds, which is exactly "the
+//! conjunct evaluates to TRUE" — and an `AND` of conjuncts is TRUE iff
+//! every conjunct is, so filtering on the pushed set and the residual
+//! independently reproduces the original predicate's keep-set.
+
+use crate::ast::{BinOp, Expr};
+use wh_types::{DataType, Schema, Value};
+
+/// Comparison operator of a pushable conjunct, in column-on-the-left form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterOp {
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Eq,
+    NotEq,
+}
+
+impl FilterOp {
+    /// Evaluate `value <op> literal` on gathered images.
+    pub fn eval(self, value: i64, literal: i64) -> bool {
+        match self {
+            FilterOp::Lt => value < literal,
+            FilterOp::LtEq => value <= literal,
+            FilterOp::Gt => value > literal,
+            FilterOp::GtEq => value >= literal,
+            FilterOp::Eq => value == literal,
+            FilterOp::NotEq => value != literal,
+        }
+    }
+
+    /// The operator with its operands swapped (`lit <op> col` →
+    /// `col <mirror> lit`).
+    fn mirrored(self) -> FilterOp {
+        match self {
+            FilterOp::Lt => FilterOp::Gt,
+            FilterOp::LtEq => FilterOp::GtEq,
+            FilterOp::Gt => FilterOp::Lt,
+            FilterOp::GtEq => FilterOp::LtEq,
+            FilterOp::Eq => FilterOp::Eq,
+            FilterOp::NotEq => FilterOp::NotEq,
+        }
+    }
+}
+
+/// One pushable conjunct: `schema column <op> literal`, with the literal
+/// already translated to the column's gathered `i64` image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanFilter {
+    /// Base-schema column index.
+    pub column: usize,
+    pub op: FilterOp,
+    /// Literal in the gathered `i64` domain (`Date` → packed `yyyymmdd`).
+    pub literal: i64,
+}
+
+/// Split `pred` into pushable scan filters and the residual predicate the
+/// executor must still evaluate (`None` when everything pushed). The row
+/// set selected by "all filters TRUE ∧ residual TRUE" is identical to the
+/// one selected by `pred` being TRUE.
+pub fn extract_scan_filters(pred: &Expr, schema: &Schema) -> (Vec<ScanFilter>, Option<Expr>) {
+    let mut filters = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    split(pred, schema, &mut filters, &mut residual);
+    let residual = residual.into_iter().reduce(|acc, e| Expr::Binary {
+        op: BinOp::And,
+        left: Box::new(acc),
+        right: Box::new(e),
+    });
+    (filters, residual)
+}
+
+fn split(e: &Expr, schema: &Schema, filters: &mut Vec<ScanFilter>, residual: &mut Vec<Expr>) {
+    if let Expr::Binary {
+        op: BinOp::And,
+        left,
+        right,
+    } = e
+    {
+        split(left, schema, filters, residual);
+        split(right, schema, filters, residual);
+        return;
+    }
+    match as_filter(e, schema) {
+        Some(f) => filters.push(f),
+        None => residual.push(e.clone()),
+    }
+}
+
+fn as_filter(e: &Expr, schema: &Schema) -> Option<ScanFilter> {
+    let Expr::Binary { op, left, right } = e else {
+        return None;
+    };
+    let op = match op {
+        BinOp::Lt => FilterOp::Lt,
+        BinOp::LtEq => FilterOp::LtEq,
+        BinOp::Gt => FilterOp::Gt,
+        BinOp::GtEq => FilterOp::GtEq,
+        BinOp::Eq => FilterOp::Eq,
+        BinOp::NotEq => FilterOp::NotEq,
+        _ => return None,
+    };
+    match (left.as_ref(), right.as_ref()) {
+        (Expr::Column(name), Expr::Literal(lit)) => bind(name, op, lit, schema),
+        (Expr::Literal(lit), Expr::Column(name)) => bind(name, op.mirrored(), lit, schema),
+        _ => None,
+    }
+}
+
+/// Resolve the column and translate the literal into the gathered domain;
+/// `None` when the column/literal pair is not eligible.
+fn bind(name: &str, op: FilterOp, lit: &Value, schema: &Schema) -> Option<ScanFilter> {
+    let column = schema.column_index(name).ok()?;
+    let literal = match (schema.columns()[column].ty, lit) {
+        (DataType::UInt8 | DataType::Int32, Value::Int(v)) => *v,
+        (DataType::Date, Value::Date(d)) => i64::from(d.to_packed()),
+        _ => return None,
+    };
+    Some(ScanFilter {
+        column,
+        op,
+        literal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expression;
+    use wh_types::{Column, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Column::new("city", DataType::Char(8)),
+            Column::new("day", DataType::Date),
+            Column::new("sales", DataType::Int32),
+            Column::new("big", DataType::Int64),
+        ])
+        .unwrap()
+    }
+
+    fn extract(pred: &str) -> (Vec<ScanFilter>, Option<Expr>) {
+        extract_scan_filters(&parse_expression(pred).unwrap(), &schema())
+    }
+
+    #[test]
+    fn simple_comparison_pushes_fully() {
+        let (filters, residual) = extract("sales >= 5000");
+        assert_eq!(
+            filters,
+            vec![ScanFilter {
+                column: 2,
+                op: FilterOp::GtEq,
+                literal: 5000
+            }]
+        );
+        assert!(residual.is_none());
+    }
+
+    #[test]
+    fn reversed_operands_mirror_the_operator() {
+        let (filters, residual) = extract("5000 < sales");
+        assert_eq!(
+            filters,
+            vec![ScanFilter {
+                column: 2,
+                op: FilterOp::Gt,
+                literal: 5000
+            }]
+        );
+        assert!(residual.is_none());
+    }
+
+    #[test]
+    fn and_splits_mixed_conjuncts() {
+        let (filters, residual) = extract("sales >= 5000 AND city = 'SF' AND sales < 9000");
+        assert_eq!(filters.len(), 2);
+        assert_eq!(filters[0].op, FilterOp::GtEq);
+        assert_eq!(filters[1].op, FilterOp::Lt);
+        // The Char conjunct stays residual.
+        assert_eq!(residual, Some(parse_expression("city = 'SF'").unwrap()));
+    }
+
+    #[test]
+    fn or_and_not_are_not_split() {
+        let (filters, residual) = extract("sales >= 5000 OR sales < 100");
+        assert!(filters.is_empty());
+        assert!(residual.is_some());
+        let (filters, _) = extract("NOT sales >= 5000");
+        assert!(filters.is_empty());
+    }
+
+    #[test]
+    fn int64_and_params_stay_residual() {
+        // Int64 would collide with the gather NULL sentinel at i64::MIN.
+        let (filters, residual) = extract("big = 7");
+        assert!(filters.is_empty());
+        assert!(residual.is_some());
+        let (filters, _) = extract("sales >= :cutoff");
+        assert!(filters.is_empty());
+    }
+
+    #[test]
+    fn unknown_column_or_type_mismatch_stays_residual() {
+        let (filters, residual) = extract("zzz = 1");
+        assert!(filters.is_empty());
+        assert!(residual.is_some());
+        let (filters, _) = extract("city = 1");
+        assert!(filters.is_empty());
+    }
+
+    #[test]
+    fn residual_preserves_and_semantics() {
+        let (filters, residual) = extract("city = 'SF' AND day IS NULL");
+        assert!(filters.is_empty());
+        assert_eq!(
+            residual,
+            Some(parse_expression("city = 'SF' AND day IS NULL").unwrap())
+        );
+    }
+}

@@ -15,12 +15,14 @@
 //! typed [`Table`] facade. Every page access is counted in [`IoStats`] so the
 //! §6 I/O comparisons against 2V2PL/MV2PL are measurable rather than assumed.
 
+pub mod batch;
 pub mod error;
 pub mod heap;
 pub mod iostats;
 pub mod page;
 pub mod table;
 
+pub use batch::{FieldSpec, RecordBatch, NULL_SENTINEL};
 pub use error::{StorageError, StorageResult};
 pub use heap::{HeapFile, FAILPOINTS};
 pub use iostats::IoStats;

@@ -29,18 +29,33 @@ impl std::fmt::Display for Rid {
     }
 }
 
+/// Occupancy state of one slot.
+///
+/// `Retired` is the epoch-reclamation limbo: the record has been unlinked
+/// from every index and is invisible to readers and scans, but the slot is
+/// not reusable until the GC's grace period elapses — a reader that
+/// resolved this slot's rid before the retire may still dereference it, and
+/// must find the *old* bytes, never a reused record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotState {
+    Free,
+    Live,
+    Retired,
+}
+
 /// A page of fixed-width record slots.
 ///
 /// All records in a heap file share one width, so a page is a byte array of
-/// `capacity` slots plus an occupancy bitmap. The page itself carries no
-/// latch — the heap file wraps each page in a `parking_lot::RwLock`, which
-/// plays the role of the paper's short-duration latch.
+/// `capacity` slots plus a per-slot state array. The page itself carries no
+/// latch — the heap file wraps each page in an `RwLock`, which plays the
+/// role of the paper's short-duration latch.
 #[derive(Debug)]
 pub struct Page {
     record_len: usize,
     capacity: u16,
-    occupied: Vec<bool>,
+    state: Vec<SlotState>,
     live: u16,
+    retired: u16,
     data: Box<[u8]>,
 }
 
@@ -54,8 +69,9 @@ impl Page {
         Ok(Page {
             record_len,
             capacity,
-            occupied: vec![false; capacity as usize],
+            state: vec![SlotState::Free; capacity as usize],
             live: 0,
+            retired: 0,
             data: vec![0u8; capacity as usize * record_len].into_boxed_slice(),
         })
     }
@@ -70,9 +86,15 @@ impl Page {
         self.live
     }
 
-    /// Whether the page has a free slot.
+    /// Slots retired but not yet released (waiting out a GC grace period).
+    pub fn retired(&self) -> u16 {
+        self.retired
+    }
+
+    /// Whether the page has a free slot. Retired slots are *not* free —
+    /// they hold their old bytes until released.
     pub fn has_room(&self) -> bool {
-        self.live < self.capacity
+        self.live + self.retired < self.capacity
     }
 
     /// Record width this page stores.
@@ -99,20 +121,25 @@ impl Page {
     /// when the page is full.
     pub fn insert(&mut self, record: &[u8]) -> StorageResult<Option<u16>> {
         self.check_record(record)?;
-        let Some(slot) = self.occupied.iter().position(|&o| !o) else {
+        let Some(slot) = self.state.iter().position(|&s| s == SlotState::Free) else {
             return Ok(None);
         };
         let slot = slot as u16;
         let range = self.slot_range(slot);
         self.data[range].copy_from_slice(record);
-        self.occupied[slot as usize] = true;
+        self.state[slot as usize] = SlotState::Live;
         self.live += 1;
         Ok(Some(slot))
     }
 
-    /// Read the record in `slot`.
+    /// Read the record in `slot`. Retired slots read as gone (`NoSuchSlot`)
+    /// — which is sound for a reader holding a pre-retire rid, because a
+    /// retired record was GC-eligible and therefore invisible at every
+    /// live session's version anyway. What the retired state *prevents* is
+    /// the slot being reused before the grace period, which would make
+    /// this read return a different tuple's bytes for the old rid.
     pub fn read(&self, page_no: u32, slot: u16) -> StorageResult<&[u8]> {
-        if slot >= self.capacity || !self.occupied[slot as usize] {
+        if slot >= self.capacity || self.state[slot as usize] != SlotState::Live {
             return Err(StorageError::NoSuchSlot {
                 page: page_no,
                 slot,
@@ -125,7 +152,7 @@ impl Page {
     /// the same width — the invariant 2VNL's rewrite approach depends on.
     pub fn update_in_place(&mut self, page_no: u32, slot: u16, record: &[u8]) -> StorageResult<()> {
         self.check_record(record)?;
-        if slot >= self.capacity || !self.occupied[slot as usize] {
+        if slot >= self.capacity || self.state[slot as usize] != SlotState::Live {
             return Err(StorageError::NoSuchSlot {
                 page: page_no,
                 slot,
@@ -136,26 +163,70 @@ impl Page {
         Ok(())
     }
 
-    /// Free the record in `slot` (physical delete).
+    /// Free the record in `slot` (immediate physical delete, no grace
+    /// period — for callers that know no concurrent reader holds the rid).
     pub fn delete(&mut self, page_no: u32, slot: u16) -> StorageResult<()> {
-        if slot >= self.capacity || !self.occupied[slot as usize] {
+        if slot >= self.capacity || self.state[slot as usize] != SlotState::Live {
             return Err(StorageError::NoSuchSlot {
                 page: page_no,
                 slot,
             });
         }
-        self.occupied[slot as usize] = false;
+        self.state[slot as usize] = SlotState::Free;
         self.live -= 1;
         Ok(())
     }
 
-    /// Iterate over `(slot, record)` pairs of occupied slots.
+    /// Retire the record in `slot`: make it invisible to reads and scans
+    /// but keep the slot unavailable for reuse until [`Page::release`].
+    pub fn retire(&mut self, page_no: u32, slot: u16) -> StorageResult<()> {
+        if slot >= self.capacity || self.state[slot as usize] != SlotState::Live {
+            return Err(StorageError::NoSuchSlot {
+                page: page_no,
+                slot,
+            });
+        }
+        self.state[slot as usize] = SlotState::Retired;
+        self.live -= 1;
+        self.retired += 1;
+        Ok(())
+    }
+
+    /// Release a retired slot for reuse — only after the GC's epoch grace
+    /// period has elapsed.
+    pub fn release(&mut self, page_no: u32, slot: u16) -> StorageResult<()> {
+        if slot >= self.capacity || self.state[slot as usize] != SlotState::Retired {
+            return Err(StorageError::NoSuchSlot {
+                page: page_no,
+                slot,
+            });
+        }
+        self.state[slot as usize] = SlotState::Free;
+        self.retired -= 1;
+        Ok(())
+    }
+
+    /// Iterate over `(slot, record)` pairs of live slots.
     pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> + '_ {
-        self.occupied
+        self.state
             .iter()
             .enumerate()
-            .filter(|(_, &o)| o)
+            .filter(|(_, &s)| s == SlotState::Live)
             .map(move |(i, _)| (i as u16, &self.data[self.slot_range(i as u16)]))
+    }
+
+    /// Copy every live record into `batch` — the only batch-path work done
+    /// under the page latch. Fully-live pages take the dense single-copy
+    /// fast path.
+    pub(crate) fn fill_batch(&self, page_no: u32, batch: &mut crate::batch::RecordBatch) {
+        batch.begin(page_no, self.record_len, self.live as usize);
+        if self.live == self.capacity {
+            batch.push_dense(self.capacity, &self.data);
+        } else {
+            for (slot, record) in self.iter() {
+                batch.push_record(slot, record);
+            }
+        }
     }
 }
 
@@ -230,6 +301,67 @@ mod tests {
             p.delete(0, s),
             Err(StorageError::NoSuchSlot { .. })
         ));
+    }
+
+    #[test]
+    fn retired_slot_is_invisible_but_not_reusable() {
+        let mut p = Page::new(4).unwrap();
+        let a = p.insert(&[1, 1, 1, 1]).unwrap().unwrap();
+        p.retire(0, a).unwrap();
+        assert_eq!((p.live(), p.retired()), (0, 1));
+        assert!(p.read(0, a).is_err(), "retired reads as gone");
+        assert!(p.iter().next().is_none(), "retired excluded from scans");
+        let b = p.insert(&[2, 2, 2, 2]).unwrap().unwrap();
+        assert_ne!(b, a, "retired slot must not be reused");
+        assert!(p.retire(0, a).is_err(), "double retire");
+        p.release(0, a).unwrap();
+        assert_eq!(p.retired(), 0);
+        assert!(p.release(0, a).is_err(), "double release");
+        let c = p.insert(&[3, 3, 3, 3]).unwrap().unwrap();
+        assert_eq!(c, a, "released slot is first-fit reusable");
+    }
+
+    #[test]
+    fn retired_slots_count_against_room() {
+        let mut p = Page::new(2048).unwrap();
+        let a = p.insert(&[1u8; 2048]).unwrap().unwrap();
+        p.insert(&[2u8; 2048]).unwrap().unwrap();
+        p.retire(0, a).unwrap();
+        assert!(!p.has_room(), "a retired slot is not room");
+        assert_eq!(p.insert(&[3u8; 2048]).unwrap(), None);
+        p.release(0, a).unwrap();
+        assert!(p.has_room());
+        assert!(p.insert(&[3u8; 2048]).unwrap().is_some());
+    }
+
+    #[test]
+    fn fill_batch_copies_live_records() {
+        let mut p = Page::new(4).unwrap();
+        let a = p.insert(&[1, 0, 0, 0]).unwrap().unwrap();
+        let b = p.insert(&[2, 0, 0, 0]).unwrap().unwrap();
+        p.insert(&[3, 0, 0, 0]).unwrap().unwrap();
+        p.delete(0, a).unwrap();
+        p.retire(0, b).unwrap();
+        let mut batch = crate::batch::RecordBatch::default();
+        p.fill_batch(9, &mut batch);
+        assert_eq!(batch.page_no(), 9);
+        assert_eq!(batch.slots(), &[2]);
+        assert_eq!(batch.record(0), &[3, 0, 0, 0]);
+    }
+
+    #[test]
+    fn fill_batch_dense_page_fast_path() {
+        let mut p = Page::new(1024).unwrap();
+        for i in 0..4u8 {
+            p.insert(&[i; 1024]).unwrap().unwrap();
+        }
+        assert_eq!(p.live(), p.capacity());
+        let mut batch = crate::batch::RecordBatch::default();
+        p.fill_batch(0, &mut batch);
+        assert_eq!(batch.slots(), &[0, 1, 2, 3]);
+        for i in 0..4usize {
+            assert!(batch.record(i).iter().all(|&x| x == i as u8));
+        }
     }
 
     #[test]

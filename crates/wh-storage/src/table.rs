@@ -125,6 +125,31 @@ impl Table {
         )
     }
 
+    /// Retire the row at `rid` if `pred` approves its current value,
+    /// atomically under the page latch, with `then` run under the same
+    /// latch. A retired slot is invisible but **not reusable** until
+    /// [`Table::release`] — see [`HeapFile::retire_if_then`].
+    pub fn retire_if_then<F, G>(&self, rid: Rid, pred: F, then: G) -> StorageResult<bool>
+    where
+        F: FnOnce(&Row) -> bool,
+        G: FnOnce(),
+    {
+        self.heap.retire_if_then(
+            rid,
+            |buf| match self.codec.decode(buf) {
+                Ok(row) => pred(&row),
+                Err(_) => false,
+            },
+            then,
+        )
+    }
+
+    /// Release a retired slot for reuse (the caller has proven, via the
+    /// epoch grace period, that no reader still holds its RID).
+    pub fn release(&self, rid: Rid) -> StorageResult<()> {
+        self.heap.release(rid)
+    }
+
     /// Visit every live row.
     pub fn scan<F>(&self, mut visit: F) -> StorageResult<()>
     where

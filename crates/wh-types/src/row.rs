@@ -153,7 +153,7 @@ impl RowCodec {
                 Value::Str(
                     std::str::from_utf8(trimmed)
                         .map_err(|e| TypeError::Codec(e.to_string()))?
-                        .to_string(),
+                        .into(),
                 )
             }
             DataType::Date => {

@@ -5,6 +5,7 @@ use crate::error::{TypeError, TypeResult};
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A single column value.
 ///
@@ -21,8 +22,13 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// Character string.
-    Str(String),
+    /// Character string. `Arc<str>` rather than `String`: scans and the
+    /// SQL executor clone string values far more often than they create
+    /// them (projection, group keys, query results), and warehouse string
+    /// columns are low-cardinality — a clone must be a refcount bump, not
+    /// an allocation. Construction goes through `From`, so call sites are
+    /// agnostic.
+    Str(Arc<str>),
     /// Calendar date.
     Date(Date),
     /// Boolean (used by expression evaluation; not a storable column type).
@@ -279,12 +285,18 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(Arc::from(v))
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Str(v)
     }
 }

@@ -44,7 +44,7 @@ fn random_value_for(rng: &mut SplitMix64, ty: DataType) -> Value {
             while s.ends_with(' ') {
                 s.pop();
             }
-            Value::Str(s)
+            Value::Str(s.into())
         }
         DataType::Date => Value::Date(Date::ymd(
             rng.range_i64(1900, 2100) as u16,

@@ -20,10 +20,16 @@ pub struct GcReport {
     pub scanned: u64,
     /// Logically-deleted tuples found.
     pub deleted_found: u64,
-    /// Tuples physically reclaimed.
+    /// Tuples reclaimed this pass: retired from the heap (unlinked from
+    /// key directory and indexes, invisible to every scan) and queued for
+    /// slot release after the epoch grace period.
     pub reclaimed: u64,
     /// Bytes freed (tuple width × reclaimed).
     pub bytes_reclaimed: u64,
+    /// Retired slots whose grace period elapsed and whose pages returned
+    /// to the free list this pass (may include retires from earlier
+    /// passes; equals `reclaimed` when no reader held an epoch pin).
+    pub released: u64,
 }
 
 /// Run one garbage-collection pass over `table`.
@@ -86,11 +92,16 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
         // Re-verify under the page latch: a maintenance transaction may have
         // resurrected the tuple since the scan (Table 2 row 1), in which
         // case it must not be touched. The key-directory and index entries
-        // are retired inside the same latch hold: once the slot is freed, a
-        // concurrent insert of the same key can reuse this very rid, and a
-        // late unregister would then tear down the *new* tuple's entries,
-        // orphaning the key.
-        let deleted = table.storage().delete_if_then(
+        // are retired inside the same latch hold: a concurrent insert of
+        // the same key must find the directory slot free the moment the
+        // tuple goes invisible, and a late unregister could tear down the
+        // *new* tuple's entries, orphaning the key.
+        //
+        // The tuple is *retired*, not deleted: its slot stays unusable
+        // until the epoch grace period below proves no reader gathered its
+        // RID before the unlink. Readers never take a GC-side lock for
+        // this protection — they only pin an epoch.
+        let retired = table.storage().retire_if_then(
             rid,
             |row| {
                 matches!(
@@ -107,9 +118,10 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
                 }
             },
         )?;
-        if !deleted {
+        if !retired {
             continue;
         }
+        table.epochs().retire(rid);
         table.note_physical_delete();
         // Crash window: reclamation fully applied, stats not yet counted —
         // a fault here under-reports the pass but leaves the table sound.
@@ -120,8 +132,44 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
         wh_obs::counter!("vnl.gc.reclaimed").inc();
         wh_obs::counter!("vnl.gc.bytes_reclaimed").add(tuple_bytes);
     }
+    report.released = release_after_grace(table)?;
     wh_obs::histogram!("vnl.gc.pass_ns").record(pass.elapsed_ns());
     Ok(report)
+}
+
+/// The epoch half of a pass: advance the global epoch toward the grace
+/// bound and physically release every retired slot whose grace period has
+/// elapsed. With no reader pinned, the two advances succeed immediately and
+/// this pass's own retires release synchronously; a pinned reader holds
+/// the epoch back and the retires simply wait for a later pass — the
+/// deferred-release analogue of the old "active reader blocks reclamation"
+/// rule, but enforced without readers taking any lock.
+fn release_after_grace(table: &VnlTable) -> VnlResult<u64> {
+    if wh_obs::is_enabled() {
+        wh_obs::gauge!("vnl.gc.epoch").set(table.epochs().epoch() as i64);
+        wh_obs::gauge!("vnl.gc.pinned_readers").set(table.epochs().pinned() as i64);
+    }
+    let advance = wh_obs::Timer::start();
+    table.epochs().advance_for_grace();
+    let drained = table.epochs().drain_safe();
+    wh_obs::histogram!("vnl.gc.epoch_advance_ns").record(advance.elapsed_ns());
+    let mut released = 0u64;
+    let mut pending = drained.into_iter();
+    while let Some(rid) = pending.next() {
+        if let Err(e) = table.storage().release(rid) {
+            // The release failpoint sits past the page mutation, so on a
+            // fault only the free-list hint is lost for `rid`. Requeue the
+            // rest (retagged at the current epoch — release is only ever
+            // delayed, never hastened) so a later pass retries them.
+            for rest in pending {
+                table.epochs().retire(rest);
+            }
+            return Err(e.into());
+        }
+        released += 1;
+        wh_obs::counter!("vnl.gc.released").inc();
+    }
+    Ok(released)
 }
 
 /// A background collector: §3.3's "periodically running a process to
@@ -248,6 +296,32 @@ mod tests {
         assert_eq!(report.reclaimed, 1);
         assert_eq!(t.storage().len(), 1);
         assert!(report.bytes_reclaimed > 0);
+    }
+
+    #[test]
+    fn epoch_pin_defers_slot_release_without_blocking_retire() {
+        let t = VnlTable::create(daily_sales_schema(), 2).unwrap();
+        t.load_initial(&[row("San Jose", 1), row("Berkeley", 2)])
+            .unwrap();
+        let txn = t.begin_maintenance().unwrap();
+        txn.delete_row(&row("San Jose", 0)).unwrap();
+        txn.commit().unwrap();
+        // A pinned reader (no session — just the epoch pin, as a scan
+        // holds mid-flight) must not block the logical retire, only the
+        // physical slot release.
+        let pin = t.epochs().pin();
+        let report = collect(&t).unwrap();
+        assert_eq!(report.reclaimed, 1, "retire proceeds under a pin");
+        assert_eq!(report.released, 0, "slot release waits out the pin");
+        assert_eq!(t.retired_backlog(), 1);
+        assert_eq!(t.storage().len(), 1, "retired tuple already invisible");
+        drop(pin);
+        // With the pin gone, the next pass ages the retire past the grace
+        // period and returns the slot to the free list.
+        let report = collect(&t).unwrap();
+        assert_eq!(report.reclaimed, 0);
+        assert_eq!(report.released, 1);
+        assert_eq!(t.retired_backlog(), 0);
     }
 
     #[test]

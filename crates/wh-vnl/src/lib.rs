@@ -42,6 +42,7 @@
 pub mod adapter;
 #[cfg(feature = "failpoints")]
 pub mod crashmatrix;
+pub(crate) mod epoch;
 pub mod error;
 pub mod gc;
 pub mod maintenance;
@@ -59,6 +60,7 @@ pub mod warehouse;
 pub use adapter::VnlStore;
 pub use error::{VnlError, VnlResult};
 pub use maintenance::{MaintenanceTxn, PhysicalAction};
+pub use reader::ScanPipeline;
 pub use reader::{ReadOutcome, ReaderSession};
 pub use recovery::{recover, RecoveryReport};
 pub use resilience::{
@@ -66,7 +68,9 @@ pub use resilience::{
     RetryPolicy, RetryStats,
 };
 pub use rewrite::QueryRewriter;
-pub use scan::{ByteScanner, Classified};
+pub use scan::{
+    BatchClasses, BatchScanner, ByteScanner, Classified, ColumnFilter, FilterOp, StrPool,
+};
 pub use schema_ext::{ExtLayout, StorageOverhead};
 pub use table::VnlTable;
 pub use version::{Operation, VersionNo, VersionState};

@@ -2,6 +2,7 @@
 
 use crate::error::{VnlError, VnlResult};
 use crate::resilience::LeaseId;
+use crate::scan::BatchScanner;
 use crate::table::VnlTable;
 use crate::version::VersionNo;
 use std::sync::Mutex;
@@ -22,6 +23,21 @@ pub enum ReadOutcome {
     Expired,
 }
 
+/// Which scan implementation a session's reads run on. Both produce
+/// identical rows (the property tests in [`crate::scan`] pin them to the
+/// reference extractor); [`ScanPipeline::Scalar`] remains available as the
+/// oracle and for A/B measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanPipeline {
+    /// Per-tuple byte classification under the page latch
+    /// ([`crate::scan::ByteScanner`]).
+    Scalar,
+    /// Page-batched classification over gathered version columns with
+    /// bitmap-selected decode ([`crate::scan::BatchScanner`]).
+    #[default]
+    Batched,
+}
+
 /// A reader session pinned to one database version.
 ///
 /// Throughout its life the session sees the state current as of its
@@ -37,6 +53,8 @@ pub struct ReaderSession<'t> {
     lease: Option<LeaseId>,
     /// Rolling call count behind [`ReaderSession::note_staleness_sampled`].
     staleness_probe: std::sync::atomic::AtomicU32,
+    /// Scan implementation for this session's reads.
+    pipeline: ScanPipeline,
 }
 
 impl<'t> ReaderSession<'t> {
@@ -48,7 +66,18 @@ impl<'t> ReaderSession<'t> {
             finished: false,
             lease: None,
             staleness_probe: std::sync::atomic::AtomicU32::new(0),
+            pipeline: ScanPipeline::default(),
         }
+    }
+
+    /// The scan pipeline this session's reads run on.
+    pub fn pipeline(&self) -> ScanPipeline {
+        self.pipeline
+    }
+
+    /// Switch the scan pipeline (default [`ScanPipeline::Batched`]).
+    pub fn set_pipeline(&mut self, pipeline: ScanPipeline) {
+        self.pipeline = pipeline;
     }
 
     /// The version this session reads.
@@ -166,7 +195,14 @@ impl<'t> ReaderSession<'t> {
         F: FnMut(Row) -> VnlResult<()>,
     {
         self.note_staleness();
-        self.table.scan_visible_with(self.session_vn, None, visit)
+        match self.pipeline {
+            ScanPipeline::Scalar => self.table.scan_visible_with(self.session_vn, None, visit),
+            ScanPipeline::Batched => {
+                let scanner = self.batch_scanner(None);
+                self.table
+                    .scan_visible_batched(&scanner, self.session_vn, visit)
+            }
+        }
     }
 
     /// [`ReaderSession::scan_with`] with projection pushdown: rows carry
@@ -177,8 +213,17 @@ impl<'t> ReaderSession<'t> {
         F: FnMut(Row) -> VnlResult<()>,
     {
         self.note_staleness();
-        self.table
-            .scan_visible_with(self.session_vn, Some(cols), visit)
+        match self.pipeline {
+            ScanPipeline::Scalar => {
+                self.table
+                    .scan_visible_with(self.session_vn, Some(cols), visit)
+            }
+            ScanPipeline::Batched => {
+                let scanner = self.batch_scanner(Some(cols));
+                self.table
+                    .scan_visible_batched(&scanner, self.session_vn, visit)
+            }
+        }
     }
 
     /// Materializing form of [`ReaderSession::scan_projected_with`].
@@ -202,8 +247,17 @@ impl<'t> ReaderSession<'t> {
         F: Fn(usize, Row) -> VnlResult<()> + Sync,
     {
         self.note_staleness();
-        self.table
-            .scan_visible_parallel(threads, self.session_vn, None, visit)
+        match self.pipeline {
+            ScanPipeline::Scalar => {
+                self.table
+                    .scan_visible_parallel(threads, self.session_vn, None, visit)
+            }
+            ScanPipeline::Batched => {
+                let scanner = self.batch_scanner(None);
+                self.table
+                    .scan_visible_batched_parallel(threads, &scanner, self.session_vn, visit)
+            }
+        }
     }
 
     /// [`ReaderSession::scan_parallel`] with projection pushdown.
@@ -217,8 +271,32 @@ impl<'t> ReaderSession<'t> {
         F: Fn(usize, Row) -> VnlResult<()> + Sync,
     {
         self.note_staleness();
-        self.table
-            .scan_visible_parallel(threads, self.session_vn, Some(cols), visit)
+        match self.pipeline {
+            ScanPipeline::Scalar => {
+                self.table
+                    .scan_visible_parallel(threads, self.session_vn, Some(cols), visit)
+            }
+            ScanPipeline::Batched => {
+                let scanner = self.batch_scanner(Some(cols));
+                self.table
+                    .scan_visible_batched_parallel(threads, &scanner, self.session_vn, visit)
+            }
+        }
+    }
+
+    /// Count the rows visible to this session without decoding any of them
+    /// — the batch pipeline's classify-only fast path (a selection bitmap
+    /// popcount per page). Unaffected by [`ReaderSession::set_pipeline`]:
+    /// there is no scalar analogue worth keeping.
+    pub fn count(&self) -> VnlResult<u64> {
+        self.note_staleness();
+        self.table.count_visible(self.session_vn)
+    }
+
+    /// Build this session's batch scanner. `cols = None` decodes the full
+    /// base row; `Some` decodes exactly those columns in that order.
+    fn batch_scanner(&self, cols: Option<&[usize]>) -> BatchScanner {
+        BatchScanner::new(self.table.layout(), self.table.storage().codec(), cols)
     }
 
     /// Point lookup by key (base-schema row whose key columns are set).
@@ -232,6 +310,10 @@ impl<'t> ReaderSession<'t> {
     /// whose indexed columns equal `key` (values in index-column order).
     pub fn lookup_eq(&self, index: &str, key: &[Value]) -> VnlResult<Vec<Row>> {
         self.note_staleness_sampled();
+        // The pin spans probe → resolve: GC may retire a probed tuple in
+        // between, but cannot release (reuse) its slot while we hold the
+        // epoch — the fetch then sees a clean miss, never foreign bytes.
+        let _pin = self.table.epochs().pin();
         let rids = self.table.index_lookup_eq(index, key)?;
         self.resolve_rids(rids)
     }
@@ -245,6 +327,8 @@ impl<'t> ReaderSession<'t> {
         hi: Option<&[Value]>,
     ) -> VnlResult<Vec<Row>> {
         self.note_staleness_sampled();
+        // Pin across probe → resolve; see `lookup_eq`.
+        let _pin = self.table.epochs().pin();
         let rids = self.table.index_lookup_range(index, lo, hi)?;
         self.resolve_rids(rids)
     }
@@ -293,11 +377,12 @@ impl<'t> ReaderSession<'t> {
     /// Like [`ReaderSession::query`] with a pre-parsed statement. The
     /// executor streams straight off the byte-level scan pipeline — WHERE
     /// is applied per tuple as it is extracted, never against a
-    /// materialized snapshot.
+    /// materialized snapshot (and on the batched pipeline, pushable WHERE
+    /// conjuncts run inside the page classify kernel, before decode).
     pub fn query_stmt(&self, select: &SelectStmt) -> VnlResult<QueryResult> {
         self.note_staleness();
-        let source = self.source_for(select)?;
-        let res = execute_select(&source, select, &Params::new());
+        let (source, exec_stmt) = self.source_for(select)?;
+        let res = execute_select(&source, &exec_stmt, &Params::new());
         source.settle(res)
     }
 
@@ -323,20 +408,61 @@ impl<'t> ReaderSession<'t> {
         threads: usize,
     ) -> VnlResult<QueryResult> {
         self.note_staleness();
-        let source = self.source_for(select)?;
-        let res = execute_select_parallel(&source, select, &Params::new(), threads);
+        let (source, exec_stmt) = self.source_for(select)?;
+        let res = execute_select_parallel(&source, &exec_stmt, &Params::new(), threads);
         source.settle(res)
     }
 
-    fn source_for(&self, select: &SelectStmt) -> VnlResult<SessionSource<'_>> {
+    /// Plan a statement against this session: build the scan source and the
+    /// statement the executor should actually run. On the batched pipeline
+    /// the two are planned together — pushable WHERE conjuncts move into
+    /// the scanner's filter kernel (and out of the executor statement), and
+    /// the *residual* statement's referenced columns drive projection
+    /// pushdown, so a column referenced only by pushed filters is never
+    /// decoded at all.
+    fn source_for(&self, select: &SelectStmt) -> VnlResult<(SessionSource<'_>, SelectStmt)> {
         if select.from != self.table.name() {
             return Err(VnlError::Sql(SqlError::NoSuchTable(select.from.clone())));
         }
-        Ok(SessionSource {
-            table: self.table,
-            session_vn: self.session_vn,
-            failure: Mutex::new(None),
-        })
+        let mut exec_stmt = select.clone();
+        let scanner = match self.pipeline {
+            ScanPipeline::Scalar => None,
+            ScanPipeline::Batched => {
+                let layout = self.table.layout();
+                let codec = self.table.storage().codec();
+                let filters: Vec<crate::scan::ColumnFilter> = match &select.where_clause {
+                    Some(pred) => {
+                        let (pushed, residual) =
+                            wh_sql::extract_scan_filters(pred, layout.base_schema());
+                        exec_stmt.where_clause = residual;
+                        pushed.iter().map(kernel_filter).collect()
+                    }
+                    None => Vec::new(),
+                };
+                // Rows keep full base arity (the executor addresses columns
+                // by index) but only the residual statement's referenced
+                // columns decode.
+                Some(match needed_base_cols(&exec_stmt, layout.base_schema()) {
+                    Some(needed) => {
+                        BatchScanner::new_sparse_filtered(layout, codec, &needed, &filters)
+                    }
+                    None if filters.is_empty() => BatchScanner::new(layout, codec, None),
+                    None => {
+                        let all: Vec<usize> = (0..layout.base_schema().arity()).collect();
+                        BatchScanner::new_sparse_filtered(layout, codec, &all, &filters)
+                    }
+                })
+            }
+        };
+        Ok((
+            SessionSource {
+                table: self.table,
+                session_vn: self.session_vn,
+                scanner,
+                failure: Mutex::new(None),
+            },
+            exec_stmt,
+        ))
     }
 
     /// Run a SELECT the way §4 deploys 2VNL on a stock DBMS: **rewrite** the
@@ -397,6 +523,9 @@ impl Drop for ReaderSession<'_> {
 struct SessionSource<'a> {
     table: &'a VnlTable,
     session_vn: VersionNo,
+    /// Batched pipeline: a statement-specific sparse scanner. `None` runs
+    /// the scalar pipeline.
+    scanner: Option<BatchScanner>,
     failure: Mutex<Option<VnlError>>,
 }
 
@@ -441,11 +570,17 @@ impl RowSource for SessionSource<'_> {
     }
 
     fn for_each(&self, visit: &mut dyn FnMut(Row) -> SqlResult<()>) -> SqlResult<()> {
-        self.table
-            .scan_visible_with(self.session_vn, None, |row| {
+        match &self.scanner {
+            Some(scanner) => self
+                .table
+                .scan_visible_batched(scanner, self.session_vn, |row| {
+                    visit(row).map_err(VnlError::Sql)
+                }),
+            None => self.table.scan_visible_with(self.session_vn, None, |row| {
                 visit(row).map_err(VnlError::Sql)
-            })
-            .map_err(|e| self.smuggle(e))
+            }),
+        }
+        .map_err(|e| self.smuggle(e))
     }
 }
 
@@ -455,10 +590,78 @@ impl ParallelRowSource for SessionSource<'_> {
         threads: usize,
         visit: &(dyn Fn(usize, Row) -> SqlResult<()> + Sync),
     ) -> SqlResult<()> {
-        self.table
-            .scan_visible_parallel(threads, self.session_vn, None, |worker, row| {
-                visit(worker, row).map_err(VnlError::Sql)
-            })
-            .map_err(|e| self.smuggle(e))
+        match &self.scanner {
+            Some(scanner) => self.table.scan_visible_batched_parallel(
+                threads,
+                scanner,
+                self.session_vn,
+                |worker, row| visit(worker, row).map_err(VnlError::Sql),
+            ),
+            None => {
+                self.table
+                    .scan_visible_parallel(threads, self.session_vn, None, |worker, row| {
+                        visit(worker, row).map_err(VnlError::Sql)
+                    })
+            }
+        }
+        .map_err(|e| self.smuggle(e))
     }
+}
+
+/// The base-schema columns a SELECT references, for projection pushdown
+/// into the batch decoder. `None` means "decode everything": `SELECT *`
+/// (empty item list), or any name that does not resolve against the base
+/// schema (the executor will fail it with a proper error — the scan must
+/// not mask that by handing back a NULL column).
+/// Translate a planned `wh_sql` scan filter into the kernel's
+/// SQL-type-free form.
+fn kernel_filter(f: &wh_sql::ScanFilter) -> crate::scan::ColumnFilter {
+    use crate::scan::FilterOp as K;
+    crate::scan::ColumnFilter {
+        column: f.column,
+        op: match f.op {
+            wh_sql::FilterOp::Lt => K::Lt,
+            wh_sql::FilterOp::LtEq => K::LtEq,
+            wh_sql::FilterOp::Gt => K::Gt,
+            wh_sql::FilterOp::GtEq => K::GtEq,
+            wh_sql::FilterOp::Eq => K::Eq,
+            wh_sql::FilterOp::NotEq => K::NotEq,
+        },
+        literal: f.literal,
+    }
+}
+
+fn needed_base_cols(select: &SelectStmt, schema: &Schema) -> Option<Vec<usize>> {
+    if select.items.is_empty() {
+        return None;
+    }
+    let mut names = Vec::new();
+    for item in &select.items {
+        item.expr.referenced_columns(&mut names);
+    }
+    if let Some(w) = &select.where_clause {
+        w.referenced_columns(&mut names);
+    }
+    for g in &select.group_by {
+        g.referenced_columns(&mut names);
+    }
+    if let Some(h) = &select.having {
+        h.referenced_columns(&mut names);
+    }
+    for k in &select.order_by {
+        k.expr.referenced_columns(&mut names);
+    }
+    let mut cols = Vec::with_capacity(names.len());
+    for name in &names {
+        match schema.column_index(name) {
+            Ok(i) => {
+                if !cols.contains(&i) {
+                    cols.push(i);
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+    cols.sort_unstable();
+    Some(cols)
 }

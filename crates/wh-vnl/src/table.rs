@@ -80,6 +80,11 @@ pub struct VnlTable {
     /// The cell is a verified kernel (`wh_kernel::adaptive`), explored
     /// exhaustively against the global check by the wh-kernel model suite.
     effective_n: wh_kernel::adaptive::EffectiveWindow,
+    /// Epoch-based reclamation domain: read operations pin an epoch while
+    /// they follow RIDs into the heap; GC retires victims' RIDs and
+    /// releases their slots only after the grace period. See
+    /// [`crate::epoch::EpochDomain`].
+    epochs: crate::epoch::EpochDomain,
 }
 
 impl VnlTable {
@@ -159,6 +164,7 @@ impl VnlTable {
             expired_notifications: AtomicU64::new(0),
             indexes: RwLock::new(Vec::new()),
             effective_n: wh_kernel::adaptive::EffectiveWindow::new(n),
+            epochs: crate::epoch::EpochDomain::new(),
         })
     }
 
@@ -200,6 +206,17 @@ impl VnlTable {
     /// The query rewriter configured for this table's layout (§4).
     pub fn rewriter(&self) -> &QueryRewriter {
         &self.rewriter
+    }
+
+    /// The table's epoch-reclamation domain (pins, retires, releases).
+    pub(crate) fn epochs(&self) -> &crate::epoch::EpochDomain {
+        &self.epochs
+    }
+
+    /// Retired tuples still waiting out their epoch grace period before
+    /// their slots can be reused (GC telemetry).
+    pub fn retired_backlog(&self) -> usize {
+        self.epochs.backlog()
     }
 
     /// Bulk-load rows before the warehouse goes live: tuples are stamped
@@ -380,6 +397,9 @@ impl VnlTable {
         if self.key_dir.is_none() {
             return Err(VnlError::KeyRequired("point lookup"));
         }
+        // The pin spans probe → fetch: GC may retire the tuple between the
+        // two, but cannot release (reuse) its slot while we hold the epoch.
+        let _pin = self.epochs.pin();
         let Some(rid) = self.find_physical(&self.base_to_ext_positions(key_row)) else {
             self.fence_check(session_vn)?;
             return Ok(None);
@@ -436,6 +456,7 @@ impl VnlTable {
     {
         let codec = self.storage.codec();
         let scanner = crate::scan::ByteScanner::new(&self.layout, codec, projection);
+        let _pin = self.epochs.pin();
         let mut failure: Option<VnlError> = None;
         let res = self.storage.heap().scan(|_, buf| {
             match scanner.classify(buf, session_vn) {
@@ -481,6 +502,10 @@ impl VnlTable {
     {
         let codec = self.storage.codec();
         let scanner = crate::scan::ByteScanner::new(&self.layout, codec, projection);
+        // One pin covers every worker: it is held by the coordinator for
+        // the whole parallel scan, so any RID a worker observes stays
+        // un-reused until the scan returns.
+        let _pin = self.epochs.pin();
         let failure: Mutex<Option<VnlError>> = Mutex::new(None);
         let failed = std::sync::atomic::AtomicBool::new(false);
         let fail = |e: VnlError| {
@@ -524,6 +549,160 @@ impl VnlTable {
                 .unwrap_or_else(std::sync::PoisonError::into_inner),
         )?;
         self.fence_check(session_vn)
+    }
+
+    /// Batched twin of [`VnlTable::scan_visible_with`], driven by a
+    /// prebuilt [`crate::scan::BatchScanner`]: the heap copies each page's
+    /// live records out under a short latch hold and gathers their version
+    /// fields into column-strided arrays, the scanner classifies the whole
+    /// page branch-free into a selection bitmap, and only selected records
+    /// are decoded. Same Table 1 semantics (including per-tuple expiration)
+    /// as the scalar path — the property tests in [`crate::scan`] hold the
+    /// two to exact agreement.
+    pub(crate) fn scan_visible_batched<F>(
+        &self,
+        scanner: &crate::scan::BatchScanner,
+        session_vn: VersionNo,
+        mut visit: F,
+    ) -> VnlResult<()>
+    where
+        F: FnMut(Row) -> VnlResult<()>,
+    {
+        let _pin = self.epochs.pin();
+        let mut failure: Option<VnlError> = None;
+        let mut classes = crate::scan::BatchClasses::default();
+        let mut pool = scanner.new_pool();
+        let heap = self.storage.heap();
+        let res = heap.scan_batches(0..heap.page_count(), scanner.specs(), |batch| {
+            scanner.classify_batch(batch, session_vn, &mut classes);
+            note_batch_metrics(batch.len(), classes.selected());
+            for (i, &code) in classes.codes().iter().enumerate() {
+                match code {
+                    crate::scan::Classified::Ignore => {}
+                    crate::scan::Classified::Expired => {
+                        failure = Some(self.expired_error(session_vn));
+                    }
+                    which => match scanner.decode_visible(batch, i, which, &mut pool) {
+                        Ok(row) => {
+                            if let Err(e) = visit(row) {
+                                failure = Some(e);
+                            }
+                        }
+                        Err(e) => failure = Some(e.into()),
+                    },
+                }
+                if failure.is_some() {
+                    return Err(wh_storage::StorageError::ScanAborted);
+                }
+            }
+            Ok(())
+        });
+        self.settle_scan(res, failure)?;
+        self.fence_check(session_vn)
+    }
+
+    /// Parallel twin of [`VnlTable::scan_visible_batched`]: contiguous page
+    /// partitions, one batch in flight per worker, first failure aborts all
+    /// partitions (same contract as [`VnlTable::scan_visible_parallel`]).
+    pub(crate) fn scan_visible_batched_parallel<F>(
+        &self,
+        threads: usize,
+        scanner: &crate::scan::BatchScanner,
+        session_vn: VersionNo,
+        visit: F,
+    ) -> VnlResult<()>
+    where
+        F: Fn(usize, Row) -> VnlResult<()> + Sync,
+    {
+        // One pin covers every worker, exactly as in the scalar parallel
+        // scan.
+        let _pin = self.epochs.pin();
+        // One interning pool per worker, locked once per batch — the lock
+        // is uncontended (each worker only ever takes its own) but keeps
+        // the visit closure shareable as `scan_batches_parallel` requires.
+        let pools: Vec<Mutex<crate::scan::StrPool>> = (0..threads.max(1))
+            .map(|_| Mutex::new(scanner.new_pool()))
+            .collect();
+        let failure: Mutex<Option<VnlError>> = Mutex::new(None);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let fail = |e: VnlError| {
+            let mut slot = failure
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+            failed.store(true, Ordering::Release); // ordering: Release — publishes the stashed error before the flag its reader Acquires
+        };
+        let res =
+            self.storage
+                .heap()
+                .scan_batches_parallel(threads, scanner.specs(), |worker, batch| {
+                    let mut classes = crate::scan::BatchClasses::default();
+                    scanner.classify_batch(batch, session_vn, &mut classes);
+                    note_batch_metrics(batch.len(), classes.selected());
+                    let mut pool = pools[worker % pools.len()]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    for (i, &code) in classes.codes().iter().enumerate() {
+                        match code {
+                            crate::scan::Classified::Ignore => {}
+                            crate::scan::Classified::Expired => {
+                                fail(self.expired_error(session_vn));
+                            }
+                            which => match scanner.decode_visible(batch, i, which, &mut pool) {
+                                Ok(row) => {
+                                    if let Err(e) = visit(worker, row) {
+                                        fail(e);
+                                    }
+                                }
+                                Err(e) => fail(e.into()),
+                            },
+                        }
+                        // ordering: Acquire — pairs with the workers' Release store publishing the stashed error
+                        if failed.load(Ordering::Acquire) {
+                            return Err(wh_storage::StorageError::ScanAborted);
+                        }
+                    }
+                    Ok(())
+                });
+        self.settle_scan(
+            res,
+            failure
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        )?;
+        self.fence_check(session_vn)
+    }
+
+    /// Count the tuples visible to `session_vn` without decoding any of
+    /// them: the classify-only fast path the selection bitmap makes
+    /// possible. Expiration detection is identical to a full scan.
+    pub(crate) fn count_visible(&self, session_vn: VersionNo) -> VnlResult<u64> {
+        let scanner =
+            crate::scan::BatchScanner::new_sparse(&self.layout, self.storage.codec(), &[]);
+        let _pin = self.epochs.pin();
+        let mut failure: Option<VnlError> = None;
+        let mut classes = crate::scan::BatchClasses::default();
+        let mut count = 0u64;
+        let heap = self.storage.heap();
+        let res = heap.scan_batches(0..heap.page_count(), scanner.specs(), |batch| {
+            scanner.classify_batch(batch, session_vn, &mut classes);
+            note_batch_metrics(batch.len(), classes.selected());
+            if classes
+                .codes()
+                .iter()
+                .any(|c| matches!(c, crate::scan::Classified::Expired))
+            {
+                failure = Some(self.expired_error(session_vn));
+                return Err(wh_storage::StorageError::ScanAborted);
+            }
+            count += classes.selected() as u64;
+            Ok(())
+        });
+        self.settle_scan(res, failure)?;
+        self.fence_check(session_vn)?;
+        Ok(count)
     }
 
     /// Resolve a heap-scan result against an error stashed by the visitor:
@@ -705,6 +884,17 @@ impl VnlTable {
         }
         ext
     }
+}
+
+/// Per-page batch telemetry: batch-size distribution and selection-bitmap
+/// density. Recorded once per *page* (never per row), so the E20
+/// observability-overhead gate is unaffected.
+fn note_batch_metrics(rows: usize, selected: usize) {
+    if !wh_obs::is_enabled() || rows == 0 {
+        return;
+    }
+    wh_obs::histogram!("vnl.scan.batch_rows").record(rows as u64);
+    wh_obs::histogram!("vnl.scan.batch_selectivity_pct").record((selected * 100 / rows) as u64);
 }
 
 impl std::fmt::Debug for VnlTable {

@@ -57,7 +57,7 @@ impl Operation {
 
     /// The stored code as a [`Value`].
     pub fn value(&self) -> Value {
-        Value::Str(self.code().to_string())
+        Value::Str(self.code().into())
     }
 
     /// Decode a stored code.

@@ -9,7 +9,7 @@ use std::sync::Mutex;
 use wh_sql::Params;
 use wh_types::rng::SplitMix64;
 use wh_types::{Column, DataType, Row, Schema, Value};
-use wh_vnl::{gc, VnlError, VnlTable};
+use wh_vnl::{gc, ScanPipeline, VnlError, VnlTable};
 
 fn kv_schema() -> Schema {
     Schema::with_key_names(
@@ -71,11 +71,17 @@ fn random_history_agrees(seed: u64, n: usize, generations: usize) {
         sessions.push(t.begin_session());
     }
 
-    for s in sessions {
+    for mut s in sessions {
+        // The scalar (byte-at-a-time) pipeline is the oracle; the batched
+        // pipeline must agree with it verdict-for-verdict, rows included.
+        s.set_pipeline(ScanPipeline::Scalar);
         let serial = match s.scan() {
             Ok(rows) => rows,
             Err(VnlError::SessionExpired { .. }) => {
-                // Expired serially must expire in parallel too.
+                // Expired on the scalar path must expire everywhere.
+                s.set_pipeline(ScanPipeline::Batched);
+                assert!(matches!(s.scan(), Err(VnlError::SessionExpired { .. })));
+                assert!(matches!(s.count(), Err(VnlError::SessionExpired { .. })));
                 for threads in [2, 4] {
                     assert!(matches!(
                         collect_parallel(&s, threads),
@@ -87,6 +93,19 @@ fn random_history_agrees(seed: u64, n: usize, generations: usize) {
             Err(e) => panic!("serial scan failed: {e}"),
         };
         let serial_canon = canon(serial.clone());
+        s.set_pipeline(ScanPipeline::Batched);
+        assert_eq!(
+            canon(s.scan().unwrap()),
+            serial_canon,
+            "batched scan diverged: seed={seed} n={n} vn={}",
+            s.session_vn()
+        );
+        assert_eq!(
+            s.count().unwrap() as usize,
+            serial.len(),
+            "classify-only count diverged: seed={seed} n={n} vn={}",
+            s.session_vn()
+        );
         for threads in [1, 2, 4, 7] {
             let parallel = collect_parallel(&s, threads).unwrap();
             assert_eq!(
@@ -123,6 +142,27 @@ fn random_history_agrees(seed: u64, n: usize, generations: usize) {
             s.query(q).unwrap(),
             s.query_parallel(q, 4).unwrap(),
             "seed={seed} vn={}",
+            s.session_vn()
+        );
+        // WHERE pushdown: on the batched pipeline both conjuncts run
+        // inside the classify kernel (v is updatable, so Pre(j) records
+        // test their pre-update image); the scalar pipeline evaluates the
+        // same predicate in the executor. Row sets must match exactly.
+        let filtered = "SELECT k, v FROM kv WHERE v >= 3 AND k < 30";
+        let pushed_serial = s.query(filtered).unwrap();
+        let pushed_parallel = s.query_parallel(filtered, 4).unwrap();
+        s.set_pipeline(ScanPipeline::Scalar);
+        let oracle = s.query(filtered).unwrap();
+        assert_eq!(
+            canon(pushed_serial.rows),
+            canon(oracle.rows.clone()),
+            "pushdown diverged: seed={seed} n={n} vn={}",
+            s.session_vn()
+        );
+        assert_eq!(
+            canon(pushed_parallel.rows),
+            canon(oracle.rows),
+            "parallel pushdown diverged: seed={seed} n={n} vn={}",
             s.session_vn()
         );
     }
