@@ -17,6 +17,8 @@
 //!   `wh_storage`'s heap).
 //! * [`epoch`] — epoch-based reclamation: reader pins, grace-period
 //!   detection, and deferred retire lists (wrapped by `wh_vnl::gc`).
+//! * [`pool`] — buffer-pool frame state: dirty/referenced bits and the
+//!   clock-eviction verdict (wrapped by `wh_storage`'s buffer pool).
 //!
 //! Everything synchronizes through the [`sync`] shim: `std::sync` by
 //! default, `wh_model`'s checked types under the `model` feature, which
@@ -27,5 +29,6 @@ pub mod adaptive;
 pub mod epoch;
 pub mod latch;
 pub mod lease;
+pub mod pool;
 pub mod sync;
 pub mod version;

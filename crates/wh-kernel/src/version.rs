@@ -71,6 +71,31 @@ impl VersionCore {
         }
     }
 
+    /// Resume state persisted by a checkpoint: seed `currentVN`, the
+    /// `maintenanceActive` flag, and the recovery fence exactly as the
+    /// checkpoint recorded them. The §7 disk-recovery pass starts from
+    /// here — a checkpoint taken mid-maintenance resumes with the flag
+    /// still set, and the slot-reconstruction pass clears it.
+    ///
+    /// Lives in this crate (not the wrapper) because `recovery_floor` is
+    /// deliberately unreachable from outside — the version-encapsulation
+    /// lint enforces that — and a seeded floor is still a *raise* from the
+    /// fence's point of view: it is monotone from the persisted value on.
+    pub fn resume(
+        current_vn: VersionNo,
+        maintenance_active: bool,
+        recovery_floor: VersionNo,
+    ) -> Self {
+        VersionCore {
+            inner: Mutex::new(Inner {
+                current_vn,
+                maintenance_active,
+            }),
+            current_vn_relaxed: AtomicU64::new(current_vn),
+            recovery_floor: AtomicU64::new(recovery_floor.max(1)),
+        }
+    }
+
     /// Take the latch, recovering from poison: version mutations are
     /// multi-field but a panic between them leaves values a recovering
     /// process can still read (the crash matrix proves it), so readers must

@@ -19,6 +19,7 @@ use wh_kernel::adaptive::EffectiveWindow;
 use wh_kernel::epoch::{EpochCore, RetireList};
 use wh_kernel::latch::{read_latch, write_latch};
 use wh_kernel::lease::LeaseCore;
+use wh_kernel::pool::{EvictVerdict, FrameCore};
 use wh_kernel::sync::atomic::{AtomicU64, Ordering};
 use wh_kernel::sync::RwLock;
 use wh_kernel::version::VersionCore;
@@ -348,6 +349,199 @@ fn epoch_advance_never_outruns_a_pin_by_two() {
         drop(pin);
         assert!(core.try_advance().is_some(), "idle core advances freely");
     }));
+}
+
+/// A model of one buffer-pool frame, mirroring `wh_storage::bufpool`'s
+/// protocol exactly: the frame state latch guards an `Option<Arc<page>>`,
+/// a pin is an `Arc` clone taken under the state read latch, eviction
+/// holds the state write latch and consults [`FrameCore::evict_verdict`]
+/// with `pins = strong_count − 2` (the state's copy plus the evictor's
+/// local clone), and a dirty frame is flushed — under the same state
+/// latch, with the `clear_dirty` swap as the exactly-one-flusher claim —
+/// before its page is dropped.
+struct FrameModel {
+    state: RwLock<Option<Arc<RwLock<u64>>>>,
+    core: FrameCore,
+    disk: RwLock<u64>,
+}
+
+impl FrameModel {
+    fn resident(v: u64) -> Self {
+        FrameModel {
+            state: RwLock::new(Some(Arc::new(RwLock::new(v)))),
+            core: FrameCore::new(),
+            disk: RwLock::new(v),
+        }
+    }
+
+    /// Pin the page, faulting it in from "disk" if evicted — the
+    /// production `fetch` path.
+    fn pin(&self) -> Arc<RwLock<u64>> {
+        if let Some(page) = read_latch(&self.state).as_ref().map(Arc::clone) {
+            self.core.mark_referenced();
+            return page;
+        }
+        let mut state = write_latch(&self.state);
+        if let Some(page) = state.as_ref().map(Arc::clone) {
+            // Lost the fault-in race; the other thread's copy wins.
+            self.core.mark_referenced();
+            return page;
+        }
+        let page = Arc::new(RwLock::new(*read_latch(&self.disk)));
+        *state = Some(Arc::clone(&page));
+        self.core.clear_dirty();
+        self.core.mark_referenced();
+        page
+    }
+
+    /// Write through a pin — the production heap write sites: mutate under
+    /// the page write latch and mark the frame dirty while it is held.
+    fn write(&self, pin: &Arc<RwLock<u64>>, v: u64) {
+        let mut g = write_latch(pin);
+        *g = v;
+        self.core.mark_dirty();
+    }
+
+    /// Production eviction: verdict under the state write latch, flush
+    /// before release.
+    fn try_evict(&self) -> bool {
+        let mut state = write_latch(&self.state);
+        let Some(page) = state.as_ref().map(Arc::clone) else {
+            return false;
+        };
+        let pins = Arc::strong_count(&page) - 2;
+        match self.core.evict_verdict(pins) {
+            EvictVerdict::Pinned | EvictVerdict::SecondChance => false,
+            EvictVerdict::MustFlush => {
+                let v = *read_latch(&page);
+                if self.core.clear_dirty() {
+                    *write_latch(&self.disk) = v;
+                }
+                drop(page);
+                *state = None;
+                true
+            }
+            EvictVerdict::Clean => {
+                drop(page);
+                *state = None;
+                true
+            }
+        }
+    }
+
+    /// The value an observer would see: the resident page if there is one,
+    /// the disk image otherwise.
+    fn visible(&self) -> u64 {
+        match read_latch(&self.state).as_ref() {
+            Some(page) => *read_latch(page),
+            None => *read_latch(&self.disk),
+        }
+    }
+}
+
+/// Buffer-pool kernel: a pinned page is never evicted. Whatever the
+/// interleaving of a reader's pin against a clock-sweep eviction, the
+/// reader's pin stays the frame's one true copy — if the frame is
+/// resident while the pin is held, it is the *same* `Arc`, so no
+/// fault-in can create a divergent second copy of the page.
+#[test]
+fn pool_pinned_page_is_never_evicted() {
+    let report = ok(try_model(builder(), || {
+        let frame = Arc::new(FrameModel::resident(10));
+        let f2 = Arc::clone(&frame);
+        let evictor = wh_model::thread::spawn(move || {
+            // Two sweeps: the first may be refused by the second-chance
+            // bit, the second by the pin — never by anything else.
+            f2.try_evict();
+            f2.try_evict();
+        });
+        let pin = frame.pin();
+        assert_eq!(*read_latch(&pin), 10, "pinned reader saw torn content");
+        if let Some(resident) = read_latch(&frame.state).as_ref() {
+            assert!(
+                Arc::ptr_eq(resident, &pin),
+                "a pinned page was evicted and refaulted as a second copy"
+            );
+        }
+        drop(pin);
+        evictor.join().unwrap();
+        assert_eq!(frame.visible(), 10);
+    }));
+    assert!(report.iterations > 10, "expected a real interleaving space");
+}
+
+/// Buffer-pool kernel: a dirty page is never dropped without a flush. A
+/// writer dirties the page through its pin while an evictor sweeps; in
+/// every interleaving the acknowledged write survives — resident or
+/// flushed — and once the frame is finally evicted the disk image holds
+/// it.
+#[test]
+fn pool_dirty_page_never_dropped_without_flush() {
+    ok(try_model(builder(), || {
+        let frame = Arc::new(FrameModel::resident(10));
+        let f2 = Arc::clone(&frame);
+        let evictor = wh_model::thread::spawn(move || {
+            f2.try_evict();
+            f2.try_evict();
+        });
+        let pin = frame.pin();
+        frame.write(&pin, 20);
+        drop(pin);
+        evictor.join().unwrap();
+        assert_eq!(frame.visible(), 20, "an acknowledged write was lost");
+        // Dirty implies resident: the only transition that clears
+        // residency flushes first.
+        if frame.core.is_dirty() {
+            assert!(
+                read_latch(&frame.state).is_some(),
+                "dirty frame lost its page"
+            );
+        }
+        // Drain the frame (second chance, then flush-evict): the write
+        // must now be on disk.
+        frame.try_evict();
+        frame.try_evict();
+        assert!(read_latch(&frame.state).is_none(), "unpinned frame evicts");
+        assert_eq!(*read_latch(&frame.disk), 20, "flush-before-release lost");
+    }));
+}
+
+/// Regression model of drop-without-flush: an eviction sweep that treats
+/// "unpinned" as "reclaimable" — skipping the verdict's `MustFlush` arm,
+/// the pre-pool behaviour where all state was memory-resident and nothing
+/// was lost by dropping — silently discards a committed write. The
+/// checker must find that interleaving.
+#[test]
+fn pool_drop_without_flush_is_caught() {
+    let failure = try_model(builder(), || {
+        let frame = Arc::new(FrameModel::resident(10));
+        let f2 = Arc::clone(&frame);
+        let evictor = wh_model::thread::spawn(move || {
+            // Pre-fix sweep: anything unpinned is dropped, dirty or not.
+            let mut state = write_latch(&f2.state);
+            if let Some(page) = state.as_ref().map(Arc::clone) {
+                let pins = Arc::strong_count(&page) - 2;
+                if f2.core.evict_verdict(pins) != EvictVerdict::Pinned {
+                    drop(page);
+                    *state = None;
+                }
+            }
+        });
+        let pin = frame.pin();
+        frame.write(&pin, 20);
+        drop(pin);
+        evictor.join().unwrap();
+        assert_eq!(
+            frame.visible(),
+            20,
+            "a dirty page was dropped without flush"
+        );
+    })
+    .expect_err("drop-without-flush must have a failing interleaving");
+    assert!(
+        failure.message.contains("dropped without flush"),
+        "unexpected failure: {failure}"
+    );
 }
 
 /// Lease kernel: concurrent registrations never collide on an ID.

@@ -35,6 +35,13 @@ pub enum StorageError {
     /// An armed failpoint injected a fault at the named site (fault-injection
     /// testing only; sites compile in under the `failpoints` feature).
     FaultInjected(&'static str),
+    /// An operating-system I/O error from the durability tier. Carries the
+    /// rendered message because `std::io::Error` is neither `Clone` nor `Eq`.
+    Io(String),
+    /// On-disk bytes failed validation (bad magic, checksum mismatch, header
+    /// inconsistency, truncated region). Shadow-paired page blocks mean a
+    /// *torn* write never surfaces as this — both copies corrupt does.
+    Corrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -56,7 +63,16 @@ impl fmt::Display for StorageError {
             StorageError::FaultInjected(point) => {
                 write!(f, "injected fault at failpoint '{point}'")
             }
+            StorageError::Io(msg) => write!(f, "storage I/O error: {msg}"),
+            StorageError::Corrupt(msg) => write!(f, "on-disk corruption: {msg}"),
         }
+    }
+}
+
+impl StorageError {
+    /// Render an OS error into the `Clone + Eq` world of [`StorageError`].
+    pub(crate) fn io(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
     }
 }
 

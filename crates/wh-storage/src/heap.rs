@@ -1,9 +1,12 @@
 //! Heap files: growable collections of latched pages.
 
 use crate::batch::{FieldSpec, RecordBatch};
+use crate::bufpool::{BufferPool, PagePin};
+use crate::checkpoint::{CheckpointMeta, CheckpointStats, VersionMeta};
 use crate::error::{StorageError, StorageResult};
 use crate::iostats::IoStats;
-use crate::page::{Page, Rid};
+use crate::page::Rid;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::sync::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 // Latch acquisition is a verified kernel: `wh_kernel::latch` is the same
@@ -23,7 +26,16 @@ pub const FAILPOINTS: &[&str] = &[
     "storage.heap.modify",
     "storage.heap.delete",
     "storage.heap.free_space",
+    "storage.disk.read",
+    "storage.disk.write",
+    "storage.pool.evict",
+    "storage.pool.flush",
+    "storage.ckpt.begin",
+    "storage.ckpt.meta",
 ];
+
+/// File name of the page file within a durable heap's directory.
+pub const PAGES_FILE: &str = "pages.whd";
 
 /// [`read_latch`] with contention telemetry for page latches: uncontended
 /// acquisitions take the `try_read` fast path and never touch the clock;
@@ -81,7 +93,12 @@ fn write_latch_contended<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 /// Every page visit is counted against the shared [`IoStats`].
 pub struct HeapFile {
     record_len: usize,
-    pages: RwLock<Vec<Arc<RwLock<Page>>>>,
+    /// Every page access goes through the pool: an unbounded never-evicting
+    /// map in memory, a real pin/evict/fault-in pool when disk-backed.
+    pool: BufferPool,
+    /// Durable heap's directory (page file + checkpoint record); `None` in
+    /// memory.
+    dir: Option<PathBuf>,
     /// Pages that may have free slots; checked before allocating a new page.
     free_pages: Mutex<Vec<u32>>,
     stats: Arc<IoStats>,
@@ -92,15 +109,125 @@ pub struct HeapFile {
 impl HeapFile {
     /// Create an empty heap file for records of `record_len` bytes.
     pub fn new(record_len: usize, stats: Arc<IoStats>) -> StorageResult<Self> {
-        // Validate the width eagerly by building (and discarding) a page.
-        Page::new(record_len)?;
         Ok(HeapFile {
             record_len,
-            pages: RwLock::new(Vec::new()),
+            pool: BufferPool::in_memory(record_len)?,
+            dir: None,
             free_pages: Mutex::new(Vec::new()),
             stats,
             op_probe: std::sync::atomic::AtomicU32::new(0),
         })
+    }
+
+    /// Create an empty disk-backed heap in `dir` (created if absent), with
+    /// at most `capacity` pages resident in the buffer pool.
+    pub fn create_backed(
+        record_len: usize,
+        dir: &Path,
+        capacity: usize,
+        stats: Arc<IoStats>,
+    ) -> StorageResult<Self> {
+        std::fs::create_dir_all(dir).map_err(StorageError::io)?;
+        Ok(HeapFile {
+            record_len,
+            pool: BufferPool::create_backed(record_len, &dir.join(PAGES_FILE), capacity)?,
+            dir: Some(dir.to_path_buf()),
+            free_pages: Mutex::new(Vec::new()),
+            stats,
+            op_probe: std::sync::atomic::AtomicU32::new(0),
+        })
+    }
+
+    /// Reopen a disk-backed heap from its directory. The heap is sized from
+    /// the page-**file** length (not the checkpoint record — pages
+    /// allocated after the last checkpoint may have been stolen to disk and
+    /// still need the §7 rollback pass). The free list is rebuilt by
+    /// faulting every page in once.
+    pub fn open_backed(
+        record_len: usize,
+        dir: &Path,
+        capacity: usize,
+        stats: Arc<IoStats>,
+    ) -> StorageResult<Self> {
+        let heap = HeapFile {
+            record_len,
+            pool: BufferPool::open_backed(record_len, &dir.join(PAGES_FILE), capacity)?,
+            dir: Some(dir.to_path_buf()),
+            free_pages: Mutex::new(Vec::new()),
+            stats,
+            op_probe: std::sync::atomic::AtomicU32::new(0),
+        };
+        let mut free = Vec::new();
+        for page_no in 0..heap.pool.page_count() {
+            let pin = heap.pool.fetch(page_no)?;
+            if read_latch(&pin).has_room() {
+                free.push(page_no);
+            }
+        }
+        *lock_list(&heap.free_pages) = free;
+        Ok(heap)
+    }
+
+    /// Whether this heap persists pages to disk.
+    pub fn is_durable(&self) -> bool {
+        self.pool.is_backed()
+    }
+
+    /// The buffer pool (telemetry/tests: residency, evict-all).
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Flush every dirty page to the page file; returns pages written.
+    pub fn flush_all(&self) -> StorageResult<u64> {
+        self.pool.flush_all()
+    }
+
+    /// Evict every unpinned page (flushing dirty ones first) — the full
+    /// evict/reload cycle on demand, for tests and the crash matrix.
+    pub fn evict_all(&self) -> StorageResult<u64> {
+        self.pool.evict_all()
+    }
+
+    /// Take a fuzzy checkpoint: flush all dirty pages, fsync the page file,
+    /// then atomically publish the checkpoint record carrying `version` —
+    /// the version globals the caller captured **before** calling (the
+    /// begin snapshot). Any maintenance work that lands on disk during the
+    /// flush carries `tupleVN` above that snapshot and is §7-rolled-back on
+    /// recovery, so no quiescing is needed.
+    pub fn checkpoint(&self, version: VersionMeta) -> StorageResult<CheckpointStats> {
+        fail_point!("storage.ckpt.begin");
+        let dir = self.dir.as_ref().ok_or_else(|| {
+            StorageError::Corrupt("checkpoint requested on an in-memory heap".into())
+        })?;
+        let timer = wh_obs::Timer::start();
+        let pages_flushed = self.pool.flush_all()?;
+        self.pool.sync()?;
+        let meta = CheckpointMeta {
+            current_vn: version.current_vn,
+            maintenance_active: version.maintenance_active,
+            // lint: allow(version-encapsulation) — VersionMeta POD field, not the kernel atomic
+            recovery_floor: version.recovery_floor,
+            gc_horizon: version.gc_horizon,
+            page_count: self.pool.page_count(),
+            record_len: self.record_len as u32,
+        };
+        meta.write(dir)?;
+        wh_obs::counter!("storage.ckpt.completed").inc();
+        wh_obs::histogram!("storage.ckpt.ns").record(timer.elapsed_ns());
+        wh_obs::histogram!("storage.ckpt.pages_flushed").record(pages_flushed);
+        Ok(CheckpointStats {
+            pages_flushed,
+            checkpoint_vn: version.current_vn,
+        })
+    }
+
+    /// Load this heap's checkpoint record (durable heaps only).
+    pub fn read_checkpoint(&self) -> StorageResult<CheckpointMeta> {
+        let dir = self.dir.as_ref().ok_or_else(|| {
+            StorageError::Corrupt("no checkpoint record on an in-memory heap".into())
+        })?;
+        CheckpointMeta::read(dir)
     }
 
     /// Record width stored by this file.
@@ -115,13 +242,16 @@ impl HeapFile {
 
     /// Number of allocated pages.
     pub fn page_count(&self) -> u32 {
-        read_latch(&self.pages).len() as u32
+        self.pool.page_count()
     }
 
-    /// Number of live records.
+    /// Number of live records. On a disk-backed heap this faults evicted
+    /// pages in; I/O errors read as zero live records for that page.
     pub fn len(&self) -> u64 {
-        let pages = read_latch(&self.pages);
-        pages.iter().map(|p| read_latch(p).live() as u64).sum()
+        (0..self.pool.page_count())
+            .filter_map(|page_no| self.pool.fetch(page_no).ok())
+            .map(|pin| u64::from(read_latch(&pin).live()))
+            .sum()
     }
 
     /// Whether the file holds no live records.
@@ -141,12 +271,9 @@ impl HeapFile {
                 .is_multiple_of(16)
     }
 
-    fn page(&self, page_no: u32) -> StorageResult<Arc<RwLock<Page>>> {
+    fn page(&self, page_no: u32) -> StorageResult<PagePin> {
         fail_point!("storage.heap.latch");
-        read_latch(&self.pages)
-            .get(page_no as usize)
-            .cloned()
-            .ok_or(StorageError::NoSuchPage(page_no))
+        self.pool.fetch(page_no)
     }
 
     /// Publish the current free-list size to `storage.heap.free_pages`
@@ -168,6 +295,7 @@ impl HeapFile {
                 let mut guard = write_latch_timed(&page);
                 self.stats.count_page_reads(1);
                 if let Some(slot) = guard.insert(record)? {
+                    page.mark_dirty();
                     self.stats.count_page_writes(1);
                     self.stats.count_tuple_writes(1);
                     if !guard.has_room() {
@@ -185,10 +313,7 @@ impl HeapFile {
                 continue;
             }
             // Allocate a new page.
-            let mut pages = write_latch(&self.pages);
-            let page_no = pages.len() as u32;
-            pages.push(Arc::new(RwLock::new(Page::new(self.record_len)?)));
-            drop(pages);
+            let page_no = self.pool.allocate()?;
             wh_obs::counter!("storage.heap.page_allocs").inc();
             let mut free = lock_list(&self.free_pages);
             free.push(page_no);
@@ -221,6 +346,7 @@ impl HeapFile {
         let mut guard = write_latch_timed(&page);
         self.stats.count_page_reads(1);
         guard.update_in_place(rid.page, rid.slot, record)?;
+        page.mark_dirty();
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
         drop(guard);
@@ -252,6 +378,7 @@ impl HeapFile {
         fail_point!("storage.heap.modify");
         let replacement = f(&current)?;
         guard.update_in_place(rid.page, rid.slot, &replacement)?;
+        page.mark_dirty();
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
         drop(guard);
@@ -295,6 +422,7 @@ impl HeapFile {
             return Ok(false);
         }
         guard.delete(rid.page, rid.slot)?;
+        page.mark_dirty();
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
         then();
@@ -335,6 +463,7 @@ impl HeapFile {
             return Ok(false);
         }
         guard.retire(rid.page, rid.slot)?;
+        page.mark_dirty();
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
         then();
@@ -352,6 +481,7 @@ impl HeapFile {
         let page = self.page(rid.page)?;
         let mut guard = write_latch_timed(&page);
         guard.release(rid.page, rid.slot)?;
+        page.mark_dirty();
         drop(guard);
         fail_point!("storage.heap.free_space");
         let mut free = lock_list(&self.free_pages);
@@ -370,6 +500,7 @@ impl HeapFile {
         let mut guard = write_latch_timed(&page);
         self.stats.count_page_reads(1);
         guard.delete(rid.page, rid.slot)?;
+        page.mark_dirty();
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
         drop(guard);
@@ -412,21 +543,24 @@ impl HeapFile {
     where
         F: FnMut(Rid, &[u8]) -> StorageResult<()>,
     {
-        let page_handles: Vec<(u32, Arc<RwLock<Page>>)> = {
-            let pages = read_latch(&self.pages);
-            let end = (range.end as usize).min(pages.len());
-            let start = (range.start as usize).min(end);
-            pages[start..end]
-                .iter()
-                .enumerate()
-                .map(|(i, p)| ((start + i) as u32, Arc::clone(p)))
-                .collect()
-        };
+        // Clamp once up front (pages grow-only, so the bound stays valid),
+        // then pin each page *lazily* inside the loop: pinning the whole
+        // range at once would wedge a bounded buffer pool — a partition
+        // larger than pool capacity could never fault its tail in.
+        let end = range.end.min(self.pool.page_count());
+        let start = range.start.min(end);
         let op = wh_obs::Timer::start();
         let mut page_reads = 0u64;
         let mut tuple_reads = 0u64;
         let mut result = Ok(());
-        'pages: for (page_no, page) in page_handles {
+        'pages: for page_no in start..end {
+            let page = match self.pool.fetch(page_no) {
+                Ok(page) => page,
+                Err(e) => {
+                    result = Err(e);
+                    break 'pages;
+                }
+            };
             let guard = read_latch_timed(&page);
             page_reads += 1;
             for (slot, rec) in guard.iter() {
@@ -500,26 +634,27 @@ impl HeapFile {
         for spec in specs {
             spec.validate(self.record_len)?;
         }
-        let page_handles: Vec<(u32, Arc<RwLock<Page>>)> = {
-            let pages = read_latch(&self.pages);
-            let end = (range.end as usize).min(pages.len());
-            let start = (range.start as usize).min(end);
-            pages[start..end]
-                .iter()
-                .enumerate()
-                .map(|(i, p)| ((start + i) as u32, Arc::clone(p)))
-                .collect()
-        };
+        // Lazy per-page pinning, as in [`Self::scan_pages`].
+        let end = range.end.min(self.pool.page_count());
+        let start = range.start.min(end);
         let op = wh_obs::Timer::start();
         let mut page_reads = 0u64;
         let mut tuple_reads = 0u64;
         let mut batch = RecordBatch::default();
         let mut result = Ok(());
-        for (page_no, page) in page_handles {
+        for page_no in start..end {
+            let page = match self.pool.fetch(page_no) {
+                Ok(page) => page,
+                Err(e) => {
+                    result = Err(e);
+                    break;
+                }
+            };
             {
                 let guard = read_latch_timed(&page);
                 guard.fill_batch(page_no, &mut batch);
             } // latch released: gather + visit run over the copied bytes
+            drop(page); // unpin before the visitor runs
             page_reads += 1;
             tuple_reads += batch.len() as u64;
             batch.gather(specs);

@@ -16,6 +16,9 @@
 //! §6 I/O comparisons against 2V2PL/MV2PL are measurable rather than assumed.
 
 pub mod batch;
+pub mod bufpool;
+pub mod checkpoint;
+pub mod disk;
 pub mod error;
 pub mod heap;
 pub mod iostats;
@@ -23,8 +26,11 @@ pub mod page;
 pub mod table;
 
 pub use batch::{FieldSpec, RecordBatch, NULL_SENTINEL};
+pub use bufpool::{BufferPool, PagePin};
+pub use checkpoint::{CheckpointMeta, CheckpointStats, VersionMeta, META_FILE};
+pub use disk::DiskFile;
 pub use error::{StorageError, StorageResult};
-pub use heap::{HeapFile, FAILPOINTS};
+pub use heap::{HeapFile, FAILPOINTS, PAGES_FILE};
 pub use iostats::IoStats;
 pub use page::{Page, Rid, PAGE_SIZE};
 pub use table::Table;

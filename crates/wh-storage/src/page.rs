@@ -215,6 +215,70 @@ impl Page {
             .map(move |(i, _)| (i as u16, &self.data[self.slot_range(i as u16)]))
     }
 
+    /// Raw record bytes of the whole page, in slot order — the disk codec's
+    /// data region. Free/retired slots contribute their stale bytes; the
+    /// packed state map decides what is live on reload.
+    pub(crate) fn data_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Pack the per-slot states two bits each (`00` free, `01` live, `10`
+    /// retired), slot `i` at byte `i / 4`, bits `(i % 4) * 2` — the disk
+    /// codec's state region.
+    pub(crate) fn pack_states(&self) -> Vec<u8> {
+        let mut out = vec![0u8; (self.capacity as usize).div_ceil(4)];
+        for (i, &s) in self.state.iter().enumerate() {
+            let bits = match s {
+                SlotState::Free => 0u8,
+                SlotState::Live => 1,
+                SlotState::Retired => 2,
+            };
+            out[i / 4] |= bits << ((i % 4) * 2);
+        }
+        out
+    }
+
+    /// Reconstruct a page from its disk-codec regions. `live`/`retired` are
+    /// recomputed from the unpacked states; the caller validates them against
+    /// the on-disk header as a corruption check.
+    pub(crate) fn from_disk_parts(
+        record_len: usize,
+        packed_states: &[u8],
+        data: &[u8],
+    ) -> StorageResult<Self> {
+        let mut page = Page::new(record_len)?;
+        let expected_states = (page.capacity as usize).div_ceil(4);
+        if packed_states.len() != expected_states || data.len() != page.data.len() {
+            return Err(StorageError::Corrupt(format!(
+                "disk page regions malformed: {} state bytes (want {expected_states}), {} data bytes (want {})",
+                packed_states.len(),
+                data.len(),
+                page.data.len(),
+            )));
+        }
+        for i in 0..page.capacity as usize {
+            let bits = (packed_states[i / 4] >> ((i % 4) * 2)) & 0b11;
+            page.state[i] = match bits {
+                0 => SlotState::Free,
+                1 => {
+                    page.live += 1;
+                    SlotState::Live
+                }
+                2 => {
+                    page.retired += 1;
+                    SlotState::Retired
+                }
+                _ => {
+                    return Err(StorageError::Corrupt(format!(
+                        "disk page slot {i} has invalid state bits {bits:#b}"
+                    )))
+                }
+            };
+        }
+        page.data.copy_from_slice(data);
+        Ok(page)
+    }
+
     /// Copy every live record into `batch` — the only batch-path work done
     /// under the page latch. Fully-live pages take the dense single-copy
     /// fast path.

@@ -33,6 +33,52 @@ impl Table {
         })
     }
 
+    /// Create an empty disk-backed table in `dir` with a buffer pool of at
+    /// most `capacity` resident pages.
+    pub fn create_backed(
+        name: impl Into<String>,
+        schema: Schema,
+        dir: &std::path::Path,
+        capacity: usize,
+        stats: Arc<IoStats>,
+    ) -> StorageResult<Self> {
+        let codec = RowCodec::new(schema);
+        let heap = HeapFile::create_backed(codec.encoded_len(), dir, capacity, stats)?;
+        Ok(Table {
+            name: name.into(),
+            codec,
+            heap,
+        })
+    }
+
+    /// Reopen a disk-backed table from its directory. The caller supplies
+    /// the schema (the checkpoint record persists only the record width);
+    /// a width mismatch against the supplied schema's codec is rejected as
+    /// corruption before any page is decoded.
+    pub fn open_backed(
+        name: impl Into<String>,
+        schema: Schema,
+        dir: &std::path::Path,
+        capacity: usize,
+        stats: Arc<IoStats>,
+    ) -> StorageResult<Self> {
+        let codec = RowCodec::new(schema);
+        let meta = crate::checkpoint::CheckpointMeta::read(dir)?;
+        if meta.record_len as usize != codec.encoded_len() {
+            return Err(crate::error::StorageError::Corrupt(format!(
+                "checkpoint record width {} does not match schema width {}",
+                meta.record_len,
+                codec.encoded_len()
+            )));
+        }
+        let heap = HeapFile::open_backed(codec.encoded_len(), dir, capacity, stats)?;
+        Ok(Table {
+            name: name.into(),
+            codec,
+            heap,
+        })
+    }
+
     /// Table name.
     pub fn name(&self) -> &str {
         &self.name

@@ -39,6 +39,10 @@ use std::time::Duration;
 pub const REGISTRY: &[&str] = &[
     "cc.lock.grant",
     "cc.lock.release",
+    "storage.ckpt.begin",
+    "storage.ckpt.meta",
+    "storage.disk.read",
+    "storage.disk.write",
     "storage.heap.delete",
     "storage.heap.free_space",
     "storage.heap.insert",
@@ -46,6 +50,8 @@ pub const REGISTRY: &[&str] = &[
     "storage.heap.modify",
     "storage.heap.read",
     "storage.heap.write",
+    "storage.pool.evict",
+    "storage.pool.flush",
     "vnl.gc.reclaim",
     "vnl.gc.unregister",
     "vnl.txn.delete.mark",

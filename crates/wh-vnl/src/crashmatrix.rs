@@ -21,11 +21,14 @@
 // lint: allow-file(no-panic) — the crash matrix is a test driver compiled
 // only under the failpoints feature: cells panic on oracle divergence (a
 // completed sweep is the proof) and scripted setup uses unwrap freely.
+use crate::durable::{self, DiskRecoveryReport};
 use crate::gc;
 use crate::recovery::{self, RecoveryReport};
 use crate::table::VnlTable;
 use crate::visibility;
 use crate::Visible;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use wh_types::fault::{self, FaultAction, PointStats};
 use wh_types::{Column, DataType, Schema, Value};
 
@@ -92,6 +95,9 @@ pub struct CellReport {
 pub struct MatrixReport {
     /// One entry per cell, in sweep order.
     pub cells: Vec<CellReport>,
+    /// One entry per durability cell (disk-backed tables; see
+    /// [`run_durability_cells`]), in sweep order.
+    pub durability_cells: Vec<DurabilityCellReport>,
     /// Per-point hit/fired counters accumulated over the whole sweep.
     pub coverage: Vec<PointStats>,
 }
@@ -289,6 +295,241 @@ pub fn run_cell(n: usize, point: &'static str, op: OpKind) -> CellReport {
     }
 }
 
+/// The durable-tier failpoints the durability cells sweep: the in-memory
+/// cells above arm them too (harmlessly — an in-memory table never reaches
+/// the disk paths), but only a disk-backed table drives them through
+/// flush, eviction, checkpoint, and restart recovery.
+pub const DURABILITY_POINTS: &[&str] = &[
+    "storage.disk.read",
+    "storage.disk.write",
+    "storage.pool.evict",
+    "storage.pool.flush",
+    "storage.ckpt.begin",
+    "storage.ckpt.meta",
+];
+
+/// The durable-tier operation a durability cell crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DurableOpKind {
+    /// `flush_all` mid-maintenance: the steal policy pushes a live
+    /// transaction's dirty pages to disk, then the process dies.
+    Flush,
+    /// `evict_all` mid-maintenance: eviction forces flush-before-drop,
+    /// then the process dies with the transaction's pages non-resident.
+    Evict,
+    /// A committed transaction's checkpoint crashes partway: the previous
+    /// checkpoint must stay intact (the commit is lost — durability lag).
+    Checkpoint,
+    /// The fault fires during restart recovery itself; the retry must
+    /// succeed because §7 recovery is idempotent.
+    Restart,
+}
+
+impl DurableOpKind {
+    /// All durable operation types, in sweep order.
+    pub const ALL: [DurableOpKind; 4] = [
+        DurableOpKind::Flush,
+        DurableOpKind::Evict,
+        DurableOpKind::Checkpoint,
+        DurableOpKind::Restart,
+    ];
+}
+
+/// What one durability `(failpoint, op)` cell observed.
+#[derive(Debug, Clone)]
+pub struct DurabilityCellReport {
+    /// The armed failpoint.
+    pub point: &'static str,
+    /// The durable operation script.
+    pub op: DurableOpKind,
+    /// The table's nVNL `n`.
+    pub n: usize,
+    /// Whether the armed point actually fired during the cell.
+    pub injected: bool,
+    /// Checkpoint cells only: whether the armed checkpoint completed
+    /// (decides whether VN 3 survives the restart or is lost).
+    pub checkpointed: bool,
+    /// `currentVN` after restart recovery.
+    pub recovered_vn: u64,
+    /// The restart-recovery report.
+    pub recovery: DiskRecoveryReport,
+}
+
+/// A fresh scratch directory for one durability cell.
+fn matrix_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — unique-name counter only
+    let dir = std::env::temp_dir().join(format!("wh-crashmatrix-{}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// [`build_table`]'s scripted history on a disk-backed table (pool capacity
+/// 2, so the history itself runs under eviction pressure), ending with a
+/// clean checkpoint at VN 2 — the durable baseline every cell recovers
+/// relative to.
+fn build_durable_table(n: usize, dir: &Path) -> VnlTable {
+    let table = durable::create_durable("T", schema(), n, dir, 2).unwrap();
+    for k in 0..3i64 {
+        table.load_initial(&[row(k, k * 100)]).unwrap();
+    }
+    let txn = table.begin_maintenance().unwrap();
+    txn.update_row(&row(0, 1000)).unwrap();
+    txn.delete_row(&row(1, 0)).unwrap();
+    txn.insert(row(3, 300)).unwrap();
+    txn.commit().unwrap();
+    durable::checkpoint(&table).unwrap();
+    table
+}
+
+/// Run one durability cell: build a checkpointed disk-backed table, arm
+/// `point`, crash `op`, "restart" (drop every in-memory structure), recover
+/// from the disk artifacts alone, and model-check what the recovered table
+/// serves. Panics on any divergence.
+pub fn run_durability_cell(
+    n: usize,
+    point: &'static str,
+    op: DurableOpKind,
+) -> DurabilityCellReport {
+    let dir = matrix_dir();
+    let table = build_durable_table(n, &dir);
+    let fired_before = fault::fired(point);
+    let mut checkpointed = false;
+
+    match op {
+        DurableOpKind::Flush | DurableOpKind::Evict => {
+            // VN 3 work in flight when the pool steals it to disk. The ops
+            // mirror `expected_live`'s post-VN-2 arm, so a checkpoint that
+            // *did* capture them would also model-check.
+            let txn = table.begin_maintenance().unwrap();
+            let _ = txn.update_row(&row(0, 1001));
+            let _ = txn.delete_row(&row(2, 0));
+            let _ = txn.insert(row(4, 400));
+            fault::configure(point, FaultAction::Error);
+            let _ = if op == DurableOpKind::Flush {
+                table.storage().heap().flush_all()
+            } else {
+                table.storage().heap().evict_all()
+            };
+            std::mem::forget(txn); // crash: undo map lost
+        }
+        DurableOpKind::Checkpoint => {
+            // VN 3 commits in memory; the checkpoint that would make it
+            // durable crashes partway. Whatever half-state it flushed, the
+            // *previous* checkpoint's meta must still govern recovery.
+            let txn = table.begin_maintenance().unwrap();
+            txn.update_row(&row(0, 1001)).unwrap();
+            txn.delete_row(&row(2, 0)).unwrap();
+            txn.insert(row(4, 400)).unwrap();
+            txn.commit().unwrap();
+            fault::configure(point, FaultAction::Error);
+            checkpointed = durable::checkpoint(&table).is_ok();
+        }
+        DurableOpKind::Restart => {
+            // VN 3 commits but is never checkpointed (bounded durability
+            // lag); the fault then fires during recovery itself. One shot:
+            // the retry below must succeed.
+            let txn = table.begin_maintenance().unwrap();
+            txn.update_row(&row(0, 1001)).unwrap();
+            txn.delete_row(&row(2, 0)).unwrap();
+            txn.insert(row(4, 400)).unwrap();
+            txn.commit().unwrap();
+            fault::configure(point, FaultAction::ErrorTimes(1));
+        }
+    }
+
+    let injected_mid = fault::fired(point) > fired_before;
+    if op != DurableOpKind::Restart {
+        fault::disarm_all(); // keep counters: the sweep's coverage proof
+    }
+    drop(table); // process "restart": every in-memory structure is gone
+
+    // Recover from the disk artifacts alone. A Restart cell's first attempt
+    // may fail (the armed fault fires inside recovery); §7 recovery is
+    // idempotent, so the retry is safe — and must succeed.
+    let (table, report) = match durable::recover_from_disk("T", schema(), n, &dir, 2) {
+        Ok(ok) => ok,
+        Err(_) => {
+            assert_eq!(
+                op,
+                DurableOpKind::Restart,
+                "only a Restart cell may fail its first recovery ({point} × {op:?}, n={n})"
+            );
+            fault::disarm_all();
+            durable::recover_from_disk("T", schema(), n, &dir, 2).unwrap()
+        }
+    };
+    fault::disarm_all();
+    let injected = injected_mid || fault::fired(point) > fired_before;
+
+    assert_eq!(
+        report.recovery.log_writes, 0,
+        "restart recovery must not write a log ({point} × {op:?}, n={n})"
+    );
+    let snap = table.version().snapshot();
+    assert!(
+        !snap.maintenance_active,
+        "recovery must clear maintenanceActive ({point} × {op:?}, n={n})"
+    );
+    // Everything up to the last *completed* checkpoint survives; later
+    // commits are lost (durability lag), never half-applied.
+    let expect_vn = if checkpointed { 3 } else { 2 };
+    assert_eq!(
+        snap.current_vn, expect_vn,
+        "recovered VN ({point} × {op:?}, n={n}, injected={injected})"
+    );
+    assert_eq!(report.checkpoint_vn, expect_vn);
+    assert_eq!(
+        table.gc_reclaim_ceiling(),
+        expect_vn,
+        "recovery must restore the GC ceiling ({point} × {op:?}, n={n})"
+    );
+
+    // Model-check every session version recovery guarantees exact.
+    let window_start = snap.current_vn.saturating_sub(n as u64 - 1).max(1);
+    let check_from = window_start.max(report.recovery.exact_horizon);
+    for svn in check_from..=snap.current_vn {
+        assert_eq!(
+            visible_state(&table, svn),
+            expected_live(svn),
+            "divergence at sessionVN {svn} ({point} × {op:?}, n={n}, injected={injected})"
+        );
+    }
+
+    // Idempotence across the durable tier: a second in-process pass finds
+    // nothing pending.
+    let again = recovery::recover(&table).unwrap();
+    assert_eq!(
+        again.pending_found, 0,
+        "second recovery must find nothing pending ({point} × {op:?}, n={n})"
+    );
+
+    drop(table);
+    std::fs::remove_dir_all(&dir).ok();
+    DurabilityCellReport {
+        point,
+        op,
+        n,
+        injected,
+        checkpointed,
+        recovered_vn: snap.current_vn,
+        recovery: report,
+    }
+}
+
+/// Sweep [`DURABILITY_POINTS`] × [`DurableOpKind::ALL`] for each `n`.
+pub fn run_durability_cells(ns: &[usize]) -> Vec<DurabilityCellReport> {
+    let mut cells = Vec::new();
+    for &n in ns {
+        for point in DURABILITY_POINTS {
+            for op in DurableOpKind::ALL {
+                cells.push(run_durability_cell(n, point, op));
+            }
+        }
+    }
+    cells
+}
+
 /// Exercise the lock-manager failpoints (they sit outside the maintenance
 /// path, so the table cells never reach them): a refused grant surfaces as a
 /// timeout, and a swallowed release leaves the crashed client's locks held.
@@ -328,6 +569,16 @@ pub fn run_matrix(ns: &[usize]) -> MatrixReport {
         }
     }
     run_cc_cells();
+    // The durable tier's cells: the in-memory cells arm the disk failpoints
+    // but never reach them, so these are what make the coverage assertion
+    // below hold for `storage.{disk,pool,ckpt}.*`.
+    let durability_cells = run_durability_cells(ns);
+    // The paper's no-WAL claim, asserted structurally: there is no log
+    // failpoint because there is no log write path to instrument.
+    assert!(
+        catalog().iter().all(|p| !p.contains("log")),
+        "a log-write failpoint appeared — the no-WAL invariant is gone"
+    );
     for point in catalog() {
         assert!(
             fault::fired(point) > 0,
@@ -336,6 +587,7 @@ pub fn run_matrix(ns: &[usize]) -> MatrixReport {
     }
     MatrixReport {
         cells,
+        durability_cells,
         coverage: fault::snapshot(),
     }
 }

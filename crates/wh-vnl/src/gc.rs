@@ -50,6 +50,12 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
         .min_active_session_vn()
         .unwrap_or(snap.current_vn)
         .min(snap.current_vn);
+    // Durable tables additionally cap reclamation at the last completed
+    // checkpoint's VN: a delete not yet durable in the checkpoint image
+    // must keep its physical tuple, or a crash would resurrect the tuple
+    // from the checkpoint with no newer slot history to re-delete it.
+    // In-memory tables see `u64::MAX` here (no constraint).
+    let ceiling = table.gc_reclaim_ceiling();
     // How far the oldest live session holds reclamation behind the present:
     // 0 means GC can reach everything committed, k means k generations of
     // logically-deleted tuples are pinned by readers.
@@ -77,7 +83,7 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
         }
         if let Some((vn, Operation::Delete)) = layout.slot(&ext, 0) {
             report.deleted_found += 1;
-            if vn <= horizon && vn <= snap.current_vn {
+            if vn <= horizon && vn <= snap.current_vn && vn <= ceiling {
                 victims.push((rid, ext));
             }
         }
@@ -106,7 +112,8 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
             |row| {
                 matches!(
                     layout.slot(row, 0),
-                    Some((vn, Operation::Delete)) if vn <= horizon && vn <= snap.current_vn
+                    Some((vn, Operation::Delete))
+                        if vn <= horizon && vn <= snap.current_vn && vn <= ceiling
                 )
             },
             || {

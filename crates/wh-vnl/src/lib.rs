@@ -33,6 +33,9 @@
 //! * [`gc`] — garbage collection of logically-deleted tuples (§7).
 //! * [`recovery`] — log-free crash recovery: reconstructing a consistent
 //!   pre-transaction state from the tuple version slots alone (§7).
+//! * [`durable`] — the disk tier: fuzzy checkpoints over a steal/no-force
+//!   buffer pool and restart recovery from checkpoint + version slots —
+//!   no write-ahead log (§7 taken to its durability conclusion).
 //! * [`resilience`] — graceful degradation under reader/maintenance
 //!   contention: session leases, expiration-aware retry, maintenance
 //!   pacing, and the adaptive effective-`n` controller.
@@ -42,6 +45,7 @@
 pub mod adapter;
 #[cfg(feature = "failpoints")]
 pub mod crashmatrix;
+pub mod durable;
 pub(crate) mod epoch;
 pub mod error;
 pub mod gc;
@@ -58,6 +62,7 @@ pub mod visibility;
 pub mod warehouse;
 
 pub use adapter::VnlStore;
+pub use durable::{checkpoint, create_durable, recover_from_disk, DiskRecoveryReport};
 pub use error::{VnlError, VnlResult};
 pub use maintenance::{MaintenanceTxn, PhysicalAction};
 pub use reader::ScanPipeline;

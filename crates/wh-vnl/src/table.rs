@@ -85,6 +85,15 @@ pub struct VnlTable {
     /// releases their slots only after the grace period. See
     /// [`crate::epoch::EpochDomain`].
     epochs: crate::epoch::EpochDomain,
+    /// Durable-reclamation ceiling: GC may physically reclaim a
+    /// logically-deleted tuple only when its delete VN is `≤` this value.
+    /// In-memory tables keep it at `u64::MAX` (no constraint); durable
+    /// tables hold it at the VN of the last *completed* checkpoint, because
+    /// the §7 recovery pass reconstructs state from checkpoint + slots
+    /// alone — a tuple physically gone from a dirty page but still present
+    /// in the checkpoint image would resurrect with no slot history to
+    /// roll it forward. See [`crate::durable::checkpoint`].
+    gc_ceiling: AtomicU64,
 }
 
 impl VnlTable {
@@ -149,9 +158,26 @@ impl VnlTable {
     ) -> VnlResult<Self> {
         let layout = ExtLayout::new(base_schema, n)?;
         let storage = Table::create("ext", layout.ext_schema().clone(), Arc::clone(&io))?;
+        Self::from_parts(name, layout, storage, version, io)
+    }
+
+    /// Assemble a table around an existing physical [`Table`] (freshly
+    /// created, or reopened from disk by [`crate::durable`]). The key
+    /// directory is an in-memory structure — it is *not* persisted — so it
+    /// is rebuilt here by scanning every physical tuple, logical deletes
+    /// included (their keys stay registered; that is exactly why Table 2's
+    /// conflict rows exist).
+    pub(crate) fn from_parts(
+        name: impl Into<String>,
+        layout: ExtLayout,
+        storage: Table,
+        version: Arc<VersionState>,
+        io: Arc<IoStats>,
+    ) -> VnlResult<Self> {
+        let n = layout.n();
         let key_dir = KeyDirectory::for_schema(layout.ext_schema());
         let rewriter = QueryRewriter::new(layout.clone());
-        Ok(VnlTable {
+        let table = VnlTable {
             name: name.into(),
             layout,
             storage,
@@ -165,7 +191,51 @@ impl VnlTable {
             indexes: RwLock::new(Vec::new()),
             effective_n: wh_kernel::adaptive::EffectiveWindow::new(n),
             epochs: crate::epoch::EpochDomain::new(),
-        })
+            gc_ceiling: AtomicU64::new(u64::MAX),
+        };
+        table.rebuild_key_dir()?;
+        Ok(table)
+    }
+
+    /// Re-register every physical tuple in the key directory and storage
+    /// gauges — a no-op on a freshly created (empty) table, the directory
+    /// recovery step on a reopened one.
+    fn rebuild_key_dir(&self) -> VnlResult<()> {
+        if self.storage.is_empty() {
+            return Ok(());
+        }
+        for (rid, ext) in self.storage.scan_all()? {
+            if let Some(dir) = &self.key_dir {
+                dir.register(&ext, rid).map_err(|_| {
+                    VnlError::Storage(wh_storage::StorageError::Corrupt(format!(
+                        "duplicate key on reopen: {:?}",
+                        self.layout.ext_schema().key_of(&ext)
+                    )))
+                })?;
+            }
+            self.on_physical_insert(&ext, rid);
+        }
+        Ok(())
+    }
+
+    /// The durable-reclamation ceiling consulted by [`crate::gc::collect`]:
+    /// the newest delete VN GC may physically reclaim. `u64::MAX` for
+    /// in-memory tables.
+    pub fn gc_reclaim_ceiling(&self) -> VersionNo {
+        self.gc_ceiling.load(Ordering::Acquire) // ordering: Acquire — pairs with the checkpoint's Release publish of the new ceiling
+    }
+
+    /// Set the durable-reclamation ceiling (called by [`crate::durable`]
+    /// at table creation, after every completed checkpoint, and after
+    /// recovery).
+    pub(crate) fn set_gc_reclaim_ceiling(&self, vn: VersionNo) {
+        self.gc_ceiling.store(vn, Ordering::Release); // ordering: Release — publishes the checkpoint VN the GC gate Acquires
+    }
+
+    /// Whether this table's heap is disk-backed (created or reopened
+    /// through [`crate::durable`]).
+    pub fn is_durable(&self) -> bool {
+        self.storage.heap().is_durable()
     }
 
     /// Relation name.

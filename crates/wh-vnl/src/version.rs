@@ -131,6 +131,32 @@ impl VersionState {
         })
     }
 
+    /// Rebuild the version state from a checkpoint record: the checkpoint
+    /// meta *is* the durable form of the one-tuple `Version` relation (it
+    /// is not persisted as a table), so recovery reconstructs both the
+    /// kernel state and the mirror tuple from those fields. A stuck
+    /// `maintenance_active` flag is restored as-is — the §7 recovery pass
+    /// clears it through [`VersionState::publish_abort`], exactly as it
+    /// would after an in-memory crash.
+    pub(crate) fn restore(
+        io: Arc<IoStats>,
+        current_vn: VersionNo,
+        maintenance_active: bool,
+        recovery_floor: VersionNo,
+    ) -> VnlResult<Self> {
+        let relation = Table::create("Version", version_relation_schema(), io)?;
+        let relation_rid = relation.insert(&[
+            Value::from(current_vn as i64),
+            Value::from(i64::from(maintenance_active)),
+        ])?;
+        Ok(VersionState {
+            core: VersionCore::resume(current_vn, maintenance_active, recovery_floor),
+            relation,
+            relation_rid,
+            leases: LeaseRegistry::new(),
+        })
+    }
+
     /// The warehouse-wide lease registry.
     pub fn leases(&self) -> &LeaseRegistry {
         &self.leases

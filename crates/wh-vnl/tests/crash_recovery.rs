@@ -6,7 +6,7 @@
 
 use std::sync::Mutex;
 
-use wh_vnl::crashmatrix::{self, OpKind};
+use wh_vnl::crashmatrix::{self, DurableOpKind, OpKind};
 
 /// The fault registry is process-global; tests in this binary serialize.
 static GATE: Mutex<()> = Mutex::new(());
@@ -71,6 +71,72 @@ fn crash_matrix_covers_every_failpoint_and_op() {
         .any(|c| c.n == 3 && c.recovery.duplicated_oldest_slots > 0));
     assert!(report.cells.iter().any(|c| c.committed));
     assert!(report.cells.iter().all(|c| c.recovery.log_writes == 0));
+
+    // The durability sweep: every durable-tier failpoint × every durable
+    // op × each n, each cell restarting from disk artifacts alone.
+    assert_eq!(
+        report.durability_cells.len(),
+        crashmatrix::DURABILITY_POINTS.len() * DurableOpKind::ALL.len() * 2
+    );
+    for op in DurableOpKind::ALL {
+        assert!(
+            report
+                .durability_cells
+                .iter()
+                .any(|c| c.op == op && c.injected),
+            "no failpoint fired inside any durable {op:?} cell"
+        );
+    }
+    // Restart recovery is log-free in every cell — the paper's §7 claim
+    // carried all the way to the disk tier.
+    assert!(report
+        .durability_cells
+        .iter()
+        .all(|c| c.recovery.recovery.log_writes == 0));
+    // At least one crashed checkpoint lost a commit (durability lag back to
+    // VN 2) and at least one completed under an armed-but-unreached fault
+    // (VN 3 survived) — both halves of the lag contract.
+    assert!(report
+        .durability_cells
+        .iter()
+        .any(|c| c.op == DurableOpKind::Checkpoint && !c.checkpointed && c.recovered_vn == 2));
+    assert!(report
+        .durability_cells
+        .iter()
+        .any(|c| c.op == DurableOpKind::Checkpoint && c.checkpointed && c.recovered_vn == 3));
+    // Steal-policy cells (mid-transaction flush/evict) always roll back to
+    // the checkpoint: partial work on disk never surfaces.
+    assert!(report
+        .durability_cells
+        .iter()
+        .filter(|c| matches!(c.op, DurableOpKind::Flush | DurableOpKind::Evict))
+        .all(|c| c.recovered_vn == 2));
+    // Some steal cell actually put partial work on disk for recovery to
+    // roll back (otherwise the matrix never proves the §7 disk rollback).
+    assert!(report.durability_cells.iter().any(|c| matches!(
+        c.op,
+        DurableOpKind::Flush | DurableOpKind::Evict
+    ) && c.recovery.recovery.pending_found > 0));
+}
+
+/// Targeted durability cells: each durable-tier point must fire inside the
+/// op that owns its code path.
+#[test]
+fn targeted_durability_cells_inject_on_their_own_path() {
+    let _g = gate();
+    for (point, op) in [
+        ("storage.pool.flush", DurableOpKind::Flush),
+        ("storage.disk.write", DurableOpKind::Flush),
+        ("storage.pool.evict", DurableOpKind::Evict),
+        ("storage.ckpt.begin", DurableOpKind::Checkpoint),
+        ("storage.ckpt.meta", DurableOpKind::Checkpoint),
+        ("storage.disk.read", DurableOpKind::Restart),
+    ] {
+        wh_types::fault::clear_all();
+        let cell = crashmatrix::run_durability_cell(3, point, op);
+        assert!(cell.injected, "{point} did not fire during {op:?}");
+    }
+    wh_types::fault::clear_all();
 }
 
 /// Deeper nVNL sweep: n = 4 gives the recovery shift two surviving slots to
