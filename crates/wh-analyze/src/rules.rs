@@ -17,6 +17,7 @@
 //! | `ordering-comment` | every atomic `Ordering::…` use carries an adjacent `// ordering:` justification |
 //! | `safety-comment` | every `unsafe` block carries an adjacent `// safety:` justification |
 //! | `failpoint-registry` | every `fail_point!("name")` is in `wh_types::fault::REGISTRY`, and every registry entry has a call site |
+//! | `failpoint-trace` | every `fail_point!` site is covered by a trace span opened earlier in the same function, or carries a `// trace:` marker naming the ambient span |
 //! | `lock-order` | the secondary-index registry lock is never acquired after a page latch in the same function |
 //! | `version-encapsulation` | the version kernel's atomic fields are never poked directly outside `wh-kernel` |
 
@@ -31,6 +32,7 @@ pub const RULES: &[&str] = &[
     "ordering-comment",
     "safety-comment",
     "failpoint-registry",
+    "failpoint-trace",
     "lock-order",
     "version-encapsulation",
 ];
@@ -124,6 +126,7 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Diagnostic> {
         ordering_comment(&ctx, &mut out);
         safety_comment(&ctx, &mut out);
         lock_order(&ctx, &mut out);
+        failpoint_trace(&ctx, &mut out);
         version_encapsulation(&ctx, &mut out);
         collect_failpoints(
             &ctx,
@@ -601,6 +604,93 @@ fn lock_order(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// Calls that open a trace span (the RAII macros plus the explicit
+/// cross-call constructor). `trace_event!` is deliberately absent: an
+/// instant event carries no extent, so it cannot *cover* a failpoint —
+/// a site whose causal parent is an event would show an orphaned blip
+/// in the flight recorder instead of an enclosing span.
+const SPAN_CALLS: &[&str] = &["trace_span", "trace_span_under", "trace_root", "open_ctx"];
+
+/// `failpoint-trace`: every `fail_point!` site must be causally visible
+/// in the flight recorder. Satisfied when a span-family call
+/// (`trace_span!`, `trace_span_under!`, `trace_root!`, or
+/// `trace::open_ctx`) appears lexically earlier in the same function, or
+/// when the site carries an adjacent `// trace:` marker naming the
+/// ambient span that covers it (point-op leaves whose span lives in the
+/// caller). Like `lock-order`, the scan is lexical and
+/// function-granular.
+fn failpoint_trace(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    struct Frame {
+        is_fn: bool,
+        has_span: bool,
+    }
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut pending_fn = false;
+    let toks = &ctx.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == Kind::LineComment || t.kind == Kind::BlockComment {
+            continue;
+        }
+        if t.is_ident("fn") {
+            pending_fn = true;
+            continue;
+        }
+        if t.is_punct('{') {
+            stack.push(Frame {
+                is_fn: pending_fn,
+                has_span: false,
+            });
+            pending_fn = false;
+            continue;
+        }
+        if t.is_punct('}') {
+            stack.pop();
+            continue;
+        }
+        if t.is_punct(';') {
+            // Bodiless trait-method declaration: `fn f(…);`.
+            pending_fn = false;
+            continue;
+        }
+        if ctx.in_test(i) {
+            continue;
+        }
+        // A span opening sticks to the enclosing *function*, not the
+        // innermost block: spans opened in a closed sibling block still
+        // count as "earlier in the same fn", which is the rule's grain.
+        if t.kind == Kind::Ident
+            && SPAN_CALLS.contains(&t.text.as_str())
+            && !prev_code(toks, i).is_some_and(|p| p.is_ident("fn"))
+        {
+            if let Some(frame) = stack.iter_mut().rev().find(|f| f.is_fn) {
+                frame.has_span = true;
+            }
+            continue;
+        }
+        if t.is_ident("fail_point")
+            && matches!(toks.get(i + 1), Some(n) if n.is_punct('!'))
+            && matches!(toks.get(i + 2), Some(n) if n.is_punct('('))
+        {
+            let covered = stack
+                .iter()
+                .rev()
+                .find(|f| f.is_fn)
+                .is_some_and(|f| f.has_span)
+                || has_marker_comment(ctx, t.line, "trace:");
+            if !covered {
+                ctx.emit(
+                    out,
+                    "failpoint-trace",
+                    t.line,
+                    "fail_point! site has no enclosing trace span opened earlier in this \
+                     function and no `// trace:` marker naming its ambient span"
+                        .to_string(),
+                );
+            }
+        }
+    }
+}
+
 const KERNEL_FIELDS: &[&str] = &["current_vn_relaxed", "recovery_floor", "n_eff"];
 
 /// `version-encapsulation`: the version kernel's atomic fields
@@ -739,11 +829,48 @@ mod tests {
     fn unknown_failpoint_name_is_flagged() {
         let d = run_one(
             "crates/a/src/lib.rs",
-            "fn f() -> Result<(), E> { fail_point!(\"no.such.point\"); Ok(()) }\n",
+            "fn f() -> Result<(), E> {\n    let _ts = wh_obs::trace_span!(\"a.f\");\n    \
+             fail_point!(\"no.such.point\");\n    Ok(())\n}\n",
         );
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "failpoint-registry");
         assert!(d[0].message.contains("no.such.point"));
+    }
+
+    #[test]
+    fn failpoint_without_span_or_marker_is_flagged() {
+        let bare = "fn f() -> Result<(), E> { fail_point!(\"vnl.version.begin\"); Ok(()) }\n";
+        let d = run_one("crates/a/src/lib.rs", bare);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].line), ("failpoint-trace", 1));
+
+        // A span-family call earlier in the same fn covers the site, even
+        // from a sibling block that has since closed.
+        let spanned = "fn f() -> Result<(), E> {\n    \
+             { let _ts = wh_obs::trace_span_under!(\"a.f\", ctx); }\n    \
+             fail_point!(\"vnl.version.begin\");\n    Ok(())\n}\n";
+        assert!(run_one("crates/a/src/lib.rs", spanned).is_empty());
+
+        // An adjacent `// trace:` marker names the ambient span instead.
+        let marked = "fn f() -> Result<(), E> {\n    \
+             // trace: covered by the caller's vnl.txn span.\n    \
+             fail_point!(\"vnl.version.begin\");\n    Ok(())\n}\n";
+        assert!(run_one("crates/a/src/lib.rs", marked).is_empty());
+
+        // trace_event! is an instant, not an extent — it does not count.
+        let event_only = "fn f() -> Result<(), E> {\n    \
+             wh_obs::trace_event!(\"a.f\");\n    \
+             fail_point!(\"vnl.version.begin\");\n    Ok(())\n}\n";
+        let d = run_one("crates/a/src/lib.rs", event_only);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "failpoint-trace");
+
+        // A span in an *earlier* fn does not leak into the next one.
+        let split = "fn a() { let _ts = wh_obs::trace_span!(\"a\"); }\n\
+             fn b() -> Result<(), E> { fail_point!(\"vnl.version.begin\"); Ok(()) }\n";
+        let d = run_one("crates/a/src/lib.rs", split);
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].rule, d[0].line), ("failpoint-trace", 2));
     }
 
     #[test]

@@ -36,6 +36,16 @@ fn fixture_tree_flags_each_seeded_violation() {
             32,
             "failpoint-registry",
         ),
+        (
+            "crates/badcrate/src/lib.rs".to_string(),
+            32,
+            "failpoint-trace",
+        ),
+        (
+            "crates/badcrate/src/lib.rs".to_string(),
+            33,
+            "failpoint-trace",
+        ),
         ("src/lib.rs".to_string(), 5, "version-encapsulation"),
         ("src/lib.rs".to_string(), 14, "lock-order"),
     ];

@@ -29,8 +29,20 @@ pub fn justified_load(a: &AtomicU64) -> u64 {
 }
 
 pub fn fires() -> Result<(), Error> {
-    fail_point!("fixture.not.registered"); // line 32: failpoint-registry
-    fail_point!("vnl.version.begin"); // fine: registered name
+    fail_point!("fixture.not.registered"); // line 32: failpoint-registry + failpoint-trace
+    fail_point!("vnl.version.begin"); // line 33: failpoint-trace (registered but uncovered)
+    Ok(())
+}
+
+pub fn covered_by_span() -> Result<(), Error> {
+    let _ts = wh_obs::trace_span!("fixture.covered");
+    fail_point!("vnl.version.begin"); // fine: span opened earlier in this fn
+    Ok(())
+}
+
+pub fn covered_by_marker() -> Result<(), Error> {
+    // trace: fixture — the caller's ambient txn span covers this leaf.
+    fail_point!("vnl.version.begin"); // fine: adjacent trace marker
     Ok(())
 }
 

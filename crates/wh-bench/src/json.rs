@@ -413,11 +413,97 @@ pub fn out_path(default_name: &str) -> String {
     std::env::var("WH_BENCH_OUT").unwrap_or_else(|_| default_name.to_string())
 }
 
+/// The commit the report was built from: `git rev-parse --short=12 HEAD`,
+/// or `"unknown"` outside a git checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// `YYYY-MM-DDTHH:MM:SSZ` from a unix timestamp (days-from-civil inverse,
+/// Gregorian; no external time crate per the dependency policy).
+fn utc_from_unix(secs: u64) -> String {
+    let days = (secs / 86_400) as i64;
+    let rem = secs % 86_400;
+    // Howard Hinnant's civil_from_days.
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!(
+        "{y:04}-{m:02}-{d:02}T{:02}:{:02}:{:02}Z",
+        rem / 3600,
+        (rem % 3600) / 60,
+        rem % 60
+    )
+}
+
+/// Cargo features this report binary was compiled with (the ones that
+/// change what a benchmark measures).
+fn enabled_features() -> Vec<Json> {
+    let mut features = Vec::new();
+    if wh_obs::is_enabled() {
+        features.push(Json::from("obs"));
+    }
+    if cfg!(feature = "failpoints") {
+        features.push(Json::from("failpoints"));
+    }
+    features
+}
+
+/// Provenance block stamped onto every `BENCH_*.json`: git SHA, wall-clock
+/// timestamp, and the compiled feature set, so the committed perf
+/// trajectory stays attributable across PRs.
+pub fn provenance() -> Json {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    Json::obj([
+        ("git_sha", Json::Str(git_sha())),
+        ("unix_secs", Json::UInt(unix_secs)),
+        ("utc", Json::Str(utc_from_unix(unix_secs))),
+        ("features", Json::Array(enabled_features())),
+        ("profile", {
+            if cfg!(debug_assertions) {
+                "debug".into()
+            } else {
+                "release".into()
+            }
+        }),
+    ])
+}
+
+fn with_provenance(doc: &Json) -> Json {
+    match doc {
+        Json::Object(fields) if doc.get("provenance").is_none() => {
+            let mut fields = fields.clone();
+            fields.push(("provenance".to_string(), provenance()));
+            Json::Object(fields)
+        }
+        other => other.clone(),
+    }
+}
+
 /// Write `doc` to [`out_path`]`(default_name)` and announce the path on
-/// stdout, as every report bin does.
+/// stdout, as every report bin does. Object documents are stamped with a
+/// [`provenance`] block unless they already carry one.
 pub fn write_report(default_name: &str, doc: &Json) -> String {
     let path = out_path(default_name);
-    std::fs::write(&path, doc.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    std::fs::write(&path, with_provenance(doc).render())
+        .unwrap_or_else(|e| panic!("write {path}: {e}"));
     println!("\nwrote {path}");
     path
 }
@@ -511,6 +597,54 @@ mod tests {
         assert_eq!(a[1].as_f64(), Some(0.0));
         assert_eq!(a[2].as_f64(), Some(42.0));
         assert_eq!(a[3].as_str(), Some("A\t"));
+    }
+
+    #[test]
+    fn write_report_stamps_provenance() {
+        let dir = std::env::temp_dir().join(format!("wh-bench-prov-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        // out_path honors WH_BENCH_OUT, but mutating the environment races
+        // with parallel tests — write through the internals instead.
+        let doc = Json::obj([("experiment", "E0".into())]);
+        std::fs::write(&path, super::with_provenance(&doc).render()).unwrap();
+        let parsed = parse(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let prov = parsed.get("provenance").expect("provenance block");
+        assert!(prov.get("git_sha").unwrap().as_str().is_some());
+        assert!(prov.get("unix_secs").unwrap().as_f64().is_some());
+        let utc = prov.get("utc").unwrap().as_str().unwrap();
+        assert_eq!(utc.len(), "1970-01-01T00:00:00Z".len(), "{utc}");
+        assert!(utc.ends_with('Z'));
+        assert!(prov.get("features").unwrap().as_array().is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn utc_formatting_matches_known_dates() {
+        assert_eq!(super::utc_from_unix(0), "1970-01-01T00:00:00Z");
+        assert_eq!(super::utc_from_unix(1_786_492_800), "2026-08-12T00:00:00Z");
+        // A leap-day timestamp.
+        assert_eq!(super::utc_from_unix(1_709_209_696), "2024-02-29T12:28:16Z");
+    }
+
+    #[test]
+    fn existing_provenance_is_not_duplicated() {
+        let doc = Json::obj([("provenance", Json::obj([("git_sha", "abc".into())]))]);
+        let stamped = super::with_provenance(&doc);
+        if let Json::Object(fields) = &stamped {
+            assert_eq!(fields.iter().filter(|(k, _)| k == "provenance").count(), 1);
+        } else {
+            panic!("object expected");
+        }
+        assert_eq!(
+            stamped
+                .get("provenance")
+                .unwrap()
+                .get("git_sha")
+                .unwrap()
+                .as_str(),
+            Some("abc")
+        );
     }
 
     #[test]

@@ -148,11 +148,13 @@ impl LockManager {
     pub fn acquire(&self, txn: u64, key: u64, mode: LockMode) -> LockRequestOutcome {
         // Injected fault = the grant is refused, as a timeout (the caller's
         // abort path is the same either way).
+        // trace: uncontended grants stay silent; the wait loop below emits.
         fail_point!("cc.lock.grant", LockRequestOutcome::TimedOut);
         let start = Instant::now();
         let deadline = start + self.timeout;
         let mut table = self.table.lock().unwrap_or_else(PoisonError::into_inner);
         let mut registered_certify = false;
+        let mut noted_wait = false;
         let outcome = loop {
             let entry = table.entry(key).or_default();
             let already_holds = entry.granted.iter().position(|&(t, _)| t == txn);
@@ -190,6 +192,12 @@ impl LockManager {
             else {
                 break LockRequestOutcome::TimedOut;
             };
+            if !noted_wait {
+                noted_wait = true;
+                // Slow path only: blocked requests are rare enough to
+                // afford one causal event each (keyed by the lock).
+                wh_obs::trace_event!("cc.lock.wait", key);
+            }
             let (guard, timed_out) = self
                 .changed
                 .wait_timeout(table, remaining)
@@ -213,6 +221,7 @@ impl LockManager {
     pub fn release_all(&self, txn: u64) {
         // Injected fault = the client crashed before releasing: its locks
         // stay granted and waiters run into the timeout path.
+        // trace: releases are silent; the waiters' wait events carry the story.
         fail_point!("cc.lock.release", ());
         let mut table = self.table.lock().unwrap_or_else(PoisonError::into_inner);
         table.retain(|_, entry| {

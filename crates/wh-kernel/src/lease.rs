@@ -18,6 +18,13 @@ pub type VersionNo = u64;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LeaseId(pub(crate) u64);
 
+impl LeaseId {
+    /// The numeric lease id, for logs and trace-event payloads.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// Point-in-time copy of one lease's state.
 #[derive(Debug, Clone)]
 pub struct LeaseView<T> {

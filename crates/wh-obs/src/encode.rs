@@ -24,6 +24,21 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Escape a Prometheus label *value*: backslash, double-quote, and
+/// newline must be escaped inside the `label="value"` syntax.
+pub fn prom_label_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Rewrite a `layer.object.metric` name into a Prometheus-legal metric
 /// name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
 fn prom_name(name: &str) -> String {
@@ -43,7 +58,7 @@ fn prom_name(name: &str) -> String {
     out
 }
 
-fn hist_json(h: &HistogramSnapshot) -> String {
+fn hist_json(h: &HistogramSnapshot, sample_rate: u64) -> String {
     let mut buckets = String::from("[");
     let mut first = true;
     for (i, &n) in h.buckets.iter().enumerate() {
@@ -58,8 +73,13 @@ fn hist_json(h: &HistogramSnapshot) -> String {
     }
     buckets.push(']');
     let min = if h.min == u64::MAX { 0 } else { h.min };
+    let rate = if sample_rate > 1 {
+        format!(",\"sample_rate\":{sample_rate}")
+    } else {
+        String::new()
+    };
     format!(
-        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{},\"buckets\":{}}}",
+        "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{:.1},\"p50\":{},\"p99\":{}{rate},\"buckets\":{}}}",
         h.count(),
         h.sum,
         min,
@@ -114,7 +134,7 @@ impl Snapshot {
             out.push_str(&format!(
                 "\n    \"{}\": {}",
                 json_escape(name),
-                hist_json(h)
+                hist_json(h, self.sample_rates.get(name).copied().unwrap_or(1))
             ));
         }
         out.push_str("\n  },\n");
@@ -156,6 +176,15 @@ impl Snapshot {
         }
         for (name, h) in &self.histograms {
             let p = prom_name(name);
+            // 1-in-N sampled histograms are rescaled so Prometheus rates
+            // line up with their exact companion counters, and labelled
+            // `sampled="N"` so the rescaling is visible to operators.
+            let rate = self.sample_rates.get(name).copied().unwrap_or(1).max(1);
+            let sampled_label = if rate > 1 {
+                format!(",sampled=\"{}\"", prom_label_escape(&rate.to_string()))
+            } else {
+                String::new()
+            };
             out.push_str(&format!("# TYPE {p} histogram\n"));
             let mut cumulative = 0u64;
             for (i, &n) in h.buckets.iter().enumerate() {
@@ -167,16 +196,26 @@ impl Snapshot {
                     break; // folded into the +Inf bucket below
                 }
                 out.push_str(&format!(
-                    "{p}_bucket{{le=\"{}\"}} {cumulative}\n",
-                    bucket_upper_bound(i)
+                    "{p}_bucket{{le=\"{}\"{sampled_label}}} {}\n",
+                    bucket_upper_bound(i),
+                    cumulative.saturating_mul(rate)
                 ));
             }
-            out.push_str(&format!(
-                "{p}_bucket{{le=\"+Inf\"}} {}\n{p}_sum {}\n{p}_count {}\n",
-                h.count(),
-                h.sum,
-                h.count()
-            ));
+            if rate > 1 {
+                out.push_str(&format!(
+                    "{p}_bucket{{le=\"+Inf\"{sampled_label}}} {}\n{p}_sum{{sampled=\"{rate}\"}} {}\n{p}_count{{sampled=\"{rate}\"}} {}\n",
+                    h.count().saturating_mul(rate),
+                    h.sum.saturating_mul(rate),
+                    h.count().saturating_mul(rate)
+                ));
+            } else {
+                out.push_str(&format!(
+                    "{p}_bucket{{le=\"+Inf\"}} {}\n{p}_sum {}\n{p}_count {}\n",
+                    h.count(),
+                    h.sum,
+                    h.count()
+                ));
+            }
         }
         out
     }
@@ -207,5 +246,59 @@ mod tests {
             "storage_latch_read_wait_ns"
         );
         assert_eq!(super::prom_name("9lives"), "_9lives");
+        // Every char outside [a-zA-Z0-9_:] is folded to '_', so label-ish
+        // punctuation can never leak into a metric name.
+        assert_eq!(super::prom_name("weird{name}=\"x\" y"), "weird_name___x__y");
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        assert_eq!(super::prom_label_escape("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+        assert_eq!(super::prom_label_escape("16"), "16");
+    }
+
+    #[test]
+    fn sampled_histograms_are_rescaled_and_labelled() {
+        use crate::histogram::{bucket_index, HistogramSnapshot};
+
+        let mut h = HistogramSnapshot::empty();
+        h.buckets[bucket_index(100)] = 3;
+        h.sum = 300;
+        h.min = 100;
+        h.max = 100;
+
+        let mut snap = Snapshot::default();
+        snap.histograms.insert("storage.heap.read_ns", h);
+        snap.sample_rates.insert("storage.heap.read_ns", 16);
+
+        let prom = snap.to_prometheus();
+        // 3 recorded observations at 1-in-16 sampling → 48 estimated.
+        assert!(
+            prom.contains("storage_heap_read_ns_count{sampled=\"16\"} 48"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("storage_heap_read_ns_sum{sampled=\"16\"} 4800"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("_bucket{le=\"+Inf\",sampled=\"16\"} 48"),
+            "{prom}"
+        );
+
+        // JSON keeps the raw (unscaled) values but declares the rate.
+        let json = snap.to_json();
+        assert!(json.contains("\"sample_rate\":16"), "{json}");
+        assert!(json.contains("\"count\":3"), "{json}");
+
+        // An exact histogram stays unscaled and unlabelled.
+        let mut exact = Snapshot::default();
+        let mut h2 = HistogramSnapshot::empty();
+        h2.buckets[bucket_index(7)] = 2;
+        h2.sum = 14;
+        exact.histograms.insert("obs.test.exact", h2);
+        let prom2 = exact.to_prometheus();
+        assert!(prom2.contains("obs_test_exact_count 2"), "{prom2}");
+        assert!(!prom2.contains("sampled="), "{prom2}");
     }
 }

@@ -34,13 +34,21 @@
 pub mod encode;
 pub mod histogram;
 pub mod metric;
+pub mod recorder;
 pub mod registry;
+pub mod server;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use metric::{Counter, Gauge};
+pub use recorder::DumpInfo;
 pub use registry::{counter, gauge, histogram, Registry, Snapshot};
+pub use server::IntrospectionServer;
+pub use slo::SlidingWindow;
 pub use span::{span, SpanGuard, SpanRecord};
+pub use trace::{EventKind, TraceCtx, TraceEvent, TraceGuard};
 
 /// A monotonic stopwatch that is free when observability is disabled: the
 /// disabled build neither stores nor reads a clock.
@@ -108,6 +116,68 @@ macro_rules! histogram {
             ::std::sync::OnceLock::new();
         *__SITE.get_or_init(|| $crate::registry::histogram($name))
     }};
+}
+
+/// Cached-handle lookup for a [`Histogram`] whose call site records only
+/// one in `$rate` observations. The rate is registered alongside the
+/// histogram so the encoders can rescale counts (Prometheus) or label the
+/// series (`sample_rate` in JSON) instead of reporting rates `$rate`× low.
+#[macro_export]
+macro_rules! histogram_sampled {
+    ($name:expr, $rate:expr) => {{
+        static __SITE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *__SITE.get_or_init(|| $crate::registry::sampled_histogram($name, $rate))
+    }};
+}
+
+/// Cached interned trace-event name for this call site: resolves the
+/// [`trace`] name-table index once and returns the `u32` thereafter.
+#[macro_export]
+macro_rules! trace_name {
+    ($name:expr) => {{
+        static __SITE: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+        *__SITE.get_or_init(|| $crate::trace::intern($name))
+    }};
+}
+
+/// Open a trace span parented under the ambient open span (a fresh trace
+/// if none). Returns a [`TraceGuard`] that closes the span on drop.
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr) => {
+        $crate::trace::enter($crate::trace_name!($name))
+    };
+}
+
+/// Open a trace span explicitly parented under `$ctx` (a [`TraceCtx`]),
+/// regardless of which thread runs it; falls back to ambient parenting if
+/// the ctx is inert.
+#[macro_export]
+macro_rules! trace_span_under {
+    ($name:expr, $ctx:expr) => {
+        $crate::trace::enter_under($crate::trace_name!($name), $ctx)
+    };
+}
+
+/// Open a root span on trace `$trace_id` (0 allocates a fresh trace);
+/// `$arg` is recorded on the start event.
+#[macro_export]
+macro_rules! trace_root {
+    ($name:expr, $trace_id:expr, $arg:expr) => {
+        $crate::trace::enter_root($crate::trace_name!($name), $trace_id, $arg)
+    };
+}
+
+/// Emit an instant trace event attributed to the ambient open span.
+#[macro_export]
+macro_rules! trace_event {
+    ($name:expr) => {
+        $crate::trace::instant($crate::trace_name!($name), 0)
+    };
+    ($name:expr, $arg:expr) => {
+        $crate::trace::instant($crate::trace_name!($name), $arg)
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,239 @@
+//! The always-on flight recorder.
+//!
+//! The per-thread trace rings ([`crate::trace`]) are always recording the
+//! last few thousand events per thread; this module turns that rolling
+//! history into a file the moment something anomalous happens, so a chaos
+//! soak or crash-matrix failure ships with its causal story instead of a
+//! bare assert message.
+//!
+//! Triggers wired through the workspace:
+//!
+//! | reason              | fired from                                      |
+//! |---------------------|-------------------------------------------------|
+//! | `expire_storm`      | [`crate::slo::note_expiration`] threshold cross |
+//! | `recovery_entry`    | `wh_vnl::recovery::recover` entry               |
+//! | `flush_failed`      | `wh_storage` buffer-pool flush error            |
+//! | `crash_matrix_cell` | a crash-matrix cell panicking                   |
+//! | `oracle_violation`  | the chaos soak's zero-wrong-answer oracle       |
+//!
+//! A dump is written only when a sink directory is configured — either
+//! programmatically via [`arm`] or with the `WH_FLIGHT_DIR` environment
+//! variable — so unit tests that legitimately exercise recovery paths do
+//! not litter the filesystem. Dumps are rate-limited per reason
+//! ([`MIN_DUMP_INTERVAL`]) and capped per process ([`MAX_DUMPS`]).
+//!
+//! The format is self-describing JSONL: the first line is a header object
+//! carrying the schema name, the trigger reason/detail, wall-clock and
+//! process timestamps, and the field list; each following line is one
+//! trace event; the final line is a flat counter snapshot for context.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use crate::encode::json_escape;
+
+/// Minimum spacing between two dumps for the same reason.
+pub const MIN_DUMP_INTERVAL: Duration = Duration::from_secs(2);
+
+/// Hard cap on dumps written by one process.
+pub const MAX_DUMPS: u64 = 64;
+
+/// A dump that was written.
+#[derive(Debug, Clone)]
+pub struct DumpInfo {
+    pub path: PathBuf,
+    pub reason: &'static str,
+    /// Trace events captured in the dump.
+    pub events: usize,
+}
+
+static ARMED_DIR: Mutex<Option<PathBuf>> = Mutex::new(None);
+static LAST_BY_REASON: Mutex<BTreeMap<&'static str, Instant>> = Mutex::new(BTreeMap::new());
+static DUMPS_WRITTEN: AtomicU64 = AtomicU64::new(0);
+
+/// Point the recorder at `dir` (created on first dump). Overrides
+/// `WH_FLIGHT_DIR`.
+pub fn arm(dir: impl Into<PathBuf>) {
+    *ARMED_DIR.lock().unwrap_or_else(PoisonError::into_inner) = Some(dir.into());
+}
+
+/// Remove a programmatic sink (the environment variable still applies).
+pub fn disarm() {
+    *ARMED_DIR.lock().unwrap_or_else(PoisonError::into_inner) = None;
+}
+
+/// The directory dumps would go to right now, if any.
+pub fn sink_dir() -> Option<PathBuf> {
+    if let Some(dir) = ARMED_DIR
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+    {
+        return Some(dir);
+    }
+    std::env::var_os("WH_FLIGHT_DIR").map(PathBuf::from)
+}
+
+/// Dumps written by this process so far.
+pub fn dumps_written() -> u64 {
+    DUMPS_WRITTEN.load(Ordering::Relaxed) // ordering: Relaxed — statistical read; tearing across cells is acceptable
+}
+
+fn rate_limited(reason: &'static str) -> bool {
+    let mut last = LAST_BY_REASON
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let now = Instant::now();
+    if let Some(prev) = last.get(reason) {
+        if now.duration_since(*prev) < MIN_DUMP_INTERVAL {
+            return true;
+        }
+    }
+    last.insert(reason, now);
+    false
+}
+
+/// Dump the recent trace history because `reason` happened. Returns the
+/// written dump, or `None` when disabled, unarmed, rate-limited, capped,
+/// or on I/O error (the recorder never panics and never interferes with
+/// the failing operation it is documenting).
+pub fn trigger(reason: &'static str, detail: &str) -> Option<DumpInfo> {
+    if !crate::is_enabled() {
+        return None;
+    }
+    let dir = sink_dir()?;
+    if rate_limited(reason) {
+        return None;
+    }
+    // ordering: Relaxed — approximate cap; a small overshoot under races is acceptable
+    if DUMPS_WRITTEN.load(Ordering::Relaxed) >= MAX_DUMPS {
+        return None;
+    }
+    let events = crate::trace::collect();
+    std::fs::create_dir_all(&dir).ok()?;
+    let n = DUMPS_WRITTEN.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — sequence allocation; the slot/event payload is synchronized separately
+    let path = dir.join(format!(
+        "flight-{reason}-{pid}-{n}.jsonl",
+        pid = std::process::id()
+    ));
+    let file = std::fs::File::create(&path).ok()?;
+    let mut w = std::io::BufWriter::new(file);
+    let unix_ms = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_millis() as u64);
+    writeln!(
+        w,
+        concat!(
+            "{{\"schema\":\"wh-flight-1\",\"reason\":\"{}\",\"detail\":\"{}\",",
+            "\"pid\":{},\"unix_ms\":{},\"events\":{},",
+            "\"fields\":[\"seq\",\"trace\",\"span\",\"parent\",\"name\",",
+            "\"kind\",\"thread\",\"ts_ns\",\"arg\"]}}"
+        ),
+        json_escape(reason),
+        json_escape(detail),
+        std::process::id(),
+        unix_ms,
+        events.len(),
+    )
+    .ok()?;
+    for e in &events {
+        writeln!(
+            w,
+            concat!(
+                "{{\"seq\":{},\"trace\":{},\"span\":{},\"parent\":{},",
+                "\"name\":\"{}\",\"kind\":\"{}\",\"thread\":{},",
+                "\"ts_ns\":{},\"arg\":{}}}"
+            ),
+            e.seq,
+            e.trace_id,
+            e.span_id,
+            e.parent_id,
+            json_escape(e.name),
+            e.kind.label(),
+            e.thread,
+            e.ts_ns,
+            e.arg,
+        )
+        .ok()?;
+    }
+    let snap = crate::registry::global().snapshot();
+    let mut counters = String::from("{\"counters\":{");
+    for (i, (name, v)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            counters.push(',');
+        }
+        counters.push_str(&format!("\"{}\":{v}", json_escape(name)));
+    }
+    counters.push_str("}}");
+    writeln!(w, "{counters}").ok()?;
+    w.flush().ok()?;
+    crate::counter!("obs.recorder.dumps").inc();
+    Some(DumpInfo {
+        path,
+        reason,
+        events: events.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The armed directory is process-global; serialize the tests that
+    /// touch it so they don't observe each other's arm/disarm.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn unarmed_trigger_is_silent() {
+        let _l = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        // No arm() and (in the test environment) no WH_FLIGHT_DIR: the
+        // trigger must decline without touching the filesystem.
+        if std::env::var_os("WH_FLIGHT_DIR").is_some() {
+            return;
+        }
+        assert!(trigger("obs_test_unarmed", "nothing to see").is_none());
+    }
+
+    #[test]
+    fn armed_trigger_writes_selfdescribing_jsonl() {
+        if !crate::is_enabled() {
+            return;
+        }
+        let _l = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = std::env::temp_dir().join(format!("wh-flight-test-{}", std::process::id()));
+        arm(&dir);
+        let _g = crate::trace_span!("obs.test.recorder_span");
+        crate::trace_event!("obs.test.recorder_event", 5);
+        let info = trigger("obs_test_armed", "unit \"quoted\" detail").expect("dump");
+        disarm();
+        let text = std::fs::read_to_string(&info.path).expect("read dump");
+        let mut lines = text.lines();
+        let header = lines.next().expect("header line");
+        assert!(header.contains("\"schema\":\"wh-flight-1\""));
+        assert!(header.contains("\"reason\":\"obs_test_armed\""));
+        assert!(header.contains("\\\"quoted\\\""));
+        assert!(text.contains("obs.test.recorder_event"));
+        assert!(text.lines().last().expect("tail").contains("\"counters\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn same_reason_is_rate_limited() {
+        if !crate::is_enabled() {
+            return;
+        }
+        let _l = TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let dir = std::env::temp_dir().join(format!("wh-flight-rl-{}", std::process::id()));
+        arm(&dir);
+        let first = trigger("obs_test_ratelimit", "first");
+        let second = trigger("obs_test_ratelimit", "second");
+        disarm();
+        assert!(first.is_some());
+        assert!(second.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

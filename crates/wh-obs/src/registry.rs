@@ -19,6 +19,8 @@ pub struct Registry {
     counters: Mutex<BTreeMap<&'static str, &'static Counter>>,
     gauges: Mutex<BTreeMap<&'static str, &'static Gauge>>,
     histograms: Mutex<BTreeMap<&'static str, &'static Histogram>>,
+    /// Declared sampling rate for histograms fed 1-in-N (absent = exact).
+    sample_rates: Mutex<BTreeMap<&'static str, u64>>,
     spans: SpanRing,
 }
 
@@ -41,6 +43,7 @@ pub fn global() -> &'static Registry {
         counters: Mutex::new(BTreeMap::new()),
         gauges: Mutex::new(BTreeMap::new()),
         histograms: Mutex::new(BTreeMap::new()),
+        sample_rates: Mutex::new(BTreeMap::new()),
         spans: SpanRing::with_capacity(RING_CAPACITY),
     })
 }
@@ -82,6 +85,19 @@ pub fn histogram(name: &str) -> &'static Histogram {
     h
 }
 
+/// Get or register the histogram called `name`, declaring that its call
+/// sites record only one in `rate` observations. The rate travels with
+/// every [`Snapshot`] so the encoders can rescale counts instead of
+/// letting Prometheus rates read `rate`× low against the exact companion
+/// counters.
+pub fn sampled_histogram(name: &str, rate: u64) -> &'static Histogram {
+    let h = histogram(name);
+    if rate > 1 {
+        lock(&global().sample_rates).insert(intern(name), rate);
+    }
+    h
+}
+
 impl Registry {
     /// The global span ring.
     pub fn spans(&self) -> &SpanRing {
@@ -105,6 +121,10 @@ impl Registry {
             histograms: lock(&self.histograms)
                 .iter()
                 .map(|(&k, v)| (k, v.snapshot()))
+                .collect(),
+            sample_rates: lock(&self.sample_rates)
+                .iter()
+                .map(|(&k, &v)| (k, v))
                 .collect(),
             spans: self.spans.drain_ordered(),
         }
@@ -140,6 +160,8 @@ pub struct Snapshot {
     /// name → (current value, high-water mark).
     pub gauges: BTreeMap<&'static str, (i64, i64)>,
     pub histograms: BTreeMap<&'static str, HistogramSnapshot>,
+    /// Declared 1-in-N sampling rate per histogram name (absent = exact).
+    pub sample_rates: BTreeMap<&'static str, u64>,
     /// Retained spans, oldest first.
     pub spans: Vec<SpanRecord>,
 }
@@ -195,6 +217,7 @@ impl Snapshot {
             counters,
             gauges: self.gauges.clone(),
             histograms,
+            sample_rates: self.sample_rates.clone(),
             spans,
         }
     }

@@ -1,0 +1,279 @@
+//! A dependency-free live introspection server.
+//!
+//! One background thread, a std [`TcpListener`], HTTP/1.0 with
+//! `Connection: close` — enough for `curl` and a Prometheus scraper, zero
+//! dependencies per the workspace policy. Endpoints:
+//!
+//! | path           | body                                                |
+//! |----------------|-----------------------------------------------------|
+//! | `/metrics`     | Prometheus text exposition of the registry snapshot |
+//! | `/snapshot`    | the same snapshot as JSON (counters/gauges/…)       |
+//! | `/health`      | sliding-window SLO verdict (503 while degraded)     |
+//! | `/traces`      | recent trace ids with root span name + event count  |
+//! | `/traces/<id>` | every event of one trace, in causal (seq) order     |
+//!
+//! The server only *reads* process-global state, so it compiles and runs
+//! identically with observability disabled (everything is just empty).
+//! [`IntrospectionServer::start`] binds (port 0 picks a free port),
+//! [`IntrospectionServer::stop`] joins the accept loop; dropping the
+//! handle stops it too.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running introspection server.
+#[derive(Debug)]
+pub struct IntrospectionServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl IntrospectionServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"`) and start serving in a
+    /// background thread.
+    pub fn start(addr: &str) -> std::io::Result<IntrospectionServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("wh-introspect".into())
+            .spawn(move || accept_loop(&listener, &stop_flag))?;
+        Ok(IntrospectionServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to exit and join it.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release); // ordering: Release — pairs with the Acquire poll in the accept loop; everything before stop() happens-before loop exit
+        if let Some(handle) = self.handle.take() {
+            handle.join().ok();
+        }
+    }
+}
+
+impl Drop for IntrospectionServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    // ordering: Acquire — pairs with the Release store in stop(); see everything the stopper published
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                crate::counter!("obs.server.requests").inc();
+                serve_connection(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn serve_connection(mut stream: TcpStream) {
+    stream.set_nonblocking(false).ok();
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok();
+    let mut buf = [0u8; 2048];
+    let mut len = 0usize;
+    // Read until the end of the request head (or the buffer fills; a bare
+    // "GET /path HTTP/1.0" fits many times over).
+    while len < buf.len() {
+        match stream.read(&mut buf[len..]) {
+            Ok(0) => break,
+            Ok(n) => {
+                len += n;
+                if buf[..len].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut parts = head.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return;
+    };
+    let (status, content_type, body) = if method != "GET" {
+        (405, "text/plain", "method not allowed\n".to_string())
+    } else {
+        route(path)
+    };
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "OK",
+    };
+    let response = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes()).ok();
+    stream.flush().ok();
+}
+
+fn route(path: &str) -> (u16, &'static str, String) {
+    match path {
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4",
+            crate::registry::global().snapshot().to_prometheus(),
+        ),
+        "/snapshot" => (
+            200,
+            "application/json",
+            crate::registry::global().snapshot().to_json(),
+        ),
+        "/health" => {
+            let (ok, body) = crate::slo::health();
+            (if ok { 200 } else { 503 }, "application/json", body)
+        }
+        "/traces" => (200, "application/json", traces_index()),
+        p => {
+            if let Some(id) = p
+                .strip_prefix("/traces/")
+                .and_then(|id| id.parse::<u64>().ok())
+            {
+                let events = crate::trace::trace_events(id);
+                if events.is_empty() {
+                    (
+                        404,
+                        "application/json",
+                        "{\"error\":\"no such trace\"}\n".to_string(),
+                    )
+                } else {
+                    (200, "application/json", trace_json(&events))
+                }
+            } else {
+                (404, "text/plain", "not found\n".to_string())
+            }
+        }
+    }
+}
+
+fn traces_index() -> String {
+    let mut out = String::from("[");
+    for (i, (id, root, events)) in crate::trace::recent_traces().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"trace\": {id}, \"root\": \"{}\", \"events\": {events}}}",
+            crate::encode::json_escape(root)
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn trace_json(events: &[crate::trace::TraceEvent]) -> String {
+    let mut out = String::from("[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            concat!(
+                "\n  {{\"seq\": {}, \"trace\": {}, \"span\": {}, \"parent\": {}, ",
+                "\"name\": \"{}\", \"kind\": \"{}\", \"thread\": {}, ",
+                "\"ts_ns\": {}, \"arg\": {}}}"
+            ),
+            e.seq,
+            e.trace_id,
+            e.span_id,
+            e.parent_id,
+            crate::encode::json_escape(e.name),
+            e.kind.label(),
+            e.thread,
+            e.ts_ns,
+            e.arg,
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        let status = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0);
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    #[test]
+    fn serves_all_endpoints() {
+        let server = IntrospectionServer::start("127.0.0.1:0").expect("bind");
+        let addr = server.addr();
+
+        crate::counter!("obs.test.server_counter").inc();
+        let (status, body) = get(addr, "/snapshot");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"counters\""));
+
+        let (status, metrics) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        if crate::is_enabled() {
+            assert!(metrics.contains("obs_test_server_counter_total"));
+        }
+
+        let (status, health) = get(addr, "/health");
+        assert!(status == 200 || status == 503);
+        assert!(health.contains("\"status\""));
+
+        let (status, _) = get(addr, "/traces");
+        assert_eq!(status, 200);
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        if crate::is_enabled() {
+            let ctx = crate::trace::open_ctx(crate::trace::intern("obs.test.server_trace"), 0, 0);
+            crate::trace::close_ctx(ctx, 0);
+            let (status, body) = get(addr, &format!("/traces/{}", ctx.trace));
+            assert_eq!(status, 200);
+            assert!(body.contains("obs.test.server_trace"));
+            let (status, _) = get(addr, "/traces/999999999");
+            assert_eq!(status, 404);
+        }
+
+        server.stop();
+    }
+}

@@ -132,6 +132,20 @@ mod thread_state {
     }
 }
 
+/// Shared process time base (ns since first observability use), so span
+/// records and trace events sort on one axis.
+#[cfg(feature = "enabled")]
+pub(crate) fn process_epoch_ns() -> u64 {
+    thread_state::epoch_ns()
+}
+
+/// Compact per-process thread id shared between the span ring and the
+/// trace rings.
+#[cfg(feature = "enabled")]
+pub(crate) fn process_thread_id() -> u32 {
+    thread_state::thread_id()
+}
+
 /// RAII guard: records a [`SpanRecord`] into the global ring on drop.
 /// In disabled builds this is a zero-sized no-op (no clock read).
 #[must_use = "a span measures the scope it is held for"]

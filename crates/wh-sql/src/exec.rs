@@ -180,6 +180,7 @@ pub fn execute_select(
     }
 
     // Streaming scan with WHERE pushdown: filtered-out rows never buffer.
+    let _scan_span = wh_obs::trace_span!("sql.exec.scan_filter");
     let scan_timer = wh_obs::Timer::start();
     let mut scanned: u64 = 0;
     let mut rows = Vec::new();
@@ -198,6 +199,8 @@ pub fn execute_select(
     wh_obs::counter!("sql.exec.scan.rows_in").add(scanned);
     wh_obs::counter!("sql.exec.filter.rows_out").add(rows.len() as u64);
 
+    drop(_scan_span);
+    let _stage_span = wh_obs::trace_span!("sql.exec.stage");
     let stage_timer = wh_obs::Timer::start();
     let aggregate = is_aggregate_query(stmt);
     let (columns, out_rows, order_keys) = if aggregate {
@@ -382,6 +385,7 @@ pub fn execute_select_parallel(
         }
     }
 
+    let _ts = wh_obs::trace_span!("sql.exec.parallel_select");
     let timer = wh_obs::Timer::start();
     let result = if is_aggregate_query(stmt) {
         execute_grouped_parallel(source, schema, &ctx, stmt, threads)

@@ -10,6 +10,7 @@ use wh_types::{Date, Value};
 
 /// Parse a full SQL statement (optionally `;`-terminated).
 pub fn parse_statement(input: &str) -> SqlResult<Statement> {
+    let _ts = wh_obs::trace_span!("sql.parse");
     let mut p = Parser::new(input)?;
     let stmt = p.statement()?;
     p.eat_punct(";");

@@ -285,6 +285,8 @@ impl BufferPool {
                 if verdict == EvictVerdict::MustFlush {
                     self.flush_frame(frame, &page)?;
                 }
+                wh_obs::trace_event!("storage.pool.evict", u64::from(frame.page_no));
+                // trace: leaf under the caller's fetch/flush/checkpoint span.
                 fail_point!("storage.pool.evict");
                 *state = None;
                 drop(state);
@@ -314,6 +316,7 @@ impl BufferPool {
         // Scope the failpoint's early return so the error path below still
         // re-marks the frame dirty.
         let write = || -> StorageResult<()> {
+            // trace: leaf under the caller's flush/checkpoint span.
             fail_point!("storage.pool.flush");
             disk.write_page(frame.page_no, &guard, seq)
         };
@@ -331,6 +334,14 @@ impl BufferPool {
                 // The image is still only in memory: re-mark so a later
                 // flush (or the next checkpoint attempt) retries it.
                 frame.core.mark_dirty();
+                wh_obs::counter!("storage.pool.flush_failures").inc();
+                // A failed flush is an anomaly worth the recent causal
+                // history: which txn dirtied the page and who demanded the
+                // write all sit in the ring right now.
+                wh_obs::recorder::trigger(
+                    "flush_failed",
+                    &format!("page {} flush failed: {e}", frame.page_no),
+                );
                 Err(e)
             }
         }
@@ -342,6 +353,7 @@ impl BufferPool {
     /// running — above-checkpoint images that slip in are §7-rolled-back on
     /// recovery.
     pub fn flush_all(&self) -> StorageResult<u64> {
+        let _ts = wh_obs::trace_span!("storage.pool.flush_all");
         let frames: Vec<Arc<Frame>> = read_latch(&self.frames).clone();
         let mut flushed = 0u64;
         for frame in frames {
@@ -361,6 +373,7 @@ impl BufferPool {
         if self.disk.is_none() {
             return Ok(0);
         }
+        let _ts = wh_obs::trace_span!("storage.pool.evict_all");
         let frames: Vec<Arc<Frame>> = read_latch(&self.frames).clone();
         let mut evicted = 0u64;
         // Two sweeps so reference bits can't shield everything.

@@ -86,6 +86,8 @@ impl CheckpointMeta {
     /// over the live record. The rename is the commit point of the whole
     /// checkpoint.
     pub fn write(&self, dir: &Path) -> StorageResult<()> {
+        // trace: the checkpoint's commit point — span it under the caller.
+        let _ts = wh_obs::trace_span!("storage.ckpt.meta_commit");
         fail_point!("storage.ckpt.meta");
         let tmp = dir.join(format!("{META_FILE}.tmp"));
         let buf = self.encode();
@@ -101,6 +103,8 @@ impl CheckpointMeta {
     /// Load and validate the checkpoint record. A missing file is the
     /// explicit "no checkpoint has ever completed" error.
     pub fn read(dir: &Path) -> StorageResult<CheckpointMeta> {
+        // trace: restart's first read — span it under the restart root.
+        let _ts = wh_obs::trace_span!("storage.ckpt.meta_read");
         fail_point!("storage.disk.read");
         let path = Self::meta_path(dir);
         let buf = match std::fs::read(&path) {

@@ -132,6 +132,8 @@ impl DiskFile {
     /// pool's frame counter); alternating slots means the previous complete
     /// image is never overwritten by the write that might tear.
     pub fn write_page(&self, page_no: u32, page: &Page, seq: u64) -> StorageResult<()> {
+        // trace: real I/O — span each page write under the flush/checkpoint.
+        let _ts = wh_obs::trace_span!("storage.disk.write");
         fail_point!("storage.disk.write");
         let states = page.pack_states();
         let data = page.data_bytes();
@@ -168,6 +170,8 @@ impl DiskFile {
     /// unflushed page postdates the checkpoint VN. Both blocks present but
     /// invalid is real corruption and errors.
     pub fn read_page(&self, page_no: u32) -> StorageResult<Option<(Page, u64)>> {
+        // trace: real I/O — span each fault-in under the caller's span.
+        let _ts = wh_obs::trace_span!("storage.disk.read");
         fail_point!("storage.disk.read");
         let base = u64::from(page_no) * self.stride();
         let mut region = vec![0u8; 2 * self.block_len];

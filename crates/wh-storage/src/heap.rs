@@ -55,7 +55,10 @@ fn read_latch_timed<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
 fn read_latch_contended<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     let wait = wh_obs::Timer::start();
     let g = read_latch(lock);
-    wh_obs::histogram!("storage.latch.read_wait_ns").record(wait.elapsed_ns());
+    let ns = wait.elapsed_ns();
+    wh_obs::histogram!("storage.latch.read_wait_ns").record(ns);
+    // Contended waits are rare enough to afford a causal event each.
+    wh_obs::trace_event!("storage.latch.read_contended", ns);
     g
 }
 
@@ -73,7 +76,10 @@ fn write_latch_timed<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 fn write_latch_contended<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
     let wait = wh_obs::Timer::start();
     let g = write_latch(lock);
-    wh_obs::histogram!("storage.latch.write_wait_ns").record(wait.elapsed_ns());
+    let ns = wait.elapsed_ns();
+    wh_obs::histogram!("storage.latch.write_wait_ns").record(ns);
+    // Contended waits are rare enough to afford a causal event each.
+    wh_obs::trace_event!("storage.latch.write_contended", ns);
     g
 }
 
@@ -196,6 +202,8 @@ impl HeapFile {
     /// flush carries `tupleVN` above that snapshot and is §7-rolled-back on
     /// recovery, so no quiescing is needed.
     pub fn checkpoint(&self, version: VersionMeta) -> StorageResult<CheckpointStats> {
+        // trace: nests under `vnl.checkpoint` when driven from the table.
+        let _ts = wh_obs::trace_span!("storage.checkpoint");
         fail_point!("storage.ckpt.begin");
         let dir = self.dir.as_ref().ok_or_else(|| {
             StorageError::Corrupt("checkpoint requested on an in-memory heap".into())
@@ -272,6 +280,7 @@ impl HeapFile {
     }
 
     fn page(&self, page_no: u32) -> StorageResult<PagePin> {
+        // trace: point-op leaf; the enclosing vnl txn/read span is the causal parent.
         fail_point!("storage.heap.latch");
         self.pool.fetch(page_no)
     }
@@ -285,6 +294,7 @@ impl HeapFile {
 
     /// Insert a record, returning its RID.
     pub fn insert(&self, record: &[u8]) -> StorageResult<Rid> {
+        // trace: point-op leaf; the enclosing vnl txn/read span is the causal parent.
         fail_point!("storage.heap.insert");
         let op = self.sample_op().then(wh_obs::Timer::start);
         loop {
@@ -304,7 +314,8 @@ impl HeapFile {
                         Self::note_free_list(&free);
                     }
                     if let Some(op) = op {
-                        wh_obs::histogram!("storage.heap.insert_ns").record(op.elapsed_ns());
+                        wh_obs::histogram_sampled!("storage.heap.insert_ns", 16)
+                            .record(op.elapsed_ns());
                     }
                     return Ok(Rid::new(page_no, slot));
                 }
@@ -323,6 +334,7 @@ impl HeapFile {
 
     /// Read the record at `rid` into an owned buffer.
     pub fn read(&self, rid: Rid) -> StorageResult<Vec<u8>> {
+        // trace: point-op leaf; the enclosing vnl txn/read span is the causal parent.
         fail_point!("storage.heap.read");
         let op = self.sample_op().then(wh_obs::Timer::start);
         let page = self.page(rid.page)?;
@@ -333,13 +345,14 @@ impl HeapFile {
         let out = rec.to_vec();
         drop(guard);
         if let Some(op) = op {
-            wh_obs::histogram!("storage.heap.read_ns").record(op.elapsed_ns());
+            wh_obs::histogram_sampled!("storage.heap.read_ns", 16).record(op.elapsed_ns());
         }
         Ok(out)
     }
 
     /// Overwrite the record at `rid` in place (width-preserving).
     pub fn update_in_place(&self, rid: Rid, record: &[u8]) -> StorageResult<()> {
+        // trace: point-op leaf; the enclosing vnl txn/read span is the causal parent.
         fail_point!("storage.heap.write");
         let op = self.sample_op().then(wh_obs::Timer::start);
         let page = self.page(rid.page)?;
@@ -351,7 +364,7 @@ impl HeapFile {
         self.stats.count_tuple_writes(1);
         drop(guard);
         if let Some(op) = op {
-            wh_obs::histogram!("storage.heap.write_ns").record(op.elapsed_ns());
+            wh_obs::histogram_sampled!("storage.heap.write_ns", 16).record(op.elapsed_ns());
         }
         Ok(())
     }
@@ -375,6 +388,7 @@ impl HeapFile {
         let hold = sampled.then(wh_obs::Timer::start);
         self.stats.count_page_reads(1);
         let current = guard.read(rid.page, rid.slot)?.to_vec();
+        // trace: point-op leaf; the enclosing vnl txn/read span is the causal parent.
         fail_point!("storage.heap.modify");
         let replacement = f(&current)?;
         guard.update_in_place(rid.page, rid.slot, &replacement)?;
@@ -384,8 +398,8 @@ impl HeapFile {
         drop(guard);
         if let Some(hold) = hold {
             let ns = hold.elapsed_ns();
-            wh_obs::histogram!("storage.latch.write_hold_ns").record(ns);
-            wh_obs::histogram!("storage.heap.write_ns").record(ns);
+            wh_obs::histogram_sampled!("storage.latch.write_hold_ns", 16).record(ns);
+            wh_obs::histogram_sampled!("storage.heap.write_ns", 16).record(ns);
         }
         Ok(())
     }
@@ -412,6 +426,7 @@ impl HeapFile {
         F: FnOnce(&[u8]) -> bool,
         G: FnOnce(),
     {
+        // trace: point-op leaf; the enclosing vnl txn/read span is the causal parent.
         fail_point!("storage.heap.delete");
         let op = self.sample_op().then(wh_obs::Timer::start);
         let page = self.page(rid.page)?;
@@ -427,6 +442,7 @@ impl HeapFile {
         self.stats.count_tuple_writes(1);
         then();
         drop(guard);
+        // trace: point-op leaf; the enclosing vnl txn/read span is the causal parent.
         fail_point!("storage.heap.free_space");
         let mut free = lock_list(&self.free_pages);
         if !free.contains(&rid.page) {
@@ -453,6 +469,7 @@ impl HeapFile {
         F: FnOnce(&[u8]) -> bool,
         G: FnOnce(),
     {
+        // trace: point-op leaf; the enclosing vnl txn/read span is the causal parent.
         fail_point!("storage.heap.delete");
         let op = self.sample_op().then(wh_obs::Timer::start);
         let page = self.page(rid.page)?;
@@ -483,6 +500,7 @@ impl HeapFile {
         guard.release(rid.page, rid.slot)?;
         page.mark_dirty();
         drop(guard);
+        // trace: point-op leaf; the enclosing vnl txn/read span is the causal parent.
         fail_point!("storage.heap.free_space");
         let mut free = lock_list(&self.free_pages);
         if !free.contains(&rid.page) {
@@ -494,6 +512,7 @@ impl HeapFile {
 
     /// Physically delete the record at `rid`.
     pub fn delete(&self, rid: Rid) -> StorageResult<()> {
+        // trace: point-op leaf; the enclosing vnl txn/read span is the causal parent.
         fail_point!("storage.heap.delete");
         let op = self.sample_op().then(wh_obs::Timer::start);
         let page = self.page(rid.page)?;
@@ -504,6 +523,7 @@ impl HeapFile {
         self.stats.count_page_writes(1);
         self.stats.count_tuple_writes(1);
         drop(guard);
+        // trace: point-op leaf; the enclosing vnl txn/read span is the causal parent.
         fail_point!("storage.heap.free_space");
         let mut free = lock_list(&self.free_pages);
         if !free.contains(&rid.page) {
@@ -595,13 +615,19 @@ impl HeapFile {
         }
         let chunk = (pages as usize).div_ceil(workers) as u32;
         let visit = &visit;
+        // Propagate the coordinator's span across the worker threads so
+        // each partition's span parents under the read that spawned it.
+        let scan_ctx = wh_obs::trace::current();
         let mut results: Vec<StorageResult<()>> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let start = w as u32 * chunk;
                     let end = (start + chunk).min(pages);
-                    s.spawn(move || self.scan_pages(start..end, |rid, rec| visit(w, rid, rec)))
+                    s.spawn(move || {
+                        let _ts = wh_obs::trace_span_under!("storage.scan.partition", scan_ctx);
+                        self.scan_pages(start..end, |rid, rec| visit(w, rid, rec))
+                    })
                 })
                 .collect();
             results = handles
@@ -689,13 +715,19 @@ impl HeapFile {
         }
         let chunk = (pages as usize).div_ceil(workers) as u32;
         let visit = &visit;
+        // Propagate the coordinator's span across the worker threads; see
+        // `scan_parallel`.
+        let scan_ctx = wh_obs::trace::current();
         let mut results: Vec<StorageResult<()>> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let start = w as u32 * chunk;
                     let end = (start + chunk).min(pages);
-                    s.spawn(move || self.scan_batches(start..end, specs, |batch| visit(w, batch)))
+                    s.spawn(move || {
+                        let _ts = wh_obs::trace_span_under!("storage.scan.partition", scan_ctx);
+                        self.scan_batches(start..end, specs, |batch| visit(w, batch))
+                    })
                 })
                 .collect();
             results = handles

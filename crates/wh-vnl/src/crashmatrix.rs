@@ -178,7 +178,27 @@ fn fingerprint(table: &VnlTable) -> String {
 ///
 /// Counters are *not* cleared, so a sweep accumulates coverage; callers
 /// wanting isolated counts should call [`fault::clear_all`] first.
+/// Flight-recorder hook for matrix cells: if the cell panics (oracle
+/// divergence or a violated recovery invariant), dump the ring while it
+/// still holds the injected fault's causal chain.
+struct CellFlightGuard {
+    point: &'static str,
+    n: usize,
+}
+
+impl Drop for CellFlightGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            wh_obs::recorder::trigger(
+                "crash_matrix_cell",
+                &format!("cell failed: point={} n={}", self.point, self.n),
+            );
+        }
+    }
+}
+
 pub fn run_cell(n: usize, point: &'static str, op: OpKind) -> CellReport {
+    let _flight = CellFlightGuard { point, n };
     let table = build_table(n);
     let fired_before = fault::fired(point);
     fault::configure(point, FaultAction::Error);
@@ -391,6 +411,7 @@ pub fn run_durability_cell(
     point: &'static str,
     op: DurableOpKind,
 ) -> DurabilityCellReport {
+    let _flight = CellFlightGuard { point, n };
     let dir = matrix_dir();
     let table = build_durable_table(n, &dir);
     let fired_before = fault::fired(point);

@@ -115,6 +115,8 @@ pub fn checkpoint(table: &VnlTable) -> VnlResult<CheckpointStats> {
             "checkpoint requires a disk-backed table (see durable::create_durable)".into(),
         )));
     }
+    // trace: the storage layer's flush spans parent under this one.
+    let _ts = wh_obs::trace_span!("vnl.checkpoint");
     // Snapshot first — see the ordering argument above.
     let snap = table.version().snapshot();
     // Reclamation durable through this checkpoint cannot precede the oldest
@@ -154,6 +156,8 @@ pub fn recover_from_disk(
     capacity: usize,
 ) -> VnlResult<(VnlTable, DiskRecoveryReport)> {
     let io = Arc::new(IoStats::new());
+    // trace: restart restore + the §7 recovery pass under one root span.
+    let _ts = wh_obs::trace_span!("vnl.restart");
     let layout = ExtLayout::new(base_schema, n)?;
     let meta = CheckpointMeta::read(dir)?;
     let storage = Table::open_backed(

@@ -41,6 +41,9 @@ pub struct GcReport {
 /// us, in which case we still must not touch uncommitted work — the pass
 /// therefore also requires `tupleVN ≤ currentVN`.
 pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
+    // trace: each GC pass is its own trace — usually nothing ambient is
+    // running on the collector thread, and a pass is a complete story.
+    let _ts = wh_obs::trace_span!("vnl.gc.pass");
     let pass = wh_obs::Timer::start();
     let layout = table.layout().clone();
     let snap = table.version().snapshot();
@@ -152,6 +155,8 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
 /// deferred-release analogue of the old "active reader blocks reclamation"
 /// rule, but enforced without readers taking any lock.
 fn release_after_grace(table: &VnlTable) -> VnlResult<u64> {
+    // trace: runs inside `collect`'s pass span on the same thread.
+    let _ts = wh_obs::trace_span!("vnl.gc.release");
     if wh_obs::is_enabled() {
         wh_obs::gauge!("vnl.gc.epoch").set(table.epochs().epoch() as i64);
         wh_obs::gauge!("vnl.gc.pinned_readers").set(table.epochs().pinned() as i64);

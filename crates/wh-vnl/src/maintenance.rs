@@ -171,6 +171,11 @@ pub struct MaintenanceTxn<'t> {
     undo: Mutex<HashMap<Rid, UndoEntry>>,
     trace: Mutex<Vec<(PhysicalAction, Row)>>,
     tracing: std::sync::atomic::AtomicBool,
+    /// Root trace span covering the whole transaction; per-phase spans
+    /// parent under it so one trace id is the txn's causal story. Closed
+    /// by `Drop` — a forgotten txn (crash) leaves it open, which is
+    /// exactly what the flight recorder should show at recovery time.
+    span_ctx: wh_obs::TraceCtx,
 }
 
 impl<'t> MaintenanceTxn<'t> {
@@ -182,6 +187,7 @@ impl<'t> MaintenanceTxn<'t> {
             undo: Mutex::new(HashMap::new()),
             trace: Mutex::new(Vec::new()),
             tracing: std::sync::atomic::AtomicBool::new(false),
+            span_ctx: wh_obs::trace::open_ctx(wh_obs::trace_name!("vnl.txn"), 0, vn),
         }
     }
 
@@ -315,6 +321,8 @@ impl<'t> MaintenanceTxn<'t> {
     /// Logically insert `base_row` (Table 2).
     pub fn insert(&self, base_row: Row) -> VnlResult<()> {
         let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.insert_ns"));
+        // trace: phase span parented under the txn's root span.
+        let _ts = wh_obs::trace_span_under!("vnl.txn.insert", self.span_ctx);
         self.check_open()?;
         self.table.layout().base_schema().validate(&base_row)?;
         let layout = self.table.layout();
@@ -447,6 +455,8 @@ impl<'t> MaintenanceTxn<'t> {
 
     fn apply_update(&self, rid: Rid, new_updatable: &[Value]) -> VnlResult<()> {
         let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.update_ns"));
+        // trace: phase span parented under the txn's root span.
+        let _ts = wh_obs::trace_span_under!("vnl.txn.update", self.span_ctx);
         let layout = self.table.layout();
         let ext = match self.table.storage().read(rid) {
             Ok(e) => e,
@@ -562,6 +572,8 @@ impl<'t> MaintenanceTxn<'t> {
 
     fn apply_delete(&self, rid: Rid) -> VnlResult<()> {
         let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.delete_ns"));
+        // trace: phase span parented under the txn's root span.
+        let _ts = wh_obs::trace_span_under!("vnl.txn.delete", self.span_ctx);
         let layout = self.table.layout();
         let ext = match self.table.storage().read(rid) {
             Ok(e) => e,
@@ -795,12 +807,14 @@ impl<'t> MaintenanceTxn<'t> {
     /// `currentVN` happens as its own latched step (§4's abort-safe order).
     pub fn commit(self) -> VnlResult<()> {
         let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.commit_ns"));
+        let _ts = wh_obs::trace_span_under!("vnl.txn.commit", self.span_ctx);
         self.check_open()?;
         *self
             .finished
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
         self.table.version().publish_commit(self.vn)?;
+        wh_obs::slo::note_commit();
         Ok(())
     }
 
@@ -822,6 +836,7 @@ impl<'t> MaintenanceTxn<'t> {
     /// (§7's log-free rollback), then clearing the maintenance flag.
     pub fn abort(self) -> VnlResult<()> {
         let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.abort_ns"));
+        let _ts = wh_obs::trace_span_under!("vnl.txn.abort", self.span_ctx);
         self.check_open()?;
         *self
             .finished
@@ -856,6 +871,8 @@ impl<'t> MaintenanceTxn<'t> {
 
     fn rollback_changes(&self) -> VnlResult<()> {
         let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.rollback_ns"));
+        // trace: phase span parented under the txn's root span.
+        let _ts = wh_obs::trace_span_under!("vnl.txn.rollback", self.span_ctx);
         let layout = self.table.layout();
         // Collect this txn's tuples first (stable iteration while mutating).
         let mut touched = Vec::new();
@@ -982,5 +999,10 @@ impl Drop for MaintenanceTxn<'_> {
             let _ = self.rollback_changes();
             let _ = self.table.version().publish_abort();
         }
+        // Close the txn's root trace span only here: a transaction that is
+        // `mem::forget`-ten (the crash-matrix fault model) never reaches
+        // this Drop, so its span stays open and the flight recorder shows
+        // the interrupted causal chain at recovery time.
+        wh_obs::trace::close_ctx(self.span_ctx, self.vn);
     }
 }

@@ -55,6 +55,28 @@ pub struct ReaderSession<'t> {
     staleness_probe: std::sync::atomic::AtomicU32,
     /// Scan implementation for this session's reads.
     pipeline: ScanPipeline,
+    /// Root trace span covering the session; each read operation's span
+    /// parents under it so a session's whole read history shares one
+    /// trace id. Closed when the session is released.
+    span_ctx: wh_obs::TraceCtx,
+}
+
+/// RAII probe feeding the read-latency SLO sliding window on drop; inert
+/// (no clock read) when observability is disabled.
+struct ReadProbe(Option<std::time::Instant>);
+
+impl ReadProbe {
+    fn start() -> ReadProbe {
+        ReadProbe(wh_obs::is_enabled().then(std::time::Instant::now))
+    }
+}
+
+impl Drop for ReadProbe {
+    fn drop(&mut self) {
+        if let Some(t) = self.0 {
+            wh_obs::slo::note_read_latency(t.elapsed().as_nanos() as u64);
+        }
+    }
 }
 
 impl<'t> ReaderSession<'t> {
@@ -67,6 +89,7 @@ impl<'t> ReaderSession<'t> {
             lease: None,
             staleness_probe: std::sync::atomic::AtomicU32::new(0),
             pipeline: ScanPipeline::default(),
+            span_ctx: wh_obs::trace::open_ctx(wh_obs::trace_name!("vnl.session"), 0, session_vn),
         }
     }
 
@@ -133,6 +156,7 @@ impl<'t> ReaderSession<'t> {
         let lag = current.saturating_sub(self.session_vn);
         wh_obs::gauge!("vnl.reader.staleness").set(lag as i64);
         wh_obs::histogram!("vnl.reader.staleness_vns").record(lag);
+        wh_obs::slo::note_staleness(lag);
     }
 
     /// Sampled [`ReaderSession::note_staleness`] for point-read entry
@@ -182,6 +206,8 @@ impl<'t> ReaderSession<'t> {
     /// expiration detector: a tuple modified out from under the session
     /// raises [`VnlError::SessionExpired`].
     pub fn scan(&self) -> VnlResult<Vec<Row>> {
+        let _ts = wh_obs::trace_span_under!("vnl.read.scan", self.span_ctx);
+        let _lat = ReadProbe::start();
         self.note_staleness();
         self.table.scan_visible(self.session_vn)
     }
@@ -194,6 +220,8 @@ impl<'t> ReaderSession<'t> {
     where
         F: FnMut(Row) -> VnlResult<()>,
     {
+        let _ts = wh_obs::trace_span_under!("vnl.read.scan", self.span_ctx);
+        let _lat = ReadProbe::start();
         self.note_staleness();
         match self.pipeline {
             ScanPipeline::Scalar => self.table.scan_visible_with(self.session_vn, None, visit),
@@ -246,6 +274,8 @@ impl<'t> ReaderSession<'t> {
     where
         F: Fn(usize, Row) -> VnlResult<()> + Sync,
     {
+        let _ts = wh_obs::trace_span_under!("vnl.read.scan_parallel", self.span_ctx);
+        let _lat = ReadProbe::start();
         self.note_staleness();
         match self.pipeline {
             ScanPipeline::Scalar => {
@@ -380,6 +410,8 @@ impl<'t> ReaderSession<'t> {
     /// materialized snapshot (and on the batched pipeline, pushable WHERE
     /// conjuncts run inside the page classify kernel, before decode).
     pub fn query_stmt(&self, select: &SelectStmt) -> VnlResult<QueryResult> {
+        let _ts = wh_obs::trace_span_under!("vnl.read.query", self.span_ctx);
+        let _lat = ReadProbe::start();
         self.note_staleness();
         let (source, exec_stmt) = self.source_for(select)?;
         let res = execute_select(&source, &exec_stmt, &Params::new());
@@ -407,6 +439,8 @@ impl<'t> ReaderSession<'t> {
         select: &SelectStmt,
         threads: usize,
     ) -> VnlResult<QueryResult> {
+        let _ts = wh_obs::trace_span_under!("vnl.read.query_parallel", self.span_ctx);
+        let _lat = ReadProbe::start();
         self.note_staleness();
         let (source, exec_stmt) = self.source_for(select)?;
         let res = execute_select_parallel(&source, &exec_stmt, &Params::new(), threads);
@@ -480,6 +514,8 @@ impl<'t> ReaderSession<'t> {
         if select.from != self.table.name() {
             return Err(VnlError::Sql(SqlError::NoSuchTable(select.from)));
         }
+        let _ts = wh_obs::trace_span_under!("vnl.read.query_rewrite", self.span_ctx);
+        let _lat = ReadProbe::start();
         self.note_staleness();
         let rewritten = self.table.rewriter().rewrite_select(&select)?;
         let mut params = Params::new();
@@ -500,6 +536,7 @@ impl<'t> ReaderSession<'t> {
             self.table.version().leases().release(lease);
         }
         self.table.end_session(self.id);
+        wh_obs::trace::close_ctx(self.span_ctx, self.session_vn);
     }
 }
 

@@ -114,6 +114,14 @@ pub struct RecoveryReport {
 /// a second pass finds nothing pending. See the module docs for the
 /// algorithm and its exactness bounds.
 pub fn recover(table: &VnlTable) -> VnlResult<RecoveryReport> {
+    // trace: recovery is a fresh root trace; the crashed transaction's
+    // still-open span (it never reached its Drop) sits in the same ring,
+    // so the dump below carries both the crash and the repair.
+    let _ts = wh_obs::trace_span!("vnl.recovery");
+    // Entering recovery IS the anomaly — dump the flight recorder first so
+    // the ring still holds the events leading up to the crash, not the
+    // recovery scan's own traffic.
+    wh_obs::recorder::trigger("recovery_entry", "vnl recovery scan starting");
     let layout = table.layout().clone();
     let snap = table.version().snapshot();
     let v = snap.current_vn;

@@ -74,6 +74,7 @@ impl LeaseRegistry {
     pub fn register(&self, session_vn: VersionNo, hint: Duration) -> LeaseId {
         let id = self.core.register(session_vn, Instant::now() + hint);
         wh_obs::counter!("vnl.resilience.lease.granted").inc();
+        wh_obs::trace_event!("vnl.lease.grant", id.raw());
         wh_obs::gauge!("vnl.resilience.active_leases").set(self.len() as i64);
         id
     }
@@ -85,6 +86,7 @@ impl LeaseRegistry {
         let renewed = self.core.renew(id, Instant::now() + hint);
         if renewed {
             wh_obs::counter!("vnl.resilience.lease.renewals").inc();
+            wh_obs::trace_event!("vnl.lease.renew", id.raw());
         }
         renewed
     }
@@ -109,6 +111,7 @@ impl LeaseRegistry {
         let revoked = self.core.revoke(id);
         if revoked {
             wh_obs::counter!("vnl.resilience.lease.revocations").inc();
+            wh_obs::trace_event!("vnl.lease.revoke", id.raw());
         }
         revoked
     }

@@ -408,6 +408,11 @@ impl VnlTable {
     pub(crate) fn note_expiration(&self) {
         self.expired_notifications.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
         wh_obs::counter!("vnl.reader.expirations").inc();
+        // §4.1 verdict feeds the sliding-window SLO, which doubles as the
+        // expire-storm flight-recorder trigger, and leaves a causal event
+        // in whatever trace the failing read is running under.
+        wh_obs::slo::note_expiration();
+        wh_obs::trace_event!("vnl.session.expired");
     }
 
     /// Build the enriched [`VnlError::SessionExpired`] for a session of

@@ -221,6 +221,8 @@ impl VersionState {
                 // Placed after the flag flip: a crash here leaves
                 // maintenanceActive stuck on, exactly the state recovery
                 // must be able to clear.
+                wh_obs::trace_event!("vnl.version.begin", current_vn);
+                // trace: the flip instant lands in the ambient txn span.
                 fail_point!("vnl.version.begin");
                 self.relation.update(
                     self.relation_rid,
@@ -244,6 +246,8 @@ impl VersionState {
                 // Before any mutation: a crash here commits nothing —
                 // readers keep the old currentVN and never see a
                 // half-published flip.
+                wh_obs::trace_event!("vnl.version.publish_commit", maintenance_vn);
+                // trace: the flip instant lands in the ambient txn span.
                 fail_point!("vnl.version.publish_commit");
                 Ok(())
             },
@@ -261,6 +265,8 @@ impl VersionState {
         self.core.publish_abort(
             || {
                 // Before any mutation, mirroring `publish_commit`.
+                wh_obs::trace_event!("vnl.version.publish_abort");
+                // trace: the flip instant lands in the ambient txn span.
                 fail_point!("vnl.version.publish_abort");
                 Ok(())
             },

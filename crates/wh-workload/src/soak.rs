@@ -322,6 +322,16 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, VnlError> {
                                 reads_ok.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
                             } else {
                                 wrong.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+                                                                       // A wrong answer is the worst anomaly this
+                                                                       // harness can see — dump the ring while the
+                                                                       // guilty interleaving is still in it.
+                                wh_obs::recorder::trigger(
+                                    "oracle_violation",
+                                    &format!(
+                                        "soak reader {reader} saw a non-uniform or torn \
+                                         snapshot (uniform={uniform}, stamp_ok={stamp_ok})"
+                                    ),
+                                );
                             }
                         }
                         Err(VnlError::RetryExhausted { .. }) => {
