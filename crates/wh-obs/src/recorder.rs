@@ -83,45 +83,32 @@ pub fn dumps_written() -> u64 {
     DUMPS_WRITTEN.load(Ordering::Relaxed) // ordering: Relaxed — statistical read; tearing across cells is acceptable
 }
 
+/// Peek the per-reason rate limit without claiming a slot; the timestamp
+/// is stamped by [`note_dumped`] only after a dump is fully on disk, so a
+/// failed write does not silence the next trigger for the same reason.
 fn rate_limited(reason: &'static str) -> bool {
-    let mut last = LAST_BY_REASON
+    let last = LAST_BY_REASON
         .lock()
         .unwrap_or_else(PoisonError::into_inner);
-    let now = Instant::now();
-    if let Some(prev) = last.get(reason) {
-        if now.duration_since(*prev) < MIN_DUMP_INTERVAL {
-            return true;
-        }
-    }
-    last.insert(reason, now);
-    false
+    last.get(reason)
+        .is_some_and(|prev| Instant::now().duration_since(*prev) < MIN_DUMP_INTERVAL)
 }
 
-/// Dump the recent trace history because `reason` happened. Returns the
-/// written dump, or `None` when disabled, unarmed, rate-limited, capped,
-/// or on I/O error (the recorder never panics and never interferes with
-/// the failing operation it is documenting).
-pub fn trigger(reason: &'static str, detail: &str) -> Option<DumpInfo> {
-    if !crate::is_enabled() {
-        return None;
-    }
-    let dir = sink_dir()?;
-    if rate_limited(reason) {
-        return None;
-    }
-    // ordering: Relaxed — approximate cap; a small overshoot under races is acceptable
-    if DUMPS_WRITTEN.load(Ordering::Relaxed) >= MAX_DUMPS {
-        return None;
-    }
-    let events = crate::trace::collect();
-    std::fs::create_dir_all(&dir).ok()?;
-    let n = DUMPS_WRITTEN.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — sequence allocation; the slot/event payload is synchronized separately
-    let path = dir.join(format!(
-        "flight-{reason}-{pid}-{n}.jsonl",
-        pid = std::process::id()
-    ));
-    let file = std::fs::File::create(&path).ok()?;
-    let mut w = std::io::BufWriter::new(file);
+fn note_dumped(reason: &'static str) {
+    LAST_BY_REASON
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .insert(reason, Instant::now());
+}
+
+/// Write the dump body to `w`; any I/O error aborts the dump (the caller
+/// removes the partial temp file).
+fn write_dump(
+    w: &mut impl Write,
+    reason: &str,
+    detail: &str,
+    events: &[crate::TraceEvent],
+) -> std::io::Result<()> {
     let unix_ms = SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| d.as_millis() as u64);
@@ -138,9 +125,8 @@ pub fn trigger(reason: &'static str, detail: &str) -> Option<DumpInfo> {
         std::process::id(),
         unix_ms,
         events.len(),
-    )
-    .ok()?;
-    for e in &events {
+    )?;
+    for e in events {
         writeln!(
             w,
             concat!(
@@ -157,8 +143,7 @@ pub fn trigger(reason: &'static str, detail: &str) -> Option<DumpInfo> {
             e.thread,
             e.ts_ns,
             e.arg,
-        )
-        .ok()?;
+        )?;
     }
     let snap = crate::registry::global().snapshot();
     let mut counters = String::from("{\"counters\":{");
@@ -169,8 +154,76 @@ pub fn trigger(reason: &'static str, detail: &str) -> Option<DumpInfo> {
         counters.push_str(&format!("\"{}\":{v}", json_escape(name)));
     }
     counters.push_str("}}");
-    writeln!(w, "{counters}").ok()?;
-    w.flush().ok()?;
+    writeln!(w, "{counters}")?;
+    w.flush()
+}
+
+/// Dump the recent trace history because `reason` happened. Returns the
+/// written dump, or `None` when disabled, unarmed, rate-limited, capped,
+/// or on I/O error (the recorder never panics and never interferes with
+/// the failing operation it is documenting).
+///
+/// The dump is written to a hidden `.tmp` file and renamed into place
+/// only after a successful flush, and the [`MAX_DUMPS`] slot and
+/// per-reason rate-limit stamp are consumed only then — an I/O failure
+/// mid-dump neither burns the cap nor leaves a truncated `.jsonl` for
+/// downstream tooling to trip over.
+pub fn trigger(reason: &'static str, detail: &str) -> Option<DumpInfo> {
+    if !crate::is_enabled() {
+        return None;
+    }
+    let dir = sink_dir()?;
+    if rate_limited(reason) {
+        return None;
+    }
+    // ordering: Relaxed — approximate early-out; the claim loop below re-checks the cap
+    if DUMPS_WRITTEN.load(Ordering::Relaxed) >= MAX_DUMPS {
+        return None;
+    }
+    let events = crate::trace::collect();
+    std::fs::create_dir_all(&dir).ok()?;
+    // Unique temp name per attempt (separate from the dump numbering so a
+    // failed attempt never consumes a visible dump number).
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let attempt = TMP_SEQ.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — sequence allocation; nothing else is guarded by it
+    let tmp = dir.join(format!(
+        ".flight-{reason}-{pid}-{attempt}.tmp",
+        pid = std::process::id()
+    ));
+    let written = std::fs::File::create(&tmp).ok().and_then(|file| {
+        let mut w = std::io::BufWriter::new(file);
+        write_dump(&mut w, reason, detail, &events).ok()
+    });
+    if written.is_none() {
+        std::fs::remove_file(&tmp).ok();
+        return None;
+    }
+    // The bytes are safely on disk: claim a dump number without ever
+    // overshooting the cap.
+    let n = loop {
+        let cur = DUMPS_WRITTEN.load(Ordering::Relaxed); // ordering: Relaxed — cap accounting only; no data is guarded
+        if cur >= MAX_DUMPS {
+            std::fs::remove_file(&tmp).ok();
+            return None;
+        }
+        // ordering: Relaxed — cap accounting only; no data is guarded
+        if DUMPS_WRITTEN
+            .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            break cur;
+        }
+    };
+    let path = dir.join(format!(
+        "flight-{reason}-{pid}-{n}.jsonl",
+        pid = std::process::id()
+    ));
+    if std::fs::rename(&tmp, &path).is_err() {
+        std::fs::remove_file(&tmp).ok();
+        DUMPS_WRITTEN.fetch_sub(1, Ordering::Relaxed); // ordering: Relaxed — cap accounting only; returns the unused slot
+        return None;
+    }
+    note_dumped(reason);
     crate::counter!("obs.recorder.dumps").inc();
     Some(DumpInfo {
         path,

@@ -137,6 +137,9 @@ fn serve_connection(mut stream: TcpStream) {
 }
 
 fn route(path: &str) -> (u16, &'static str, String) {
+    // Scrapers commonly append query strings (GET /metrics?format=text);
+    // match on the path component only.
+    let path = path.split('?').next().unwrap_or(path);
     match path {
         "/metrics" => (
             200,
@@ -263,6 +266,15 @@ mod tests {
 
         let (status, _) = get(addr, "/nope");
         assert_eq!(status, 404);
+
+        // Query strings from probes/scrapers must not 404 the endpoint.
+        let (status, metrics) = get(addr, "/metrics?format=text");
+        assert_eq!(status, 200);
+        if crate::is_enabled() {
+            assert!(metrics.contains("obs_test_server_counter_total"));
+        }
+        let (status, _) = get(addr, "/health?verbose=1");
+        assert!(status == 200 || status == 503);
 
         if crate::is_enabled() {
             let ctx = crate::trace::open_ctx(crate::trace::intern("obs.test.server_trace"), 0, 0);

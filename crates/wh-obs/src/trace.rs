@@ -19,6 +19,9 @@
 //!   mid-write). Collectors ([`collect`]) read slots optimistically and
 //!   discard torn reads — readers never block writers and writers never
 //!   wait, mirroring the paper's readers-don't-block-maintenance stance.
+//!   A ring whose thread exits is recycled to the next new thread through
+//!   a free-list, so total ring memory is bounded by peak thread
+//!   concurrency even when short-lived scan workers churn.
 //! - **Ambient context.** A thread-local stack of `(trace, span)` pairs
 //!   gives new spans their parent implicitly ([`enter`]); long-lived
 //!   contexts that cross method calls (a session, a maintenance txn) hold
@@ -124,6 +127,13 @@ pub struct TraceGuard {
     name_idx: u32,
     #[cfg(feature = "enabled")]
     start_ns: u64,
+    /// `!Send` marker (in both enabled and disabled builds, so code that
+    /// compiles with tracing off cannot break with it on): a guard pops
+    /// the ambient span stack of the thread that opened it, so dropping
+    /// it on another thread would leave the origin thread's stack entry
+    /// behind and silently re-parent all its later spans. Cross-thread
+    /// spans go through [`TraceCtx`] + [`enter_under`] instead.
+    _not_send: std::marker::PhantomData<*const ()>,
 }
 
 impl fmt::Debug for TraceGuard {
@@ -178,17 +188,18 @@ mod imp {
 
     /// One thread's event ring. Only the owning thread writes slots (and
     /// `head`); collectors on other threads read optimistically through
-    /// the per-slot seqlock version word.
+    /// the per-slot seqlock version word. The writer's compact thread id
+    /// is packed into each event's meta word rather than stored here, so
+    /// a ring recycled to a new thread (see [`FREE`]) keeps attributing
+    /// its retained events to the thread that actually emitted them.
     struct ThreadRing {
-        thread: u32,
         head: AtomicU64,
         slots: Box<[[AtomicU64; WORDS]]>,
     }
 
     impl ThreadRing {
-        fn new(thread: u32) -> ThreadRing {
+        fn new() -> ThreadRing {
             ThreadRing {
-                thread,
                 head: AtomicU64::new(0),
                 slots: (0..THREAD_RING_CAPACITY)
                     .map(|_| [const { AtomicU64::new(0) }; WORDS])
@@ -231,28 +242,68 @@ mod imp {
         }
     }
 
-    /// Every thread ring ever registered (rings outlive their threads so
-    /// the flight recorder can still dump a finished worker's events).
+    /// Every live thread ring plus any awaiting reuse in [`FREE`]. A ring
+    /// outlives its thread (so the flight recorder can still dump a
+    /// finished worker's events, until a new thread recycles the ring),
+    /// but the vector is bounded by the peak number of *concurrent*
+    /// tracing threads — exited workers return their ring through the
+    /// free-list instead of leaking a fresh ~256KB ring per short-lived
+    /// scan worker.
     static RINGS: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
 
+    /// Rings whose owning thread has exited, ready to be adopted by the
+    /// next new tracing thread. Retained events stay readable via
+    /// [`RINGS`] while a ring waits here.
+    static FREE: Mutex<Vec<Arc<ThreadRing>>> = Mutex::new(Vec::new());
+
+    /// Thread-local handle that returns the ring to [`FREE`] when the
+    /// thread exits (TLS destructor), closing the reuse loop.
+    struct RingHolder(Arc<ThreadRing>);
+
+    impl Drop for RingHolder {
+        fn drop(&mut self) {
+            FREE.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push(Arc::clone(&self.0));
+        }
+    }
+
     thread_local! {
-        static RING: Arc<ThreadRing> = {
-            let ring = Arc::new(ThreadRing::new(crate::span::process_thread_id()));
-            RINGS
+        static RING: RingHolder = {
+            let recycled = FREE
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner)
-                .push(Arc::clone(&ring));
-            ring
+                .pop();
+            let ring = recycled.unwrap_or_else(|| {
+                let ring = Arc::new(ThreadRing::new());
+                RINGS
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push(Arc::clone(&ring));
+                ring
+            });
+            RingHolder(ring)
         };
         /// Ambient (trace, span) stack: innermost open span last.
         static STACK: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
     }
 
+    /// Meta word layout: name index in bits 0..32, event kind in bits
+    /// 32..40, compact thread id in bits 40..64 (24 bits — ids are
+    /// assigned densely from 0, so even a thread-churny soak stays far
+    /// below the mask).
+    const THREAD_SHIFT: u32 = 40;
+    const THREAD_MASK: u64 = 0xff_ffff;
+
     fn emit(kind: EventKind, name_idx: u32, trace: u64, span: u64, parent: u64, arg: u64) {
         let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — sequence allocation; the slot/event payload is synchronized separately
         let ts = crate::span::process_epoch_ns();
-        let meta = u64::from(name_idx) | ((kind as u64) << 32);
-        RING.with(|ring| ring.write([seq, trace, span, parent, meta, ts, arg]));
+        let thread = u64::from(crate::span::process_thread_id()) & THREAD_MASK;
+        let meta = u64::from(name_idx) | ((kind as u64) << 32) | (thread << THREAD_SHIFT);
+        // try_with: events emitted while this thread's TLS is being torn
+        // down (after the RingHolder destructor ran) are dropped rather
+        // than reviving the ring or panicking.
+        let _ = RING.try_with(|ring| ring.0.write([seq, trace, span, parent, meta, ts, arg]));
     }
 
     fn ambient() -> Option<(u64, u64)> {
@@ -277,6 +328,7 @@ mod imp {
             parent,
             name_idx,
             start_ns: crate::span::process_epoch_ns(),
+            _not_send: std::marker::PhantomData,
         }
     }
 
@@ -345,7 +397,7 @@ mod imp {
         );
     }
 
-    fn decode(thread: u32, w: [u64; WORDS - 1]) -> TraceEvent {
+    fn decode(w: [u64; WORDS - 1]) -> TraceEvent {
         let [seq, trace_id, span_id, parent_id, meta, ts_ns, arg] = w;
         let kind = match (meta >> 32) & 0xff {
             0 => EventKind::SpanStart,
@@ -359,7 +411,7 @@ mod imp {
             parent_id,
             name: name_of((meta & 0xffff_ffff) as u32),
             kind,
-            thread,
+            thread: ((meta >> THREAD_SHIFT) & THREAD_MASK) as u32,
             ts_ns,
             arg,
         }
@@ -376,12 +428,18 @@ mod imp {
         for ring in rings {
             for i in 0..THREAD_RING_CAPACITY {
                 if let Some(w) = ring.read_slot(i) {
-                    out.push(decode(ring.thread, w));
+                    out.push(decode(w));
                 }
             }
         }
         out.sort_by_key(|e| e.seq);
         out
+    }
+
+    /// Rings allocated so far — bounded by the peak number of concurrent
+    /// tracing threads, not by how many threads have ever traced.
+    pub fn ring_count() -> usize {
+        RINGS.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     pub fn events_recorded() -> u64 {
@@ -415,7 +473,7 @@ mod imp {
 #[cfg(feature = "enabled")]
 pub use imp::{
     any_ring_wrapped, close_ctx, collect, current, enter, enter_root, enter_under, events_recorded,
-    instant, intern, open_ctx, reset,
+    instant, intern, open_ctx, reset, ring_count,
 };
 
 #[cfg(feature = "enabled")]
@@ -435,15 +493,21 @@ mod noop {
     }
     #[inline]
     pub fn enter(_name_idx: u32) -> TraceGuard {
-        TraceGuard {}
+        TraceGuard {
+            _not_send: std::marker::PhantomData,
+        }
     }
     #[inline]
     pub fn enter_root(_name_idx: u32, _trace_id: u64, _arg: u64) -> TraceGuard {
-        TraceGuard {}
+        TraceGuard {
+            _not_send: std::marker::PhantomData,
+        }
     }
     #[inline]
     pub fn enter_under(_name_idx: u32, _ctx: TraceCtx) -> TraceGuard {
-        TraceGuard {}
+        TraceGuard {
+            _not_send: std::marker::PhantomData,
+        }
     }
     #[inline]
     pub fn instant(_name_idx: u32, _arg: u64) {}
@@ -470,13 +534,17 @@ mod noop {
         false
     }
     #[inline]
+    pub fn ring_count() -> usize {
+        0
+    }
+    #[inline]
     pub fn reset() {}
 }
 
 #[cfg(not(feature = "enabled"))]
 pub use noop::{
     any_ring_wrapped, close_ctx, collect, current, enter, enter_root, enter_under, events_recorded,
-    instant, intern, open_ctx, reset,
+    instant, intern, open_ctx, reset, ring_count,
 };
 
 /// Events belonging to one trace, in `seq` order.
@@ -588,5 +656,47 @@ mod tests {
         let a = intern("obs.test.intern");
         let b = intern("obs.test.intern");
         assert_eq!(a, b);
+    }
+
+    /// Short-lived threads must recycle rings through the free-list, not
+    /// allocate a fresh ~256KB ring each (the per-call scan workers in
+    /// `wh-storage` would otherwise leak one per parallel scan), and a
+    /// recycled ring must keep attributing events to the thread that
+    /// actually emitted them.
+    #[test]
+    fn exited_threads_recycle_rings() {
+        if !crate::is_enabled() {
+            return;
+        }
+        let name = intern("obs.test.recycle");
+        // Warm up: ensure this thread's ring (and any test-harness
+        // siblings') are already counted.
+        instant(name, 0);
+        let before = ring_count();
+        let rounds = 32;
+        for i in 0..rounds {
+            std::thread::spawn(move || instant(name, 1000 + i))
+                .join()
+                .expect("recycle worker panicked");
+        }
+        let after = ring_count();
+        // Sequential spawn+join: each worker's TLS destructor returns its
+        // ring before the next spawns, so the loop itself needs at most
+        // one new ring. Concurrent harness tests may claim a few more;
+        // without recycling the growth would be the full `rounds`.
+        assert!(
+            after <= before + rounds as usize / 4,
+            "rings grew {before} -> {after} over {rounds} sequential threads"
+        );
+        // Per-event thread ids survive recycling: every worker's event is
+        // attributed to a distinct thread even when they shared one ring.
+        let args: std::collections::BTreeMap<u64, u32> = collect()
+            .into_iter()
+            .filter(|e| e.name == "obs.test.recycle" && e.arg >= 1000)
+            .map(|e| (e.arg, e.thread))
+            .collect();
+        let threads: std::collections::BTreeSet<u32> = args.values().copied().collect();
+        assert_eq!(args.len(), rounds as usize);
+        assert_eq!(threads.len(), rounds as usize, "{args:?}");
     }
 }

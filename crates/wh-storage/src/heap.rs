@@ -451,7 +451,7 @@ impl HeapFile {
         Self::note_free_list(&free);
         drop(free);
         if let Some(op) = op {
-            wh_obs::histogram!("storage.heap.delete_ns").record(op.elapsed_ns());
+            wh_obs::histogram_sampled!("storage.heap.delete_ns", 16).record(op.elapsed_ns());
         }
         Ok(true)
     }
@@ -486,7 +486,7 @@ impl HeapFile {
         then();
         drop(guard);
         if let Some(op) = op {
-            wh_obs::histogram!("storage.heap.delete_ns").record(op.elapsed_ns());
+            wh_obs::histogram_sampled!("storage.heap.delete_ns", 16).record(op.elapsed_ns());
         }
         Ok(true)
     }
@@ -532,7 +532,7 @@ impl HeapFile {
         Self::note_free_list(&free);
         drop(free);
         if let Some(op) = op {
-            wh_obs::histogram!("storage.heap.delete_ns").record(op.elapsed_ns());
+            wh_obs::histogram_sampled!("storage.heap.delete_ns", 16).record(op.elapsed_ns());
         }
         Ok(())
     }
