@@ -75,6 +75,7 @@ impl Config {
                 .with_max_attempts(32)
                 .with_backoff(Duration::from_micros(50), Duration::from_millis(2))
                 .with_lease_hint(Duration::from_millis(3)),
+            repair: false,
             gc_interval: Some(Duration::from_micros(500)),
             fault_every: self.fault_every,
             abort_every: self.abort_every,

@@ -1,0 +1,256 @@
+//! The delta-log retention kernel: bounded, VN-keyed retention of
+//! maintenance net-effect batches for session repair.
+//!
+//! A maintenance commit can *retain* its net-effect batch keyed by its
+//! `maintenanceVN`; an expired reader at `sessionVN` then asks for the
+//! **window** `(sessionVN, currentVN]` and replays it against its partial
+//! result instead of rescanning (Veldhuizen's transaction-repair idea
+//! applied to the paper's expire-and-restart protocol). Two properties are
+//! load-bearing and model-checked exhaustively:
+//!
+//! * **All-or-nothing windows.** Retention is bounded (a capacity ring) and
+//!   evicted from the front; a window that has lost *any* VN must be
+//!   refused outright (`None` → the caller falls back to restart), never
+//!   served partially — replaying a gap-ridden window silently produces a
+//!   wrong answer. [`DeltaLogCore::window`] checks completeness under the
+//!   same mutex hold that guards retention and eviction.
+//! * **Repair ≡ rescan.** A consistent snapshot at `sessionVN` patched with
+//!   a complete window `(sessionVN, v]` equals a fresh snapshot at `v`.
+//!   The `wh-model` suite drives this against [`crate::version::VersionCore`]
+//!   with retention inside the commit's `post` closure — the production
+//!   ordering — and shows the lossy variant ([`DeltaLogCore::entries_in`]
+//!   ignoring completeness) is caught.
+//!
+//! The kernel is batch-agnostic (`B` is opaque; `wh-vnl` stores
+//! `Arc<DeltaBatch>`) and effect-free: eviction only *forgets* — actual
+//! memory release rides the batch handle's ownership (an `Arc` drop in
+//! production, safe under concurrent window readers because a served window
+//! cloned its handles under the mutex).
+
+use crate::sync::{Mutex, MutexGuard, PoisonError};
+use std::collections::VecDeque;
+
+/// Version number type (matches [`crate::version::VersionNo`]).
+pub type VersionNo = u64;
+
+struct Inner<B> {
+    /// `(vn, batch)` in strictly ascending VN order. Committed VNs are
+    /// contiguous under the one-writer protocol (an abort re-issues its
+    /// VN), but completeness is *checked*, never assumed.
+    entries: VecDeque<(VersionNo, B)>,
+    /// Batches dropped from the front (capacity or explicit eviction).
+    evicted: u64,
+}
+
+/// Bounded, VN-keyed retention of net-effect batches.
+pub struct DeltaLogCore<B> {
+    inner: Mutex<Inner<B>>,
+    capacity: usize,
+}
+
+impl<B> std::fmt::Debug for DeltaLogCore<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeltaLogCore")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<B> DeltaLogCore<B> {
+    /// An empty log retaining at most `capacity` batches (min 1).
+    pub fn new(capacity: usize) -> Self {
+        DeltaLogCore {
+            inner: Mutex::new(Inner {
+                entries: VecDeque::new(),
+                evicted: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Take the mutex, recovering from poison: the map is never left
+    /// mid-mutation (every method restores the ascending-VN invariant
+    /// before returning), so readers keep working after a panicking writer.
+    fn locked(&self) -> MutexGuard<'_, Inner<B>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retained batch count.
+    pub fn len(&self) -> usize {
+        self.locked().entries.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.locked().entries.is_empty()
+    }
+
+    /// Batches dropped from the front so far (capacity + explicit evicts).
+    pub fn evicted_count(&self) -> u64 {
+        self.locked().evicted
+    }
+
+    /// Newest retained VN, if any.
+    pub fn last_vn(&self) -> Option<VersionNo> {
+        self.locked().entries.back().map(|&(vn, _)| vn)
+    }
+
+    /// Retain `batch` under `vn`. VNs must arrive in ascending order (the
+    /// one-writer commit protocol guarantees it; out-of-order retention is
+    /// refused so a stale publisher can never corrupt window completeness).
+    /// Returns the batches evicted from the front to hold the bound.
+    pub fn retain(&self, vn: VersionNo, batch: B) -> Vec<B> {
+        let mut inner = self.locked();
+        if inner.entries.back().is_some_and(|&(last, _)| last >= vn) {
+            // Refuse rather than reorder: the caller publishes under the
+            // version latch, so this arm is unreachable in production; the
+            // guard keeps the invariant local.
+            return vec![batch];
+        }
+        inner.entries.push_back((vn, batch));
+        let mut out = Vec::new();
+        while inner.entries.len() > self.capacity {
+            if let Some((_, b)) = inner.entries.pop_front() {
+                inner.evicted += 1;
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Drop every batch with `vn < keep_from` (they can no longer be part
+    /// of any live session's repair window). Returns the evicted batches.
+    pub fn evict_below(&self, keep_from: VersionNo) -> Vec<B> {
+        let mut inner = self.locked();
+        let mut out = Vec::new();
+        while inner.entries.front().is_some_and(|&(vn, _)| vn < keep_from) {
+            if let Some((_, b)) = inner.entries.pop_front() {
+                inner.evicted += 1;
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Forget everything (crash recovery: repair state never survives a
+    /// restart). Returns the dropped batches.
+    pub fn clear(&self) -> Vec<B> {
+        let mut inner = self.locked();
+        inner.evicted += inner.entries.len() as u64;
+        inner.entries.drain(..).map(|(_, b)| b).collect()
+    }
+}
+
+impl<B: Clone> DeltaLogCore<B> {
+    /// The complete window `(from_exclusive, to_inclusive]`, or `None` if
+    /// *any* VN in that range is not retained — a partial window must never
+    /// be served (replaying it would produce a silently wrong repair; the
+    /// caller falls back to restart). Completeness is judged against the
+    /// contiguous-commit protocol: the range holds exactly
+    /// `to_inclusive − from_exclusive` committed VNs.
+    pub fn window(&self, from_exclusive: VersionNo, to_inclusive: VersionNo) -> Option<Vec<B>> {
+        if to_inclusive <= from_exclusive {
+            return Some(Vec::new());
+        }
+        let inner = self.locked();
+        let need = to_inclusive - from_exclusive;
+        let got: Vec<B> = inner
+            .entries
+            .iter()
+            .filter(|&&(vn, _)| vn > from_exclusive && vn <= to_inclusive)
+            .map(|(_, b)| b.clone())
+            .collect();
+        if got.len() as u64 == need {
+            Some(got)
+        } else {
+            None
+        }
+    }
+
+    /// Whatever happens to be retained in `(from_exclusive, to_inclusive]`,
+    /// with **no completeness check** — introspection only. The model suite
+    /// uses this as the regression arm: replaying it where [`Self::window`]
+    /// belongs is exactly the wrong-answer bug the checker must catch.
+    pub fn entries_in(
+        &self,
+        from_exclusive: VersionNo,
+        to_inclusive: VersionNo,
+    ) -> Vec<(VersionNo, B)> {
+        self.locked()
+            .entries
+            .iter()
+            .filter(|&&(vn, _)| vn > from_exclusive && vn <= to_inclusive)
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_and_serves_complete_windows() {
+        let log = DeltaLogCore::new(8);
+        assert!(log.is_empty());
+        for vn in 2..=5u64 {
+            assert!(log.retain(vn, format!("b{vn}")).is_empty());
+        }
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.last_vn(), Some(5));
+        assert_eq!(
+            log.window(2, 5).unwrap(),
+            vec!["b3".to_string(), "b4".into(), "b5".into()]
+        );
+        assert_eq!(log.window(5, 5).unwrap(), Vec::<String>::new());
+        // A VN below the retained range is gone: refuse.
+        assert!(log.window(0, 5).is_none());
+    }
+
+    #[test]
+    fn capacity_evicts_front_and_refuses_partial_windows() {
+        let log = DeltaLogCore::new(2);
+        assert!(log.retain(2, "b2").is_empty());
+        assert!(log.retain(3, "b3").is_empty());
+        assert_eq!(log.retain(4, "b4"), vec!["b2"]);
+        assert_eq!(log.evicted_count(), 1);
+        assert!(log.window(1, 4).is_none(), "lost b2 → whole window refused");
+        assert_eq!(log.window(2, 4).unwrap(), vec!["b3", "b4"]);
+        assert_eq!(log.entries_in(1, 4).len(), 2, "lossy view still partial");
+    }
+
+    #[test]
+    fn explicit_eviction_and_clear() {
+        let log = DeltaLogCore::new(8);
+        for vn in 2..=6u64 {
+            log.retain(vn, vn);
+        }
+        assert_eq!(log.evict_below(4), vec![2, 3]);
+        assert_eq!(log.window(3, 6).unwrap(), vec![4, 5, 6]);
+        assert!(log.window(2, 6).is_none());
+        assert_eq!(log.clear(), vec![4, 5, 6]);
+        assert!(log.is_empty());
+        assert_eq!(log.evicted_count(), 5);
+    }
+
+    #[test]
+    fn out_of_order_retention_is_refused() {
+        let log = DeltaLogCore::new(8);
+        assert!(log.retain(3, "b3").is_empty());
+        assert_eq!(log.retain(3, "dup"), vec!["dup"]);
+        assert_eq!(log.retain(2, "late"), vec!["late"]);
+        assert_eq!(log.len(), 1);
+    }
+
+    #[test]
+    fn empty_window_is_complete_below_any_retention() {
+        let log: DeltaLogCore<u64> = DeltaLogCore::new(4);
+        assert_eq!(log.window(7, 7).unwrap(), Vec::<u64>::new());
+        assert_eq!(log.window(9, 3).unwrap(), Vec::<u64>::new());
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`version`] — `currentVN`/`maintenanceActive` latching, the lock-free
 //!   `current_vn_relaxed` mirror, the `recovery_floor` fence, and the §4.1
 //!   global session-liveness check (wrapped by `wh_vnl::VersionState`).
+//! * [`delta`] — the session-repair delta log: bounded, VN-keyed retention
+//!   of maintenance net-effect batches with all-or-nothing window serving
+//!   (wrapped by `wh_vnl::VersionState` for the repair engine).
 //! * [`lease`] — the reader-session lease registry's slot bookkeeping
 //!   (wrapped by `wh_vnl::resilience::LeaseRegistry`).
 //! * [`adaptive`] — the effective-`n` window cell and the grow/shrink
@@ -26,6 +29,7 @@
 //! --features model` runs the exhaustive-interleaving suite.
 
 pub mod adaptive;
+pub mod delta;
 pub mod epoch;
 pub mod latch;
 pub mod lease;

@@ -16,6 +16,7 @@
 
 use std::sync::Arc;
 use wh_kernel::adaptive::EffectiveWindow;
+use wh_kernel::delta::DeltaLogCore;
 use wh_kernel::epoch::{EpochCore, RetireList};
 use wh_kernel::latch::{read_latch, write_latch};
 use wh_kernel::lease::LeaseCore;
@@ -540,6 +541,157 @@ fn pool_drop_without_flush_is_caught() {
     .expect_err("drop-without-flush must have a failing interleaving");
     assert!(
         failure.message.contains("dropped without flush"),
+        "unexpected failure: {failure}"
+    );
+}
+
+/// Delta-log kernel: windows are all-or-nothing. Whatever state the
+/// concurrent retain/evict stream is in — capacity eviction mid-retain,
+/// an explicit `evict_below` between retains — any window the log serves
+/// is complete and in ascending VN order; a window that has lost a VN is
+/// refused outright.
+#[test]
+fn delta_window_is_all_or_nothing_under_eviction() {
+    let report = ok(try_model(builder(), || {
+        let log: Arc<DeltaLogCore<u64>> = Arc::new(DeltaLogCore::new(2));
+        let l2 = Arc::clone(&log);
+        let writer = wh_model::thread::spawn(move || {
+            l2.retain(2, 2);
+            l2.retain(3, 3);
+            l2.evict_below(3);
+            l2.retain(4, 4);
+        });
+        if let Some(w) = log.window(1, 3) {
+            assert_eq!(w, vec![2, 3], "partial or disordered window served");
+        }
+        if let Some(w) = log.window(2, 4) {
+            assert_eq!(w, vec![3, 4], "partial or disordered window served");
+        }
+        writer.join().unwrap();
+        assert_eq!(log.window(2, 4).expect("VNs 3..=4 retained"), vec![3, 4]);
+        assert!(
+            log.window(1, 4).is_none(),
+            "a window missing evicted VN 2 was served"
+        );
+    }));
+    assert!(report.iterations > 10, "expected a real interleaving space");
+}
+
+/// Repair ≡ rescan, the equivalence the whole session-repair subsystem
+/// rests on: a consistent partial result copied at `sessionVN`, patched
+/// with the complete delta window `(sessionVN, currentVN]`, equals a fresh
+/// consistent read at `currentVN` — in every interleaving of the reader's
+/// snapshot against a stream of maintenance commits. Retention sits inside
+/// `publish_commit`'s `post` closure, under the version latch, exactly as
+/// `wh_vnl::VersionState::publish_commit_with` places it.
+#[test]
+fn delta_repair_equals_rescan() {
+    let report = ok(try_model(builder(), || {
+        let core = Arc::new(VersionCore::new());
+        // A two-key table: slot 0 starts at value 1, slot 1 absent.
+        let map = Arc::new(RwLock::new([Some(1u64), None]));
+        let log: Arc<DeltaLogCore<(usize, u64)>> = Arc::new(DeltaLogCore::new(4));
+        let (c2, m2, l2) = (Arc::clone(&core), Arc::clone(&map), Arc::clone(&log));
+        let maint = wh_model::thread::spawn(move || {
+            for (idx, val) in [(0_usize, 2_u64), (1, 5)] {
+                let vn = c2
+                    .begin_maintenance(|_| Ok::<(), ()>(()))
+                    .expect("sole maintenance txn");
+                c2.publish_commit(
+                    vn,
+                    || Ok::<(), ()>(()),
+                    |vn| {
+                        // Production ordering: the table's new state and the
+                        // net-effect batch publish under one latch hold.
+                        write_latch(&m2)[idx] = Some(val);
+                        l2.retain(vn, (idx, val));
+                        Ok::<(), ()>(())
+                    },
+                )
+                .expect("commit publishes");
+            }
+        });
+        // The "session": a consistent (partial result, sessionVN) pair.
+        let mut repaired = [None, None];
+        let mut svn = 0;
+        core.snapshot_with(|view| {
+            repaired = *read_latch(&map);
+            svn = view.current_vn;
+        });
+        maint.join().unwrap();
+        // The "rescan": a fresh consistent read at the final VN.
+        let mut rescanned = [None, None];
+        let mut vn_now = 0;
+        core.snapshot_with(|view| {
+            rescanned = *read_latch(&map);
+            vn_now = view.current_vn;
+        });
+        // The repair: replay the complete window over the stale result.
+        for (idx, val) in log
+            .window(svn, vn_now)
+            .expect("capacity 4 never evicts two batches")
+        {
+            repaired[idx] = Some(val);
+        }
+        assert_eq!(repaired, rescanned, "repair diverged from rescan");
+    }));
+    assert!(report.iterations > 10, "expected a real interleaving space");
+}
+
+/// Regression model of lossy replay: patching with whatever happens to
+/// survive eviction (`entries_in`, no completeness check) instead of the
+/// all-or-nothing `window` silently produces a wrong repaired result once
+/// the capacity bound has dropped a batch. The checker must find it — and
+/// the real `window` API refuses the same range.
+#[test]
+fn delta_lossy_replay_is_caught() {
+    let failure = try_model(builder(), || {
+        let core = Arc::new(VersionCore::new());
+        let map = Arc::new(RwLock::new([Some(1u64), None]));
+        let log: Arc<DeltaLogCore<(usize, u64)>> = Arc::new(DeltaLogCore::new(1));
+        // The session snapshots before any maintenance: sessionVN = 1.
+        let mut repaired = [None, None];
+        let mut svn = 0;
+        core.snapshot_with(|view| {
+            repaired = *read_latch(&map);
+            svn = view.current_vn;
+        });
+        let (c2, m2, l2) = (Arc::clone(&core), Arc::clone(&map), Arc::clone(&log));
+        let maint = wh_model::thread::spawn(move || {
+            for (idx, val) in [(0_usize, 2_u64), (1, 5)] {
+                let vn = c2
+                    .begin_maintenance(|_| Ok::<(), ()>(()))
+                    .expect("sole maintenance txn");
+                c2.publish_commit(
+                    vn,
+                    || Ok::<(), ()>(()),
+                    |vn| {
+                        write_latch(&m2)[idx] = Some(val);
+                        l2.retain(vn, (idx, val));
+                        Ok::<(), ()>(())
+                    },
+                )
+                .expect("commit publishes");
+            }
+        });
+        maint.join().unwrap();
+        let mut rescanned = [None, None];
+        let mut vn_now = 0;
+        core.snapshot_with(|view| {
+            rescanned = *read_latch(&map);
+            vn_now = view.current_vn;
+        });
+        // Capacity 1 dropped VN 2's batch: the honest API refuses ...
+        assert!(log.window(svn, vn_now).is_none(), "window must refuse");
+        // ... but the pre-fix behaviour replays the survivors anyway.
+        for (_, (idx, val)) in log.entries_in(svn, vn_now) {
+            repaired[idx] = Some(val);
+        }
+        assert_eq!(repaired, rescanned, "lossy replay diverged from rescan");
+    })
+    .expect_err("lossy replay must have a failing interleaving");
+    assert!(
+        failure.message.contains("diverged"),
         "unexpected failure: {failure}"
     );
 }

@@ -148,6 +148,7 @@ static EXPIRATIONS: SlidingWindow = SlidingWindow::new();
 static READ_LATENCY_NS: SlidingWindow = SlidingWindow::new();
 static STALENESS_VNS: SlidingWindow = SlidingWindow::new();
 static COMMITS: SlidingWindow = SlidingWindow::new();
+static REPAIRS: SlidingWindow = SlidingWindow::new();
 
 /// §4.1 `SessionExpired` verdicts, per second.
 pub fn expirations() -> &'static SlidingWindow {
@@ -167,6 +168,11 @@ pub fn staleness_vns() -> &'static SlidingWindow {
 /// Maintenance transaction commits, per second.
 pub fn commits() -> &'static SlidingWindow {
     &COMMITS
+}
+
+/// Expired sessions recovered by delta repair (vs restarted), per second.
+pub fn repairs() -> &'static SlidingWindow {
+    &REPAIRS
 }
 
 fn storm_threshold() -> u64 {
@@ -215,12 +221,18 @@ pub fn note_commit() {
     COMMITS.record(1);
 }
 
+/// Feed one repaired (delta-patched, not restarted) session recovery.
+pub fn note_repair() {
+    REPAIRS.record(1);
+}
+
 /// `/health` payload: `(healthy, json_body)`. Degraded (HTTP 503) while
 /// an expire storm is active.
 pub fn health() -> (bool, String) {
     let storm = expire_storm_active();
     let (exp_count, _) = EXPIRATIONS.totals(STORM_WINDOW_SECS);
     let (read_count, _) = READ_LATENCY_NS.totals(STORM_WINDOW_SECS);
+    let (repair_count, _) = REPAIRS.totals(STORM_WINDOW_SECS);
     let body = format!(
         concat!(
             "{{\n",
@@ -229,6 +241,7 @@ pub fn health() -> (bool, String) {
             "  \"window_secs\": {},\n",
             "  \"expirations\": {},\n",
             "  \"expire_storm_threshold\": {},\n",
+            "  \"repairs\": {},\n",
             "  \"reads\": {},\n",
             "  \"read_latency_mean_us\": {:.1},\n",
             "  \"staleness_mean_vns\": {:.2},\n",
@@ -241,6 +254,7 @@ pub fn health() -> (bool, String) {
         STORM_WINDOW_SECS,
         exp_count,
         storm_threshold(),
+        repair_count,
         read_count,
         READ_LATENCY_NS.mean(STORM_WINDOW_SECS) / 1_000.0,
         STALENESS_VNS.mean(STORM_WINDOW_SECS),

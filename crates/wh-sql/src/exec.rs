@@ -221,14 +221,14 @@ pub fn execute_select(
     Ok(result)
 }
 
-fn is_aggregate_query(stmt: &SelectStmt) -> bool {
+pub(crate) fn is_aggregate_query(stmt: &SelectStmt) -> bool {
     !stmt.group_by.is_empty()
         || stmt.having.is_some()
         || stmt.items.iter().any(|it| it.expr.contains_aggregate())
 }
 
 /// The shared tail of SELECT execution: ORDER BY on precomputed keys, LIMIT.
-fn sort_and_limit(
+pub(crate) fn sort_and_limit(
     stmt: &SelectStmt,
     columns: Vec<String>,
     mut out_rows: Vec<Row>,
@@ -463,10 +463,10 @@ fn execute_plain_parallel(
 }
 
 /// One aggregate call site: function and argument expression.
-type AggSpec = (AggFunc, Option<Expr>);
+pub(crate) type AggSpec = (AggFunc, Option<Expr>);
 
 /// Collect the distinct aggregate call sites of `expr` into `out`.
-fn collect_aggregates(expr: &Expr, out: &mut Vec<AggSpec>) {
+pub(crate) fn collect_aggregates(expr: &Expr, out: &mut Vec<AggSpec>) {
     match expr {
         Expr::Aggregate { func, arg } => {
             let spec = (*func, arg.as_deref().cloned());
@@ -511,7 +511,7 @@ fn collect_aggregates(expr: &Expr, out: &mut Vec<AggSpec>) {
 
 /// A mergeable partial state for one aggregate call site over one group.
 #[derive(Debug, Clone)]
-enum AggAcc {
+pub(crate) enum AggAcc {
     /// COUNT: rows (or non-null argument evaluations) seen.
     Count(i64),
     /// SUM / MIN / MAX: the running value, `None` until a non-null input.
@@ -521,7 +521,7 @@ enum AggAcc {
 }
 
 impl AggAcc {
-    fn new(func: AggFunc) -> AggAcc {
+    pub(crate) fn new(func: AggFunc) -> AggAcc {
         match func {
             AggFunc::Count => AggAcc::Count(0),
             AggFunc::Sum | AggFunc::Min | AggFunc::Max => AggAcc::Value(None),
@@ -530,7 +530,7 @@ impl AggAcc {
     }
 
     /// Fold one input value (`None` = COUNT(*), which counts every row).
-    fn fold(&mut self, func: AggFunc, value: Option<Value>) -> SqlResult<()> {
+    pub(crate) fn fold(&mut self, func: AggFunc, value: Option<Value>) -> SqlResult<()> {
         match self {
             AggAcc::Count(n) => {
                 if value.as_ref().is_none_or(|v| !v.is_null()) {
@@ -594,7 +594,7 @@ impl AggAcc {
 
     /// The final aggregate value (empty-input semantics match the serial
     /// executor: COUNT → 0, everything else → NULL).
-    fn finish(self, _func: AggFunc) -> SqlResult<Value> {
+    pub(crate) fn finish(self, _func: AggFunc) -> SqlResult<Value> {
         match self {
             AggAcc::Count(n) => Ok(Value::Int(n)),
             AggAcc::Value(v) => Ok(v.unwrap_or(Value::Null)),
@@ -655,7 +655,7 @@ struct GroupWorker {
 /// their merged value, everything else evaluates against the group's
 /// representative row (NULL when the group is empty — same as the serial
 /// executor's empty-group behavior).
-fn eval_computed(
+pub(crate) fn eval_computed(
     ctx: &EvalContext<'_>,
     expr: &Expr,
     rep: Option<&Row>,
@@ -883,7 +883,7 @@ fn execute_grouped_parallel(
 /// Reject non-grouped bare column references in projections of aggregate
 /// queries (only plain-column GROUP BY expressions are recognized as
 /// grouping columns, which covers the paper's queries).
-fn validate_grouping(schema: &Schema, stmt: &SelectStmt) -> SqlResult<()> {
+pub(crate) fn validate_grouping(schema: &Schema, stmt: &SelectStmt) -> SqlResult<()> {
     let grouped: Vec<&str> = stmt
         .group_by
         .iter()

@@ -39,6 +39,7 @@ pub mod eval;
 pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod patch;
 pub mod pushdown;
 
 pub use ast::{
@@ -53,4 +54,5 @@ pub use exec::{
     execute_select, execute_select_parallel, ParallelRowSource, QueryResult, RowSource,
 };
 pub use parser::{parse_expression, parse_statement};
+pub use patch::AggPatcher;
 pub use pushdown::{extract_scan_filters, FilterOp, ScanFilter};

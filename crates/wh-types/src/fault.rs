@@ -52,8 +52,11 @@ pub const REGISTRY: &[&str] = &[
     "storage.heap.write",
     "storage.pool.evict",
     "storage.pool.flush",
+    "vnl.delta.capture",
+    "vnl.delta.evict",
     "vnl.gc.reclaim",
     "vnl.gc.unregister",
+    "vnl.repair.apply",
     "vnl.txn.delete.mark",
     "vnl.txn.delete.mark_own_update",
     "vnl.txn.delete.remove_own",

@@ -574,10 +574,196 @@ pub fn run_cc_cells() {
     assert_eq!(lm.locked_keys(), 0);
 }
 
+/// The session-repair failpoints swept by [`run_repair_cells`]. The main
+/// cells arm these too (Commit cells drive `vnl.delta.capture`, Expire
+/// cells drive `vnl.delta.evict`), but only these cells reach the repair
+/// admission gate, and only they prove the repair-specific invariants: an
+/// injected fault forces the restart fallback — never a wrong answer — and
+/// repair state (the retained delta window) never survives recovery.
+pub const REPAIR_POINTS: &[&str] = &["vnl.delta.capture", "vnl.delta.evict", "vnl.repair.apply"];
+
+/// One committed single-row update in its own maintenance transaction.
+fn commit_update(table: &VnlTable, k: i64, v: i64) {
+    let txn = table.begin_maintenance().unwrap();
+    txn.update_row(&row(k, v)).unwrap();
+    txn.commit().unwrap();
+}
+
+/// A repaired row set as sorted `(k, v)` pairs (the repaired path yields
+/// primary-key order already; sorting makes the oracle order-blind).
+fn repaired_kv(rep: &crate::resilience::Repaired) -> Vec<(i64, i64)> {
+    let mut kv: Vec<(i64, i64)> = rep
+        .rows
+        .iter()
+        .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    kv.sort_unstable();
+    kv
+}
+
+/// Sweep [`REPAIR_POINTS`] for each `n`: arm each point on its own path,
+/// crash, recover, and assert the repair layer fails *closed* — an injected
+/// fault may only cost work (decline → restart), never correctness, and no
+/// retained delta window outlives a recovery pass. Panics on divergence.
+pub fn run_repair_cells(ns: &[usize]) {
+    use crate::resilience::{RepairEngine, RetryPolicy};
+
+    for &n in ns {
+        // --- vnl.repair.apply: a fault at the admission gate declines every
+        // repair; the retry layer's restart fallback still answers exactly.
+        {
+            let point = "vnl.repair.apply";
+            let _flight = CellFlightGuard { point, n };
+            let table = build_table(n);
+            let svn = table.version().peek().current_vn;
+            for i in 0..n as i64 {
+                commit_update(&table, 0, 2000 + i); // svn expires under §4.1
+            }
+            let engine = RepairEngine::new(&table);
+            fault::configure(point, FaultAction::Error);
+            assert!(
+                engine.scan_at_current(svn).unwrap().is_none(),
+                "an injected repair fault must decline, not answer ({point}, n={n})"
+            );
+            let policy = RetryPolicy::default()
+                .with_backoff(std::time::Duration::ZERO, std::time::Duration::ZERO);
+            let expired = std::cell::Cell::new(false);
+            let (res, stats) = policy.run_repaired(
+                &table,
+                |s| {
+                    if !expired.replace(true) {
+                        return Err(table.expired_error(svn));
+                    }
+                    s.scan()
+                },
+                |vn| engine.scan_at_current(vn).ok().flatten().map(|r| r.rows),
+            );
+            fault::disarm_all();
+            let mut got: Vec<(i64, i64)> = res
+                .unwrap()
+                .iter()
+                .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+                .collect();
+            got.sort_unstable();
+            let vn_now = table.version().peek().current_vn;
+            assert_eq!(
+                got,
+                visible_state(&table, vn_now),
+                "the restart fallback must answer exactly ({point}, n={n})"
+            );
+            assert_eq!(
+                (stats.repaired, stats.restarted),
+                (0, 1),
+                "an armed admission gate must route to restart ({point}, n={n})"
+            );
+            // Disarmed, the identical repair succeeds and matches a rescan.
+            let rep = engine
+                .scan_at_current(svn)
+                .unwrap()
+                .unwrap_or_else(|| panic!("disarmed repair must succeed ({point}, n={n})"));
+            assert_eq!(rep.vn, vn_now);
+            assert_eq!(
+                repaired_kv(&rep),
+                visible_state(&table, vn_now),
+                "repair ≡ rescan ({point}, n={n})"
+            );
+            // Crash-and-recover: repair state never survives restart.
+            recovery::recover(&table).unwrap();
+            assert_eq!(
+                table.version().delta_log_len(),
+                0,
+                "the delta log must not survive recovery ({point}, n={n})"
+            );
+            assert!(
+                engine.scan_at_current(svn).unwrap().is_none(),
+                "post-recovery repair of a pre-crash session must decline ({point}, n={n})"
+            );
+        }
+
+        // --- vnl.delta.capture: a fault during net-effect capture fails the
+        // whole commit (rolled back wholesale) — no VN flip, no half-retained
+        // batch — and the window stays contiguous across recovery.
+        {
+            let point = "vnl.delta.capture";
+            let _flight = CellFlightGuard { point, n };
+            let table = build_table(n);
+            let svn = table.version().peek().current_vn;
+            fault::configure(point, FaultAction::Error);
+            let txn = table.begin_maintenance().unwrap();
+            txn.update_row(&row(0, 5000)).unwrap();
+            assert!(
+                txn.commit().is_err(),
+                "a capture fault must fail the commit ({point}, n={n})"
+            );
+            fault::disarm_all();
+            recovery::recover(&table).unwrap(); // crash after the failed commit
+            let snap = table.version().snapshot();
+            assert_eq!(
+                snap.current_vn, svn,
+                "a failed capture must not flip the VN ({point}, n={n})"
+            );
+            assert_eq!(
+                visible_state(&table, svn),
+                expected_live(svn),
+                "the failed commit must roll back wholesale ({point}, n={n})"
+            );
+            // The log re-arms: the next commit's window repairs cleanly.
+            commit_update(&table, 0, 6000);
+            let engine = RepairEngine::new(&table);
+            let rep = engine
+                .scan_at_current(svn)
+                .unwrap()
+                .unwrap_or_else(|| panic!("the post-recovery window must repair ({point}, n={n})"));
+            let vn_now = table.version().peek().current_vn;
+            assert_eq!(
+                repaired_kv(&rep),
+                visible_state(&table, vn_now),
+                "repair ≡ rescan after a capture crash ({point}, n={n})"
+            );
+        }
+
+        // --- vnl.delta.evict: a fault during eviction skips the pass (the
+        // log stays capacity-bounded regardless); the un-evicted window is
+        // still exact, and recovery still clears it.
+        {
+            let point = "vnl.delta.evict";
+            let _flight = CellFlightGuard { point, n };
+            let table = build_table(n);
+            let svn = table.version().peek().current_vn;
+            commit_update(&table, 0, 7000);
+            let log_before = table.version().delta_log_len();
+            fault::configure(point, FaultAction::Error);
+            let _ = gc::collect(&table);
+            fault::disarm_all();
+            assert!(
+                table.version().delta_log_len() >= log_before,
+                "a skipped eviction must not lose batches ({point}, n={n})"
+            );
+            let engine = RepairEngine::new(&table);
+            let rep = engine
+                .scan_at_current(svn)
+                .unwrap()
+                .unwrap_or_else(|| panic!("the un-evicted window must repair ({point}, n={n})"));
+            let vn_now = table.version().peek().current_vn;
+            assert_eq!(
+                repaired_kv(&rep),
+                visible_state(&table, vn_now),
+                "repair ≡ rescan under a skipped eviction ({point}, n={n})"
+            );
+            recovery::recover(&table).unwrap();
+            assert_eq!(
+                table.version().delta_log_len(),
+                0,
+                "repair state must never survive recovery ({point}, n={n})"
+            );
+        }
+    }
+}
+
 /// Run the full sweep — every cataloged failpoint × every [`OpKind`], for
-/// each `n` in `ns` — plus the lock-manager cells, then assert that every
-/// registered failpoint fired at least once. Panics on any cell divergence
-/// or coverage hole.
+/// each `n` in `ns` — plus the lock-manager and session-repair cells, then
+/// assert that every registered failpoint fired at least once. Panics on
+/// any cell divergence or coverage hole.
 pub fn run_matrix(ns: &[usize]) -> MatrixReport {
     fault::clear_all();
     let mut cells = Vec::new();
@@ -590,6 +776,10 @@ pub fn run_matrix(ns: &[usize]) -> MatrixReport {
         }
     }
     run_cc_cells();
+    // The session-repair cells: the only cells that reach the repair
+    // admission gate (`vnl.repair.apply`), and the proof that injected
+    // repair faults fail closed to restart.
+    run_repair_cells(ns);
     // The durable tier's cells: the in-memory cells arm the disk failpoints
     // but never reach them, so these are what make the coverage assertion
     // below hold for `storage.{disk,pool,ckpt}.*`.

@@ -10,7 +10,7 @@
 
 use crate::error::VnlResult;
 use crate::table::VnlTable;
-use crate::version::Operation;
+use crate::version::{Operation, VersionNo};
 use wh_types::fail_point;
 
 /// Result of one collection pass.
@@ -142,9 +142,24 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
         wh_obs::counter!("vnl.gc.reclaimed").inc();
         wh_obs::counter!("vnl.gc.bytes_reclaimed").add(tuple_bytes);
     }
+    // Delta-log eviction rides the same horizon: a repair window is
+    // `(sessionVN, currentVN]`, so batches at or below the oldest active
+    // sessionVN can never be part of one again.
+    evict_deltas(table, horizon);
     report.released = release_after_grace(table)?;
     wh_obs::histogram!("vnl.gc.pass_ns").record(pass.elapsed_ns());
     Ok(report)
+}
+
+/// Drop retained delta batches no live session can still replay
+/// (`vn ≤ horizon`). Failing to evict is always safe — the log is
+/// capacity-bounded regardless — so an injected fault merely skips this
+/// pass's eviction.
+fn evict_deltas(table: &VnlTable, horizon: VersionNo) {
+    wh_obs::trace_event!("vnl.delta.evict", horizon);
+    // trace: eviction is part of the GC pass's causal story.
+    fail_point!("vnl.delta.evict", ());
+    table.version().evict_deltas_below(horizon + 1);
 }
 
 /// The epoch half of a pass: advance the global epoch toward the grace

@@ -45,6 +45,7 @@
 pub mod adapter;
 #[cfg(feature = "failpoints")]
 pub mod crashmatrix;
+pub mod delta;
 pub mod durable;
 pub(crate) mod epoch;
 pub mod error;
@@ -62,6 +63,7 @@ pub mod visibility;
 pub mod warehouse;
 
 pub use adapter::VnlStore;
+pub use delta::{DeltaBatch, DeltaRow};
 pub use durable::{checkpoint, create_durable, recover_from_disk, DiskRecoveryReport};
 pub use error::{VnlError, VnlResult};
 pub use maintenance::{MaintenanceTxn, PhysicalAction};
@@ -70,7 +72,7 @@ pub use reader::{ReadOutcome, ReaderSession};
 pub use recovery::{recover, RecoveryReport};
 pub use resilience::{
     AdaptiveN, LeaseId, LeaseInfo, LeaseRegistry, MaintenancePacer, PaceReport, PacerPolicy,
-    RetryPolicy, RetryStats,
+    RepairEngine, Repaired, RetryPolicy, RetryStats,
 };
 pub use rewrite::QueryRewriter;
 pub use scan::{
@@ -100,6 +102,9 @@ pub const FAILPOINTS: &[&str] = &[
     "vnl.version.publish_abort",
     "vnl.gc.reclaim",
     "vnl.gc.unregister",
+    "vnl.delta.capture",
+    "vnl.delta.evict",
+    "vnl.repair.apply",
 ];
 
 /// §5's never-expire guarantee: with `n` versions, a minimum

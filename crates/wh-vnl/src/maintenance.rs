@@ -804,18 +804,89 @@ impl<'t> MaintenanceTxn<'t> {
     // ------------------------------------------------------------------
 
     /// Commit: data changes are already in place; publishing the new
-    /// `currentVN` happens as its own latched step (§4's abort-safe order).
+    /// `currentVN` happens as its own latched step (§4's abort-safe order),
+    /// retaining the transaction's net-effect batch for session repair in
+    /// the same latched step.
     pub fn commit(self) -> VnlResult<()> {
         let _phase = PhaseTimer::new(wh_obs::histogram!("vnl.maintenance.commit_ns"));
         let _ts = wh_obs::trace_span_under!("vnl.txn.commit", self.span_ctx);
         self.check_open()?;
+        // Capture before `finished` flips: a fault here leaves the txn
+        // open, so Drop rolls everything back and nothing — data or delta —
+        // is published.
+        let batch = self.capture_net_effect()?;
         *self
             .finished
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner) = true;
-        self.table.version().publish_commit(self.vn)?;
+        self.table
+            .version()
+            .publish_commit_with(self.vn, Some(batch))?;
         wh_obs::slo::note_commit();
         Ok(())
+    }
+
+    /// Derive this transaction's net-effect batch ([`crate::delta`]): scan
+    /// for tuples whose slot 0 carries `maintenanceVN` — the same discovery
+    /// log-free rollback uses — and read the net logical operation straight
+    /// from the version slots. Table 4's discipline makes this exact by
+    /// construction: an insert-then-update tuple carries `(vn, insert)`, a
+    /// physically-removed own insert and a restored resurrection leave no
+    /// slot-0 trace, so each touched key yields exactly its net effect.
+    pub(crate) fn capture_net_effect(&self) -> VnlResult<crate::delta::DeltaBatch> {
+        let layout = self.table.layout();
+        let base = layout.base_schema();
+        // No primary key → rows cannot be addressed for patching; retain an
+        // unrepairable batch so the repair window fails closed to restart.
+        if base.key().is_empty() {
+            return Ok(crate::delta::DeltaBatch {
+                vn: self.vn,
+                rows: Vec::new(),
+                repairable: false,
+            });
+        }
+        wh_obs::trace_event!("vnl.delta.capture", self.vn);
+        // trace: capture sits inside the commit span's causal story.
+        fail_point!("vnl.delta.capture");
+        let table_name = self.table.name().to_string();
+        let mut rows = Vec::new();
+        self.table.storage().scan(|_, ext| {
+            let Some((vn, op)) = layout.slot(&ext, 0) else {
+                return Ok(());
+            };
+            if vn != self.vn {
+                return Ok(());
+            }
+            let (pre, post) = match op {
+                // Net insert (including resurrections): no prior version.
+                Operation::Insert => (None, Some(layout.current_values(&ext))),
+                // Slot 0 stashed the pre-update values; non-updatable
+                // columns are unchanged by construction.
+                Operation::Update => (
+                    Some(layout.pre_values(&ext, 0)),
+                    Some(layout.current_values(&ext)),
+                ),
+                // MarkDeleted leaves the current values as the pre-image.
+                Operation::Delete => (Some(layout.pre_values(&ext, 0)), None),
+            };
+            let keyed = pre
+                .as_ref()
+                .or(post.as_ref())
+                .expect("net effect has a side"); // lint: allow(no-panic) — every arm above fills pre or post
+            rows.push(crate::delta::DeltaRow {
+                table: table_name.clone(),
+                key: base.key_of(keyed),
+                op,
+                pre,
+                post,
+            });
+            Ok(())
+        })?;
+        Ok(crate::delta::DeltaBatch {
+            vn: self.vn,
+            rows,
+            repairable: true,
+        })
     }
 
     /// Commit only once no reader sessions are active — the §2.1 alternative

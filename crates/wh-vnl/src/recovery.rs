@@ -240,6 +240,12 @@ pub fn recover(table: &VnlTable) -> VnlResult<RecoveryReport> {
         }
     }
 
+    // Repair state never survives into a recovered process: the delta log
+    // was built against the pre-crash commit history, and the rollback
+    // above may have undone exactly the tuples its newest batches
+    // describe. Sessions that were mid-repair fall back to restart.
+    table.version().clear_deltas();
+
     // Clear the stuck maintenanceActive flag (and its mirror tuple in the
     // Version relation) — harmless when it was never stuck.
     table.version().publish_abort()?;

@@ -24,6 +24,10 @@
 //!   window (within the physically provisioned slot count) from the
 //!   observed expiration rate, the on-line counterpart of §5's static
 //!   [`crate::choose_n`].
+//! * [`repair`] — [`RepairEngine`]: fixes an expired session up from the
+//!   maintenance commits' retained net-effect deltas instead of restarting
+//!   it, re-admitting the session at `currentVN`; the retry layer tries
+//!   repair first and falls back to restart when repair declines.
 //!
 //! The effective window governs only the §4.1 *global* (pessimistic)
 //! liveness check; the physical slot mechanics — `push_back`, rollback,
@@ -33,9 +37,11 @@
 pub mod adaptive;
 pub mod lease;
 pub mod pacer;
+pub mod repair;
 pub mod retry;
 
 pub use adaptive::AdaptiveN;
 pub use lease::{LeaseId, LeaseInfo, LeaseRegistry};
 pub use pacer::{MaintenancePacer, PaceReport, PacerPolicy};
+pub use repair::{RepairEngine, Repaired};
 pub use retry::{RetryPolicy, RetryStats};

@@ -17,9 +17,12 @@
 
 use crate::error::{VnlError, VnlResult};
 use crate::reader::ReaderSession;
+use crate::resilience::repair::RepairEngine;
 use crate::table::VnlTable;
+use crate::version::VersionNo;
+use std::cell::Cell;
 use std::time::{Duration, Instant};
-use wh_sql::{parse_statement, QueryResult, SqlError, Statement};
+use wh_sql::{parse_statement, Params, QueryResult, SqlError, Statement};
 use wh_types::{Row, SplitMix64, Value};
 
 /// Bounded, backed-off re-execution of expired reads.
@@ -46,6 +49,17 @@ pub struct RetryStats {
     /// Expirations observed (= retries + 1 on exhaustion, = attempts − 1 on
     /// eventual success).
     pub expirations: u32,
+    /// Expirations recovered by session repair (delta replay) instead of a
+    /// restart; every repaired expiration ends the call successfully.
+    pub repaired: u32,
+    /// Expirations that fell back to restart-and-rescan (repair declined,
+    /// or the operation ran without a repair path).
+    pub restarted: u32,
+    /// Rows produced by expired attempts and thrown away by the
+    /// cursor-restart protocol — the work repair exists to avoid. Only the
+    /// buffering helpers ([`RetryPolicy::scan_repaired`]) can count this;
+    /// plain [`RetryPolicy::run_with_stats`] leaves it 0.
+    pub wasted_rows: u64,
 }
 
 impl Default for RetryPolicy {
@@ -120,10 +134,32 @@ impl RetryPolicy {
     }
 
     /// [`RetryPolicy::run`] plus a [`RetryStats`] record of what it took.
+    /// Every expiration restarts (no repair path); see
+    /// [`RetryPolicy::run_repaired`] for the repair-first loop.
     pub fn run_with_stats<T>(
         &self,
         table: &VnlTable,
+        op: impl FnMut(&ReaderSession<'_>) -> VnlResult<T>,
+    ) -> (VnlResult<T>, RetryStats) {
+        self.run_repaired(table, op, |_| None)
+    }
+
+    /// The repair-first retry loop. On expiration, `repair(session_vn)` is
+    /// consulted **before** any restart: `Some(result)` means the session's
+    /// work was fixed up from the maintenance deltas and the call returns
+    /// immediately (no extra attempt, no backoff); `None` means repair
+    /// declined — evicted window, unrepairable batch, unsupported shape —
+    /// and the loop falls back to the paper's restart-and-rescan within the
+    /// policy's usual bounds.
+    ///
+    /// The repair closure must produce a result consistent at the VN it
+    /// re-leases (see [`RepairEngine`]); the typed helpers wire this up
+    /// correctly.
+    pub fn run_repaired<T>(
+        &self,
+        table: &VnlTable,
         mut op: impl FnMut(&ReaderSession<'_>) -> VnlResult<T>,
+        mut repair: impl FnMut(VersionNo) -> Option<T>,
     ) -> (VnlResult<T>, RetryStats) {
         let start = Instant::now();
         let mut rng = SplitMix64::seed_from_u64(self.seed);
@@ -148,6 +184,14 @@ impl RetryPolicy {
                 }) => {
                     session.finish();
                     stats.expirations += 1;
+                    if let Some(v) = repair(session_vn) {
+                        stats.repaired += 1;
+                        wh_obs::counter!("vnl.resilience.repair.repaired").inc();
+                        wh_obs::slo::note_repair();
+                        wh_obs::histogram!("vnl.resilience.retry.attempts")
+                            .record(u64::from(stats.attempts));
+                        return (Ok(v), stats);
+                    }
                     let out_of_attempts = stats.attempts >= self.max_attempts;
                     let out_of_time = self.deadline.is_some_and(|d| start.elapsed() >= d);
                     if out_of_attempts || out_of_time {
@@ -161,6 +205,8 @@ impl RetryPolicy {
                             stats,
                         );
                     }
+                    stats.restarted += 1;
+                    wh_obs::counter!("vnl.resilience.repair.restarted").inc();
                     wh_obs::counter!("vnl.resilience.retries").inc();
                     self.back_off(stats.attempts, start, &mut rng);
                 }
@@ -237,6 +283,108 @@ impl RetryPolicy {
     pub fn read_by_key(&self, table: &VnlTable, key_row: &[Value]) -> VnlResult<Option<Row>> {
         self.run(table, |s| s.read_by_key(key_row))
     }
+
+    /// Repair-first retried scan. An expired attempt is fixed up from the
+    /// maintenance deltas ([`RepairEngine::scan_at_current`]) instead of
+    /// rescanning; only when repair declines does the restart fallback run.
+    ///
+    /// The repaired path returns rows in **primary-key order** (the repair
+    /// map is keyed); the first-attempt/restart path returns heap scan
+    /// order. Consumers needing order-independence should compare as
+    /// multisets — the soak oracle does.
+    pub fn scan_repaired(&self, table: &VnlTable) -> (VnlResult<Vec<Row>>, RetryStats) {
+        let engine = RepairEngine::new(table);
+        let wasted = Cell::new(0u64);
+        let (res, mut stats) = self.run_repaired(
+            table,
+            |s| {
+                let mut buf = Vec::new();
+                match s.scan_with(|row| {
+                    buf.push(row);
+                    Ok(())
+                }) {
+                    Ok(()) => Ok(buf),
+                    Err(e) => {
+                        // The cursor-restart protocol discards this buffer;
+                        // count what the discard cost.
+                        wasted.set(wasted.get() + buf.len() as u64);
+                        Err(e)
+                    }
+                }
+            },
+            |session_vn| {
+                engine
+                    .scan_at_current(session_vn)
+                    .ok()
+                    .flatten()
+                    .map(|r| r.rows)
+            },
+        );
+        stats.wasted_rows = wasted.get();
+        if stats.wasted_rows > 0 {
+            wh_obs::counter!("vnl.resilience.repair.wasted_rows").add(stats.wasted_rows);
+        }
+        (res, stats)
+    }
+
+    /// Repair-first retried SELECT: parses once; an expired attempt patches
+    /// the statement's result from the deltas (per-group aggregate patching
+    /// where the shape allows — [`RepairEngine::query_at_current`]) before
+    /// any restart. Uses empty [`Params`], matching
+    /// [`ReaderSession::query_stmt`].
+    pub fn query_repaired(
+        &self,
+        table: &VnlTable,
+        sql: &str,
+    ) -> (VnlResult<QueryResult>, RetryStats) {
+        let select = match parse_statement(sql).map_err(VnlError::Sql) {
+            Ok(Statement::Select(select)) => select,
+            Ok(_) => {
+                return (
+                    Err(VnlError::Sql(SqlError::Unsupported(
+                        "reader sessions are read-only".into(),
+                    ))),
+                    RetryStats::default(),
+                )
+            }
+            Err(e) => return (Err(e), RetryStats::default()),
+        };
+        let engine = RepairEngine::new(table);
+        let params = Params::new();
+        self.run_repaired(
+            table,
+            |s| s.query_stmt(&select),
+            |session_vn| {
+                engine
+                    .query_at_current(session_vn, &select, &params)
+                    .ok()
+                    .flatten()
+                    .map(|(result, _vn)| result)
+            },
+        )
+    }
+
+    /// Repair-first retried point lookup: a key the delta window touched is
+    /// answered from the deltas alone; an untouched key re-reads at the
+    /// current VN ([`RepairEngine::read_key_at_current`]).
+    pub fn read_by_key_repaired(
+        &self,
+        table: &VnlTable,
+        key_row: &[Value],
+    ) -> (VnlResult<Option<Row>>, RetryStats) {
+        let engine = RepairEngine::new(table);
+        self.run_repaired(
+            table,
+            |s| s.read_by_key(key_row),
+            |session_vn| {
+                engine
+                    .read_key_at_current(session_vn, key_row)
+                    .ok()
+                    .flatten()
+                    .map(|(row, _vn)| row)
+            },
+        )
+    }
 }
 
 #[cfg(test)]
@@ -281,7 +429,8 @@ mod tests {
             stats,
             RetryStats {
                 attempts: 1,
-                expirations: 0
+                expirations: 0,
+                ..RetryStats::default()
             }
         );
     }
@@ -382,6 +531,101 @@ mod tests {
             .map(|rows| seen = rows)
             .unwrap();
         assert_eq!(seen.len(), 8, "only the complete attempt is delivered");
+    }
+
+    #[test]
+    fn scan_repaired_fixes_expired_session_without_restart() {
+        let t = kv_table(2);
+        // A stale session whose next scan is guaranteed to expire.
+        let stale = t.begin_session();
+        let stale_vn = stale.session_vn();
+        bump_all(&t, 10);
+        bump_all(&t, 20);
+        assert!(matches!(stale.scan(), Err(VnlError::SessionExpired { .. })));
+        stale.finish();
+        // Repair-first: the expiring attempt is patched from the deltas.
+        let policy = RetryPolicy::default().with_backoff(Duration::ZERO, Duration::ZERO);
+        let expire_once = Cell::new(true);
+        let engine = RepairEngine::new(&t);
+        let (res, stats) = policy.run_repaired(
+            &t,
+            |s| {
+                if expire_once.replace(false) {
+                    // Simulate the stale session's fate deterministically.
+                    return Err(t.expired_error(stale_vn));
+                }
+                s.scan()
+            },
+            |svn| engine.scan_at_current(svn).ok().flatten().map(|r| r.rows),
+        );
+        let rows = res.unwrap();
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r[1] == Value::from(20)));
+        assert_eq!(stats.repaired, 1);
+        assert_eq!(stats.restarted, 0);
+        assert_eq!(stats.attempts, 1, "repair replaces the restart attempt");
+    }
+
+    #[test]
+    fn repair_decline_falls_back_to_restart() {
+        let t = kv_table(2);
+        bump_all(&t, 10);
+        t.version().clear_deltas(); // evict the window: repair must decline
+        let policy = RetryPolicy::default().with_backoff(Duration::ZERO, Duration::ZERO);
+        let expire_once = Cell::new(true);
+        let engine = RepairEngine::new(&t);
+        let (res, stats) = policy.run_repaired(
+            &t,
+            |s| {
+                if expire_once.replace(false) {
+                    return Err(t.expired_error(0));
+                }
+                s.scan()
+            },
+            |svn| engine.scan_at_current(svn).ok().flatten().map(|r| r.rows),
+        );
+        assert_eq!(res.unwrap().len(), 8);
+        assert_eq!(stats.repaired, 0);
+        assert_eq!(stats.restarted, 1);
+        assert_eq!(stats.attempts, 2, "decline costs a full restart attempt");
+    }
+
+    #[test]
+    fn scan_repaired_counts_wasted_rows() {
+        let t = kv_table(2);
+        bump_all(&t, 5);
+        let (res, stats) = RetryPolicy::default()
+            .with_backoff(Duration::ZERO, Duration::ZERO)
+            .scan_repaired(&t);
+        // No expiration: clean first attempt, nothing wasted.
+        assert_eq!(res.unwrap().len(), 8);
+        assert_eq!(stats.wasted_rows, 0);
+        assert_eq!(stats.repaired, 0);
+    }
+
+    #[test]
+    fn query_repaired_answers_after_expiration() {
+        let t = kv_table(2);
+        let policy = RetryPolicy::default().with_backoff(Duration::ZERO, Duration::ZERO);
+        let (res, _) = policy.query_repaired(&t, "SELECT SUM(value) FROM kv");
+        assert_eq!(res.unwrap().rows[0][0], Value::from(0));
+        bump_all(&t, 3);
+        let (res, _) = policy.query_repaired(&t, "SELECT SUM(value) FROM kv");
+        assert_eq!(res.unwrap().rows[0][0], Value::from(24));
+        // Writes rejected up front.
+        let (res, stats) = policy.query_repaired(&t, "CREATE TABLE x (a INT)");
+        assert!(res.is_err());
+        assert_eq!(stats.attempts, 0);
+    }
+
+    #[test]
+    fn read_by_key_repaired_round_trips() {
+        let t = kv_table(2);
+        bump_all(&t, 9);
+        let (res, _) = RetryPolicy::default().read_by_key_repaired(&t, &[Value::from(3)]);
+        assert_eq!(res.unwrap(), Some(vec![Value::from(3), Value::from(9)]));
+        let (res, _) = RetryPolicy::default().read_by_key_repaired(&t, &[Value::from(99)]);
+        assert_eq!(res.unwrap(), None);
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //! behaves: the in-place data changes are complete before the version flip
 //! happens, atomically, under the latch.
 
+use crate::delta::{DeltaBatch, DELTA_LOG_CAPACITY};
 use crate::error::{VnlError, VnlResult};
 use crate::resilience::LeaseRegistry;
 use std::fmt;
 use std::sync::Arc;
-// The latched/lock-free core is a verified kernel: `wh_kernel::version` is
-// the same source the wh-kernel model suite explores exhaustively.
+// The latched/lock-free cores are verified kernels: `wh_kernel::version`
+// and `wh_kernel::delta` are the same source the wh-kernel model suite
+// explores exhaustively.
+use wh_kernel::delta::DeltaLogCore;
 use wh_kernel::version::{BeginError, VersionCore};
 use wh_storage::{IoStats, Rid, Table};
 use wh_types::fail_point;
@@ -98,6 +101,10 @@ pub struct VersionState {
     /// the version globals they protect, so a multi-table pacer sees every
     /// load-bearing VN in one place.
     leases: LeaseRegistry,
+    /// The session-repair delta log ([`crate::delta`]): net-effect batches
+    /// keyed by committing VN, bounded and front-evicted. Warehouse-wide
+    /// for the same reason the leases are — a commit's batch spans tables.
+    deltas: DeltaLogCore<Arc<DeltaBatch>>,
 }
 
 /// Point-in-time copy of the version globals.
@@ -128,6 +135,7 @@ impl VersionState {
             relation,
             relation_rid,
             leases: LeaseRegistry::new(),
+            deltas: DeltaLogCore::new(DELTA_LOG_CAPACITY),
         })
     }
 
@@ -154,6 +162,10 @@ impl VersionState {
             relation,
             relation_rid,
             leases: LeaseRegistry::new(),
+            // Fresh and empty: repair state never survives a restart —
+            // post-crash sessions restart from durable slots, never from a
+            // delta log whose tail the crash may have cut.
+            deltas: DeltaLogCore::new(DELTA_LOG_CAPACITY),
         })
     }
 
@@ -240,6 +252,20 @@ impl VersionState {
     /// Runs as its own latched step *after* all data changes are in place,
     /// per the §4 abort-safety note.
     pub fn publish_commit(&self, maintenance_vn: VersionNo) -> VnlResult<()> {
+        self.publish_commit_with(maintenance_vn, None)
+    }
+
+    /// [`VersionState::publish_commit`] plus delta retention: the commit's
+    /// net-effect batch is retained in the delta log *inside the same latch
+    /// hold* that flips `currentVN`, so a latched snapshot that observes
+    /// the new VN is guaranteed to find its batch retained (the ordering
+    /// the wh-kernel repair-≡-rescan model verifies). `None` retains an
+    /// empty repairable batch, keeping the log contiguous per committed VN.
+    pub fn publish_commit_with(
+        &self,
+        maintenance_vn: VersionNo,
+        batch: Option<DeltaBatch>,
+    ) -> VnlResult<()> {
         self.core.publish_commit(
             maintenance_vn,
             || {
@@ -252,12 +278,55 @@ impl VersionState {
                 Ok(())
             },
             |vn| {
+                let batch = batch.unwrap_or_else(|| DeltaBatch::empty(vn));
+                let spilled = self.deltas.retain(vn, Arc::new(batch));
+                if !spilled.is_empty() {
+                    wh_obs::counter!("vnl.delta.evicted").add(spilled.len() as u64);
+                }
                 self.relation
                     .update(self.relation_rid, &[Value::from(vn as i64), Value::from(0)])?;
                 wh_obs::gauge!("vnl.version.current_vn").set(vn as i64);
+                wh_obs::gauge!("vnl.delta.retained").set(self.deltas.len() as i64);
                 Ok(())
             },
         )
+    }
+
+    /// The complete repair window `(from_exclusive, to_inclusive]`, or
+    /// `None` when any VN in it has been evicted — the caller must fall
+    /// back to restart (all-or-nothing serving, model-verified).
+    pub fn delta_window(
+        &self,
+        from_exclusive: VersionNo,
+        to_inclusive: VersionNo,
+    ) -> Option<Vec<Arc<DeltaBatch>>> {
+        self.deltas.window(from_exclusive, to_inclusive)
+    }
+
+    /// Evict batches no live session can still need (`vn < keep_from`,
+    /// driven by the GC horizon). Returns how many were dropped.
+    pub(crate) fn evict_deltas_below(&self, keep_from: VersionNo) -> usize {
+        let dropped = self.deltas.evict_below(keep_from).len();
+        if dropped > 0 {
+            wh_obs::counter!("vnl.delta.evicted").add(dropped as u64);
+            wh_obs::gauge!("vnl.delta.retained").set(self.deltas.len() as i64);
+        }
+        dropped
+    }
+
+    /// Forget all retained deltas. Crash recovery calls this so repair
+    /// state never survives into a recovered process: the slots are the
+    /// only durable truth, and a log built before the crash may describe
+    /// commits the rollback pass has since undone.
+    pub(crate) fn clear_deltas(&self) -> usize {
+        let dropped = self.deltas.clear().len();
+        wh_obs::gauge!("vnl.delta.retained").set(0);
+        dropped
+    }
+
+    /// Retained delta-batch count (introspection/tests).
+    pub fn delta_log_len(&self) -> usize {
+        self.deltas.len()
     }
 
     /// Record a maintenance abort: flag off, `currentVN` unchanged.

@@ -183,13 +183,25 @@ impl<'w> WarehouseTxn<'w> {
     }
 
     /// Commit the whole warehouse transaction: all per-view changes become
-    /// visible atomically with the single `currentVN` flip (§4).
+    /// visible atomically with the single `currentVN` flip (§4), retaining
+    /// the merged net-effect batch across every view for session repair.
     pub fn commit(mut self) -> VnlResult<()> {
+        // Capture before any txn flips to finished: a fault mid-capture
+        // leaves every per-view txn open, so Drop rolls the whole
+        // warehouse transaction back and nothing is published.
+        let mut batch = crate::delta::DeltaBatch::empty(self.vn);
+        for txn in &self.txns {
+            let part = txn.capture_net_effect()?;
+            batch.repairable &= part.repairable;
+            batch.rows.extend(part.rows);
+        }
         for txn in &self.txns {
             txn.commit_local()?;
         }
         self.finished = true;
-        self.warehouse.version.publish_commit(self.vn)?;
+        self.warehouse
+            .version
+            .publish_commit_with(self.vn, Some(batch))?;
         Ok(())
     }
 

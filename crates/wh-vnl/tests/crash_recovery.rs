@@ -148,6 +148,23 @@ fn crash_matrix_4vnl() {
     assert!(report.cells.iter().all(|c| c.recovery.log_writes == 0));
 }
 
+/// The session-repair cells standalone: injected faults on the capture /
+/// evict / repair-admission paths force the restart fallback (never a wrong
+/// answer) and no retained delta window survives a recovery pass.
+#[test]
+fn repair_cells_fail_closed() {
+    let _g = gate();
+    wh_types::fault::clear_all();
+    crashmatrix::run_repair_cells(&[2, 3]);
+    for point in crashmatrix::REPAIR_POINTS {
+        assert!(
+            wh_types::fault::fired(point) > 0,
+            "{point} never fired during the repair cells"
+        );
+    }
+    wh_types::fault::clear_all();
+}
+
 /// Targeted cells: the armed point must actually fire for the op that owns
 /// its code path (guards against a failpoint silently moving off the path
 /// it is named for).
@@ -169,6 +186,8 @@ fn targeted_cells_inject_on_their_own_path() {
         ("vnl.version.publish_abort", OpKind::Abort),
         ("vnl.gc.reclaim", OpKind::Expire),
         ("vnl.gc.unregister", OpKind::Expire),
+        ("vnl.delta.capture", OpKind::Commit),
+        ("vnl.delta.evict", OpKind::Expire),
         ("storage.heap.latch", OpKind::Update),
         ("storage.heap.insert", OpKind::Insert),
         ("storage.heap.modify", OpKind::Update),

@@ -71,6 +71,77 @@ fn chaos_soak_zero_wrong_answers_across_seeds() {
     wh_types::fault::clear_all();
 }
 
+/// An expire-storm configuration: bare 2VNL (no pacer, no adaptive
+/// controller), readers holding sessions across ~10 maintenance gaps, so
+/// expirations are frequent and the repair-vs-restart comparison has
+/// something to compare. Faults still fire to churn the delta log through
+/// recovery (`clear_deltas`), forcing repair to decline sometimes.
+fn storm_config(seed: u64) -> SoakConfig {
+    SoakConfig {
+        seed,
+        keys: 16,
+        n_physical: 2,
+        initial_n: 2,
+        adaptive: false,
+        pacer: None,
+        readers: 3,
+        reads_per_reader: 10,
+        reader_hold: Duration::from_millis(2),
+        commits: 40,
+        maintenance_gap: Duration::from_micros(200),
+        gc_interval: Some(Duration::from_micros(500)),
+        fault_every: Some(9),
+        abort_every: Some(6),
+        retry: wh_vnl::RetryPolicy::default()
+            .with_max_attempts(32)
+            .with_backoff(Duration::from_micros(50), Duration::from_millis(2)),
+        ..SoakConfig::default()
+    }
+}
+
+/// The repair arm under an expire storm: expired readers are patched from
+/// the retained maintenance deltas instead of restarting, and the oracle
+/// must still see zero wrong answers — a repaired result is held to exactly
+/// the same uniform-stamp standard as a rescanned one. Run head-to-head
+/// against the restart-only arm on the same seeds.
+#[test]
+fn chaos_soak_repair_arm_zero_wrong_answers() {
+    let _serial = SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut total_repaired = 0;
+    for seed in [11, 42, 1997] {
+        wh_types::fault::clear_all();
+        let restart_only = run_soak(&storm_config(seed)).unwrap();
+        wh_types::fault::clear_all();
+        let repair = run_soak(&SoakConfig {
+            repair: true,
+            ..storm_config(seed)
+        })
+        .unwrap();
+        assert!(
+            restart_only.is_correct(),
+            "seed {seed}: restart arm violated the oracle: {restart_only:?}"
+        );
+        assert!(
+            repair.is_correct(),
+            "seed {seed}: repair arm violated the oracle: {repair:?}"
+        );
+        assert_eq!(
+            restart_only.repaired, 0,
+            "seed {seed}: restart-only arm must never repair"
+        );
+        total_repaired += repair.repaired;
+    }
+    wh_types::fault::clear_all();
+    // Across three chaos seeds the repair path must actually engage; zero
+    // repairs would mean the arm degenerated into restart-only.
+    assert!(
+        total_repaired > 0,
+        "repair never engaged across any chaos seed"
+    );
+}
+
 /// Expired readers stay within their retry budgets even while faults and
 /// GC churn the table: exhaustion is allowed only as the typed terminal
 /// error, and with a 16-attempt budget it should not occur at all here.

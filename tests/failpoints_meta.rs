@@ -58,6 +58,20 @@ fn per_crate_catalogs_do_not_overlap() {
 // fault-matrix CI job runs this test with the feature on).
 #[cfg(feature = "failpoints")]
 #[test]
+fn repair_cell_points_are_registered_vnl_points() {
+    let reg = registry();
+    let vnl: BTreeSet<&'static str> = wh_vnl::FAILPOINTS.iter().copied().collect();
+    for p in wh_vnl::crashmatrix::REPAIR_POINTS {
+        assert!(reg.contains(p), "repair-cell point {p} is not in REGISTRY");
+        assert!(
+            vnl.contains(p),
+            "repair-cell point {p} is not declared by wh_vnl::FAILPOINTS"
+        );
+    }
+}
+
+#[cfg(feature = "failpoints")]
+#[test]
 fn crash_matrix_sweeps_the_whole_registry() {
     let swept: BTreeSet<&'static str> = wh_vnl::crashmatrix::catalog().into_iter().collect();
     assert_eq!(
