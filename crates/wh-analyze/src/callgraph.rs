@@ -1,0 +1,506 @@
+//! Workspace call graph: call-site extraction and same-workspace edge
+//! resolution over the parsed function tables.
+//!
+//! Resolution is name-based with three precision filters, in keeping with
+//! the crate's token-level fidelity (no type inference):
+//!
+//! * **arity** — a call with N arguments only resolves to functions with
+//!   N parameters (`self` excluded); a path call also matches N−1
+//!   parameters for the UFCS `Type::method(self, …)` spelling;
+//! * **path segments** — `wh_kernel::latch::read_latch(...)` only
+//!   resolves to functions whose qualified path ends with those
+//!   segments (`Self::` maps to the calling function's impl type);
+//! * **self-calls** — `self.helper()` prefers candidates on the calling
+//!   function's own impl type when any exist, which disambiguates the
+//!   workspace's several private `locked()` helpers.
+//!
+//! Unresolvable names (std, closures, macros-expanded calls) simply get
+//! no edges. Turbofish calls (`collect::<…>()`) are not recognized —
+//! none of the workspace's own functions are called that way. The rules
+//! that consume the graph over-approximate by design and route false
+//! positives through `lint: allow(...)` pragmas, like every other rule
+//! here.
+
+use crate::lexer::{Kind, Tok};
+use crate::parser::FnTable;
+use crate::walker;
+use std::collections::BTreeMap;
+
+/// One call site inside a function's own body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Token index of the callee name.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: u32,
+    /// Callee simple name.
+    pub name: String,
+    /// Argument count at the call site.
+    pub arity: usize,
+    /// `receiver.name(...)` rather than `name(...)` / `path::name(...)`.
+    pub is_method: bool,
+    /// For method calls: the leading `ident.`* receiver chain
+    /// (`self.storage.read(…)` → `["self", "storage"]`); empty when the
+    /// receiver is an expression.
+    pub recv: Vec<String>,
+    /// For path calls: the `::`-separated segments before the name.
+    pub segs: Vec<String>,
+    /// Resolved same-workspace callees (global fn ids), id order.
+    pub callees: Vec<usize>,
+}
+
+/// A function's global identity: file index + index in that file's table.
+#[derive(Debug, Clone, Copy)]
+pub struct GFn {
+    pub file: usize,
+    pub local: usize,
+}
+
+/// The workspace call graph. Global fn ids index both `fns` and `calls`
+/// and run in (file, table) order, so everything derived is deterministic.
+#[derive(Debug, Default)]
+pub struct Graph {
+    pub fns: Vec<GFn>,
+    pub calls: Vec<Vec<Call>>,
+    /// file index → global ids of that file's functions, table order.
+    pub by_file: Vec<Vec<usize>>,
+}
+
+impl Graph {
+    pub fn global_id(&self, file: usize, local: usize) -> usize {
+        self.by_file[file][local]
+    }
+}
+
+/// Method names that shadow std container / lock / atomic / iterator
+/// methods. A `.len()` or `.push(x)` on an arbitrary receiver is almost
+/// always `Vec::len`, not some workspace type's `len` — resolving it by
+/// name alone floods the graph with false edges (every `.len()` in the
+/// workspace would "call" `LeaseCore::len`, which takes the lease
+/// registry). Calls with these names resolve only through the self-call
+/// path (`self.len()` on the same impl type); other receivers get no
+/// edge. Distinctive workspace names (`scan_batches`, `find_physical`,
+/// `mark_referenced`, …) are unaffected.
+const STD_SHADOW_METHODS: &[&str] = &[
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "clear",
+    "contains",
+    "contains_key",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "next",
+    "find",
+    "collect",
+    "extend",
+    "drain",
+    "take",
+    "entry",
+    "keys",
+    "values",
+    "first",
+    "last",
+    "split",
+    "join",
+    "read",
+    "write",
+    "lock",
+    "try_lock",
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "compare_exchange",
+    "set",
+    "add",
+    "inc",
+    "count",
+    "reset",
+    "abort",
+    "wait",
+    "send",
+    "recv",
+    "flush",
+    "min",
+    "max",
+    "point",
+    "project",
+    "id",
+    "name",
+    "init",
+    "new",
+    "clone",
+    "default",
+    "fmt",
+    "eq",
+    "cmp",
+    "hash",
+    "drop",
+    "from",
+    "into",
+    "as_ref",
+    "as_mut",
+    "start",
+    "stop",
+    "run",
+    "tick",
+    "apply",
+    "begin",
+    "commit",
+    "get_or_insert",
+    "push_back",
+    "pop_front",
+    "resize",
+    "truncate",
+];
+
+/// Names that precede `(` without being calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "let", "else", "move", "in", "as",
+    "use", "pub", "ref", "mut", "where", "impl", "dyn", "break", "continue", "unsafe", "async",
+    "await", "box",
+];
+
+/// Build the graph for a set of files. `tables[i]` must be the parse of
+/// `toks[i]`. Test functions are excluded as candidates for calls from
+/// non-test code.
+pub fn build(tables: &[FnTable], toks: &[&[Tok]]) -> Graph {
+    let mut g = Graph::default();
+    let mut name_index: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (fi, table) in tables.iter().enumerate() {
+        let mut ids = Vec::with_capacity(table.fns.len());
+        for (li, f) in table.fns.iter().enumerate() {
+            let gid = g.fns.len();
+            g.fns.push(GFn {
+                file: fi,
+                local: li,
+            });
+            name_index.entry(f.name.as_str()).or_default().push(gid);
+            ids.push(gid);
+        }
+        g.by_file.push(ids);
+    }
+
+    g.calls = g
+        .fns
+        .iter()
+        .map(|&GFn { file, local }| extract_calls(toks[file], &tables[file], local))
+        .collect();
+
+    // Resolve edges.
+    for gid in 0..g.fns.len() {
+        let GFn { file, local } = g.fns[gid];
+        let caller = &tables[file].fns[local];
+        let caller_test = caller.is_test;
+        let caller_impl = caller.impl_type.clone();
+        for call in &mut g.calls[gid] {
+            let Some(cands) = name_index.get(call.name.as_str()) else {
+                continue;
+            };
+            let mut resolved: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&c| {
+                    let GFn {
+                        file: cf,
+                        local: cl,
+                    } = g.fns[c];
+                    let f = &tables[cf].fns[cl];
+                    if f.is_test && !caller_test {
+                        return false;
+                    }
+                    let arity_ok = f.arity == call.arity
+                        || (!call.segs.is_empty() && f.arity + 1 == call.arity);
+                    if !arity_ok {
+                        return false;
+                    }
+                    if !call.segs.is_empty() {
+                        let segs: Vec<&str> = call
+                            .segs
+                            .iter()
+                            .map(|s| {
+                                if s == "Self" {
+                                    caller_impl.as_deref().unwrap_or("Self")
+                                } else {
+                                    s.as_str()
+                                }
+                            })
+                            .filter(|s| !matches!(*s, "crate" | "self" | "super"))
+                            .collect();
+                        let parts: Vec<&str> = f.qual.split("::").collect();
+                        let prefix = &parts[..parts.len().saturating_sub(1)];
+                        if segs.len() > prefix.len()
+                            || prefix[prefix.len() - segs.len()..] != segs[..]
+                        {
+                            return false;
+                        }
+                    }
+                    true
+                })
+                .collect();
+            // `self.helper()`: prefer the calling type's own method.
+            let mut same_impl = false;
+            if call.is_method && call.recv == ["self"] {
+                if let Some(ty) = &caller_impl {
+                    let same: Vec<usize> = resolved
+                        .iter()
+                        .copied()
+                        .filter(|&c| {
+                            let GFn {
+                                file: cf,
+                                local: cl,
+                            } = g.fns[c];
+                            tables[cf].fns[cl].impl_type.as_deref() == Some(ty)
+                        })
+                        .collect();
+                    if !same.is_empty() {
+                        resolved = same;
+                        same_impl = true;
+                    }
+                }
+            }
+            // Std-shadowing names resolve only via the self-call path.
+            if call.is_method && !same_impl && STD_SHADOW_METHODS.contains(&call.name.as_str()) {
+                resolved.clear();
+            }
+            call.callees = resolved;
+        }
+    }
+    g
+}
+
+/// All call sites in the function's own body (nested fns excluded).
+fn extract_calls(toks: &[Tok], table: &FnTable, local: usize) -> Vec<Call> {
+    let f = &table.fns[local];
+    let mut out = Vec::new();
+    let body: Vec<(usize, &Tok)> = walker::body_tokens(toks, table, f).collect();
+    for w in 0..body.len() {
+        let (i, t) = body[w];
+        if t.kind != Kind::Ident || NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        // A call: the very next code token is `(` (macros have `!` there).
+        if !matches!(body.get(w + 1), Some((_, n)) if n.is_punct('(')) {
+            continue;
+        }
+        let prev = w.checked_sub(1).map(|p| body[p].1);
+        let is_method = prev.is_some_and(|p| p.is_punct('.'));
+        let mut segs = Vec::new();
+        let mut recv = Vec::new();
+        if is_method {
+            // Walk the `ident .`* receiver chain backwards.
+            let mut j = w; // at callee; body[j-1] is `.`
+            while j >= 2 && body[j - 1].1.is_punct('.') && body[j - 2].1.kind == Kind::Ident {
+                recv.push(body[j - 2].1.text.clone());
+                j -= 2;
+            }
+            if j >= 1 && body[j - 1].1.is_punct('.') {
+                // Chain begins at an expression (`foo().bar(…)`) — the
+                // receiver is unknown; drop the partial chain.
+                recv.clear();
+            }
+            recv.reverse();
+        } else {
+            // Path segments: `ident :: (ident | '<…>') :: … :: name`.
+            let mut j = w;
+            while j >= 3
+                && body[j - 1].1.is_punct(':')
+                && body[j - 2].1.is_punct(':')
+                && body[j - 3].1.kind == Kind::Ident
+            {
+                segs.push(body[j - 3].1.text.clone());
+                j -= 3;
+            }
+            segs.reverse();
+            // A plain-name call directly preceded by `:` with no ident
+            // (e.g. after a turbofish) is not resolvable; leave segs as-is.
+        }
+        let arity = call_arity(&body, w + 1);
+        out.push(Call {
+            tok: i,
+            line: t.line,
+            name: t.text.clone(),
+            arity,
+            is_method,
+            recv,
+            segs,
+            callees: Vec::new(),
+        });
+    }
+    out
+}
+
+/// Argument count of the group opening at `body[open]` (a `(`), with
+/// closure parameter lists (`|a, b|`) skipped so their commas don't
+/// count.
+fn call_arity(body: &[(usize, &Tok)], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut saw_arg = false;
+    let mut w = open;
+    let mut prev_text: Option<&str> = None;
+    while w < body.len() {
+        let t = body[w].1;
+        match t.text.as_str() {
+            "(" | "[" | "{" if t.kind == Kind::Punct => depth += 1,
+            ")" | "]" | "}" if t.kind == Kind::Punct => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "," if t.kind == Kind::Punct && depth == 1 => {
+                if saw_arg {
+                    commas += 1;
+                    saw_arg = false;
+                }
+                prev_text = Some(",");
+                w += 1;
+                continue;
+            }
+            "|" if t.kind == Kind::Punct
+                && depth == 1
+                && matches!(prev_text, Some("(" | "," | "move")) =>
+            {
+                // Closure parameter list: skip to its closing `|`.
+                saw_arg = true;
+                w += 1;
+                while w < body.len() && !body[w].1.is_punct('|') {
+                    w += 1;
+                }
+                prev_text = Some("|");
+                w += 1;
+                continue;
+            }
+            _ if depth >= 1 => saw_arg = true,
+            _ => {}
+        }
+        prev_text = Some(t.text.as_str());
+        w += 1;
+    }
+    commas + usize::from(saw_arg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn graph_of(files: &[(&str, &str)]) -> (Graph, Vec<FnTable>, Vec<Vec<Tok>>) {
+        let toks: Vec<Vec<Tok>> = files.iter().map(|(_, s)| crate::lexer::lex(s)).collect();
+        let tables: Vec<FnTable> = files
+            .iter()
+            .zip(&toks)
+            .map(|((p, _), t)| {
+                let ranges = crate::rules::test_ranges(t);
+                crate::parser::parse(&PathBuf::from(p), t, &ranges)
+            })
+            .collect();
+        let slices: Vec<&[Tok]> = toks.iter().map(Vec::as_slice).collect();
+        let g = build(&tables, &slices);
+        (g, tables, toks)
+    }
+
+    fn callee_quals(g: &Graph, tables: &[FnTable], gid: usize) -> Vec<Vec<String>> {
+        g.calls[gid]
+            .iter()
+            .map(|c| {
+                c.callees
+                    .iter()
+                    .map(|&id| {
+                        let GFn { file, local } = g.fns[id];
+                        tables[file].fns[local].qual.clone()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn free_calls_resolve_by_name_and_arity() {
+        let (g, tables, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn one(x: u8) -> u8 { x }\nfn one_more(x: u8, y: u8) -> u8 { x + y }\n\
+             fn caller() { one(1); one(1, 2); }\n",
+        )]);
+        let caller = g.by_file[0][2];
+        let quals = callee_quals(&g, &tables, caller);
+        assert_eq!(quals[0], vec!["a::one".to_string()]);
+        assert!(quals[1].is_empty(), "arity 2 does not match fn one/1");
+    }
+
+    #[test]
+    fn path_segments_filter_candidates() {
+        let (g, tables, _) = graph_of(&[
+            (
+                "crates/wh-kernel/src/latch.rs",
+                "pub fn read_latch(l: &L) -> G { l.g() }\n",
+            ),
+            (
+                "crates/a/src/lib.rs",
+                "pub fn read_latch(l: &L) -> G { l.g() }\n\
+                 fn caller(l: &L) { wh_kernel::latch::read_latch(l); }\n",
+            ),
+        ]);
+        let caller = g.by_file[1][1];
+        let quals = callee_quals(&g, &tables, caller);
+        assert_eq!(quals[0], vec!["wh_kernel::latch::read_latch".to_string()]);
+    }
+
+    #[test]
+    fn self_calls_prefer_the_own_impl_type() {
+        let (g, tables, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "struct A; struct B;\n\
+             impl A { fn locked(&self) {} fn go(&self) { self.locked(); } }\n\
+             impl B { fn locked(&self) {} }\n",
+        )]);
+        let go = g.by_file[0][1];
+        let quals = callee_quals(&g, &tables, go);
+        assert_eq!(quals[0], vec!["a::A::locked".to_string()]);
+    }
+
+    #[test]
+    fn methods_record_receiver_chains_and_closure_args_count_once() {
+        let (g, _, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn f(&self) { self.storage.scan(|rid, ext| visit(rid, ext)); }\n",
+        )]);
+        let f = g.by_file[0][0];
+        let scan = g.calls[f].iter().find(|c| c.name == "scan").expect("scan");
+        assert_eq!(scan.recv, vec!["self".to_string(), "storage".to_string()]);
+        assert_eq!(scan.arity, 1, "one closure argument");
+        assert!(scan.is_method);
+    }
+
+    #[test]
+    fn macros_and_keywords_are_not_calls() {
+        let (g, _, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn f() { if cond(x) { write!(w, \"{}\", 1); } match y { _ => {} } }\n",
+        )]);
+        let f = g.by_file[0][0];
+        let names: Vec<&str> = g.calls[f].iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["cond"], "{names:?}");
+    }
+
+    #[test]
+    fn test_fns_are_not_candidates_for_live_code() {
+        let (g, tables, _) = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "fn caller() { helper(1); }\n\
+             #[cfg(test)]\nmod tests { fn helper(x: u8) -> u8 { x } }\n",
+        )]);
+        let caller = g.by_file[0][0];
+        let quals = callee_quals(&g, &tables, caller);
+        assert!(quals[0].is_empty());
+    }
+}

@@ -18,10 +18,17 @@
 //! `file:line: [rule] message`, one per line, deterministic order. See
 //! [`rules`] for the rule list and the `lint: allow(...)` pragma syntax.
 
+pub mod callgraph;
+pub mod interproc;
 pub mod lexer;
+pub mod output;
+pub mod parser;
+pub mod protocol;
 pub mod rules;
+pub mod walker;
 
-pub use rules::{analyze, Diagnostic, SourceFile, RULES};
+pub use protocol::ProtocolEntry;
+pub use rules::{analyze, analyze_report, Diagnostic, Report, SourceFile, RULES};
 
 use std::path::{Path, PathBuf};
 
@@ -33,6 +40,13 @@ use std::path::{Path, PathBuf};
 /// I/O errors surface as diagnostics rather than panics — the analyzer is
 /// itself subject to the `no-panic` rule.
 pub fn analyze_tree(root: &Path) -> Vec<Diagnostic> {
+    analyze_tree_report(root).diagnostics
+}
+
+/// Like [`analyze_tree`], but returns the full [`Report`] (protocol table
+/// and call-graph statistics included) for `--protocols` and the stats
+/// summary line.
+pub fn analyze_tree_report(root: &Path) -> Report {
     let mut files = Vec::new();
     let mut errors = Vec::new();
     let mut src_roots = vec![root.join("src")];
@@ -48,6 +62,7 @@ pub fn analyze_tree(root: &Path) -> Vec<Diagnostic> {
             file: root.join("crates"),
             line: 0,
             rule: "io-error",
+            function: None,
             message: format!("cannot read crates/ directory: {e}"),
         }),
     }
@@ -55,9 +70,9 @@ pub fn analyze_tree(root: &Path) -> Vec<Diagnostic> {
         collect_rs_files(root, &src_root, &mut files, &mut errors);
     }
     files.sort_by(|a, b| a.path.cmp(&b.path));
-    let mut out = analyze(&files);
-    out.extend(errors);
-    out
+    let mut report = analyze_report(&files);
+    report.diagnostics.extend(errors);
+    report
 }
 
 fn collect_rs_files(
@@ -84,6 +99,7 @@ fn collect_rs_files(
                     file: path,
                     line: 0,
                     rule: "io-error",
+                    function: None,
                     message: format!("cannot read file: {e}"),
                 }),
             }

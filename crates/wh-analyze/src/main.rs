@@ -1,26 +1,125 @@
 //! CLI entry point: analyze a tree, print diagnostics, exit non-zero on
 //! any finding. See the crate docs for the rule list.
+//!
+//! ```text
+//! wh-analyze [root] [--format text|json|github] [--protocols] [--budget-ms N]
+//! ```
+//!
+//! `--format github` emits workflow-command annotations for CI;
+//! `--protocols` appends the atomic-protocol table; `--budget-ms` fails
+//! the run (even a clean one) if analysis wall-clock exceeds the budget,
+//! so CI notices when the analyzer itself regresses.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn main() -> ExitCode {
-    let root = std::env::args_os().nth(1).map_or_else(
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
+struct Args {
+    root: PathBuf,
+    format: Format,
+    protocols: bool,
+    budget_ms: Option<u64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
         // Default: the workspace containing this crate (manifest dir is
         // `crates/wh-analyze`), so `cargo run -p wh-analyze` needs no args
         // from any working directory.
-        || PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
-        PathBuf::from,
-    );
-    let diagnostics = wh_analyze::analyze_tree(&root);
-    for d in &diagnostics {
-        println!("{d}");
+        root: PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../.."),
+        format: Format::Text,
+        protocols: false,
+        budget_ms: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let mut root_set = false;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => {
+                args.format = match it.next().as_deref() {
+                    Some("text") => Format::Text,
+                    Some("json") => Format::Json,
+                    Some("github") => Format::Github,
+                    other => {
+                        return Err(format!("--format expects text|json|github, got {other:?}"))
+                    }
+                };
+            }
+            "--protocols" => args.protocols = true,
+            "--budget-ms" => {
+                let v = it.next().ok_or("--budget-ms expects a number")?;
+                args.budget_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("--budget-ms expects a number, got {v:?}"))?,
+                );
+            }
+            _ if !a.starts_with('-') && !root_set => {
+                args.root = PathBuf::from(a);
+                root_set = true;
+            }
+            _ => return Err(format!("unknown argument {a:?}")),
+        }
     }
-    if diagnostics.is_empty() {
-        println!("wh-analyze: clean ({} rules)", wh_analyze::RULES.len());
-        ExitCode::SUCCESS
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("wh-analyze: {e}");
+            eprintln!(
+                "usage: wh-analyze [root] [--format text|json|github] [--protocols] [--budget-ms N]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let start = std::time::Instant::now();
+    let report = wh_analyze::analyze_tree_report(&args.root);
+    let elapsed_ms = start.elapsed().as_millis() as u64;
+
+    match args.format {
+        Format::Text => {
+            for d in &report.diagnostics {
+                println!("{d}");
+            }
+        }
+        Format::Json => print!("{}", wh_analyze::output::render_json(&report.diagnostics)),
+        Format::Github => print!("{}", wh_analyze::output::render_github(&report.diagnostics)),
+    }
+    if args.protocols {
+        print!("{}", wh_analyze::protocol::render_table(&report.protocols));
+    }
+
+    let mut code = ExitCode::SUCCESS;
+    if report.diagnostics.is_empty() {
+        // Stats go to stderr under json/github so stdout stays parseable.
+        let stats = format!(
+            "wh-analyze: clean ({} rules, {} fns, {} edges, {} protocols, {} ms)",
+            wh_analyze::RULES.len(),
+            report.functions,
+            report.edges,
+            report.protocols.len(),
+            elapsed_ms
+        );
+        match args.format {
+            Format::Text => println!("{stats}"),
+            _ => eprintln!("{stats}"),
+        }
     } else {
-        eprintln!("wh-analyze: {} violation(s)", diagnostics.len());
-        ExitCode::FAILURE
+        eprintln!("wh-analyze: {} violation(s)", report.diagnostics.len());
+        code = ExitCode::FAILURE;
     }
+    if let Some(budget) = args.budget_ms {
+        if elapsed_ms > budget {
+            eprintln!("wh-analyze: wall-clock {elapsed_ms} ms exceeds budget {budget} ms");
+            code = ExitCode::FAILURE;
+        }
+    }
+    code
 }

@@ -35,6 +35,9 @@ pub const RULES: &[&str] = &[
     "failpoint-trace",
     "lock-order",
     "version-encapsulation",
+    "latch-order",
+    "epoch-discipline",
+    "atomic-protocol",
 ];
 
 /// One finding, anchored to a source line.
@@ -48,6 +51,10 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable explanation.
     pub message: String,
+    /// Qualified path of the enclosing function
+    /// (`wh_vnl::table::VnlTable::scan_visible`), when the line falls
+    /// inside one. Filled in by a post-pass over the function tables.
+    pub function: Option<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -59,7 +66,11 @@ impl fmt::Display for Diagnostic {
             self.line,
             self.rule,
             self.message
-        )
+        )?;
+        if let Some(func) = &self.function {
+            write!(f, " (in {func})")?;
+        }
+        Ok(())
     }
 }
 
@@ -72,22 +83,22 @@ pub struct SourceFile {
 }
 
 /// Per-file context shared by the rules.
-struct FileCtx<'a> {
-    path: &'a Path,
-    toks: Vec<Tok>,
-    lines: Vec<String>,
+pub(crate) struct FileCtx<'a> {
+    pub(crate) path: &'a Path,
+    pub(crate) toks: Vec<Tok>,
+    pub(crate) lines: Vec<String>,
     /// Token-index ranges inside `#[cfg(test)]` items.
-    test_ranges: Vec<(usize, usize)>,
+    pub(crate) test_ranges: Vec<(usize, usize)>,
     /// (rule, line) pairs suppressed by `lint: allow(...)` pragmas.
     allow: BTreeSet<(String, u32)>,
     /// Rules suppressed file-wide by `lint: allow-file(...)`.
     allow_file: BTreeSet<String>,
     /// Whether this file is a binary target (`src/bin/…` or `main.rs`).
-    is_bin: bool,
+    pub(crate) is_bin: bool,
 }
 
 impl FileCtx<'_> {
-    fn in_test(&self, tok_idx: usize) -> bool {
+    pub(crate) fn in_test(&self, tok_idx: usize) -> bool {
         self.test_ranges
             .iter()
             .any(|&(lo, hi)| tok_idx >= lo && tok_idx < hi)
@@ -97,15 +108,38 @@ impl FileCtx<'_> {
         self.allow_file.contains(rule) || self.allow.contains(&(rule.to_string(), line))
     }
 
-    fn emit(&self, out: &mut Vec<Diagnostic>, rule: &'static str, line: u32, message: String) {
+    pub(crate) fn emit(
+        &self,
+        out: &mut Vec<Diagnostic>,
+        rule: &'static str,
+        line: u32,
+        message: String,
+    ) {
         if !self.suppressed(rule, line) {
             out.push(Diagnostic {
                 file: self.path.to_path_buf(),
                 line,
                 rule,
                 message,
+                function: None,
             });
         }
+    }
+}
+
+/// Everything the interprocedural rules see: per-file contexts, the
+/// parsed function tables (same index), and the workspace call graph.
+pub(crate) struct Workspace<'a> {
+    pub(crate) ctxs: &'a [FileCtx<'a>],
+    pub(crate) tables: &'a [crate::parser::FnTable],
+    pub(crate) graph: &'a crate::callgraph::Graph,
+}
+
+impl Workspace<'_> {
+    /// Resolve a global fn id to its file context and parsed info.
+    pub(crate) fn fn_info(&self, gid: usize) -> (&FileCtx<'_>, &crate::parser::FnInfo) {
+        let g = self.graph.fns[gid];
+        (&self.ctxs[g.file], &self.tables[g.file].fns[g.local])
     }
 }
 
@@ -113,6 +147,22 @@ impl FileCtx<'_> {
 /// needs the whole set). Paths should be root-relative; scope decisions
 /// (bin targets, the `wh-kernel` exemption) look at path components.
 pub fn analyze(files: &[SourceFile]) -> Vec<Diagnostic> {
+    analyze_report(files).diagnostics
+}
+
+/// Workspace-level analysis artifacts beyond the diagnostics: the atomic
+/// protocol table (`--protocols`) and self-run statistics (E26).
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+    pub protocols: Vec<crate::protocol::ProtocolEntry>,
+    /// Parsed functions across the workspace.
+    pub functions: usize,
+    /// Resolved call-graph edges (call site → candidate callee pairs).
+    pub edges: usize,
+}
+
+/// [`analyze`], plus the protocol table and stats.
+pub fn analyze_report(files: &[SourceFile]) -> Report {
     let mut out = Vec::new();
     // name → call-site lines, for the registry cross-check.
     let mut failpoint_sites: BTreeMap<String, Vec<(PathBuf, u32)>> = BTreeMap::new();
@@ -120,21 +170,37 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Diagnostic> {
     // "registered but never marked" diagnostic can anchor somewhere real.
     let mut registry_entry_lines: BTreeMap<String, u32> = BTreeMap::new();
 
-    for file in files {
-        let ctx = build_ctx(file);
-        no_panic(&ctx, &mut out);
-        ordering_comment(&ctx, &mut out);
-        safety_comment(&ctx, &mut out);
-        lock_order(&ctx, &mut out);
-        failpoint_trace(&ctx, &mut out);
-        version_encapsulation(&ctx, &mut out);
+    let ctxs: Vec<FileCtx<'_>> = files.iter().map(build_ctx).collect();
+    let tables: Vec<crate::parser::FnTable> = ctxs
+        .iter()
+        .map(|c| crate::parser::parse(c.path, &c.toks, &c.test_ranges))
+        .collect();
+    let tok_slices: Vec<&[Tok]> = ctxs.iter().map(|c| c.toks.as_slice()).collect();
+    let graph = crate::callgraph::build(&tables, &tok_slices);
+
+    for (ctx, table) in ctxs.iter().zip(&tables) {
+        no_panic(ctx, &mut out);
+        ordering_comment(ctx, &mut out);
+        safety_comment(ctx, &mut out);
+        lock_order(ctx, table, &mut out);
+        failpoint_trace(ctx, table, &mut out);
+        version_encapsulation(ctx, &mut out);
         collect_failpoints(
-            &ctx,
+            ctx,
             &mut failpoint_sites,
             &mut registry_entry_lines,
             &mut out,
         );
     }
+
+    let ws = Workspace {
+        ctxs: &ctxs,
+        tables: &tables,
+        graph: &graph,
+    };
+    crate::interproc::latch_order(&ws, &mut out);
+    crate::interproc::epoch_discipline(&ws, &mut out);
+    let protocols = crate::protocol::check(&ws, &mut out);
 
     // Reverse direction: a registered name nothing marks is dead weight in
     // the crash matrix (the sweep would "cover" a point that cannot fire).
@@ -149,12 +215,30 @@ pub fn analyze(files: &[SourceFile]) -> Vec<Diagnostic> {
                 line,
                 rule: "failpoint-registry",
                 message: format!("registered failpoint '{name}' has no fail_point! call site"),
+                function: None,
             });
         }
     }
 
+    // Attribute every finding to its enclosing function.
+    let by_path: BTreeMap<&Path, usize> =
+        ctxs.iter().enumerate().map(|(i, c)| (c.path, i)).collect();
+    for d in &mut out {
+        if d.function.is_none() {
+            if let Some(&fi) = by_path.get(d.file.as_path()) {
+                d.function = tables[fi].enclosing(d.line).map(|f| f.qual.clone());
+            }
+        }
+    }
+
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    out
+    let edges = graph.calls.iter().flatten().map(|c| c.callees.len()).sum();
+    Report {
+        diagnostics: out,
+        protocols,
+        functions: graph.fns.len(),
+        edges,
+    }
 }
 
 fn build_ctx(file: &SourceFile) -> FileCtx<'_> {
@@ -208,7 +292,7 @@ fn parse_pragmas(comment: &str) -> Vec<(String, bool)> {
 
 /// Token-index ranges covered by `#[cfg(test)]` items: from the attribute
 /// to the close of the following brace-delimited body.
-fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+pub(crate) fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let code = |t: &Tok| t.kind != Kind::LineComment && t.kind != Kind::BlockComment;
     let mut i = 0;
@@ -412,33 +496,39 @@ fn safety_comment(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
 }
 
 /// Does `line` carry `marker` on the same line, or in the comment block
-/// directly above the statement (walking up through comment/attribute
-/// lines and multiline-expression continuations until the previous
-/// statement's terminator)? Shared by the `ordering-comment` and
-/// `safety-comment` rules — both enforce "adjacent justification".
+/// directly above the statement? See [`marker_text`].
 fn has_marker_comment(ctx: &FileCtx<'_>, line: u32, marker: &str) -> bool {
+    marker_text(ctx, line, marker).is_some()
+}
+
+/// The text of the `marker` comment covering `line` (from the marker to
+/// the end of that comment line), if any: on the same line, or in the
+/// comment block directly above the statement (walking up through
+/// comment/attribute lines and multiline-expression continuations until
+/// the previous statement's terminator). Shared by the
+/// `ordering-comment`/`safety-comment` rules ("adjacent justification")
+/// and the `atomic-protocol` rule (which parses the tag's content).
+pub(crate) fn marker_text(ctx: &FileCtx<'_>, line: u32, marker: &str) -> Option<String> {
     let idx = (line as usize).saturating_sub(1);
-    let has = |s: &str| s.contains(marker);
-    if ctx
+    let tail = |s: &str| s.find(marker).map(|at| s[at..].trim_end().to_string());
+    if let Some(found) = ctx
         .lines
         .get(idx)
-        .is_some_and(|s| comment_part(s).is_some_and(has))
+        .and_then(|s| comment_part(s).and_then(&tail))
     {
-        return true;
+        return Some(found);
     }
     let mut up = idx;
     for _ in 0..16 {
         if up == 0 {
-            return false;
+            return None;
         }
         up -= 1;
-        let Some(raw) = ctx.lines.get(up) else {
-            return false;
-        };
+        let raw = ctx.lines.get(up)?;
         let s = raw.trim();
         if s.starts_with("//") || s.starts_with("/*") || s.starts_with('*') {
-            if has(s) {
-                return true;
+            if let Some(found) = tail(s) {
+                return Some(found);
             }
             continue;
         }
@@ -448,14 +538,14 @@ fn has_marker_comment(ctx: &FileCtx<'_>, line: u32, marker: &str) -> bool {
         // A code line: if it terminates a statement/item, the walk is out
         // of this statement's range; otherwise it's a continuation line of
         // the same expression (method chains split across lines).
-        if comment_part(raw).is_some_and(has) {
-            return true;
+        if let Some(found) = comment_part(raw).and_then(&tail) {
+            return Some(found);
         }
         if s.ends_with(';') || s.ends_with('{') || s.ends_with('}') {
-            return false;
+            return None;
         }
     }
-    false
+    None
 }
 
 /// The `// …` tail of a line, if any (good enough here: the rules' own
@@ -510,13 +600,39 @@ fn collect_failpoints(
     }
 }
 
-const LATCH_CALLS: &[&str] = &[
+pub(crate) const LATCH_CALLS: &[&str] = &[
     "read_latch",
     "write_latch",
     "try_read_latch",
     "try_write_latch",
     "lock_list",
 ];
+
+/// Is the token at `i` a latch-acquiring call (`read_latch(…)` etc.)?
+/// Walker-based callers never see `fn read_latch(` definitions (function
+/// signatures are outside every body walk), but the guard is kept for
+/// defense in depth.
+pub(crate) fn latch_call_at(ctx: &FileCtx<'_>, i: usize, names: &[&str]) -> bool {
+    let t = &ctx.toks[i];
+    t.kind == Kind::Ident
+        && names.contains(&t.text.as_str())
+        && next_code(&ctx.toks, i).is_some_and(|n| n.is_punct('('))
+        && !prev_code(&ctx.toks, i).is_some_and(|p| p.is_ident("fn"))
+}
+
+/// Is the token at `i` an index-registry acquisition (`indexes.read(` /
+/// `indexes.write(` / `indexes_snapshot(`)?
+pub(crate) fn registry_hit_at(ctx: &FileCtx<'_>, i: usize) -> bool {
+    let toks = &ctx.toks;
+    let t = &toks[i];
+    (t.is_ident("indexes")
+        && matches!(toks.get(i + 1), Some(t) if t.is_punct('.'))
+        && matches!(toks.get(i + 2), Some(t) if t.is_ident("read") || t.is_ident("write"))
+        && matches!(toks.get(i + 3), Some(t) if t.is_punct('(')))
+        || (t.is_ident("indexes_snapshot")
+            && next_code(toks, i).is_some_and(|n| n.is_punct('('))
+            && !prev_code(toks, i).is_some_and(|p| p.is_ident("fn")))
+}
 
 /// `lock-order`: the secondary-index registry lock may not be acquired
 /// under a page latch. Index backfill holds the registry lock across a
@@ -525,80 +641,33 @@ const LATCH_CALLS: &[&str] = &[
 /// function-granular: once a function acquires a latch, any later
 /// `.indexes.read()/.write()` or `indexes_snapshot()` in the same function
 /// is flagged, even if the guard was dropped (take the snapshot first —
-/// it is never wrong to).
-fn lock_order(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    struct Frame {
-        is_fn: bool,
-        first_latch: Option<u32>,
-    }
-    let mut stack: Vec<Frame> = Vec::new();
-    let mut pending_fn = false;
-    let toks = &ctx.toks;
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind == Kind::LineComment || t.kind == Kind::BlockComment {
-            continue;
-        }
-        if t.is_ident("fn") {
-            pending_fn = true;
-            continue;
-        }
-        if t.is_punct('{') {
-            stack.push(Frame {
-                is_fn: pending_fn,
-                first_latch: None,
-            });
-            pending_fn = false;
-            continue;
-        }
-        if t.is_punct('}') {
-            stack.pop();
-            continue;
-        }
-        if t.is_punct(';') {
-            // Bodiless trait-method declaration: `fn f(…);`.
-            pending_fn = false;
-            continue;
-        }
-        if ctx.in_test(i) {
-            continue;
-        }
-        // Latch acquisition: `read_latch(…)` etc., excluding the helper
-        // definitions themselves (`fn read_latch(`).
-        if t.kind == Kind::Ident
-            && LATCH_CALLS.contains(&t.text.as_str())
-            && next_code(toks, i).is_some_and(|n| n.is_punct('('))
-            && !prev_code(toks, i).is_some_and(|p| p.is_ident("fn"))
-        {
-            if let Some(frame) = stack.iter_mut().rev().find(|f| f.is_fn) {
-                frame.first_latch.get_or_insert(t.line);
+/// it is never wrong to). The interprocedural generalization (declared
+/// hierarchy, call-graph paths) is the `latch-order` rule in
+/// [`crate::interproc`]; this one stays as the cheap intra-function
+/// anchor the fixtures pin.
+fn lock_order(ctx: &FileCtx<'_>, table: &crate::parser::FnTable, out: &mut Vec<Diagnostic>) {
+    for f in &table.fns {
+        let mut first_latch: Option<u32> = None;
+        for (i, t) in crate::walker::body_tokens(&ctx.toks, table, f) {
+            if ctx.in_test(i) {
+                continue;
             }
-            continue;
-        }
-        // Registry acquisition: `indexes.read(` / `indexes.write(` /
-        // `indexes_snapshot(`.
-        let registry_hit = (t.is_ident("indexes")
-            && matches!(toks.get(i + 1), Some(t) if t.is_punct('.'))
-            && matches!(toks.get(i + 2), Some(t) if t.is_ident("read") || t.is_ident("write"))
-            && matches!(toks.get(i + 3), Some(t) if t.is_punct('(')))
-            || (t.is_ident("indexes_snapshot")
-                && next_code(toks, i).is_some_and(|n| n.is_punct('('))
-                && !prev_code(toks, i).is_some_and(|p| p.is_ident("fn")));
-        if registry_hit {
-            if let Some(latch_line) = stack
-                .iter()
-                .rev()
-                .find(|f| f.is_fn)
-                .and_then(|f| f.first_latch)
-            {
-                ctx.emit(
-                    out,
-                    "lock-order",
-                    t.line,
-                    format!(
-                        "index-registry lock acquired after a page latch (latched at \
-                         line {latch_line}); take an indexes_snapshot() before latching"
-                    ),
-                );
+            if latch_call_at(ctx, i, LATCH_CALLS) {
+                first_latch.get_or_insert(t.line);
+                continue;
+            }
+            if registry_hit_at(ctx, i) {
+                if let Some(latch_line) = first_latch {
+                    ctx.emit(
+                        out,
+                        "lock-order",
+                        t.line,
+                        format!(
+                            "index-registry lock acquired after a page latch (latched at \
+                             line {latch_line}); take an indexes_snapshot() before latching"
+                        ),
+                    );
+                }
             }
         }
     }
@@ -617,75 +686,40 @@ const SPAN_CALLS: &[&str] = &["trace_span", "trace_span_under", "trace_root", "o
 /// `trace::open_ctx`) appears lexically earlier in the same function, or
 /// when the site carries an adjacent `// trace:` marker naming the
 /// ambient span that covers it (point-op leaves whose span lives in the
-/// caller). Like `lock-order`, the scan is lexical and
-/// function-granular.
-fn failpoint_trace(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
-    struct Frame {
-        is_fn: bool,
-        has_span: bool,
-    }
-    let mut stack: Vec<Frame> = Vec::new();
-    let mut pending_fn = false;
+/// caller). Like `lock-order`, the scan is lexical and function-granular:
+/// a span opened in a closed sibling block still counts as "earlier in
+/// the same fn" (the walker's per-function grain), and nested fns don't
+/// inherit the parent's spans.
+fn failpoint_trace(ctx: &FileCtx<'_>, table: &crate::parser::FnTable, out: &mut Vec<Diagnostic>) {
     let toks = &ctx.toks;
-    for (i, t) in toks.iter().enumerate() {
-        if t.kind == Kind::LineComment || t.kind == Kind::BlockComment {
-            continue;
-        }
-        if t.is_ident("fn") {
-            pending_fn = true;
-            continue;
-        }
-        if t.is_punct('{') {
-            stack.push(Frame {
-                is_fn: pending_fn,
-                has_span: false,
-            });
-            pending_fn = false;
-            continue;
-        }
-        if t.is_punct('}') {
-            stack.pop();
-            continue;
-        }
-        if t.is_punct(';') {
-            // Bodiless trait-method declaration: `fn f(…);`.
-            pending_fn = false;
-            continue;
-        }
-        if ctx.in_test(i) {
-            continue;
-        }
-        // A span opening sticks to the enclosing *function*, not the
-        // innermost block: spans opened in a closed sibling block still
-        // count as "earlier in the same fn", which is the rule's grain.
-        if t.kind == Kind::Ident
-            && SPAN_CALLS.contains(&t.text.as_str())
-            && !prev_code(toks, i).is_some_and(|p| p.is_ident("fn"))
-        {
-            if let Some(frame) = stack.iter_mut().rev().find(|f| f.is_fn) {
-                frame.has_span = true;
+    for f in &table.fns {
+        let mut has_span = false;
+        for (i, t) in crate::walker::body_tokens(toks, table, f) {
+            if ctx.in_test(i) {
+                continue;
             }
-            continue;
-        }
-        if t.is_ident("fail_point")
-            && matches!(toks.get(i + 1), Some(n) if n.is_punct('!'))
-            && matches!(toks.get(i + 2), Some(n) if n.is_punct('('))
-        {
-            let covered = stack
-                .iter()
-                .rev()
-                .find(|f| f.is_fn)
-                .is_some_and(|f| f.has_span)
-                || has_marker_comment(ctx, t.line, "trace:");
-            if !covered {
-                ctx.emit(
-                    out,
-                    "failpoint-trace",
-                    t.line,
-                    "fail_point! site has no enclosing trace span opened earlier in this \
-                     function and no `// trace:` marker naming its ambient span"
-                        .to_string(),
-                );
+            if t.kind == Kind::Ident
+                && SPAN_CALLS.contains(&t.text.as_str())
+                && !prev_code(toks, i).is_some_and(|p| p.is_ident("fn"))
+            {
+                has_span = true;
+                continue;
+            }
+            if t.is_ident("fail_point")
+                && matches!(toks.get(i + 1), Some(n) if n.is_punct('!'))
+                && matches!(toks.get(i + 2), Some(n) if n.is_punct('('))
+            {
+                let covered = has_span || has_marker_comment(ctx, t.line, "trace:");
+                if !covered {
+                    ctx.emit(
+                        out,
+                        "failpoint-trace",
+                        t.line,
+                        "fail_point! site has no enclosing trace span opened earlier in this \
+                         function and no `// trace:` marker naming its ambient span"
+                            .to_string(),
+                    );
+                }
             }
         }
     }
@@ -782,13 +816,14 @@ mod tests {
         assert_eq!(d[0].rule, "ordering-comment");
 
         let same_line =
-            "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed) } // ordering: hint only\n";
+            "fn f(a: &AtomicU64) { a.load(Ordering::Relaxed) } // ordering: stat-counter Relaxed — hint only\n";
         assert!(run_one("crates/a/src/lib.rs", same_line).is_empty());
 
-        let above = "fn f(a: &AtomicU64) {\n    // ordering: monotone counter, no data guarded\n    a.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let above = "fn f(a: &AtomicU64) {\n    // ordering: stat-counter Relaxed — monotone counter, no data guarded\n    a.fetch_add(1, Ordering::Relaxed);\n}\n";
         assert!(run_one("crates/a/src/lib.rs", above).is_empty());
 
-        let chained = "fn f(s: &S) {\n    // ordering: paired with the Release store in publish\n    let v = s\n        .inner\n        .load(Ordering::Acquire);\n    let _ = v;\n}\n";
+        let chained = "fn f(s: &S) {\n    // ordering: pub-sub Acquire — pairs with the Release store in publish\n    let v = s\n        .inner\n        .load(Ordering::Acquire);\n    let _ = v;\n}\n\
+             fn publish(s: &S, v: u64) {\n    // ordering: pub-sub Release — publishes v to readers\n    s.inner.store(v, Ordering::Release);\n}\n";
         assert!(run_one("crates/a/src/lib.rs", chained).is_empty());
     }
 

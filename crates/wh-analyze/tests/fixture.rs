@@ -9,6 +9,19 @@ fn fixture_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tree")
 }
 
+/// Diagnostics for the fixture tree under `tests/fixtures/<name>`, with
+/// the reverse failpoint-registry findings (attributed to the real
+/// registry in `crates/wh-types`, and fired for every registered name
+/// when the analyzed tree has no failpoint sites) filtered out.
+fn tree_findings(name: &str) -> Vec<(String, u32, &'static str)> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/fixtures/{name}"));
+    analyze_tree(&root)
+        .iter()
+        .filter(|d| !d.file.starts_with("crates/wh-types"))
+        .map(|d| (d.file.display().to_string(), d.line, d.rule))
+        .collect()
+}
+
 fn workspace_root() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
 }
@@ -84,6 +97,71 @@ fn diagnostics_are_file_line_anchored_and_ordered() {
     let mut sorted = diagnostics.clone();
     sorted.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     assert_eq!(diagnostics, sorted, "output must be deterministic");
+}
+
+#[test]
+fn latch_tree_flags_transitive_inversions_only() {
+    let f = "crates/latchcase/src/lib.rs".to_string();
+    assert_eq!(
+        tree_findings("latch"),
+        vec![
+            // Direct inversion: frames acquired while state is held.
+            (f.clone(), 9, "latch-order"),
+            // Transitive inversion: the callee acquires pool-frames.
+            (f, 14, "latch-order"),
+            // declared_order_is_fine and the pragma-suppressed
+            // scope-blind case must NOT fire.
+        ]
+    );
+}
+
+#[test]
+fn epoch_tree_flags_the_pr4_fence_bug_shape() {
+    assert_eq!(
+        tree_findings("epoch"),
+        vec![
+            // audit → collect_rows → HeapFile::scan with no pin/latch on
+            // the path — the PR-4 regression shape. The pinned, latched,
+            // and pragma-suppressed entries must NOT fire.
+            (
+                "crates/epochcase/src/lib.rs".to_string(),
+                23,
+                "epoch-discipline"
+            ),
+        ]
+    );
+}
+
+#[test]
+fn protocol_tree_flags_tag_and_pairing_violations() {
+    let f = "crates/protocase/src/lib.rs".to_string();
+    assert_eq!(
+        tree_findings("protocol"),
+        vec![
+            (f.clone(), 7, "atomic-protocol"),  // malformed tag
+            (f.clone(), 12, "atomic-protocol"), // tag/code order mismatch
+            (f.clone(), 17, "atomic-protocol"), // Acquire side never closes
+            (f.clone(), 32, "atomic-protocol"), // Relaxed on a paired field
+            (f, 42, "atomic-protocol"),         // fence missing `fence` tag
+        ]
+    );
+}
+
+#[test]
+fn protocol_tree_table_reports_closure() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/protocol");
+    let report = wh_analyze::analyze_tree_report(&root);
+    let by_name = |n: &str| {
+        report
+            .protocols
+            .iter()
+            .find(|p| p.name == n)
+            .unwrap_or_else(|| panic!("protocol {n} missing from table"))
+    };
+    assert!(by_name("flag").closed(), "acq/rel pair closes");
+    assert!(by_name("tick").closed(), "pure-Relaxed is trivially closed");
+    assert!(by_name("seal").closed(), "fence pair closes");
+    assert!(!by_name("lost-acq").closed(), "unpaired Acquire stays open");
 }
 
 #[test]

@@ -1,0 +1,39 @@
+// Fixture: the `epoch-discipline` rule, seeded with the PR-4 fence-bug
+// shape — a public entry reaches a raw-access sink through a helper with
+// no EpochPin or latch on the path, so a RID probed by the sink can be
+// reclaimed and reused between probe and fetch. Line numbers are asserted
+// by ../../../../fixture.rs — edit with care.
+
+pub struct HeapFile;
+
+impl HeapFile {
+    /// Raw-access sink: resolves RIDs against reclaimable storage. Its own
+    /// body is exempt — the obligation sits with every caller.
+    pub fn scan(&self, visit: Visitor) -> Result<(), Error> {
+        let _ = visit;
+        Ok(())
+    }
+}
+
+pub fn audit(heap: &HeapFile) -> Result<(), Error> {
+    collect_rows(heap) // exposes collect_rows with no protection
+}
+
+fn collect_rows(heap: &HeapFile) -> Result<(), Error> {
+    heap.scan(note_row) // line 23: epoch-discipline (unprotected path)
+}
+
+pub fn audit_pinned(heap: &HeapFile, epochs: &EpochRegistry) -> Result<(), Error> {
+    let _pin = epochs.pin();
+    heap.scan(note_row) // fine: epoch pinned earlier in this function
+}
+
+pub fn audit_latched(heap: &HeapFile, page: &RwLock<Page>) -> Result<(), Error> {
+    let _g = read_latch(page);
+    heap.scan(note_row) // fine: latch held earlier in this function
+}
+
+pub fn audit_suppressed(heap: &HeapFile) -> Result<(), Error> {
+    // lint: allow(epoch-discipline) — fixture: the caller's contract re-validates every RID at fetch time
+    heap.scan(note_row)
+}

@@ -1,0 +1,32 @@
+// Fixture: the interprocedural `latch-order` rule. The declared hierarchy
+// is index-registry < lease-registry < pool-frames-latch <
+// frame-state-latch < page-latch; acquiring a lower level while a higher
+// one is held — directly or through any callee — is an inversion. Line
+// numbers are asserted by ../../../../fixture.rs — edit with care.
+
+pub fn direct_inversion(pool: &Pool) {
+    let _s = write_latch(&pool.state);
+    let _f = write_latch(&pool.frames); // line 9: latch-order (direct)
+}
+
+pub fn inversion_via_call(pool: &Pool) {
+    let _s = write_latch(&pool.state);
+    refill_frames(pool); // line 14: latch-order (callee acquires pool-frames)
+}
+
+fn refill_frames(pool: &Pool) {
+    let _f = write_latch(&pool.frames);
+}
+
+pub fn declared_order_is_fine(pool: &Pool) {
+    let _f = write_latch(&pool.frames);
+    let _s = write_latch(&pool.state); // fine: low level acquired first
+}
+
+pub fn call_after_release_suppressed(pool: &Pool) {
+    {
+        let _s = write_latch(&pool.state);
+    }
+    // lint: allow(latch-order) — fixture: the state latch is scoped to the block above; the rule is lexically scope-blind by design
+    refill_frames(pool);
+}

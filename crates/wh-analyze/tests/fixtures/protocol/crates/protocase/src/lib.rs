@@ -1,0 +1,48 @@
+// Fixture: the `atomic-protocol` rule — tag grammar, tag/code agreement,
+// and workspace-wide Acquire⇔Release closure per (protocol, field). Line
+// numbers are asserted by ../../../../fixture.rs — edit with care.
+
+pub fn malformed_tag(a: &AtomicU64) -> u64 {
+    // ordering: Relaxed — legacy free text with no protocol name
+    a.load(Ordering::Relaxed) // line 7: atomic-protocol (malformed tag)
+}
+
+pub fn mismatched_order(b: &AtomicU64) -> u64 {
+    // ordering: probe Acquire — the tag claims Acquire, the code says not
+    b.load(Ordering::Relaxed) // line 12: atomic-protocol (tag/code mismatch)
+}
+
+pub fn unpaired_acquire(c: &AtomicU64) -> u64 {
+    // ordering: lost-acq Acquire — pairs with a Release publish that is absent
+    c.load(Ordering::Acquire) // line 17: atomic-protocol (open protocol side)
+}
+
+pub fn paired_reader(d: &AtomicU64) -> u64 {
+    // ordering: flag Acquire — pairs with the Release store in paired_writer
+    d.load(Ordering::Acquire) // fine: protocol closes
+}
+
+pub fn paired_writer(d: &AtomicU64) {
+    // ordering: flag Release — publishes to paired_reader
+    d.store(1, Ordering::Release); // fine: protocol closes
+}
+
+pub fn relaxed_on_paired(d: &AtomicU64) -> u64 {
+    // ordering: flag Relaxed — a telemetry probe riding the paired field
+    d.load(Ordering::Relaxed) // line 32: atomic-protocol (Relaxed on paired)
+}
+
+pub fn relaxed_counter(e: &AtomicU64) {
+    // ordering: tick Relaxed — monotone counter, guards no other data
+    e.fetch_add(1, Ordering::Relaxed); // fine: pure-Relaxed protocol
+}
+
+pub fn untagged_fence() {
+    // ordering: seal Release — pairs with the Acquire fence in tagged_fence
+    fence(Ordering::Release); // line 42: atomic-protocol (missing `fence`)
+}
+
+pub fn tagged_fence() {
+    // ordering: seal Acquire fence — pairs with the Release fence above
+    fence(Ordering::Acquire); // fine: fence keyword present
+}

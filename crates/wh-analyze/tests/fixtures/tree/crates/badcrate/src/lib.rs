@@ -24,7 +24,7 @@ pub fn bare_load(a: &AtomicU64) -> u64 {
 }
 
 pub fn justified_load(a: &AtomicU64) -> u64 {
-    // ordering: fixture — monotone counter, guards no other data
+    // ordering: fixture Relaxed — monotone counter, guards no other data
     a.load(Ordering::Relaxed)
 }
 

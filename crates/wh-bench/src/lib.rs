@@ -105,13 +105,13 @@ pub fn mixed_run(
                     }
                     if ok {
                         if w.commit().is_ok() {
-                            commits.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+                            commits.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
                         }
                     } else {
                         let _ = w.abort();
                     }
                 }
-                done.store(true, Ordering::SeqCst); // ordering: SeqCst — stop flag on a cold path; strongest order costs nothing here
+                done.store(true, Ordering::SeqCst); // ordering: stop-flag SeqCst — stop flag on a cold path; strongest order costs nothing here
             });
         }
         // Reader threads: keep running sessions until maintenance finishes.
@@ -136,10 +136,10 @@ pub fn mixed_run(
                             % keys;
                         match r.read(k) {
                             Ok(_) => {
-                                reads_ok.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+                                reads_ok.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
                             }
                             Err(CcError::Aborted | CcError::VersionUnavailable(_)) => {
-                                reads_failed.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+                                reads_failed.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
                                 failed = true;
                                 break;
                             }
@@ -148,9 +148,9 @@ pub fn mixed_run(
                     }
                     r.finish();
                     if failed {
-                        restarts.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+                        restarts.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
                     }
-                    // ordering: SeqCst — stop flag on a cold path; strongest order costs nothing here
+                    // ordering: stop-flag SeqCst — stop flag on a cold path; strongest order costs nothing here
                     if done.load(Ordering::SeqCst) {
                         break;
                     }
@@ -160,10 +160,10 @@ pub fn mixed_run(
     });
     MixedRunReport {
         scheme: scheme.name().to_string(),
-        reads_ok: reads_ok.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-        reads_failed: reads_failed.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-        sessions_restarted: restarts.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-        commits: commits.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        reads_ok: reads_ok.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+        reads_failed: reads_failed.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+        sessions_restarted: restarts.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+        commits: commits.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
         elapsed: start.elapsed(),
         cc: scheme.cc_stats(),
         io: scheme.io_stats(),

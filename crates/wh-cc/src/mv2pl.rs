@@ -120,7 +120,7 @@ impl Mv2plStore {
                 .iter()
                 .copied()
                 .min()
-                .unwrap_or_else(|| self.committed_ts.load(Ordering::SeqCst)) // ordering: SeqCst — the MV2PL commit timestamp is a global publication point
+                .unwrap_or_else(|| self.committed_ts.load(Ordering::SeqCst)) // ordering: mv2pl-ts SeqCst — the MV2PL commit timestamp is a global publication point
         };
         let mut chains = self.chains.lock().unwrap_or_else(PoisonError::into_inner);
         let mut reclaimed = 0;
@@ -283,7 +283,7 @@ impl WriterTxn for Writer<'_> {
     fn commit(self: Box<Self>) -> CcResult<()> {
         // Publication is a single timestamp bump: readers that began earlier
         // keep resolving through the pool.
-        self.store.committed_ts.store(self.ts, Ordering::SeqCst); // ordering: SeqCst — the MV2PL commit timestamp is a global publication point
+        self.store.committed_ts.store(self.ts, Ordering::SeqCst); // ordering: mv2pl-ts SeqCst — the MV2PL commit timestamp is a global publication point
         Ok(())
     }
 
@@ -322,7 +322,7 @@ impl ConcurrencyScheme for Mv2plStore {
     }
 
     fn begin_reader(&self) -> Box<dyn ReaderTxn + '_> {
-        let ts = self.committed_ts.load(Ordering::SeqCst); // ordering: SeqCst — the MV2PL commit timestamp is a global publication point
+        let ts = self.committed_ts.load(Ordering::SeqCst); // ordering: mv2pl-ts SeqCst — the MV2PL commit timestamp is a global publication point
         self.active_readers
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -337,7 +337,7 @@ impl ConcurrencyScheme for Mv2plStore {
     fn begin_writer(&self) -> Box<dyn WriterTxn + '_> {
         Box::new(Writer {
             store: self,
-            ts: self.committed_ts.load(Ordering::SeqCst) + 1, // ordering: SeqCst — the MV2PL commit timestamp is a global publication point
+            ts: self.committed_ts.load(Ordering::SeqCst) + 1, // ordering: mv2pl-ts SeqCst — the MV2PL commit timestamp is a global publication point
             touched: Vec::new(),
         })
     }

@@ -75,9 +75,9 @@ impl CcStats {
 
     /// Record a reader wait of `d`.
     pub fn reader_blocked(&self, d: Duration) {
-        self.reader_blocks.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+        self.reader_blocks.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         self.reader_block_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         if let Some(obs) = &self.obs {
             obs.reader_wait.record_duration(d);
         }
@@ -85,9 +85,9 @@ impl CcStats {
 
     /// Record a writer wait of `d`.
     pub fn writer_blocked(&self, d: Duration) {
-        self.writer_blocks.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+        self.writer_blocks.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         self.writer_block_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         if let Some(obs) = &self.obs {
             obs.writer_wait.record_duration(d);
         }
@@ -95,9 +95,9 @@ impl CcStats {
 
     /// Record a delayed commit that waited `d`.
     pub fn commit_delayed(&self, d: Duration) {
-        self.commit_delays.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+        self.commit_delays.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         self.commit_delay_ns
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         if let Some(obs) = &self.obs {
             obs.commit_delay.record_duration(d);
         }
@@ -105,7 +105,7 @@ impl CcStats {
 
     /// Record an abort.
     pub fn aborted(&self) {
-        self.aborts.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+        self.aborts.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         if let Some(obs) = &self.obs {
             obs.aborts.inc();
         }
@@ -114,25 +114,25 @@ impl CcStats {
     /// Copy the counters.
     pub fn snapshot(&self) -> CcStatsSnapshot {
         CcStatsSnapshot {
-            reader_blocks: self.reader_blocks.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-            reader_block_ns: self.reader_block_ns.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-            writer_blocks: self.writer_blocks.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-            writer_block_ns: self.writer_block_ns.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-            commit_delays: self.commit_delays.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-            commit_delay_ns: self.commit_delay_ns.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-            aborts: self.aborts.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
+            reader_blocks: self.reader_blocks.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+            reader_block_ns: self.reader_block_ns.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+            writer_blocks: self.writer_blocks.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+            writer_block_ns: self.writer_block_ns.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+            commit_delays: self.commit_delays.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+            commit_delay_ns: self.commit_delay_ns.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+            aborts: self.aborts.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
         }
     }
 
     /// Zero the counters.
     pub fn reset(&self) {
-        self.reader_blocks.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.reader_block_ns.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.writer_blocks.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.writer_block_ns.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.commit_delays.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.commit_delay_ns.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.aborts.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.reader_blocks.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.reader_block_ns.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.writer_blocks.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.writer_block_ns.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.commit_delays.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.commit_delay_ns.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.aborts.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
     }
 }
 

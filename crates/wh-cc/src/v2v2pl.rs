@@ -219,14 +219,14 @@ impl ConcurrencyScheme for TwoV2plStore {
     fn begin_reader(&self) -> Box<dyn ReaderTxn + '_> {
         Box::new(Reader {
             store: self,
-            txn: self.next_txn.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — unique-ID allocation; only atomicity of the increment matters
+            txn: self.next_txn.fetch_add(1, Ordering::Relaxed), // ordering: id-alloc Relaxed — unique-ID allocation; only atomicity of the increment matters
         })
     }
 
     fn begin_writer(&self) -> Box<dyn WriterTxn + '_> {
         Box::new(Writer {
             store: self,
-            txn: self.next_txn.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — unique-ID allocation; only atomicity of the increment matters
+            txn: self.next_txn.fetch_add(1, Ordering::Relaxed), // ordering: id-alloc Relaxed — unique-ID allocation; only atomicity of the increment matters
             written: Vec::new(),
         })
     }

@@ -38,7 +38,7 @@ impl EffectiveWindow {
 
     /// The effective window.
     pub fn get(&self) -> usize {
-        // ordering: Relaxed — n_eff only widens/narrows the liveness
+        // ordering: n-eff Relaxed — n_eff only widens/narrows the liveness
         // window; both directions are sound (doc above), so no other state
         // needs to be ordered with the read.
         self.n_eff.load(Ordering::Relaxed)
@@ -48,7 +48,7 @@ impl EffectiveWindow {
     /// clamped value.
     pub fn set(&self, n: usize) -> usize {
         let clamped = n.clamp(2, self.physical_n);
-        // ordering: Relaxed — see `get`; the clamp (not ordering) is the
+        // ordering: n-eff Relaxed — see `get`; the clamp (not ordering) is the
         // safety argument.
         self.n_eff.store(clamped, Ordering::Relaxed);
         clamped

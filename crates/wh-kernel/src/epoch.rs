@@ -67,7 +67,7 @@ impl EpochCore {
 
     /// Current global epoch.
     pub fn epoch(&self) -> u64 {
-        // ordering: SeqCst — the epoch read must not move before preceding
+        // ordering: epoch SeqCst — the epoch read must not move before preceding
         // slot stores or after subsequent retire-list reads; the whole
         // protocol runs sequentially consistent (one load per scan/pass,
         // never per tuple, so the cost is irrelevant).
@@ -82,7 +82,7 @@ impl EpochCore {
     /// The epoch announced in `slot`, `None` when idle (model tests and
     /// telemetry).
     pub fn announced(&self, slot: usize) -> Option<u64> {
-        // ordering: SeqCst — uniform with the rest of the protocol.
+        // ordering: epoch SeqCst — uniform with the rest of the protocol.
         let a = self.slots[slot].load(Ordering::SeqCst);
         (a != IDLE).then_some(a)
     }
@@ -91,7 +91,7 @@ impl EpochCore {
     pub fn pinned(&self) -> usize {
         self.slots
             .iter()
-            // ordering: SeqCst — uniform with the rest of the protocol;
+            // ordering: epoch SeqCst — uniform with the rest of the protocol;
             // the count is advisory either way.
             .filter(|s| s.load(Ordering::SeqCst) != IDLE)
             .count()
@@ -112,15 +112,15 @@ impl EpochCore {
     /// is at most one behind any concurrent advance.
     pub fn try_pin(&self) -> Option<EpochPin<'_>> {
         let slot = self.claim_slot()?;
-        // ordering: SeqCst — the initial epoch read; the loop below makes
+        // ordering: epoch SeqCst — the initial epoch read; the loop below makes
         // any staleness here harmless.
         let mut e = self.global.load(Ordering::SeqCst);
         loop {
-            // ordering: SeqCst — publish the announcement before re-checking
+            // ordering: epoch SeqCst — publish the announcement before re-checking
             // global; must not reorder after the load below, or a concurrent
             // try_advance could miss this pin and advance past it twice.
             self.slots[slot].store(e, Ordering::SeqCst);
-            // ordering: SeqCst — see the store above; this load validates
+            // ordering: epoch SeqCst — see the store above; this load validates
             // that the published announcement equals the current epoch.
             let now = self.global.load(Ordering::SeqCst);
             if now == e {
@@ -133,7 +133,7 @@ impl EpochCore {
     /// Claim an IDLE slot via CAS; `None` if every slot is pinned.
     fn claim_slot(&self) -> Option<usize> {
         for (i, s) in self.slots.iter().enumerate() {
-            // ordering: SeqCst/SeqCst — slot ownership handoff; success
+            // ordering: epoch SeqCst/SeqCst — slot ownership handoff; success
             // makes the claim visible to other claimants and to
             // try_advance's sweep.
             if s.compare_exchange(IDLE, 0, Ordering::SeqCst, Ordering::SeqCst)
@@ -147,7 +147,7 @@ impl EpochCore {
 
     /// Release a pinned slot (done by [`EpochPin::drop`]).
     fn unpin(&self, slot: usize) {
-        // ordering: SeqCst — the idle store must not reorder before the
+        // ordering: epoch SeqCst — the idle store must not reorder before the
         // reader's final shared-memory reads, or the collector could
         // release an object the reader is still dereferencing.
         self.slots[slot].store(IDLE, Ordering::SeqCst);
@@ -159,10 +159,10 @@ impl EpochCore {
     /// one advance can slip past a reader whose announcement store races
     /// this sweep — the `GRACE = 2` margin absorbs exactly that.
     pub fn try_advance(&self) -> Option<u64> {
-        // ordering: SeqCst — snapshot the epoch the sweep compares against.
+        // ordering: epoch SeqCst — snapshot the epoch the sweep compares against.
         let e = self.global.load(Ordering::SeqCst);
         for s in &self.slots {
-            // ordering: SeqCst — each announcement must be read no earlier
+            // ordering: epoch SeqCst — each announcement must be read no earlier
             // than the epoch snapshot above; a stale read here could treat
             // a just-pinned reader as idle.
             let a = s.load(Ordering::SeqCst);
@@ -170,7 +170,7 @@ impl EpochCore {
                 return None;
             }
         }
-        // ordering: SeqCst/SeqCst — the advance itself; failure means a
+        // ordering: epoch SeqCst/SeqCst — the advance itself; failure means a
         // concurrent advancer won, which is just as good for our caller.
         match self
             .global

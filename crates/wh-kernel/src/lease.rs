@@ -77,7 +77,7 @@ impl<T: Copy + Ord> LeaseCore<T> {
     /// Register a lease for a session at `session_vn` running until about
     /// `deadline`.
     pub fn register(&self, session_vn: VersionNo, deadline: T) -> LeaseId {
-        // ordering: Relaxed — a pure ID allocator; uniqueness is all that
+        // ordering: id-alloc Relaxed — a pure ID allocator; uniqueness is all that
         // matters and the RMW provides it without ordering anything else.
         let id = self.next.fetch_add(1, Ordering::Relaxed);
         self.locked().insert(

@@ -53,7 +53,7 @@ impl FrameCore {
     /// while the caller holds the page write latch, so it can never race a
     /// flusher's bytes-read of the same modification.
     pub fn mark_dirty(&self) {
-        // ordering: SeqCst — uniform with the rest of the frame protocol;
+        // ordering: pool-frame SeqCst — uniform with the rest of the frame protocol;
         // the page latch is the real publication edge for the bytes, this
         // bit only schedules I/O.
         self.dirty.store(true, Ordering::SeqCst);
@@ -61,7 +61,7 @@ impl FrameCore {
 
     /// Whether the frame's page has unwritten modifications.
     pub fn is_dirty(&self) -> bool {
-        // ordering: SeqCst — uniform with the rest of the frame protocol.
+        // ordering: pool-frame SeqCst — uniform with the rest of the frame protocol.
         self.dirty.load(Ordering::SeqCst)
     }
 
@@ -70,7 +70,7 @@ impl FrameCore {
     /// the lost-update window between two racing flushers — exactly one
     /// observes `true` and performs the write.
     pub fn clear_dirty(&self) -> bool {
-        // ordering: SeqCst — the claim must not reorder after the flusher's
+        // ordering: pool-frame SeqCst — the claim must not reorder after the flusher's
         // subsequent page-bytes read; a writer blocked on the page latch
         // re-marks after that read completes.
         self.dirty.swap(false, Ordering::SeqCst)
@@ -78,7 +78,7 @@ impl FrameCore {
 
     /// Record a page access (fetch hit or miss) for clock second-chance.
     pub fn mark_referenced(&self) {
-        // ordering: SeqCst — uniform; the bit is a heuristic, but keeping
+        // ordering: pool-frame SeqCst — uniform; the bit is a heuristic, but keeping
         // one ordering across the protocol keeps the model and production
         // identical.
         self.referenced.store(true, Ordering::SeqCst);
@@ -92,7 +92,7 @@ impl FrameCore {
         if pins > 0 {
             return EvictVerdict::Pinned;
         }
-        // ordering: SeqCst — clearing the reference bit is the second
+        // ordering: pool-frame SeqCst — clearing the reference bit is the second
         // chance itself; a concurrent fetch re-sets it and the next sweep
         // sees the frame referenced again.
         if self.referenced.swap(false, Ordering::SeqCst) {

@@ -123,7 +123,7 @@ impl VersionCore {
 
     /// Lock-free read of `currentVN` alone — the telemetry form.
     pub fn current_vn_relaxed(&self) -> VersionNo {
-        // ordering: Relaxed — a monotone staleness probe; callers tolerate
+        // ordering: vn-mirror Relaxed — a monotone staleness probe; callers tolerate
         // a value that trails the latched truth and never dereference
         // through it. The latched snapshot is the consistency anchor.
         self.current_vn_relaxed.load(Ordering::Relaxed)
@@ -131,7 +131,7 @@ impl VersionCore {
 
     /// The current recovery fence.
     pub fn recovery_floor(&self) -> VersionNo {
-        // ordering: Acquire pairs with the AcqRel fetch_max in
+        // ordering: recovery-floor Acquire — pairs with the AcqRel fetch_max in
         // `raise_recovery_floor`: a session that observes the raised floor
         // also observes everything recovery did before raising it.
         self.recovery_floor.load(Ordering::Acquire)
@@ -142,7 +142,7 @@ impl VersionCore {
     /// scan in flight re-checks the fence when it completes and expires
     /// instead of returning reconstructed values.
     pub fn raise_recovery_floor(&self, floor: VersionNo) {
-        // ordering: AcqRel — Release publishes the pre-raise state to
+        // ordering: recovery-floor AcqRel — Release publishes the pre-raise state to
         // fence readers; Acquire keeps the subsequent slot rebuilding from
         // being reordered before the raise.
         self.recovery_floor.fetch_max(floor, Ordering::AcqRel);
@@ -189,7 +189,7 @@ impl VersionCore {
         pre()?;
         debug_assert_eq!(maintenance_vn, inner.current_vn + 1);
         inner.current_vn = maintenance_vn;
-        // ordering: Relaxed — the mirror is advisory (see
+        // ordering: vn-mirror Relaxed — the mirror is advisory (see
         // `current_vn_relaxed`); the store sits inside the latch hold so
         // it can never lead the latched value by more than this critical
         // section.

@@ -66,10 +66,10 @@ impl Histogram {
     pub fn record(&self, v: u64) {
         #[cfg(feature = "enabled")]
         {
-            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
-            self.sum.fetch_add(v, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
-            self.min.fetch_min(v, Ordering::Relaxed); // ordering: Relaxed — monotone min/max cell; readers tolerate staleness
-            self.max.fetch_max(v, Ordering::Relaxed); // ordering: Relaxed — monotone min/max cell; readers tolerate staleness
+            self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
+            self.sum.fetch_add(v, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
+            self.min.fetch_min(v, Ordering::Relaxed); // ordering: stat-counter Relaxed — monotone min/max cell; readers tolerate staleness
+            self.max.fetch_max(v, Ordering::Relaxed); // ordering: stat-counter Relaxed — monotone min/max cell; readers tolerate staleness
         }
         #[cfg(not(feature = "enabled"))]
         let _ = v;
@@ -85,24 +85,24 @@ impl Histogram {
     pub fn snapshot(&self) -> HistogramSnapshot {
         let mut buckets = [0u64; BUCKETS];
         for (slot, b) in buckets.iter_mut().zip(self.buckets.iter()) {
-            *slot = b.load(Ordering::Relaxed); // ordering: Relaxed — statistical read; tearing across cells is acceptable
+            *slot = b.load(Ordering::Relaxed); // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
         }
         HistogramSnapshot {
             buckets,
-            sum: self.sum.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-            min: self.min.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-            max: self.max.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
+            sum: self.sum.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+            min: self.min.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+            max: self.max.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
         }
     }
 
     /// Zero every bucket (bench/report use).
     pub fn reset(&self) {
         for b in &self.buckets {
-            b.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
+            b.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
         }
-        self.sum.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.min.store(u64::MAX, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.max.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.sum.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.min.store(u64::MAX, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.max.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
     }
 }
 

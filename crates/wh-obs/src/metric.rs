@@ -26,7 +26,7 @@ impl Counter {
     #[inline]
     pub fn add(&self, n: u64) {
         #[cfg(feature = "enabled")]
-        self.value.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+        self.value.fetch_add(n, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         #[cfg(not(feature = "enabled"))]
         let _ = n;
     }
@@ -40,7 +40,7 @@ impl Counter {
     /// Current total (0 in disabled builds).
     #[inline]
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed) // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        self.value.load(Ordering::Relaxed) // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
     }
 }
 
@@ -70,8 +70,8 @@ impl Gauge {
     pub fn set(&self, v: i64) {
         #[cfg(feature = "enabled")]
         {
-            self.value.store(v, Ordering::Relaxed); // ordering: Relaxed — metric cell publishes no other data
-            self.max.fetch_max(v, Ordering::Relaxed); // ordering: Relaxed — monotone min/max cell; readers tolerate staleness
+            self.value.store(v, Ordering::Relaxed); // ordering: stat-counter Relaxed — metric cell publishes no other data
+            self.max.fetch_max(v, Ordering::Relaxed); // ordering: stat-counter Relaxed — monotone min/max cell; readers tolerate staleness
         }
         #[cfg(not(feature = "enabled"))]
         let _ = v;
@@ -82,8 +82,8 @@ impl Gauge {
     pub fn add(&self, delta: i64) {
         #[cfg(feature = "enabled")]
         {
-            let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta; // ordering: Relaxed — independent event counter; read only for reporting
-            self.max.fetch_max(now, Ordering::Relaxed); // ordering: Relaxed — monotone min/max cell; readers tolerate staleness
+            let now = self.value.fetch_add(delta, Ordering::Relaxed) + delta; // ordering: stat-counter Relaxed — independent event counter; read only for reporting
+            self.max.fetch_max(now, Ordering::Relaxed); // ordering: stat-counter Relaxed — monotone min/max cell; readers tolerate staleness
         }
         #[cfg(not(feature = "enabled"))]
         let _ = delta;
@@ -92,13 +92,13 @@ impl Gauge {
     /// Current value (0 in disabled builds).
     #[inline]
     pub fn get(&self) -> i64 {
-        self.value.load(Ordering::Relaxed) // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        self.value.load(Ordering::Relaxed) // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
     }
 
     /// Highest value observed since creation/reset; 0 if never set.
     #[inline]
     pub fn high_water(&self) -> i64 {
-        // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
         match self.max.load(Ordering::Relaxed) {
             i64::MIN => 0,
             m => m,
@@ -107,8 +107,8 @@ impl Gauge {
 
     /// Reset value and high-water mark to the initial state.
     pub fn reset(&self) {
-        self.value.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.max.store(i64::MIN, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.value.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.max.store(i64::MIN, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
     }
 }
 
@@ -116,7 +116,7 @@ impl Counter {
     /// Reset the counter to zero (bench/report use; metrics are normally
     /// read via snapshot deltas instead).
     pub fn reset(&self) {
-        self.value.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.value.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
     }
 }
 

@@ -80,7 +80,7 @@ pub fn sink_dir() -> Option<PathBuf> {
 
 /// Dumps written by this process so far.
 pub fn dumps_written() -> u64 {
-    DUMPS_WRITTEN.load(Ordering::Relaxed) // ordering: Relaxed — statistical read; tearing across cells is acceptable
+    DUMPS_WRITTEN.load(Ordering::Relaxed) // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
 }
 
 /// Peek the per-reason rate limit without claiming a slot; the timestamp
@@ -176,7 +176,7 @@ pub fn trigger(reason: &'static str, detail: &str) -> Option<DumpInfo> {
     if rate_limited(reason) {
         return None;
     }
-    // ordering: Relaxed — approximate early-out; the claim loop below re-checks the cap
+    // ordering: ring-cap Relaxed — approximate early-out; the claim loop below re-checks the cap
     if DUMPS_WRITTEN.load(Ordering::Relaxed) >= MAX_DUMPS {
         return None;
     }
@@ -185,7 +185,7 @@ pub fn trigger(reason: &'static str, detail: &str) -> Option<DumpInfo> {
     // Unique temp name per attempt (separate from the dump numbering so a
     // failed attempt never consumes a visible dump number).
     static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-    let attempt = TMP_SEQ.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — sequence allocation; nothing else is guarded by it
+    let attempt = TMP_SEQ.fetch_add(1, Ordering::Relaxed); // ordering: id-alloc Relaxed — sequence allocation; nothing else is guarded by it
     let tmp = dir.join(format!(
         ".flight-{reason}-{pid}-{attempt}.tmp",
         pid = std::process::id()
@@ -201,12 +201,12 @@ pub fn trigger(reason: &'static str, detail: &str) -> Option<DumpInfo> {
     // The bytes are safely on disk: claim a dump number without ever
     // overshooting the cap.
     let n = loop {
-        let cur = DUMPS_WRITTEN.load(Ordering::Relaxed); // ordering: Relaxed — cap accounting only; no data is guarded
+        let cur = DUMPS_WRITTEN.load(Ordering::Relaxed); // ordering: ring-cap Relaxed — cap accounting only; no data is guarded
         if cur >= MAX_DUMPS {
             std::fs::remove_file(&tmp).ok();
             return None;
         }
-        // ordering: Relaxed — cap accounting only; no data is guarded
+        // ordering: ring-cap Relaxed/Relaxed — cap accounting only; no data is guarded
         if DUMPS_WRITTEN
             .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
             .is_ok()
@@ -220,7 +220,7 @@ pub fn trigger(reason: &'static str, detail: &str) -> Option<DumpInfo> {
     ));
     if std::fs::rename(&tmp, &path).is_err() {
         std::fs::remove_file(&tmp).ok();
-        DUMPS_WRITTEN.fetch_sub(1, Ordering::Relaxed); // ordering: Relaxed — cap accounting only; returns the unused slot
+        DUMPS_WRITTEN.fetch_sub(1, Ordering::Relaxed); // ordering: ring-cap Relaxed — cap accounting only; returns the unused slot
         return None;
     }
     note_dumped(reason);

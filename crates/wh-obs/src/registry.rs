@@ -109,7 +109,7 @@ impl Registry {
     pub fn snapshot(&self) -> Snapshot {
         static SNAPSHOT_SEQ: AtomicU64 = AtomicU64::new(0);
         Snapshot {
-            seq: SNAPSHOT_SEQ.fetch_add(1, Ordering::Relaxed), // ordering: Relaxed — independent event counter; read only for reporting
+            seq: SNAPSHOT_SEQ.fetch_add(1, Ordering::Relaxed), // ordering: stat-counter Relaxed — independent event counter; read only for reporting
             counters: lock(&self.counters)
                 .iter()
                 .map(|(&k, v)| (k, v.get()))

@@ -63,7 +63,7 @@ impl IntrospectionServer {
     }
 
     fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::Release); // ordering: Release — pairs with the Acquire poll in the accept loop; everything before stop() happens-before loop exit
+        self.stop.store(true, Ordering::Release); // ordering: server-stop Release — pairs with the Acquire poll in the accept loop; everything before stop() happens-before loop exit
         if let Some(handle) = self.handle.take() {
             handle.join().ok();
         }
@@ -77,7 +77,7 @@ impl Drop for IntrospectionServer {
 }
 
 fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
-    // ordering: Acquire — pairs with the Release store in stop(); see everything the stopper published
+    // ordering: server-stop Acquire — pairs with the Release store in stop(); see everything the stopper published
     while !stop.load(Ordering::Acquire) {
         match listener.accept() {
             Ok((stream, _)) => {

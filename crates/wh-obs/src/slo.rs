@@ -77,25 +77,25 @@ impl SlidingWindow {
         {
             let sec = crate::span::process_epoch_ns() / 1_000_000_000;
             let b = &self.buckets[(sec % WINDOW_BUCKETS as u64) as usize];
-            let cur = b.second.load(Ordering::Acquire); // ordering: Acquire — pairs with the CAS below so a reclaimed bucket's zeroed accumulators are seen before new adds land
+            let cur = b.second.load(Ordering::Acquire); // ordering: slo-bucket Acquire — pairs with the CAS below so a reclaimed bucket's zeroed accumulators are seen before new adds land
             if cur != sec {
                 // Reclaim the bucket for the current second. The CAS loser
                 // skips the reset and just accumulates; a handful of
                 // events from the reset race may be dropped, which is fine
                 // for an SLO estimate.
                 if b.second
-                    .compare_exchange(cur, sec, Ordering::AcqRel, Ordering::Relaxed) // ordering: AcqRel — exactly one thread wins the per-second reclaim and resets the accumulators
+                    .compare_exchange(cur, sec, Ordering::AcqRel, Ordering::Relaxed) // ordering: slo-bucket AcqRel/Relaxed — exactly one thread wins the per-second reclaim and resets the accumulators
                     .is_ok()
                 {
-                    b.count.store(0, Ordering::Relaxed); // ordering: Relaxed — reset by the unique CAS winner; approximate loss at the boundary is acceptable
-                    b.sum.store(0, Ordering::Relaxed); // ordering: Relaxed — reset by the unique CAS winner; approximate loss at the boundary is acceptable
+                    b.count.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset by the unique CAS winner; approximate loss at the boundary is acceptable
+                    b.sum.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset by the unique CAS winner; approximate loss at the boundary is acceptable
                 } else if b.second.load(Ordering::Relaxed) != sec {
-                    // ordering: Relaxed — statistical read; tearing across cells is acceptable
+                    // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
                     return; // raced with a different second; drop the sample
                 }
             }
-            b.count.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
-            b.sum.fetch_add(value, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+            b.count.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
+            b.sum.fetch_add(value, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         }
         #[cfg(not(feature = "enabled"))]
         let _ = value;
@@ -112,10 +112,10 @@ impl SlidingWindow {
             let mut count = 0u64;
             let mut sum = 0u64;
             for b in &self.buckets {
-                let sec = b.second.load(Ordering::Acquire); // ordering: Acquire — see the bucket's current second before reading its accumulators
+                let sec = b.second.load(Ordering::Acquire); // ordering: slo-bucket Acquire — see the bucket’s current second before reading its accumulators
                 if sec >= oldest && sec <= now {
-                    count += b.count.load(Ordering::Relaxed); // ordering: Relaxed — statistical read; tearing across cells is acceptable
-                    sum += b.sum.load(Ordering::Relaxed); // ordering: Relaxed — statistical read; tearing across cells is acceptable
+                    count += b.count.load(Ordering::Relaxed); // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+                    sum += b.sum.load(Ordering::Relaxed); // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
                 }
             }
             (count, sum)

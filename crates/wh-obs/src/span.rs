@@ -49,7 +49,7 @@ impl std::fmt::Debug for SpanRing {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SpanRing")
             .field("capacity", &self.slots.len())
-            .field("written", &self.cursor.load(Ordering::Relaxed)) // ordering: Relaxed — statistical read; tearing across cells is acceptable
+            .field("written", &self.cursor.load(Ordering::Relaxed)) // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
             .finish()
     }
 }
@@ -64,7 +64,7 @@ impl SpanRing {
 
     /// Append a record, overwriting the oldest entry when full.
     pub fn push(&self, mut rec: SpanRecord) {
-        let seq = self.cursor.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — sequence allocation; the slot/event payload is synchronized separately
+        let seq = self.cursor.fetch_add(1, Ordering::Relaxed); // ordering: trace-seq Relaxed — sequence allocation; the slot/event payload is synchronized separately
         rec.seq = seq;
         let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
         *slot.lock().unwrap_or_else(PoisonError::into_inner) = Some(rec);
@@ -72,7 +72,7 @@ impl SpanRing {
 
     /// Total spans ever pushed (not capped at capacity).
     pub fn pushed(&self) -> u64 {
-        self.cursor.load(Ordering::Relaxed) // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        self.cursor.load(Ordering::Relaxed) // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
     }
 
     /// Retained records, oldest first.
@@ -91,7 +91,7 @@ impl SpanRing {
         for s in &self.slots {
             *s.lock().unwrap_or_else(PoisonError::into_inner) = None;
         }
-        self.cursor.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.cursor.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
     }
 }
 
@@ -103,7 +103,7 @@ mod thread_state {
     static NEXT_THREAD_ID: AtomicU32 = AtomicU32::new(0);
 
     thread_local! {
-        static THREAD_ID: u32 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — sequence allocation; the slot/event payload is synchronized separately
+        static THREAD_ID: u32 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed); // ordering: trace-seq Relaxed — sequence allocation; the slot/event payload is synchronized separately
         static DEPTH: Cell<u32> = const { Cell::new(0) };
     }
 

@@ -183,7 +183,7 @@ mod imp {
     }
 
     fn next_id() -> u64 {
-        NEXT_ID.fetch_add(1, Ordering::Relaxed) // ordering: Relaxed — sequence allocation; the slot/event payload is synchronized separately
+        NEXT_ID.fetch_add(1, Ordering::Relaxed) // ordering: trace-seq Relaxed — sequence allocation; the slot/event payload is synchronized separately
     }
 
     /// One thread's event ring. Only the owning thread writes slots (and
@@ -209,31 +209,31 @@ mod imp {
 
         /// Owner-thread-only append (seqlock write protocol).
         fn write(&self, payload: [u64; WORDS - 1]) {
-            let h = self.head.load(Ordering::Relaxed); // ordering: Relaxed — head is written only by this (owning) thread; collectors tolerate staleness
+            let h = self.head.load(Ordering::Relaxed); // ordering: trace-ring-owner Relaxed — head is written only by this (owning) thread; collectors tolerate staleness
             let slot = &self.slots[(h % THREAD_RING_CAPACITY as u64) as usize];
-            let v = slot[0].load(Ordering::Relaxed); // ordering: Relaxed — version word is written only by this thread; always even here
-            slot[0].store(v + 1, Ordering::Relaxed); // ordering: Relaxed — odd marks mid-write; the release fence below orders it before the payload stores
-            fence(Ordering::Release); // ordering: Release fence — the odd version store above becomes visible before any payload store below
+            let v = slot[0].load(Ordering::Relaxed); // ordering: trace-ring-owner Relaxed — version word is written only by this thread; always even here
+            slot[0].store(v + 1, Ordering::Relaxed); // ordering: trace-ring-owner Relaxed — odd marks mid-write; the release fence below orders it before the payload stores
+            fence(Ordering::Release); // ordering: trace-ring Release fence — the odd version store above becomes visible before any payload store below
             for (w, val) in slot[1..].iter().zip(payload) {
-                w.store(val, Ordering::Relaxed); // ordering: Relaxed — payload words; torn logical reads are rejected by the version re-check
+                w.store(val, Ordering::Relaxed); // ordering: trace-ring-payload Relaxed — payload words; torn logical reads are rejected by the version re-check
             }
-            slot[0].store(v + 2, Ordering::Release); // ordering: Release — publishes the payload; a reader that acquires this even version sees all payload stores
-            self.head.store(h + 1, Ordering::Relaxed); // ordering: Relaxed — owner-only bookkeeping; collectors only use it for wrap statistics
+            slot[0].store(v + 2, Ordering::Release); // ordering: trace-ring Release — publishes the payload; a reader that acquires this even version sees all payload stores
+            self.head.store(h + 1, Ordering::Relaxed); // ordering: trace-ring-owner Relaxed — owner-only bookkeeping; collectors only use it for wrap statistics
         }
 
         /// Optimistic cross-thread slot read; `None` for empty/torn slots.
         fn read_slot(&self, i: usize) -> Option<[u64; WORDS - 1]> {
             let slot = &self.slots[i];
-            let v1 = slot[0].load(Ordering::Acquire); // ordering: Acquire — payload loads below must not be reordered before this version check
+            let v1 = slot[0].load(Ordering::Acquire); // ordering: trace-ring Acquire — payload loads below must not be reordered before this version check
             if v1 == 0 || v1 % 2 == 1 {
                 return None;
             }
             let mut out = [0u64; WORDS - 1];
             for (o, w) in out.iter_mut().zip(&slot[1..]) {
-                *o = w.load(Ordering::Relaxed); // ordering: Relaxed — payload loads; consistency is validated by the version re-check below
+                *o = w.load(Ordering::Relaxed); // ordering: trace-ring-payload Relaxed — payload loads; consistency is validated by the version re-check below
             }
-            fence(Ordering::Acquire); // ordering: Acquire fence — payload loads above complete before the version re-check below
-            let v2 = slot[0].load(Ordering::Relaxed); // ordering: Relaxed — the fence above orders this re-check after the payload loads
+            fence(Ordering::Acquire); // ordering: trace-ring Acquire fence — payload loads above complete before the version re-check below
+            let v2 = slot[0].load(Ordering::Relaxed); // ordering: trace-ring-owner Relaxed — the fence above orders this re-check after the payload loads
             if v1 == v2 {
                 Some(out)
             } else {
@@ -296,7 +296,7 @@ mod imp {
     const THREAD_MASK: u64 = 0xff_ffff;
 
     fn emit(kind: EventKind, name_idx: u32, trace: u64, span: u64, parent: u64, arg: u64) {
-        let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — sequence allocation; the slot/event payload is synchronized separately
+        let seq = NEXT_SEQ.fetch_add(1, Ordering::Relaxed); // ordering: trace-seq Relaxed — sequence allocation; the slot/event payload is synchronized separately
         let ts = crate::span::process_epoch_ns();
         let thread = u64::from(crate::span::process_thread_id()) & THREAD_MASK;
         let meta = u64::from(name_idx) | ((kind as u64) << 32) | (thread << THREAD_SHIFT);
@@ -443,11 +443,11 @@ mod imp {
     }
 
     pub fn events_recorded() -> u64 {
-        NEXT_SEQ.load(Ordering::Relaxed) - 1 // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        NEXT_SEQ.load(Ordering::Relaxed) - 1 // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
     }
 
     pub fn any_ring_wrapped() -> bool {
-        // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
         RINGS
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -462,10 +462,10 @@ mod imp {
         for ring in rings.iter() {
             for slot in &*ring.slots {
                 for w in slot {
-                    w.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
+                    w.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
                 }
             }
-            ring.head.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
+            ring.head.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
         }
     }
 }

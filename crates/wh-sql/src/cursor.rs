@@ -26,6 +26,7 @@ impl<'t> Cursor<'t> {
     pub fn open(table: &'t Table, predicate: Option<&Expr>, params: &Params) -> SqlResult<Self> {
         let ctx = EvalContext::new(table.schema(), params);
         let mut rids = Vec::new();
+        // lint: allow(epoch-discipline) — the RID set is re-validated at fetch time: next_row re-reads under the page latch and skips NoSuchSlot (the documented staleness contract)
         table.scan(|rid, row| {
             let keep = match predicate {
                 Some(p) => ctx.eval_predicate(p, &row).map_err(storage_eval_err)?,

@@ -83,6 +83,7 @@ impl RowSource for Table {
 
     fn for_each(&self, visit: &mut dyn FnMut(Row) -> SqlResult<()>) -> SqlResult<()> {
         let mut stash: Option<SqlError> = None;
+        // lint: allow(epoch-discipline) — scan latches each page internally and the visitor receives owned row copies; no RID or page memory outlives the latch
         let res = self.scan(|_, row| match visit(row) {
             Ok(()) => Ok(()),
             Err(e) => {
@@ -108,9 +109,9 @@ impl ParallelRowSource for Table {
                 if slot.is_none() {
                     *slot = Some(e);
                 }
-                failed.store(true, Ordering::Release); // ordering: Release — publishes the stashed error before the flag its reader Acquires
+                failed.store(true, Ordering::Release); // ordering: scan-abort Release — publishes the stashed error before the flag its reader Acquires
             }
-            // ordering: Acquire — pairs with the workers' Release store publishing the stashed error
+            // ordering: scan-abort Acquire — pairs with the workers' Release store publishing the stashed error
             if failed.load(Ordering::Acquire) {
                 Err(StorageError::ScanAborted)
             } else {

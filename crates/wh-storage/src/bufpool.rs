@@ -152,7 +152,7 @@ impl BufferPool {
 
     /// Number of currently resident pages (telemetry; racy by nature).
     pub fn resident(&self) -> usize {
-        // ordering: Relaxed — advisory count read for telemetry/tests.
+        // ordering: stat-counter Relaxed — advisory count read for telemetry/tests.
         self.resident.load(Ordering::Relaxed)
     }
 
@@ -172,6 +172,7 @@ impl BufferPool {
                 return Ok(PagePin { page, frame });
             }
         }
+        // lint: allow(latch-order) — the state read latch above is scoped to the hit-check block and already dropped here; fault_in starts from a clean slate
         self.fault_in(frame)
     }
 
@@ -200,7 +201,7 @@ impl BufferPool {
             // what §7 rollback leaves of a page born after the checkpoint.
             None => (Page::new(self.record_len)?, 0),
         };
-        // ordering: SeqCst — uniform with the frame protocol; the state
+        // ordering: pool-frame SeqCst — uniform with the frame protocol; the state
         // write latch is the real publication edge.
         frame.seq.store(seq, Ordering::SeqCst);
         frame.core.clear_dirty();
@@ -208,9 +209,10 @@ impl BufferPool {
         let page = Arc::new(RwLock::new(page));
         *state = Some(Arc::clone(&page));
         drop(state);
-        // ordering: SeqCst — resident accounting pairs with eviction's sub.
+        // ordering: pool-resident SeqCst — resident accounting pairs with eviction's sub.
         self.resident.fetch_add(1, Ordering::SeqCst);
         wh_obs::gauge!("storage.pool.resident").set(self.resident() as i64);
+        // lint: allow(latch-order) — the frame-state write latch was dropped just above; eviction inside enforce_capacity starts with no latch held
         self.enforce_capacity()?;
         Ok(PagePin { page, frame })
     }
@@ -229,14 +231,14 @@ impl BufferPool {
         let page_no = frames.len() as u32;
         frames.push(Arc::new(Frame { page_no, ..frame }));
         drop(frames);
-        // ordering: SeqCst — resident accounting pairs with eviction's sub.
+        // ordering: pool-resident SeqCst — resident accounting pairs with eviction's sub.
         self.resident.fetch_add(1, Ordering::SeqCst);
         self.enforce_capacity()?;
         Ok(page_no)
     }
 
     fn enforce_capacity(&self) -> StorageResult<()> {
-        // ordering: SeqCst — pairs with the add/sub sites.
+        // ordering: pool-resident SeqCst — pairs with the add/sub sites.
         if self.resident.load(Ordering::SeqCst) <= self.capacity {
             return Ok(());
         }
@@ -257,10 +259,10 @@ impl BufferPool {
         // Two passes: one to clear reference bits, one to act on them.
         let budget = frames.len() * 2;
         let mut attempts = 0;
-        // ordering: SeqCst — resident accounting, pairs with add/sub sites.
+        // ordering: pool-resident SeqCst — resident accounting, pairs with add/sub sites.
         while self.resident.load(Ordering::SeqCst) > target && attempts < budget {
             attempts += 1;
-            // ordering: Relaxed — the hand position is only a rotation cursor.
+            // ordering: clock-hand Relaxed — the hand position is only a rotation cursor.
             let idx = self.clock.fetch_add(1, Ordering::Relaxed) % frames.len();
             self.try_evict(&frames[idx])?;
         }
@@ -290,7 +292,7 @@ impl BufferPool {
                 fail_point!("storage.pool.evict");
                 *state = None;
                 drop(state);
-                // ordering: SeqCst — pairs with the fetch/allocate adds.
+                // ordering: pool-resident SeqCst — pairs with the fetch/allocate adds.
                 self.resident.fetch_sub(1, Ordering::SeqCst);
                 wh_obs::counter!("storage.pool.evictions").inc();
                 wh_obs::gauge!("storage.pool.resident").set(self.resident() as i64);
@@ -310,7 +312,7 @@ impl BufferPool {
         if !frame.core.clear_dirty() {
             return Ok(false);
         }
-        // ordering: SeqCst — uniform with the frame protocol; serialized by
+        // ordering: pool-frame SeqCst — uniform with the frame protocol; serialized by
         // the state latch, see above.
         let seq = frame.seq.load(Ordering::SeqCst) + 1;
         // Scope the failpoint's early return so the error path below still
@@ -324,7 +326,7 @@ impl BufferPool {
         drop(guard);
         match result {
             Ok(()) => {
-                // ordering: SeqCst — advanced only on success (shadow-slot
+                // ordering: pool-frame SeqCst — advanced only on success (shadow-slot
                 // rotation must track images actually on disk).
                 frame.seq.store(seq, Ordering::SeqCst);
                 wh_obs::counter!("storage.pool.flushes").inc();
@@ -414,7 +416,7 @@ mod tests {
 
     fn temp_path(tag: &str) -> PathBuf {
         static SEQ: AtomicU64 = AtomicU64::new(0);
-        let n = SEQ.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — unique-name counter only
+        let n = SEQ.fetch_add(1, Ordering::Relaxed); // ordering: id-alloc Relaxed — unique-name counter only
         std::env::temp_dir().join(format!("wh-pool-{tag}-{}-{n}.whd", std::process::id()))
     }
 

@@ -264,7 +264,7 @@ mod tests {
 
     pub(crate) fn temp_path(tag: &str) -> PathBuf {
         static SEQ: AtomicU64 = AtomicU64::new(0);
-        let n = SEQ.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — unique-name counter only
+        let n = SEQ.fetch_add(1, Ordering::Relaxed); // ordering: id-alloc Relaxed — unique-name counter only
         std::env::temp_dir().join(format!("wh-disk-{tag}-{}-{n}.whd", std::process::id()))
     }
 

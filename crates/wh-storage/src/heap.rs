@@ -275,7 +275,7 @@ impl HeapFile {
         wh_obs::is_enabled()
             && self
                 .op_probe
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed) // ordering: Relaxed — independent event counter; read only for reporting
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed) // ordering: stat-counter Relaxed — independent event counter; read only for reporting
                 .is_multiple_of(16)
     }
 
@@ -324,6 +324,7 @@ impl HeapFile {
                 continue;
             }
             // Allocate a new page.
+            // lint: allow(latch-order) — the page write latch is scoped to the candidate branch above and is not held on this path; allocate starts with no latch held
             let page_no = self.pool.allocate()?;
             wh_obs::counter!("storage.heap.page_allocs").inc();
             let mut free = lock_list(&self.free_pages);

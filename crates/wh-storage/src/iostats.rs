@@ -64,44 +64,44 @@ impl IoStats {
 
     /// Record `n` logical page reads.
     pub fn count_page_reads(&self, n: u64) {
-        self.page_reads.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+        self.page_reads.fetch_add(n, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         wh_obs::counter!("storage.io.page_reads").add(n);
     }
 
     /// Record `n` logical page writes.
     pub fn count_page_writes(&self, n: u64) {
-        self.page_writes.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+        self.page_writes.fetch_add(n, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         wh_obs::counter!("storage.io.page_writes").add(n);
     }
 
     /// Record `n` tuples handed to a reader.
     pub fn count_tuple_reads(&self, n: u64) {
-        self.tuple_reads.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+        self.tuple_reads.fetch_add(n, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         wh_obs::counter!("storage.io.tuple_reads").add(n);
     }
 
     /// Record `n` tuple mutations.
     pub fn count_tuple_writes(&self, n: u64) {
-        self.tuple_writes.fetch_add(n, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+        self.tuple_writes.fetch_add(n, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         wh_obs::counter!("storage.io.tuple_writes").add(n);
     }
 
     /// Read all counters.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
-            page_reads: self.page_reads.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-            page_writes: self.page_writes.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-            tuple_reads: self.tuple_reads.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
-            tuple_writes: self.tuple_writes.load(Ordering::Relaxed), // ordering: Relaxed — statistical read; tearing across cells is acceptable
+            page_reads: self.page_reads.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+            page_writes: self.page_writes.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+            tuple_reads: self.tuple_reads.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
+            tuple_writes: self.tuple_writes.load(Ordering::Relaxed), // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
         }
     }
 
     /// Zero all counters (between experiment phases).
     pub fn reset(&self) {
-        self.page_reads.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.page_writes.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.tuple_reads.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
-        self.tuple_writes.store(0, Ordering::Relaxed); // ordering: Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.page_reads.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.page_writes.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.tuple_reads.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
+        self.tuple_writes.store(0, Ordering::Relaxed); // ordering: stat-counter Relaxed — reset; callers quiesce writers around snapshots/resets
     }
 }
 

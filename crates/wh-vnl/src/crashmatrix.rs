@@ -378,7 +378,7 @@ pub struct DurabilityCellReport {
 /// A fresh scratch directory for one durability cell.
 fn matrix_dir() -> PathBuf {
     static SEQ: AtomicU64 = AtomicU64::new(0);
-    let n = SEQ.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — unique-name counter only
+    let n = SEQ.fetch_add(1, Ordering::Relaxed); // ordering: id-alloc Relaxed — unique-name counter only
     let dir = std::env::temp_dir().join(format!("wh-crashmatrix-{}-{n}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     dir

@@ -73,6 +73,7 @@ pub fn collect(table: &VnlTable) -> VnlResult<GcReport> {
     // Collect victims first; mutate after the scan.
     let mut victims = Vec::new();
     let mut occupied_slots: u64 = 0;
+    // lint: allow(epoch-discipline) — the collector is the epoch's writer side: victims are re-verified under the page latch before unlinking, and pinning would stall its own grace advances
     table.storage().scan(|rid, ext| {
         report.scanned += 1;
         // Version-slot occupancy: how many older version slots (beyond the
@@ -231,7 +232,7 @@ impl Collector {
             // always included (exactly once) in the total that `stop()`
             // returns after joining.
             if let Ok(report) = collect(&table) {
-                // ordering: Relaxed — independent event counter; read only for reporting
+                // ordering: stat-counter Relaxed — independent event counter; read only for reporting
                 reclaimed2.fetch_add(report.reclaimed, std::sync::atomic::Ordering::Relaxed);
             }
             let guard = shared2
@@ -258,7 +259,7 @@ impl Collector {
 
     /// Tuples reclaimed so far.
     pub fn reclaimed(&self) -> u64 {
-        self.reclaimed.load(std::sync::atomic::Ordering::Relaxed) // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        self.reclaimed.load(std::sync::atomic::Ordering::Relaxed) // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
     }
 
     /// Stop the collector and wait for its thread. The returned total

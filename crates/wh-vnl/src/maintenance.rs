@@ -205,7 +205,7 @@ impl<'t> MaintenanceTxn<'t> {
     /// Enable recording of per-tuple physical actions (Examples 4.2–4.4
     /// traces). Off by default.
     pub fn set_tracing(&self, on: bool) {
-        self.tracing.store(on, std::sync::atomic::Ordering::Relaxed); // ordering: Relaxed — advisory trace toggle; no data is published through it
+        self.tracing.store(on, std::sync::atomic::Ordering::Relaxed); // ordering: trace-toggle Relaxed — advisory trace toggle; no data is published through it
     }
 
     /// Drain the recorded `(action, key-values)` trace.
@@ -223,7 +223,7 @@ impl<'t> MaintenanceTxn<'t> {
         // they are one relaxed atomic add each, and the arm distribution is
         // exactly what E20's snapshot wants from a production-shaped run.
         action.arm_counter().inc();
-        // ordering: Relaxed — advisory trace toggle; no data is published through it
+        // ordering: trace-toggle Relaxed — advisory trace toggle; no data is published through it
         if self.tracing.load(std::sync::atomic::Ordering::Relaxed) {
             let key = self.table.layout().ext_schema().key_of(ext_row);
             self.trace
@@ -277,6 +277,9 @@ impl<'t> MaintenanceTxn<'t> {
     /// version of every live tuple (Table 1 row 1, §3.3).
     pub fn scan_current(&self) -> VnlResult<Vec<Row>> {
         self.check_open()?;
+        // Pin: the scan walks RIDs; a concurrent GC pass must not recycle
+        // slots mid-walk.
+        let _pin = self.table.epochs().pin();
         let layout = self.table.layout();
         let mut out = Vec::new();
         self.table.storage().scan(|_, ext| {
@@ -294,6 +297,9 @@ impl<'t> MaintenanceTxn<'t> {
     /// uncommitted changes are visible to itself.
     pub fn read_current(&self, key_row: &[Value]) -> VnlResult<Option<Row>> {
         self.check_open()?;
+        // Pin: find_physical probes the key directory's RIDs against raw
+        // tuple memory; hold the epoch across probe + read.
+        let _pin = self.table.epochs().pin();
         let layout = self.table.layout();
         let Some(rid) = self
             .table
@@ -327,6 +333,9 @@ impl<'t> MaintenanceTxn<'t> {
         self.table.layout().base_schema().validate(&base_row)?;
         let layout = self.table.layout();
 
+        // Pin: the conflict probe and the physical insert below touch RIDs
+        // a concurrent GC pass could otherwise recycle.
+        let _pin = self.table.epochs().pin();
         // Key conflict detection (rows 1–2 of Table 2) — only for keyed
         // relations; keyless relations always take row 3.
         let conflict = self
@@ -551,6 +560,9 @@ impl<'t> MaintenanceTxn<'t> {
     /// those of `key_row`.
     pub fn update_row(&self, base_row: &Row) -> VnlResult<()> {
         self.check_open()?;
+        // Pin: find_physical probes RIDs; hold the epoch across probe +
+        // in-place shift.
+        let _pin = self.table.epochs().pin();
         let layout = self.table.layout();
         let rid = self
             .table
@@ -674,6 +686,9 @@ impl<'t> MaintenanceTxn<'t> {
     /// Logically delete the tuple whose key matches `base_row`.
     pub fn delete_row(&self, base_row: &Row) -> VnlResult<()> {
         self.check_open()?;
+        // Pin: find_physical probes RIDs; hold the epoch across probe +
+        // delete marking.
+        let _pin = self.table.epochs().pin();
         let rid = self
             .table
             .find_physical(&self.table.base_to_ext_positions(base_row))
@@ -850,6 +865,9 @@ impl<'t> MaintenanceTxn<'t> {
         fail_point!("vnl.delta.capture");
         let table_name = self.table.name().to_string();
         let mut rows = Vec::new();
+        // Pin: the capture scan walks RIDs; GC must not recycle slots
+        // while the net effect is being assembled.
+        let _pin = self.table.epochs().pin();
         self.table.storage().scan(|_, ext| {
             let Some((vn, op)) = layout.slot(&ext, 0) else {
                 return Ok(());
@@ -945,6 +963,9 @@ impl<'t> MaintenanceTxn<'t> {
         // trace: phase span parented under the txn's root span.
         let _ts = wh_obs::trace_span_under!("vnl.txn.rollback", self.span_ctx);
         let layout = self.table.layout();
+        // Pin: the rollback scan collects RIDs it later mutates; GC must
+        // not recycle them in between.
+        let _pin = self.table.epochs().pin();
         // Collect this txn's tuples first (stable iteration while mutating).
         let mut touched = Vec::new();
         self.table.storage().scan(|rid, ext| {

@@ -169,7 +169,7 @@ impl<'t> ReaderSession<'t> {
         }
         if self
             .staleness_probe
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed) // ordering: Relaxed — independent event counter; read only for reporting
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed) // ordering: stat-counter Relaxed — independent event counter; read only for reporting
             .is_multiple_of(16)
         {
             self.note_staleness();

@@ -222,14 +222,14 @@ impl VnlTable {
     /// the newest delete VN GC may physically reclaim. `u64::MAX` for
     /// in-memory tables.
     pub fn gc_reclaim_ceiling(&self) -> VersionNo {
-        self.gc_ceiling.load(Ordering::Acquire) // ordering: Acquire — pairs with the checkpoint's Release publish of the new ceiling
+        self.gc_ceiling.load(Ordering::Acquire) // ordering: gc-ceiling Acquire — pairs with the checkpoint’s Release publish of the new ceiling
     }
 
     /// Set the durable-reclamation ceiling (called by [`crate::durable`]
     /// at table creation, after every completed checkpoint, and after
     /// recovery).
     pub(crate) fn set_gc_reclaim_ceiling(&self, vn: VersionNo) {
-        self.gc_ceiling.store(vn, Ordering::Release); // ordering: Release — publishes the checkpoint VN the GC gate Acquires
+        self.gc_ceiling.store(vn, Ordering::Release); // ordering: gc-ceiling Release — publishes the checkpoint VN the GC gate Acquires
     }
 
     /// Whether this table's heap is disk-backed (created or reopened
@@ -379,7 +379,7 @@ impl VnlTable {
     /// Begin a reader session pinned at an externally-chosen version (used
     /// by warehouse-wide sessions so every table reads the same `sessionVN`).
     pub(crate) fn begin_session_at(&self, vn: VersionNo) -> ReaderSession<'_> {
-        let id = self.next_session.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — unique-ID allocation; only atomicity of the increment matters
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed); // ordering: id-alloc Relaxed — unique-ID allocation; only atomicity of the increment matters
         let active = {
             let mut sessions = self
                 .sessions
@@ -406,7 +406,7 @@ impl VnlTable {
     }
 
     pub(crate) fn note_expiration(&self) {
-        self.expired_notifications.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+        self.expired_notifications.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
         wh_obs::counter!("vnl.reader.expirations").inc();
         // §4.1 verdict feeds the sliding-window SLO, which doubles as the
         // expire-storm flight-recorder trigger, and leaves a causal event
@@ -441,7 +441,7 @@ impl VnlTable {
 
     /// How many sessions have been notified of expiration so far.
     pub fn expired_session_count(&self) -> u64 {
-        self.expired_notifications.load(Ordering::Relaxed) // ordering: Relaxed — statistical read; tearing across cells is acceptable
+        self.expired_notifications.load(Ordering::Relaxed) // ordering: stat-counter Relaxed — statistical read; tearing across cells is acceptable
     }
 
     /// Number of currently active reader sessions.
@@ -590,7 +590,7 @@ impl VnlTable {
             if slot.is_none() {
                 *slot = Some(e);
             }
-            failed.store(true, Ordering::Release); // ordering: Release — publishes the stashed error before the flag its reader Acquires
+            failed.store(true, Ordering::Release); // ordering: scan-abort Release — publishes the stashed error before the flag its reader Acquires
         };
         let res = self
             .storage
@@ -610,7 +610,7 @@ impl VnlTable {
                         Err(e) => fail(e.into()),
                     },
                 }
-                // ordering: Acquire — pairs with the workers' Release store publishing the stashed error
+                // ordering: scan-abort Acquire — pairs with the workers' Release store publishing the stashed error
                 if failed.load(Ordering::Acquire) {
                     Err(wh_storage::StorageError::ScanAborted)
                 } else {
@@ -707,7 +707,7 @@ impl VnlTable {
             if slot.is_none() {
                 *slot = Some(e);
             }
-            failed.store(true, Ordering::Release); // ordering: Release — publishes the stashed error before the flag its reader Acquires
+            failed.store(true, Ordering::Release); // ordering: scan-abort Release — publishes the stashed error before the flag its reader Acquires
         };
         let res =
             self.storage
@@ -734,7 +734,7 @@ impl VnlTable {
                                 Err(e) => fail(e.into()),
                             },
                         }
-                        // ordering: Acquire — pairs with the workers' Release store publishing the stashed error
+                        // ordering: scan-abort Acquire — pairs with the workers' Release store publishing the stashed error
                         if failed.load(Ordering::Acquire) {
                             return Err(wh_storage::StorageError::ScanAborted);
                         }
@@ -803,6 +803,9 @@ impl VnlTable {
 
     /// Raw extended rows with their RIDs (reports, GC, tests).
     pub fn scan_raw(&self) -> VnlResult<Vec<(Rid, Row)>> {
+        // Pin: callers correlate the returned RIDs with later point reads;
+        // hold the epoch so GC cannot recycle them mid-collection.
+        let _pin = self.epochs.pin();
         Ok(self.storage.scan_all()?)
     }
 
@@ -840,7 +843,9 @@ impl VnlTable {
             index: OrderedIndex::new(ext_cols),
         };
         // Backfill while holding the registry lock so concurrent physical
-        // inserts cannot slip between backfill and registration.
+        // inserts cannot slip between backfill and registration. Pinned:
+        // the index stores RIDs, so GC must not recycle them mid-backfill.
+        let _pin = self.epochs.pin();
         self.storage.scan(|rid, ext| {
             sec.index.insert(&ext, rid);
             Ok(())

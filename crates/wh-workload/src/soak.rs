@@ -357,11 +357,11 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, VnlError> {
                         retry.run_with_stats(&table, double_scan)
                     };
                     stats.wasted_rows += wasted.get();
-                    att.fetch_add(u64::from(stats.attempts), Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
-                    exp.fetch_add(u64::from(stats.expirations), Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
-                    rep.fetch_add(u64::from(stats.repaired), Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
-                    rst.fetch_add(u64::from(stats.restarted), Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
-                    wst.fetch_add(stats.wasted_rows, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+                    att.fetch_add(u64::from(stats.attempts), Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
+                    exp.fetch_add(u64::from(stats.expirations), Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
+                    rep.fetch_add(u64::from(stats.repaired), Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
+                    rst.fetch_add(u64::from(stats.restarted), Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
+                    wst.fetch_add(stats.wasted_rows, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
                     match res {
                         Ok((first, second)) => {
                             let uniform = first.len() == cfg.keys as usize
@@ -376,9 +376,9 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, VnlError> {
                                 None => true,
                             };
                             if uniform && stamp_ok && serial_ok {
-                                reads_ok.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+                                reads_ok.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
                             } else {
-                                wrong.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+                                wrong.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
                                                                        // A wrong answer is the worst anomaly this
                                                                        // harness can see — dump the ring while the
                                                                        // guilty interleaving is still in it.
@@ -392,10 +392,10 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, VnlError> {
                             }
                         }
                         Err(VnlError::RetryExhausted { .. }) => {
-                            exhausted.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+                            exhausted.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
                         }
                         Err(_) => {
-                            unexpected.fetch_add(1, Ordering::Relaxed); // ordering: Relaxed — independent event counter; read only for reporting
+                            unexpected.fetch_add(1, Ordering::Relaxed); // ordering: stat-counter Relaxed — independent event counter; read only for reporting
                         }
                     }
                     if rng.chance(1, 3) {
